@@ -1,0 +1,142 @@
+//! Ablation (ours): activation-aware vs round-to-nearest quantization on
+//! the executable substrate. The paper integrates AWQ as a black box
+//! (§6.3); this harness runs the actual mechanism — per-channel scales
+//! grid-searched on recorded activations (`specee-model::calibration`) —
+//! against plain RTN at the same bit width, measuring what calibration
+//! buys in token agreement and logits error, and what it costs offline.
+
+use specee_bench::*;
+use specee_core::engine::DenseEngine;
+use specee_metrics::Table;
+use specee_model::{collect_awq_tap, quantize_awq, LayeredLm, TokenId};
+use specee_tensor::QuantBits;
+
+fn main() {
+    banner(
+        "ablation_awq_calibration",
+        "AWQ calibrated scales vs plain RTN at int8/int4 (ours)",
+    );
+    let cfg = model_7b();
+    let seed = 29;
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    let wl = workload(&cfg, &ds, request_count(), seed);
+
+    // Reference: dense decoding.
+    let dense_lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
+    let calib_prompts: Vec<Vec<TokenId>> = (0..4u32)
+        .map(|i| {
+            dense_lm
+                .language()
+                .sample_sequence(3 + i, 16, seed ^ u64::from(i))
+        })
+        .collect();
+    let mut dense_engine = DenseEngine::new(dense_lm);
+    let dense_outs: Vec<_> = wl
+        .iter()
+        .map(|r| dense_engine.generate(&r.prompt, r.gen_len))
+        .collect();
+
+    let mut table = Table::new(vec![
+        "weights",
+        "agreement vs dense",
+        "logits MSE",
+        "payload vs f32",
+    ]);
+    for (name, bits, awq) in [
+        ("RTN int8", QuantBits::Int8, false),
+        ("AWQ int8", QuantBits::Int8, true),
+        ("RTN int4", QuantBits::Int4, false),
+        ("AWQ int4", QuantBits::Int4, true),
+    ] {
+        let mut lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
+        let dense_bytes = lm.inner().weights().bytes();
+        if awq {
+            let tap = collect_awq_tap(lm.inner_mut(), &calib_prompts);
+            quantize_awq(lm.inner_mut(), bits, &tap);
+        } else {
+            lm.inner_mut().quantize(bits);
+        }
+        let quant_bytes = lm.inner().weights().bytes();
+
+        // Logits error on one probe prompt.
+        let mut meter = specee_metrics::Meter::new();
+        let probe = &wl[0].prompt;
+        let hq = specee_model::prefill(&mut lm, probe, &mut meter);
+        let lq = lm.final_logits(&hq, &mut meter);
+        let mut dense_ref = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
+        let hd = specee_model::prefill(&mut dense_ref, probe, &mut meter);
+        let ld = dense_ref.final_logits(&hd, &mut meter);
+        let mse: f64 = ld
+            .iter()
+            .zip(&lq)
+            .map(|(a, b)| f64::from(a - b) * f64::from(a - b))
+            .sum::<f64>()
+            / ld.len() as f64;
+
+        // Token agreement across the workload.
+        let mut engine = DenseEngine::new(lm);
+        let mut agree_num = 0.0;
+        let mut agree_den = 0.0;
+        for (r, d) in wl.iter().zip(&dense_outs) {
+            let out = engine.generate(&r.prompt, r.gen_len);
+            let n = out.tokens.len().min(d.tokens.len());
+            agree_num += specee_core::agreement(&out.tokens, &d.tokens) * n as f64;
+            agree_den += n as f64;
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}%", agree_num / agree_den * 100.0),
+            format!("{mse:.2e}"),
+            format!("{:.1}%", quant_bytes as f64 / dense_bytes as f64 * 100.0),
+        ]);
+    }
+    println!(
+        "Llama2-7B(sim), MT-Bench profile, {} requests; calibration: {} prompts x 16 tokens",
+        wl.len(),
+        calib_prompts.len()
+    );
+    println!("{table}");
+    println!(
+        "On this substrate the two schemes tie: the synthetic model's activations are\n\
+         near-isotropic, so there are no salient channels to protect. AWQ's win is a\n\
+         property of skewed activation channels — demonstrated below on the regime\n\
+         the AWQ paper targets."
+    );
+
+    // The mechanism under skewed activations (per-matrix, where real LLM
+    // FFN inputs live): a handful of hot channels dominate.
+    use specee_tensor::awq::{AwqCalibration, AwqMatrix};
+    use specee_tensor::rng::Pcg;
+    use specee_tensor::Matrix;
+    let mut rng = Pcg::seed(404);
+    let w = Matrix::random(64, 256, 1.0, &mut rng);
+    let mut table = Table::new(vec!["hot-channel skew", "RTN int4 MSE", "AWQ int4 MSE", "AWQ alpha"]);
+    for factor in [1.0f32, 5.0, 20.0, 50.0] {
+        let acts: Vec<Vec<f32>> = (0..64)
+            .map(|_| {
+                (0..256)
+                    .map(|c| {
+                        let v = (rng.next_f32() - 0.5) * 0.4;
+                        if c % 61 == 0 {
+                            v * factor
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let calib = AwqCalibration::from_activations(&acts);
+        let awq = AwqMatrix::quantize(&w, &calib, QuantBits::Int4, 32, &acts).expect("dims");
+        let rtn =
+            AwqMatrix::quantize_with_alpha(&w, &calib, QuantBits::Int4, 32, 0.0).expect("dims");
+        table.row(vec![
+            format!("{factor}x"),
+            format!("{:.3e}", rtn.mse_on(&w, &acts)),
+            format!("{:.3e}", awq.mse_on(&w, &acts)),
+            format!("{:.3}", awq.alpha()),
+        ]);
+    }
+    println!("\nPer-matrix output MSE under activation skew (64x256 int4, group 32):");
+    println!("{table}");
+}

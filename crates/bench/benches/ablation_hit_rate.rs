@@ -1,0 +1,50 @@
+//! Ablation A2 (ours): draft hit-rate sweep — how the quality of the
+//! speculative model controls both the speedup and the accuracy
+//! preservation of SpecEE (the paper's "strong enough DLM" premise, §3.2).
+
+use specee_bench::*;
+use specee_core::engine::{DenseEngine, SpecEeEngine};
+use specee_core::{RunStats, SpecEeConfig};
+use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
+use specee_synth::OracleDraft;
+
+fn main() {
+    banner("ablation_hit_rate", "draft top-K hit-rate sweep");
+    let cfg = model_7b();
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    let seed = 79;
+    let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+    let wl = workload(&cfg, &ds, request_count(), seed);
+    let hw = HardwareProfile::a100_80g();
+    let fw = FrameworkProfile::hugging_face();
+
+    let mut dense_engine = DenseEngine::new(build_lm(&cfg, &ds, seed, ModelVariant::Dense));
+    let dense_outputs: Vec<_> = wl.iter().map(|r| dense_engine.generate(&r.prompt, r.gen_len)).collect();
+    let dense_run = EngineRun {
+        stats: RunStats::aggregate(&dense_outputs),
+        outputs: dense_outputs,
+        avg_active_predictors: None,
+    };
+    let base_tps = price(&dense_run.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
+
+    let mut t = Table::new(vec!["hit rate", "avg layers", "speedup", "agreement"]);
+    for hit in [0.3f64, 0.5, 0.7, 0.8, 0.9, 0.95] {
+        let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
+        let draft = OracleDraft::new(*lm.language(), hit, &cfg, seed ^ 0x99);
+        let config = SpecEeConfig { predictor: trained.predictor, ..SpecEeConfig::default() };
+        let schedule = config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
+        let mut engine = SpecEeEngine::new(lm, draft, trained.bank.clone(), schedule, config);
+        let outputs: Vec<_> = wl.iter().map(|r| engine.generate(&r.prompt, r.gen_len)).collect();
+        let stats = RunStats::aggregate(&outputs);
+        let run = EngineRun { stats, outputs, avg_active_predictors: None };
+        let tps = price(&run.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
+        t.row(vec![
+            format!("{hit:.2}"),
+            format!("{:.2}", run.stats.avg_layers),
+            fmt_x(tps / base_tps),
+            format!("{:.1}%", agreement_vs(&dense_run, &run) * 100.0),
+        ]);
+    }
+    println!("expected: higher hit rate -> earlier exits -> more speedup, accuracy stays high");
+    println!("{t}");
+}

@@ -1,0 +1,47 @@
+//! Ablation A1 (ours): how the skipped-layer KV fill policy affects output
+//! agreement and exit depth. The paper does not specify this mechanism;
+//! DESIGN.md documents the ProjectExitHidden default.
+
+use specee_bench::*;
+use specee_core::engine::SpecEeEngine;
+use specee_core::{RunStats, SpecEeConfig};
+use specee_metrics::Table;
+use specee_model::SkipKvPolicy;
+
+fn main() {
+    banner("ablation_kv_policy", "skipped-KV fill policies");
+    let cfg = model_7b();
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    let seed = 73;
+    let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+    let wl = workload(&cfg, &ds, request_count(), seed);
+    let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+
+    let mut t = Table::new(vec!["policy", "agreement vs dense", "avg layers", "skip-fill bytes/token"]);
+    for (name, policy) in [
+        ("ProjectExitHidden", SkipKvPolicy::ProjectExitHidden),
+        ("ReuseLast", SkipKvPolicy::ReuseLast),
+        ("ZeroFill", SkipKvPolicy::ZeroFill),
+    ] {
+        let config = SpecEeConfig {
+            predictor: trained.predictor,
+            skip_kv_policy: policy,
+            ..SpecEeConfig::default()
+        };
+        let schedule = config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
+        let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
+        let draft = build_draft(&lm, &cfg, seed);
+        let mut engine = SpecEeEngine::new(lm, draft, trained.bank.clone(), schedule, config);
+        let outputs: Vec<_> = wl.iter().map(|r| engine.generate(&r.prompt, r.gen_len)).collect();
+        let stats = RunStats::aggregate(&outputs);
+        let run = EngineRun { stats, outputs, avg_active_predictors: None };
+        let fill = run.stats.meter.kind(specee_metrics::OpKind::SkipKvFill);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}%", agreement_vs(&dense, &run) * 100.0),
+            format!("{:.2}", run.stats.avg_layers),
+            format!("{:.1} MB", fill.bytes / run.stats.tokens.max(1) as f64 / 1e6),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,59 @@
+//! Ablation A3 (ours): exit-threshold sweep — the accuracy/speedup knob of
+//! the judgment mechanism (§4.3.2 fixes 0.5; this shows the tradeoff
+//! curve that choice sits on).
+
+use specee_bench::*;
+use specee_core::engine::SpecEeEngine;
+use specee_core::predictor::PredictorConfig;
+use specee_core::{RunStats, SpecEeConfig};
+use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
+
+fn main() {
+    banner("ablation_threshold", "exit-threshold sweep (accuracy vs speedup)");
+    let cfg = model_7b();
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    let seed = 83;
+    let hw = HardwareProfile::a100_80g();
+    let fw = FrameworkProfile::hugging_face();
+
+    let mut t = Table::new(vec!["threshold", "avg layers", "speedup", "agreement"]);
+    let dense = {
+        // thresholds > 1 never exit: reuse as the dense reference point
+        let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+        let wl = workload(&cfg, &ds, request_count(), seed);
+        let d = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+        (trained, wl, d)
+    };
+    let (trained, wl, dense_run) = dense;
+    let base_tps = price(&dense_run.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
+
+    for threshold in [0.2f32, 0.35, 0.5, 0.65, 0.8, 0.95] {
+        let pcfg = PredictorConfig {
+            threshold,
+            ..trained.predictor
+        };
+        // retune only the decision threshold; weights stay as trained
+        let config = SpecEeConfig {
+            predictor: pcfg,
+            ..SpecEeConfig::default()
+        };
+        let schedule = config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
+        let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
+        let draft = build_draft(&lm, &cfg, seed);
+        let mut bank = trained.bank.clone();
+        bank.set_threshold(threshold);
+        let mut engine = SpecEeEngine::new(lm, draft, bank, schedule, config);
+        let outputs: Vec<_> = wl.iter().map(|r| engine.generate(&r.prompt, r.gen_len)).collect();
+        let stats = RunStats::aggregate(&outputs);
+        let run = EngineRun { stats, outputs, avg_active_predictors: None };
+        let tps = price(&run.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
+        t.row(vec![
+            format!("{threshold:.2}"),
+            format!("{:.2}", run.stats.avg_layers),
+            fmt_x(tps / base_tps),
+            format!("{:.1}%", agreement_vs(&dense_run, &run) * 100.0),
+        ]);
+    }
+    println!("paper fixes threshold = 0.5; lower thresholds exit earlier at more risk");
+    println!("{t}");
+}

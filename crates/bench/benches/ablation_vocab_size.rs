@@ -1,0 +1,126 @@
+//! Fig. 2(b) / §3.1, quantified: the vocabulary *is* the predictor's search
+//! space. Sweeps the vocabulary size and prices the per-layer exit
+//! prediction of a full-vocabulary method (AdaInfer/CALM-style: one
+//! `hidden × vocab` GEMV per evaluated layer) against SpecEE's K-column
+//! slice, on the A100 roofline at Llama2-7B dimensions.
+//!
+//! Two claims are checked:
+//! * full-vocabulary prediction overhead grows with vocabulary size and
+//!   reaches the paper's ~20–30 % of per-token latency at the Llama2
+//!   vocabulary (~3.2 × 10⁴);
+//! * SpecEE's slice is vocabulary-size-independent — the ~10⁴× search-space
+//!   reduction of Fig. 2(b). Its 31 per-layer slices are priced as ONE
+//!   grouped kernel (T3's block-wise GEMM, Fig. 13).
+//!
+//! The vocabularies themselves are real: trained byte-level BPE tokenizers
+//! over the synthetic corpus (`specee-text`), so each sweep point
+//! corresponds to an actual id table, not just a number in a formula.
+
+use specee_bench::*;
+use specee_metrics::{HardwareProfile, Roofline, Table};
+use specee_model::CostDims;
+use specee_text::{BpeTrainer, CorpusConfig, SyntheticCorpus};
+
+struct TokenCost {
+    base_s: f64,
+    roofline: Roofline,
+    hidden: f64,
+    weight_bytes: f64,
+}
+
+impl TokenCost {
+    fn at_7b_dims() -> Self {
+        let dims = CostDims::llama2_7b();
+        let roofline = Roofline::new(HardwareProfile::a100_80g());
+        let h = dims.hidden_dim as f64;
+        let wb = dims.weight_bytes_per_elem();
+        let layer_bytes = (h * h * 2.0
+            + h * dims.kv_dim() as f64 * 2.0
+            + 3.0 * h * dims.ffn_dim as f64
+            + 2.0 * h)
+            * wb;
+        let layer_s = roofline.op_latency(2.0 * layer_bytes / wb, layer_bytes, 7);
+        TokenCost {
+            base_s: dims.n_layers as f64 * layer_s,
+            roofline,
+            hidden: h,
+            weight_bytes: wb,
+        }
+    }
+
+    /// One GEMV of `cols` LM-head columns.
+    fn head_s(&self, cols: f64, kernels: u64) -> f64 {
+        let bytes = cols * self.hidden * self.weight_bytes;
+        self.roofline
+            .op_latency(2.0 * bytes / self.weight_bytes, bytes, kernels)
+    }
+
+    /// (total, prediction) seconds per token: the final full head plus
+    /// `layers` prediction reads of `cols` columns in `kernels` launches.
+    fn token(&self, vocab: f64, layers: f64, cols: f64, kernels: u64) -> (f64, f64) {
+        let final_head = self.head_s(vocab, 1);
+        let prediction = self.head_s(layers * cols, kernels);
+        (self.base_s + final_head + prediction, prediction)
+    }
+}
+
+fn main() {
+    banner(
+        "ablation_vocab_size",
+        "search-space reduction: prediction overhead vs vocabulary size (Fig. 2(b))",
+    );
+
+    // Train real vocabularies at each sweep point.
+    let corpus = SyntheticCorpus::new(CorpusConfig::default(), 301).paragraphs(600);
+    let eval = SyntheticCorpus::new(CorpusConfig::default(), 999).paragraphs(8);
+    let cost = TokenCost::at_7b_dims();
+    let layers = 31.0; // predictors at every intermediate layer
+
+    let mut table = Table::new(vec![
+        "vocab (target)",
+        "bytes/token",
+        "full-vocab pred share",
+        "SpecEE pred share",
+        "search-space reduction",
+    ]);
+    let mut last_vocab = 0usize;
+    for &target in &[512usize, 1024, 2048, 4096, 8192] {
+        let tok = BpeTrainer::new(target).train(&corpus);
+        let vocab = tok.vocab().len();
+        if vocab == last_vocab {
+            continue; // merge statistics exhausted below this target
+        }
+        last_vocab = vocab;
+        let stats = tok.stats(&eval);
+        let v = vocab as f64;
+        let (full_total, full_pred) = cost.token(v, layers, v, layers as u64);
+        let (spec_total, spec_pred) = cost.token(v, layers, 4.0, 1);
+        table.row(vec![
+            format!("{vocab} ({target})"),
+            format!("{:.2}", stats.bytes_per_token()),
+            format!("{:.1}%", full_pred / full_total * 100.0),
+            format!("{:.2}%", spec_pred / spec_total * 100.0),
+            format!("{:.0}x", v / 4.0),
+        ]);
+    }
+    // The paper's operating point: Llama2's 32000-entry vocabulary
+    // (modelled directly; the synthetic corpus saturates its merge
+    // statistics below 32k).
+    let (full_total, full_pred) = cost.token(32000.0, layers, 32000.0, layers as u64);
+    let (spec_total, spec_pred) = cost.token(32000.0, layers, 4.0, 1);
+    table.row(vec![
+        "32000 (Llama2)".to_string(),
+        "-".to_string(),
+        format!("{:.1}%", full_pred / full_total * 100.0),
+        format!("{:.2}%", spec_pred / spec_total * 100.0),
+        "8000x".to_string(),
+    ]);
+    println!("Llama2-7B dims @ A100 (bare roofline); prediction at all 31 intermediate layers");
+    println!("{table}");
+    println!(
+        "Paper: full-vocabulary prediction costs ~20% of end-to-end latency at the\n\
+         ~3x10^4 Llama2 vocabulary and scales with it; SpecEE's candidate slice\n\
+         (one grouped kernel, Fig. 13) is vocabulary-independent — the ~10^4x\n\
+         search-space reduction of Fig. 2(b)."
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig. 1(b): share of end-to-end time spent inside decoder layers for
+//! 7B/13B/70B under autoregressive and speculative decoding (paper: 70-95%).
+
+use specee_bench::*;
+use specee_metrics::{report::fmt_pct, FrameworkProfile, HardwareProfile, Table};
+
+fn main() {
+    banner("fig01b_layer_share", "decoder-layer share of end-to-end time");
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    let seed = 7;
+    let mut table = Table::new(vec!["model", "decoding", "decoder-layer share"]);
+    for (name, cfg) in [
+        ("Llama2-7B", model_7b()),
+        ("Llama2-13B", model_13b()),
+        ("Llama2-70B", model_70b()),
+    ] {
+        let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+        let wl = workload(&cfg, &ds, request_count().min(2), seed);
+        for (mode, kind, fw) in [
+            ("autoregressive", EngineKind::Dense, FrameworkProfile::hugging_face()),
+            ("speculative", EngineKind::Speculative, FrameworkProfile::eagle()),
+        ] {
+            let run = run_engine(kind, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+            let cost = price(&run.stats.meter, HardwareProfile::a100_80g(), fw);
+            let share = cost.decoder_layer_s() / cost.latency_s;
+            table.row(vec![name.to_string(), mode.to_string(), fmt_pct(share)]);
+        }
+    }
+    println!("paper: decoder layers account for 70-95% of end-to-end inference");
+    println!("{table}");
+}

@@ -1,0 +1,86 @@
+//! Fig. 2(d): technique waterfall — HF baseline, +T1, +T1+T2, +T1+T2+T3
+//! tokens/s on the cloud scenario (Llama2-7B, A100, MT-Bench) and the PC
+//! scenario (llama.cpp base, SUM).
+
+use specee_bench::*;
+use specee_core::SchedulingMode;
+use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
+
+fn main() {
+    banner("fig02d_waterfall", "technique waterfall (paper: 1.12x, 1.21x, 1.66x steps)");
+    let cfg = model_7b();
+    let seed = 42;
+    let n = request_count();
+
+    // Cloud: MT-Bench on A100, HuggingFace base.
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+    let wl = workload(&cfg, &ds, n, seed);
+    let steps = [
+        ("HuggingFace", EngineKind::Dense),
+        ("+T1 (predictor)", EngineKind::SpecEeAr(SchedulingMode::AllLayers)),
+        ("+T2 (scheduling)", EngineKind::SpecEeAr(SchedulingMode::TwoLevel)),
+        ("+T3 (hyper-token)", EngineKind::SpecEeSpeculative),
+    ];
+    let mut table = Table::new(vec!["technique", "tokens/s", "step", "cumulative", "avg layers"]);
+    let mut prev = 0.0;
+    let mut base = 0.0;
+    for (name, kind) in steps {
+        let run = run_engine(kind, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+        let cost = price(
+            &run.stats.meter,
+            HardwareProfile::a100_80g(),
+            FrameworkProfile::hugging_face(),
+        );
+        let tps = cost.tokens_per_s();
+        if base == 0.0 {
+            base = tps;
+            prev = tps;
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{tps:.2}"),
+            fmt_x(tps / prev),
+            fmt_x(tps / base),
+            format!("{:.2}", run.stats.avg_layers),
+        ]);
+        prev = tps;
+    }
+    println!("Cloud scenario: Llama2-7B @ A100, MT-Bench (paper: 42.3 -> 47.4 -> 57.4 -> 95.2 tok/s)");
+    println!("{table}");
+
+    // PC: SUM on the hybrid laptop, llama.cpp base.
+    let ds = specee_synth::DatasetProfile::sum();
+    let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+    let wl = workload(&cfg, &ds, n, seed);
+    let mut table = Table::new(vec!["technique", "tokens/s", "step", "cumulative"]);
+    let mut prev = 0.0;
+    let mut base = 0.0;
+    for (name, kind) in [
+        ("llama.cpp", EngineKind::Dense),
+        ("+T1", EngineKind::SpecEeAr(SchedulingMode::AllLayers)),
+        ("+T2", EngineKind::SpecEeAr(SchedulingMode::TwoLevel)),
+        ("+T3", EngineKind::SpecEeSpeculative),
+    ] {
+        let run = run_engine(kind, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+        let cost = price(
+            &run.stats.meter,
+            HardwareProfile::pc_hybrid(0.55),
+            FrameworkProfile::llama_cpp(),
+        );
+        let tps = cost.tokens_per_s();
+        if base == 0.0 {
+            base = tps;
+            prev = tps;
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{tps:.2}"),
+            fmt_x(tps / prev),
+            fmt_x(tps / base),
+        ]);
+        prev = tps;
+    }
+    println!("PC scenario: Llama2-7B @ Lenovo PC, SUM (paper: 5.63 -> 6.64 -> 8.29 -> 13.70 tok/s)");
+    println!("{table}");
+}

@@ -1,0 +1,43 @@
+//! Fig. 7: actual vs theoretical average forward layers, SpecEE vs
+//! AdaInfer, on seven datasets for Llama2-7B and Llama2-13B. The paper
+//! normalizes: theoretical / actual (100% = exits exactly at the earliest
+//! possible layer).
+
+use specee_bench::*;
+use specee_core::SchedulingMode;
+use specee_metrics::{report::fmt_pct, Table};
+
+fn main() {
+    banner("fig07_exit_gap", "actual vs theoretical average forward layers");
+    let seed = 19;
+    for (model_name, cfg) in [("Llama2-7B", model_7b()), ("Llama2-13B", model_13b())] {
+        let mut table = Table::new(vec![
+            "dataset",
+            "theoretical L",
+            "SpecEE L",
+            "SpecEE norm.",
+            "AdaInfer L",
+            "AdaInfer norm.",
+        ]);
+        for ds in specee_synth::DatasetProfile::accuracy_set() {
+            let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+            let wl = workload(&cfg, &ds, request_count().min(2), seed);
+            let spec = run_engine(
+                EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+                &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+            );
+            let ada = run_engine(EngineKind::AdaInfer, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+            let theory = trained.collection.theoretical_layers;
+            table.row(vec![
+                ds.name.clone(),
+                format!("{theory:.2}"),
+                format!("{:.2}", spec.stats.avg_layers),
+                fmt_pct(theory / spec.stats.avg_layers),
+                format!("{:.2}", ada.stats.avg_layers),
+                fmt_pct(theory / ada.stats.avg_layers),
+            ]);
+        }
+        println!("{model_name} (paper 7B: SpecEE 93-99% of theoretical; AdaInfer 62-95%)");
+        println!("{table}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 8: predictor design-space exploration — accuracy and execution
+//! time vs (a) number of MLP layers at hidden 512 and (b) hidden dimension
+//! at 2 layers. The paper's optimum is the 2-layer, 512-hidden MLP.
+
+use specee_bench::*;
+use specee_core::collect::train_bank;
+use specee_core::predictor::{PredictorBank, PredictorConfig};
+use specee_metrics::Table;
+use specee_nn::TrainConfig;
+use specee_tensor::rng::Pcg;
+use std::time::Instant;
+
+fn main() {
+    banner("fig08_design_space", "predictor layers/hidden-dim sweep");
+    let cfg = model_7b();
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    let trained_once = train_pipeline(&cfg, &ds, 3, paper_predictor());
+    let samples = &trained_once.collection.samples;
+
+    let sweep = |pcfg: PredictorConfig| -> (f64, f64) {
+        let mut bank = PredictorBank::new(cfg.n_layers, &pcfg, &mut Pcg::seed(9));
+        let report = train_bank(
+            &mut bank,
+            samples,
+            1.0,
+            &TrainConfig { epochs: 12, lr: 3e-3, ..TrainConfig::default() },
+            11,
+        );
+        // execution time of one predictor forward (measured on this CPU)
+        let f = specee_core::ExitFeatures {
+            logits: vec![1.0; 4],
+            probs: vec![0.25; 4],
+            delta: vec![0.0; 4],
+        };
+        let mut meter = specee_metrics::Meter::new();
+        let reps = 2000;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(bank.layer(10).score(&f, &mut meter));
+        }
+        let us = t0.elapsed().as_secs_f64() / reps as f64 * 1e6;
+        (report.mean_accuracy, us)
+    };
+
+    let mut t = Table::new(vec!["MLP layers", "hidden", "accuracy", "cpu time (us)"]);
+    for layers in [1usize, 2, 3, 4] {
+        let (acc, us) = sweep(PredictorConfig { layers, hidden_dim: 512, ..PredictorConfig::default() });
+        t.row(vec![layers.to_string(), "512".into(), format!("{:.1}%", acc * 100.0), format!("{us:.2}")]);
+    }
+    println!("(a) layers sweep at hidden 512 (paper: accuracy flat ~93%, time grows with depth)");
+    println!("{t}");
+
+    let mut t = Table::new(vec!["MLP layers", "hidden", "accuracy", "cpu time (us)"]);
+    for hidden in [64usize, 128, 256, 512, 1024] {
+        let (acc, us) = sweep(PredictorConfig { layers: 2, hidden_dim: hidden, ..PredictorConfig::default() });
+        t.row(vec!["2".into(), hidden.to_string(), format!("{:.1}%", acc * 100.0), format!("{us:.2}")]);
+    }
+    println!("(b) hidden sweep at 2 layers (paper optimum: 2 layers x 512 hidden)");
+    println!("{t}");
+}

@@ -1,0 +1,50 @@
+//! Fig. 16: PC scenario — llama.cpp and PowerInfer with and without SpecEE
+//! on the Lenovo PC (paper: 1.25x over llama.cpp, 1.15x over PowerInfer).
+
+use specee_bench::*;
+use specee_core::SchedulingMode;
+use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
+
+fn main() {
+    banner("fig16_pc", "PC scenario: llama.cpp / PowerInfer +- SpecEE");
+    let cfg = model_7b();
+    let seed = 43;
+    let hw = HardwareProfile::pc_hybrid(0.55);
+    let mut table = Table::new(vec![
+        "dataset", "llama.cpp", "SpecEE+l.cpp", "x", "PowerInfer", "SpecEE+PI", "x",
+    ]);
+    let (mut s1, mut s2) = (Vec::new(), Vec::new());
+    for ds in specee_synth::DatasetProfile::pc_set() {
+        let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+        let wl = workload(&cfg, &ds, request_count().min(2), seed);
+        // llama.cpp: dense weights on the hybrid profile; PC runs use the
+        // autoregressive SpecEE dataflow (llama.cpp has no tree decoding)
+        let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+        let spec = run_engine(
+            EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+            &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+        );
+        let dense_sp = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Sparse, &trained, &wl);
+        let spec_sp = run_engine(
+            EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+            &cfg, &ds, seed, ModelVariant::Sparse, &trained, &wl,
+        );
+        let lc = price(&dense.stats.meter, hw.clone(), FrameworkProfile::llama_cpp()).tokens_per_s();
+        let lc_s = price(&spec.stats.meter, hw.clone(), FrameworkProfile::llama_cpp()).tokens_per_s();
+        let pi = price(&dense_sp.stats.meter, hw.clone(), FrameworkProfile::power_infer()).tokens_per_s();
+        let pi_s = price(&spec_sp.stats.meter, hw.clone(), FrameworkProfile::power_infer()).tokens_per_s();
+        s1.push(lc_s / lc);
+        s2.push(pi_s / pi);
+        table.row(vec![
+            ds.name.clone(),
+            format!("{lc:.2}"), format!("{lc_s:.2}"), fmt_x(lc_s / lc),
+            format!("{pi:.2}"), format!("{pi_s:.2}"), fmt_x(pi_s / pi),
+        ]);
+    }
+    table.row(vec![
+        "Geo.Mean".into(), String::new(), String::new(), fmt_x(geomean(&s1)),
+        String::new(), String::new(), fmt_x(geomean(&s2)),
+    ]);
+    println!("paper geomean: 1.25x llama.cpp (8.29 t/s), 1.15x PowerInfer (13.57 t/s)");
+    println!("{table}");
+}

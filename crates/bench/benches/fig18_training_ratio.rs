@@ -1,0 +1,33 @@
+//! Fig. 18: predictor accuracy vs training-set ratio for Llama2-7B and
+//! Llama2-13B — ~2% of the data already reaches good accuracy.
+
+use specee_bench::*;
+use specee_core::collect::train_bank;
+use specee_core::predictor::PredictorBank;
+use specee_metrics::Table;
+use specee_nn::TrainConfig;
+use specee_tensor::rng::Pcg;
+
+fn main() {
+    banner("fig18_training_ratio", "predictor accuracy vs training-set fraction");
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    for (name, cfg) in [("Llama2-7B", model_7b()), ("Llama2-13B", model_13b())] {
+        let trained = train_pipeline(&cfg, &ds, 3, paper_predictor());
+        let samples = &trained.collection.samples;
+        let mut table = Table::new(vec!["training fraction", "mean predictor accuracy"]);
+        for frac in [0.01f64, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00] {
+            let mut bank = PredictorBank::new(cfg.n_layers, &paper_predictor(), &mut Pcg::seed(5));
+            let report = train_bank(
+                &mut bank, samples, frac,
+                &TrainConfig { epochs: 12, lr: 3e-3, ..TrainConfig::default() },
+                7,
+            );
+            table.row(vec![
+                format!("{:.0}%", frac * 100.0),
+                format!("{:.1}%", report.mean_accuracy * 100.0),
+            ]);
+        }
+        println!("\n{name} (paper: ~2% of 16K samples already suffices)");
+        println!("{table}");
+    }
+}

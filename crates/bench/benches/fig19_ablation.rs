@@ -1,0 +1,41 @@
+//! Fig. 19: ablation of the three techniques across eight datasets on
+//! Llama2-7B @ A100 (HF base): +T1, +T1+T2, +T1+T2+T3.
+
+use specee_bench::*;
+use specee_core::SchedulingMode;
+use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
+
+fn main() {
+    banner("fig19_ablation", "T1 / T1+T2 / T1+T2+T3 speedups over HuggingFace");
+    let cfg = model_7b();
+    let seed = 53;
+    let hw = HardwareProfile::a100_80g();
+    let fw = FrameworkProfile::hugging_face();
+    let mut table = Table::new(vec!["dataset", "+T1", "+T1+T2", "+T1+T2+T3"]);
+    let mut acc = (Vec::new(), Vec::new(), Vec::new());
+    for ds in specee_synth::DatasetProfile::speedup_set() {
+        let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+        let wl = workload(&cfg, &ds, request_count().min(2), seed);
+        let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+        let base = price(&dense.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
+        let speedup = |kind| {
+            let run = run_engine(kind, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+            price(&run.stats.meter, hw.clone(), fw.clone()).tokens_per_s() / base
+        };
+        let t1 = speedup(EngineKind::SpecEeAr(SchedulingMode::AllLayers));
+        let t2 = speedup(EngineKind::SpecEeAr(SchedulingMode::TwoLevel));
+        let t3 = speedup(EngineKind::SpecEeSpeculative);
+        acc.0.push(t1);
+        acc.1.push(t2);
+        acc.2.push(t3);
+        table.row(vec![ds.name.clone(), fmt_x(t1), fmt_x(t2), fmt_x(t3)]);
+    }
+    table.row(vec![
+        "Geo.Mean".into(),
+        fmt_x(geomean(&acc.0)),
+        fmt_x(geomean(&acc.1)),
+        fmt_x(geomean(&acc.2)),
+    ]);
+    println!("paper geomean: +T1 ~1.08x, +T1+T2 ~1.27x, full ~2.25x over HF");
+    println!("{table}");
+}

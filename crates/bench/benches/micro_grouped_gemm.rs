@@ -1,0 +1,35 @@
+//! Criterion microbenchmark: block-wise grouped GEMM (T3's hyper-token
+//! feature kernel) vs per-node gathers over the same candidate sets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specee_tensor::{grouped_matvec, GroupedGemm, GroupedGemmSpec, Matrix, Pcg};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Pcg::seed(3);
+    let head = Matrix::random(2048, 128, 0.5, &mut rng);
+    // 21-node tree, 4 candidates each, heavy row overlap (context similarity)
+    let specs: Vec<GroupedGemmSpec> = (0..21)
+        .map(|i| GroupedGemmSpec::new(vec![i % 9, 9 + i % 5, 20 + i % 3, 40]))
+        .collect();
+    let inputs: Vec<Vec<f32>> = (0..21)
+        .map(|i| (0..128).map(|j| ((i * j) as f32).sin() * 0.1).collect())
+        .collect();
+
+    c.bench_function("grouped_gemm_planned", |b| {
+        let plan = GroupedGemm::plan(&head, &specs);
+        b.iter(|| black_box(plan.run(black_box(&inputs))))
+    });
+    c.bench_function("grouped_gemm_plan_and_run", |b| {
+        b.iter(|| {
+            let plan = GroupedGemm::plan(&head, &specs);
+            black_box(plan.run(black_box(&inputs)))
+        })
+    });
+    c.bench_function("per_node_gather", |b| {
+        b.iter(|| black_box(grouped_matvec(&head, &specs, black_box(&inputs))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

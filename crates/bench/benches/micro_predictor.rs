@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks: the lightweight predictor forward vs the
+//! full-LM-head feature path it replaces (the ~100x reduction of
+//! Fig. 2(c)-T1), measured in CPU wall-clock at executed dims.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specee_core::predictor::{ExitPredictor, PredictorConfig};
+use specee_core::ExitFeatures;
+use specee_metrics::Meter;
+use specee_model::{LayeredLm, ModelConfig, Transformer};
+use specee_tensor::rng::Pcg;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ModelConfig::sim_llama2_7b();
+    let mut model = Transformer::random(cfg.clone(), &mut Pcg::seed(1));
+    let mut meter = Meter::new();
+    let h = model.begin_token(1, &mut meter);
+    let predictor = ExitPredictor::new(&PredictorConfig::default(), &mut Pcg::seed(2));
+    let features = ExitFeatures {
+        logits: vec![1.0, 0.5, 0.2, 0.1],
+        probs: vec![0.4, 0.3, 0.2, 0.1],
+        delta: vec![0.1, -0.05, -0.03, -0.02],
+    };
+
+    c.bench_function("predictor_mlp_forward", |b| {
+        b.iter(|| black_box(predictor.score(black_box(&features), &mut meter)))
+    });
+    c.bench_function("lm_head_slice_k4", |b| {
+        b.iter(|| black_box(model.slice_logits(black_box(&h), &[3, 9, 17, 44], &mut meter)))
+    });
+    c.bench_function("lm_head_full_vocab", |b| {
+        b.iter(|| black_box(model.final_logits(black_box(&h), &mut meter)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

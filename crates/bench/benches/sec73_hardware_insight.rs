@@ -1,0 +1,97 @@
+//! §7.3.2 hardware insight: the lightweight predictor is memory-bound, so
+//! it shows similar *latency* on the A100 and the laptop GPU but very
+//! different *power* — the A100's idle compute units burn watts waiting on
+//! HBM (paper: ~142 W vs ~85 W). The paper's takeaway is a big-little GPU
+//! design for inference; this harness prints the numbers behind it.
+
+use specee_bench::*;
+use specee_core::predictor::PredictorConfig;
+use specee_core::ExitPredictor;
+use specee_metrics::{HardwareProfile, Meter, OpKind, Roofline, Table};
+use specee_model::CostDims;
+use specee_tensor::rng::Pcg;
+
+/// Meters `n` predictor invocations (MLP forward + K-column slice GEMV at
+/// 7B dims).
+fn predictor_meter(n: u64) -> Meter {
+    let predictor = ExitPredictor::new(&PredictorConfig::default(), &mut Pcg::seed(1));
+    let dims = CostDims::llama2_7b();
+    let slice_bytes = 4.0 * dims.hidden_dim as f64 * dims.weight_bytes_per_elem();
+    let mut meter = Meter::new();
+    for _ in 0..n {
+        meter.record(
+            OpKind::Predictor,
+            predictor.flops(),
+            predictor.bytes() as f64,
+            2,
+        );
+        meter.record(
+            OpKind::LmHeadSlice,
+            2.0 * slice_bytes / dims.weight_bytes_per_elem(),
+            slice_bytes,
+            1,
+        );
+        meter.mark_token();
+    }
+    meter
+}
+
+/// Meters `n` full decoder-layer forwards at 7B dims (the contrast op).
+fn layer_meter(n: u64) -> Meter {
+    let dims = CostDims::llama2_7b();
+    let h = dims.hidden_dim as f64;
+    let elems = h * h * 2.0 + h * dims.kv_dim() as f64 * 2.0 + 3.0 * h * dims.ffn_dim as f64;
+    let bytes = elems * dims.weight_bytes_per_elem();
+    let mut meter = Meter::new();
+    for _ in 0..n {
+        meter.record(OpKind::Ffn, 2.0 * elems, bytes, 7);
+        meter.mark_token();
+    }
+    meter
+}
+
+fn main() {
+    banner(
+        "sec73_hardware_insight",
+        "predictor latency/power across devices (paper: ~142W A100 vs ~85W PC)",
+    );
+    let devices = [
+        HardwareProfile::a100_80g(),
+        HardwareProfile::rtx4090(),
+        HardwareProfile::rtx4060_laptop(),
+    ];
+    let n = 10_000u64;
+
+    let mut table = Table::new(vec![
+        "device",
+        "predictor us/call",
+        "predictor power",
+        "decoder-layer power",
+        "memory-bound?",
+    ]);
+    for hw in &devices {
+        let roofline = Roofline::new(hw.clone());
+        let pred = roofline.cost(&predictor_meter(n));
+        let layer = roofline.cost(&layer_meter(n));
+        let bound = pred
+            .by_kind
+            .iter()
+            .find(|(k, _)| *k == OpKind::Predictor)
+            .map_or(false, |(_, c)| c.memory_bound);
+        table.row(vec![
+            hw.name.clone(),
+            format!("{:.2}", pred.latency_s / n as f64 * 1e6),
+            format!("{:.0}W", pred.avg_power_w()),
+            format!("{:.0}W", layer.avg_power_w()),
+            if bound { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{n} predictor invocations at Llama2-7B dims, bare device (no framework)");
+    println!("{table}");
+    println!(
+        "Expected shape: per-call latency is the same order on all three devices\n\
+         (the op is bandwidth-bound, and bandwidth ratios are much smaller than\n\
+         compute ratios), while the A100 burns far more power than the laptop GPU\n\
+         on the same op — the paper's case for big-little inference GPUs."
+    );
+}

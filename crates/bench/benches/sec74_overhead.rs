@@ -1,0 +1,43 @@
+//! §7.4.2/§7.4.4: overhead accounting — draft-model and predictor memory,
+//! predictor share of inference latency (paper: ~0.9 GB draft, ~416 KB
+//! predictors, predictor ~5.6% of latency).
+
+use specee_bench::*;
+use specee_core::SchedulingMode;
+use specee_draft::SpeculativeSource;
+use specee_metrics::{report::fmt_pct, FrameworkProfile, HardwareProfile, OpKind, Table};
+use specee_model::LayeredLm;
+
+fn main() {
+    banner("sec74_overhead", "memory and runtime overhead of SpecEE");
+    let cfg = model_7b();
+    let ds = specee_synth::DatasetProfile::mt_bench();
+    let seed = 67;
+    let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+    let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
+    let draft = build_draft(&lm, &cfg, seed);
+
+    let mut t = Table::new(vec!["component", "modelled size"]);
+    t.row(vec!["target model weights".into(), format!("{:.2} GB", lm.modelled_weight_bytes() / 1e9)]);
+    t.row(vec!["draft model (EAGLE head)".into(), format!("{:.2} GB", draft.modelled_bytes() / 1e9)]);
+    t.row(vec!["all layer predictors".into(), format!("{:.0} KB", trained.bank.total_bytes() as f64 / 1024.0)]);
+    println!("memory (paper: ~0.9 GB draft, ~416 KB predictors for Llama2-7B)");
+    println!("{t}");
+
+    let wl = workload(&cfg, &ds, request_count(), seed);
+    let run = run_engine(
+        EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+        &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+    );
+    let cost = price(&run.stats.meter, HardwareProfile::a100_80g(), FrameworkProfile::hugging_face());
+    let mut t = Table::new(vec!["share of latency", "value"]);
+    t.row(vec!["predictor ops".into(), fmt_pct(cost.share(OpKind::Predictor))]);
+    t.row(vec!["all SpecEE overhead (pred+slice+kv-fill)".into(),
+               fmt_pct(cost.specee_overhead_s() / cost.latency_s)]);
+    t.row(vec!["decoder layers".into(), fmt_pct(cost.decoder_layer_s() / cost.latency_s)]);
+    println!("runtime (paper: predictors ~5.6% of inference latency)");
+    println!("{t}");
+    println!("predictor calls/token: {:.1}  (dynamic active layers: {:.1})",
+        run.stats.predictor_calls as f64 / run.stats.tokens as f64,
+        run.avg_active_predictors.unwrap_or(0.0));
+}

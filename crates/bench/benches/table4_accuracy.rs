@@ -1,0 +1,62 @@
+//! Table 4: accuracy / perplexity / average forward layers for Dense,
+//! AdaInfer, SpecEE, AWQ and AWQ+SpecEE on Llama2-7B/13B/70B.
+//!
+//! Task accuracy is reported as the paper's dense accuracy scaled by
+//! measured token agreement with the dense run (EXPERIMENTS.md documents
+//! this substitution); perplexity is the model's own decode perplexity.
+
+use specee_bench::*;
+use specee_core::SchedulingMode;
+use specee_metrics::Table;
+
+fn main() {
+    banner("table4_accuracy", "accuracy / PPL / avg layers per engine");
+    let seed = 59;
+    for (model_name, cfg, n_req) in [
+        ("Llama2-7B (32 layers)", model_7b(), request_count().min(2)),
+        ("Llama2-13B (40 layers)", model_13b(), 2usize),
+        ("Llama2-70B (80 layers)", model_70b(), 1usize),
+    ] {
+        let mut table = Table::new(vec![
+            "dataset", "engine", "acc (scaled)", "PPL", "avg layers", "agreement",
+        ]);
+        for ds in specee_synth::DatasetProfile::accuracy_set() {
+            let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
+            let wl = workload(&cfg, &ds, n_req, seed);
+            let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+            let dense_q = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Quantized, &trained, &wl);
+            let spec = run_engine(
+                EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+                &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+            );
+            let spec_q = run_engine(
+                EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+                &cfg, &ds, seed, ModelVariant::Quantized, &trained, &wl,
+            );
+            let ada = run_engine(EngineKind::AdaInfer, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+            let fmt_acc = |agr: f64| match reported_accuracy(&ds, agr) {
+                Some(a) => format!("{a:.2}"),
+                None => "-".to_string(),
+            };
+            let rows: Vec<(&str, &EngineRun, f64)> = vec![
+                ("Dense", &dense, 1.0),
+                ("AdaInfer", &ada, agreement_vs(&dense, &ada)),
+                ("SpecEE", &spec, agreement_vs(&dense, &spec)),
+                ("AWQ", &dense_q, agreement_vs(&dense, &dense_q)),
+                ("AWQ+SpecEE", &spec_q, agreement_vs(&dense, &spec_q)),
+            ];
+            for (engine, run, agr) in rows {
+                table.row(vec![
+                    ds.name.clone(),
+                    engine.to_string(),
+                    fmt_acc(agr),
+                    format!("{:.3}", run.stats.ppl()),
+                    format!("{:.2}", run.stats.avg_layers),
+                    format!("{:.1}%", agr * 100.0),
+                ]);
+            }
+        }
+        println!("\n{model_name} (paper: SpecEE accuracy within 1% of dense, ~23/32 layers on 7B)");
+        println!("{table}");
+    }
+}

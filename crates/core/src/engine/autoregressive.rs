@@ -1,0 +1,281 @@
+//! The SpecEE autoregressive engine: T1 (speculation-based predictor) and
+//! T2 (two-level scheduling) on top of ordinary greedy decoding.
+
+use specee_draft::SpeculativeSource;
+use specee_metrics::Meter;
+use specee_model::{prefill, LayeredLm, TokenId};
+use specee_tensor::ops;
+
+use crate::config::SpecEeConfig;
+use crate::features::FeatureTracker;
+use crate::output::GenOutput;
+use crate::predictor::PredictorBank;
+use crate::scheduler::ScheduleEngine;
+use crate::verify::verify_exit;
+
+/// Autoregressive decoding with speculative early exiting (Fig. 3's
+/// dataflow):
+///
+/// 1. the speculator proposes K candidate tokens,
+/// 2. between consecutive decoder layers, scheduled predictors score the
+///    candidate-slice features,
+/// 3. a positive prediction is verified against the full LM head before
+///    the exit is taken,
+/// 4. the skipped layers' KV cache is filled so later tokens can attend.
+#[derive(Debug, Clone)]
+pub struct SpecEeEngine<M, D> {
+    model: M,
+    draft: D,
+    bank: PredictorBank,
+    schedule: ScheduleEngine,
+    config: SpecEeConfig,
+}
+
+impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
+    /// Assembles an engine from its parts. The bank must cover
+    /// `n_layers - 1` layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank size does not match the model depth.
+    pub fn new(
+        model: M,
+        draft: D,
+        bank: PredictorBank,
+        schedule: ScheduleEngine,
+        config: SpecEeConfig,
+    ) -> Self {
+        assert_eq!(
+            bank.len(),
+            model.config().n_layers - 1,
+            "one predictor per non-final layer"
+        );
+        SpecEeEngine {
+            model,
+            draft,
+            bank,
+            schedule,
+            config,
+        }
+    }
+
+    /// Borrows the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutably borrows the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The schedule engine (average-active statistics).
+    pub fn schedule(&self) -> &ScheduleEngine {
+        &self.schedule
+    }
+
+    /// Generates `gen_len` tokens with speculative early exiting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty or `gen_len` is zero.
+    pub fn generate(&mut self, prompt: &[TokenId], gen_len: usize) -> GenOutput {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        assert!(gen_len > 0, "gen_len must be positive");
+        let n_layers = self.model.config().n_layers;
+        let spec_k = self.config.predictor.spec_k;
+        let mut meter = Meter::new();
+        self.model.reset();
+        self.draft.reset();
+
+        let mut tokens = Vec::with_capacity(gen_len);
+        let mut exit_layers = Vec::with_capacity(gen_len);
+        let mut ce_sum = 0.0f64;
+        let mut predictor_calls = 0u64;
+        let mut verify_calls = 0u64;
+
+        // First token comes out of the (full-depth) prefill.
+        let mut prefill_meter = Meter::new();
+        let h0 = prefill(&mut self.model, prompt, &mut prefill_meter);
+        let logits = self.model.final_logits(&h0, &mut meter);
+        let mut t = ops::argmax(&logits).expect("logits") as TokenId;
+        ce_sum += f64::from(-ops::log_softmax(&logits)[t as usize]);
+        tokens.push(t);
+        exit_layers.push(n_layers);
+        meter.mark_token();
+
+        let mut ctx = prompt.to_vec();
+        let mut tracker = FeatureTracker::new();
+
+        while tokens.len() < gen_len {
+            ctx.push(t);
+            let spec = self.draft.propose(&ctx, spec_k, &mut meter);
+            let pos = self.model.kv_len();
+            let mut h = self.model.begin_token(t, &mut meter);
+            tracker.reset();
+
+            let mut exit: Option<(TokenId, Vec<f32>)> = None;
+            let mut executed = n_layers;
+            for layer in 0..n_layers {
+                h = self.model.forward_layer(layer, &h, pos, &mut meter);
+                if layer + 1 >= n_layers || !self.schedule.is_active(layer) {
+                    continue;
+                }
+                let feats = tracker.extract(&mut self.model, &h, &spec, &mut meter);
+                predictor_calls += 1;
+                if !self.bank.layer(layer).should_exit(&feats, &mut meter) {
+                    continue;
+                }
+                verify_calls += 1;
+                let full = self.model.final_logits(&h, &mut meter);
+                if let Some(tok) = verify_exit(&full, &spec) {
+                    self.model.fill_skipped_kv(
+                        layer + 1,
+                        &h,
+                        pos,
+                        self.config.skip_kv_policy,
+                        &mut meter,
+                    );
+                    executed = layer + 1;
+                    exit = Some((tok, full));
+                    break;
+                }
+            }
+            let (next, full) = match exit {
+                Some(x) => x,
+                None => {
+                    let full = self.model.final_logits(&h, &mut meter);
+                    let tok = ops::argmax(&full).expect("logits") as TokenId;
+                    (tok, full)
+                }
+            };
+            ce_sum += f64::from(-ops::log_softmax(&full)[next as usize]);
+            self.schedule.note_exit(executed.saturating_sub(1));
+            tokens.push(next);
+            exit_layers.push(executed);
+            meter.mark_token();
+            meter.mark_host_step();
+            t = next;
+        }
+
+        GenOutput {
+            tokens,
+            exit_layers,
+            ce_sum,
+            meter,
+            predictor_calls,
+            verify_calls,
+            rounds: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_training_data, train_bank};
+    use crate::config::SchedulingMode;
+    use crate::engine::DenseEngine;
+    use crate::output::agreement;
+    use crate::predictor::PredictorConfig;
+    use specee_model::ModelConfig;
+    use specee_nn::TrainConfig;
+    use specee_synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
+    use specee_tensor::rng::Pcg;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            n_layers: 12,
+            vocab_size: 512,
+            ..ModelConfig::tiny()
+        }
+    }
+
+    fn build_lm(seed: u64) -> SyntheticLm {
+        SyntheticLmBuilder::new(cfg(), DatasetProfile::qa())
+            .seed(seed)
+            .build()
+    }
+
+    fn trained_engine(seed: u64, mode: SchedulingMode) -> SpecEeEngine<SyntheticLm, OracleDraft> {
+        let mut lm = build_lm(seed);
+        let mut draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), 21);
+        let prompts: Vec<(Vec<TokenId>, usize)> =
+            (0..16).map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], 14usize)).collect();
+        let report = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+        let pcfg = PredictorConfig {
+            hidden_dim: 32,
+            ..PredictorConfig::default()
+        };
+        let mut bank = PredictorBank::new(12, &pcfg, &mut Pcg::seed(seed));
+        train_bank(
+            &mut bank,
+            &report.samples,
+            1.0,
+            &TrainConfig {
+                epochs: 24,
+                lr: 3e-3,
+                ..Default::default()
+            },
+            seed,
+        );
+        let config = SpecEeConfig {
+            predictor: pcfg,
+            scheduling: mode,
+            offline_keep: 6,
+            ..SpecEeConfig::default()
+        };
+        let schedule = config.build_schedule(12, Some(&report.exit_frequencies));
+        SpecEeEngine::new(build_lm(seed), draft, bank, schedule, config)
+    }
+
+    #[test]
+    fn exits_early_and_matches_dense() {
+        let mut engine = trained_engine(31, SchedulingMode::AllLayers);
+        let prompt = vec![4u32, 2, 9];
+        let out = engine.generate(&prompt, 16);
+        assert_eq!(out.tokens.len(), 16);
+        assert!(out.avg_layers() < 12.0, "avg layers {}", out.avg_layers());
+        assert!(out.predictor_calls > 0);
+
+        let mut dense = DenseEngine::new(build_lm(31));
+        let reference = dense.generate(&prompt, 16);
+        let agr = agreement(&out.tokens, &reference.tokens);
+        assert!(agr >= 0.8, "agreement {agr}");
+    }
+
+    #[test]
+    fn two_level_scheduling_reduces_predictor_calls() {
+        let prompt = vec![4u32, 2, 9];
+        let out_all = trained_engine(33, SchedulingMode::AllLayers).generate(&prompt, 20);
+        let out_two = trained_engine(33, SchedulingMode::TwoLevel).generate(&prompt, 20);
+        assert!(
+            out_two.predictor_calls < out_all.predictor_calls,
+            "two-level {} vs all {}",
+            out_two.predictor_calls,
+            out_all.predictor_calls
+        );
+        // exits should not regress catastrophically
+        assert!(out_two.avg_layers() <= out_all.avg_layers() + 2.0);
+    }
+
+    #[test]
+    fn kv_stays_consistent_after_exits() {
+        let mut engine = trained_engine(35, SchedulingMode::AllLayers);
+        let out = engine.generate(&[1, 2, 3], 10);
+        // every committed position must have KV in layer 0 (3 prompt + 9 fed)
+        assert_eq!(engine.model().kv_len(), 3 + 9);
+        assert_eq!(out.exit_layers.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "one predictor per non-final layer")]
+    fn bank_size_validated() {
+        let lm = build_lm(1);
+        let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), 1);
+        let bank = PredictorBank::new(4, &PredictorConfig::default(), &mut Pcg::seed(1));
+        let config = SpecEeConfig::default();
+        let schedule = config.build_schedule(12, None);
+        let _ = SpecEeEngine::new(lm, draft, bank, schedule, config);
+    }
+}

@@ -1,0 +1,10 @@
+//! Decoding engines: dense baseline, SpecEE autoregressive, and
+//! speculative (EAGLE ± SpecEE).
+
+mod autoregressive;
+mod dense;
+mod speculative;
+
+pub use autoregressive::SpecEeEngine;
+pub use dense::DenseEngine;
+pub use speculative::SpeculativeEngine;

@@ -1,0 +1,178 @@
+//! Feature extraction for the speculation-based lightweight predictor (T1).
+//!
+//! Per layer, the predictor sees only the *reduced* vocabulary — the K
+//! speculative tokens — through three feature groups (§4.3.1):
+//!
+//! 1. **speculative token logits** — the hidden state multiplied with the
+//!    K candidate columns of the LM head (`1 × hidden × K` instead of
+//!    `1 × hidden × |V|`),
+//! 2. **local probabilities** — softmax over those K logits,
+//! 3. **probability variation** — the difference from the previous layer's
+//!    local probabilities (the probability-shift signal of §4.2).
+//!
+//! With K = 4 the feature vector is 12-dimensional, the ~10⁴× search-space
+//! reduction of Fig. 2(b).
+
+use specee_metrics::Meter;
+use specee_model::{LayeredLm, TokenId};
+use specee_tensor::ops;
+
+/// The per-layer features of one (token, layer) decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExitFeatures {
+    /// Speculative token logits (length K).
+    pub logits: Vec<f32>,
+    /// Local probabilities: softmax over `logits` (length K).
+    pub probs: Vec<f32>,
+    /// Probability variation vs the previous layer (length K; zeros at the
+    /// first evaluated layer).
+    pub delta: Vec<f32>,
+}
+
+impl ExitFeatures {
+    /// Flattens to the predictor input layout `[logits | probs | delta]`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(self.logits.len() * 3);
+        v.extend_from_slice(&self.logits);
+        v.extend_from_slice(&self.probs);
+        v.extend_from_slice(&self.delta);
+        v
+    }
+
+    /// Feature dimension (3 × K).
+    pub fn dim(&self) -> usize {
+        self.logits.len() * 3
+    }
+}
+
+/// Tracks previous-layer local probabilities within one token's forward
+/// pass (reset per token).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureTracker {
+    prev_probs: Option<Vec<f32>>,
+}
+
+impl FeatureTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        FeatureTracker::default()
+    }
+
+    /// Resets the tracker at a token boundary.
+    pub fn reset(&mut self) {
+        self.prev_probs = None;
+    }
+
+    /// Extracts features at the current layer: slices the LM head over the
+    /// candidates (metered as [`specee_metrics::OpKind::LmHeadSlice`]),
+    /// computes local probabilities and their variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn extract<M: LayeredLm + ?Sized>(
+        &mut self,
+        model: &mut M,
+        h: &[f32],
+        candidates: &[TokenId],
+        meter: &mut Meter,
+    ) -> ExitFeatures {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        let logits = model.slice_logits(h, candidates, meter);
+        self.update(logits)
+    }
+
+    /// Builds features from already-computed candidate logits (the tree
+    /// path computes every node's logits with one grouped GEMM and then
+    /// feeds each node's tracker here).
+    pub fn update(&mut self, logits: Vec<f32>) -> ExitFeatures {
+        let probs = ops::softmax(&logits);
+        let delta = match &self.prev_probs {
+            Some(prev) if prev.len() == probs.len() => {
+                probs.iter().zip(prev.iter()).map(|(a, b)| a - b).collect()
+            }
+            _ => vec![0.0; probs.len()],
+        };
+        self.prev_probs = Some(probs.clone());
+        ExitFeatures {
+            logits,
+            probs,
+            delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee_metrics::OpKind;
+    use specee_model::{prefill, ModelConfig, Transformer};
+    use specee_tensor::rng::Pcg;
+
+    #[test]
+    fn layout_is_logits_probs_delta() {
+        let f = ExitFeatures {
+            logits: vec![1.0, 2.0],
+            probs: vec![0.3, 0.7],
+            delta: vec![0.1, -0.1],
+        };
+        assert_eq!(f.to_vec(), vec![1.0, 2.0, 0.3, 0.7, 0.1, -0.1]);
+        assert_eq!(f.dim(), 6);
+    }
+
+    #[test]
+    fn extract_uses_lm_head_slice_not_full() {
+        let mut model = Transformer::random(ModelConfig::tiny(), &mut Pcg::seed(1));
+        let mut meter = Meter::new();
+        let h = prefill(&mut model, &[1, 2], &mut meter);
+        let before_full = meter.kind(OpKind::LmHeadFull).kernels;
+        let mut tracker = FeatureTracker::new();
+        let f = tracker.extract(&mut model, &h, &[3, 4, 5, 6], &mut meter);
+        assert_eq!(f.logits.len(), 4);
+        assert_eq!(meter.kind(OpKind::LmHeadFull).kernels, before_full);
+        assert!(meter.kind(OpKind::LmHeadSlice).kernels > 0);
+    }
+
+    #[test]
+    fn first_layer_delta_is_zero_then_tracks() {
+        let mut model = Transformer::random(ModelConfig::tiny(), &mut Pcg::seed(2));
+        let mut meter = Meter::new();
+        let h = prefill(&mut model, &[1], &mut meter);
+        let mut tracker = FeatureTracker::new();
+        let f1 = tracker.extract(&mut model, &h, &[3, 4], &mut meter);
+        assert_eq!(f1.delta, vec![0.0, 0.0]);
+        // different hidden → non-zero delta
+        let h2: Vec<f32> = h.iter().map(|v| v * -0.5).collect();
+        let f2 = tracker.extract(&mut model, &h2, &[3, 4], &mut meter);
+        let moved = f2.delta.iter().any(|d| d.abs() > 1e-6);
+        assert!(moved, "delta should track probability movement");
+        // deltas of a probability vector sum to ~0
+        let sum: f32 = f2.delta.iter().sum();
+        assert!(sum.abs() < 1e-5);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut model = Transformer::random(ModelConfig::tiny(), &mut Pcg::seed(3));
+        let mut meter = Meter::new();
+        let h = prefill(&mut model, &[1], &mut meter);
+        let mut tracker = FeatureTracker::new();
+        tracker.extract(&mut model, &h, &[3, 4], &mut meter);
+        tracker.reset();
+        let f = tracker.extract(&mut model, &h, &[3, 4], &mut meter);
+        assert_eq!(f.delta, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn probs_are_softmax_of_logits() {
+        let mut model = Transformer::random(ModelConfig::tiny(), &mut Pcg::seed(4));
+        let mut meter = Meter::new();
+        let h = prefill(&mut model, &[7], &mut meter);
+        let mut tracker = FeatureTracker::new();
+        let f = tracker.extract(&mut model, &h, &[1, 2, 3], &mut meter);
+        let expect = ops::softmax(&f.logits);
+        for (a, b) in f.probs.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

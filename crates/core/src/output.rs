@@ -1,0 +1,179 @@
+//! Per-request outputs and aggregated run statistics.
+
+use serde::{Deserialize, Serialize};
+use specee_metrics::Meter;
+use specee_model::TokenId;
+
+/// Output of one generation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenOutput {
+    /// Emitted tokens.
+    pub tokens: Vec<TokenId>,
+    /// Decoder layers executed per emitted token.
+    pub exit_layers: Vec<usize>,
+    /// Sum of `-log p(token)` under the model's final distribution.
+    pub ce_sum: f64,
+    /// Recorded op trace.
+    pub meter: Meter,
+    /// Predictor forwards executed.
+    pub predictor_calls: u64,
+    /// Verification (full LM head) calls triggered by the predictor.
+    pub verify_calls: u64,
+    /// Speculative verification rounds (0 for autoregressive decoding).
+    pub rounds: u64,
+}
+
+impl GenOutput {
+    /// Mean executed layers per token.
+    pub fn avg_layers(&self) -> f64 {
+        if self.exit_layers.is_empty() {
+            0.0
+        } else {
+            self.exit_layers.iter().sum::<usize>() as f64 / self.exit_layers.len() as f64
+        }
+    }
+}
+
+/// Aggregate statistics over a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Requests aggregated.
+    pub requests: usize,
+    /// Total emitted tokens.
+    pub tokens: u64,
+    /// Mean executed layers per token.
+    pub avg_layers: f64,
+    /// Histogram of executed-layer counts.
+    pub layer_histogram: Vec<u64>,
+    /// Merged op trace.
+    pub meter: Meter,
+    /// Total predictor forwards.
+    pub predictor_calls: u64,
+    /// Total verification calls.
+    pub verify_calls: u64,
+    /// Total speculative rounds.
+    pub rounds: u64,
+    /// Sum of cross-entropies (perplexity = `exp(ce_sum / tokens)`).
+    pub ce_sum: f64,
+}
+
+impl RunStats {
+    /// Aggregates a batch of outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty.
+    pub fn aggregate(outputs: &[GenOutput]) -> Self {
+        assert!(!outputs.is_empty(), "no outputs to aggregate");
+        let max_layers = outputs
+            .iter()
+            .flat_map(|o| o.exit_layers.iter().copied())
+            .max()
+            .unwrap_or(0);
+        let mut stats = RunStats {
+            requests: outputs.len(),
+            tokens: 0,
+            avg_layers: 0.0,
+            layer_histogram: vec![0; max_layers + 1],
+            meter: Meter::new(),
+            predictor_calls: 0,
+            verify_calls: 0,
+            rounds: 0,
+            ce_sum: 0.0,
+        };
+        let mut layer_sum = 0u64;
+        for o in outputs {
+            stats.tokens += o.tokens.len() as u64;
+            for &l in &o.exit_layers {
+                layer_sum += l as u64;
+                stats.layer_histogram[l] += 1;
+            }
+            stats.meter.merge(&o.meter);
+            stats.predictor_calls += o.predictor_calls;
+            stats.verify_calls += o.verify_calls;
+            stats.rounds += o.rounds;
+            stats.ce_sum += o.ce_sum;
+        }
+        if stats.tokens > 0 {
+            stats.avg_layers = layer_sum as f64 / stats.tokens as f64;
+        }
+        stats
+    }
+
+    /// Perplexity under the model's own final distributions.
+    pub fn ppl(&self) -> f64 {
+        if self.tokens == 0 {
+            f64::NAN
+        } else {
+            (self.ce_sum / self.tokens as f64).exp()
+        }
+    }
+
+    /// Mean emitted tokens per speculative round (≥ 1 when speculative).
+    pub fn tokens_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            1.0
+        } else {
+            self.tokens as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Token-level agreement between two generations (the accuracy-preservation
+/// measure: SpecEE vs the dense reference).
+///
+/// Compares up to the shorter length; returns 1.0 for two empty slices.
+pub fn agreement(a: &[TokenId], b: &[TokenId]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 1.0;
+    }
+    let same = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+    same as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output(layers: Vec<usize>, ce: f64) -> GenOutput {
+        GenOutput {
+            tokens: vec![0; layers.len()],
+            exit_layers: layers,
+            ce_sum: ce,
+            meter: Meter::new(),
+            predictor_calls: 2,
+            verify_calls: 1,
+            rounds: 0,
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_and_averages() {
+        let stats = RunStats::aggregate(&[output(vec![4, 8], 1.0), output(vec![6], 0.5)]);
+        assert_eq!(stats.tokens, 3);
+        assert!((stats.avg_layers - 6.0).abs() < 1e-9);
+        assert_eq!(stats.layer_histogram[8], 1);
+        assert_eq!(stats.predictor_calls, 4);
+        assert!((stats.ce_sum - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppl_is_exp_mean_ce() {
+        let stats = RunStats::aggregate(&[output(vec![1, 1], 2.0)]);
+        assert!((stats.ppl() - (1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agreement_counts_matches() {
+        assert_eq!(agreement(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(agreement(&[], &[]), 1.0);
+        assert_eq!(agreement(&[1], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn tokens_per_round_defaults_to_one() {
+        let stats = RunStats::aggregate(&[output(vec![4], 0.0)]);
+        assert_eq!(stats.tokens_per_round(), 1.0);
+    }
+}

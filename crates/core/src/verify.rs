@@ -1,0 +1,51 @@
+//! The verification algorithm (§4.3.3): local predictions are checked
+//! against global information before an exit is taken.
+
+use specee_model::TokenId;
+use specee_tensor::ops;
+
+/// Checks a predicted exit against the full-vocabulary logits: the exit is
+/// valid only if the global argmax token is one of the speculative
+/// candidates, in which case that token is the output.
+///
+/// Returns `Some(token)` on a verified exit, `None` when the model must
+/// proceed to the next layer.
+///
+/// # Panics
+///
+/// Panics if `full_logits` is empty.
+pub fn verify_exit(full_logits: &[f32], candidates: &[TokenId]) -> Option<TokenId> {
+    let global = ops::argmax(full_logits).expect("non-empty logits") as TokenId;
+    candidates.contains(&global).then_some(global)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_when_global_in_candidates() {
+        let logits = vec![0.1, 0.9, 0.2];
+        assert_eq!(verify_exit(&logits, &[1, 2]), Some(1));
+    }
+
+    #[test]
+    fn rejects_when_global_outside_candidates() {
+        let logits = vec![0.9, 0.1, 0.2];
+        assert_eq!(verify_exit(&logits, &[1, 2]), None);
+    }
+
+    #[test]
+    fn output_is_the_global_token_not_the_local_best() {
+        // Local candidate order is irrelevant; the verified output is the
+        // global argmax (T = T' in Fig. 5's flow chart).
+        let logits = vec![0.0, 0.0, 5.0, 0.0];
+        assert_eq!(verify_exit(&logits, &[3, 2]), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_logits_panic() {
+        verify_exit(&[], &[1]);
+    }
+}

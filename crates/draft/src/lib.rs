@@ -1,0 +1,17 @@
+//! Draft-model substrate: token trees and speculative-token sources.
+//!
+//! Speculative decoding (and SpecEE's T1) needs a *draft language model*
+//! that proposes candidate tokens for the target model. This crate provides
+//! the [`TokenTree`] structure (EAGLE-style level-wise trees), the
+//! [`SpeculativeSource`] abstraction the engines consume, and a real
+//! single-layer transformer [`DraftModel`] whose ops are metered at the
+//! scale of the EAGLE draft head (≈ one target decoder layer, §7.4.2). The
+//! oracle draft with a calibrated hit rate lives in `specee-synth`.
+
+pub mod model;
+pub mod source;
+pub mod tree;
+
+pub use model::DraftModel;
+pub use source::SpeculativeSource;
+pub use tree::{TokenTree, TreeNode, TreeShape};

@@ -1,0 +1,254 @@
+//! A real single-layer transformer draft model (EAGLE stand-in).
+
+use specee_metrics::Meter;
+use specee_model::{
+    prefill, LayeredLm, ModelConfig, OpScale, TokenId, Transformer,
+};
+use specee_tensor::{ops, rng::Pcg};
+
+use crate::source::SpeculativeSource;
+use crate::tree::{TokenTree, TreeShape};
+
+/// A single-decoder-layer draft model over the target vocabulary.
+///
+/// Executes real transformer math on its own weights and KV cache while
+/// metering each proposal round as one EAGLE-style draft forward at the
+/// *target* model's scale (the paper observes the DLM costs roughly one
+/// target decoder layer per round, §5.1).
+///
+/// # Examples
+///
+/// ```
+/// use specee_draft::{DraftModel, SpeculativeSource};
+/// use specee_model::ModelConfig;
+/// use specee_metrics::Meter;
+/// use specee_tensor::rng::Pcg;
+///
+/// let target = ModelConfig::tiny();
+/// let mut draft = DraftModel::new(&target, &mut Pcg::seed(3));
+/// let mut meter = Meter::new();
+/// let candidates = draft.propose(&[1, 2, 3], 4, &mut meter);
+/// assert_eq!(candidates.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DraftModel {
+    inner: Transformer,
+    mirror: Vec<TokenId>,
+    last_hidden: Vec<f32>,
+    target_scale: OpScale,
+    modelled_bytes: f64,
+}
+
+impl DraftModel {
+    /// Builds a draft model for the given target configuration.
+    pub fn new(target: &ModelConfig, rng: &mut Pcg) -> Self {
+        let cfg = ModelConfig {
+            name: format!("{}-draft", target.name),
+            hidden_dim: target.hidden_dim,
+            n_heads: target.n_heads,
+            n_layers: 1,
+            ffn_dim: target.ffn_dim,
+            vocab_size: target.vocab_size,
+            context_len: target.context_len,
+            rope_theta: target.rope_theta,
+            cost: None,
+        };
+        let inner = Transformer::random(cfg, rng);
+        let target_scale = OpScale::of(target);
+        // EAGLE head ≈ one target layer + embeddings + LM head at the
+        // target precision (~0.9 GB for Llama2-7B, Fig. 17).
+        let modelled_bytes = match &target.cost {
+            Some(c) => {
+                let h = c.hidden_dim as f64;
+                let layer =
+                    4.0 * h * h + 3.0 * h * c.ffn_dim as f64 + 2.0 * c.vocab_size as f64 * h;
+                layer * c.weight_bytes_per_elem()
+            }
+            None => inner.weights().bytes() as f64,
+        };
+        DraftModel {
+            inner,
+            mirror: Vec::new(),
+            last_hidden: Vec::new(),
+            target_scale,
+            modelled_bytes,
+        }
+    }
+
+    /// Feeds any new suffix of `context` through the draft layer, resetting
+    /// first if the context diverged from the mirror.
+    fn sync(&mut self, context: &[TokenId], meter: &mut Meter) {
+        let keep = self
+            .mirror
+            .iter()
+            .zip(context.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        if keep < self.mirror.len() {
+            self.inner.reset();
+            self.mirror.clear();
+            self.last_hidden.clear();
+            return self.sync(context, meter);
+        }
+        if keep == context.len() && !self.last_hidden.is_empty() {
+            return;
+        }
+        let mut scratch = Meter::new();
+        let tail = &context[keep..];
+        if !tail.is_empty() {
+            self.last_hidden = prefill(&mut self.inner, tail, &mut scratch);
+            self.mirror.extend_from_slice(tail);
+            for _ in tail {
+                self.target_scale.record_draft_forward(meter, self.mirror.len());
+            }
+        }
+    }
+
+    fn logits_of_last(&mut self) -> Vec<f32> {
+        let mut scratch = Meter::new();
+        self.inner.final_logits(&self.last_hidden.clone(), &mut scratch)
+    }
+}
+
+impl SpeculativeSource for DraftModel {
+    fn propose(&mut self, context: &[TokenId], k: usize, meter: &mut Meter) -> Vec<TokenId> {
+        assert!(!context.is_empty(), "draft needs context");
+        self.sync(context, meter);
+        let logits = self.logits_of_last();
+        ops::top_k(&logits, k)
+            .into_iter()
+            .map(|i| i as TokenId)
+            .collect()
+    }
+
+    fn propose_tree(
+        &mut self,
+        context: &[TokenId],
+        shape: &TreeShape,
+        meter: &mut Meter,
+    ) -> TokenTree {
+        assert!(!context.is_empty(), "draft needs context");
+        self.sync(context, meter);
+        let mut tree = TokenTree::new();
+        let mut scratch = Meter::new();
+
+        // Level 0 from the committed context.
+        let logits = self.logits_of_last();
+        let probs = ops::softmax(&logits);
+        let mut frontier: Vec<usize> = Vec::new();
+        for &t in ops::top_k(&logits, shape.branching()[0]).iter() {
+            frontier.push(tree.push(t as TokenId, None, probs[t]));
+        }
+
+        // Deeper levels: run the whole tree through the draft layer and
+        // expand the frontier nodes.
+        for &b in &shape.branching()[1..] {
+            let tokens = tree.tokens();
+            let parents = tree.parents();
+            let hs = self.inner.begin_tree(&tokens, &parents, &mut scratch);
+            let (outs, _kv) = self
+                .inner
+                .forward_layer_tree(0, &hs, &parents, &mut scratch);
+            self.target_scale.record_draft_forward(meter, self.mirror.len() + tree.len());
+            let mut next_frontier = Vec::new();
+            for &node in &frontier {
+                let logits = self.inner.final_logits(&outs[node], &mut scratch);
+                let probs = ops::softmax(&logits);
+                for &t in ops::top_k(&logits, b).iter() {
+                    next_frontier.push(tree.push(t as TokenId, Some(node), probs[t]));
+                }
+            }
+            frontier = next_frontier;
+        }
+        tree
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.mirror.clear();
+        self.last_hidden.clear();
+    }
+
+    fn modelled_bytes(&self) -> f64 {
+        self.modelled_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee_metrics::OpKind;
+
+    fn draft() -> DraftModel {
+        DraftModel::new(&ModelConfig::tiny(), &mut Pcg::seed(5))
+    }
+
+    #[test]
+    fn propose_returns_k_distinct_tokens() {
+        let mut d = draft();
+        let mut meter = Meter::new();
+        let c = d.propose(&[1, 2, 3], 4, &mut meter);
+        assert_eq!(c.len(), 4);
+        let mut s = c.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 4, "candidates must be distinct");
+    }
+
+    #[test]
+    fn proposals_are_deterministic() {
+        let mut a = draft();
+        let mut b = draft();
+        let mut meter = Meter::new();
+        assert_eq!(
+            a.propose(&[7, 8], 4, &mut meter),
+            b.propose(&[7, 8], 4, &mut meter)
+        );
+    }
+
+    #[test]
+    fn incremental_context_reuses_cache() {
+        let mut d = draft();
+        let mut meter = Meter::new();
+        d.propose(&[1, 2, 3], 2, &mut meter);
+        let before = meter.kind(OpKind::Draft).kernels;
+        d.propose(&[1, 2, 3, 4], 2, &mut meter);
+        let added = meter.kind(OpKind::Draft).kernels - before;
+        // only the one new token is fed
+        assert_eq!(added, 10, "one draft forward for one new token");
+    }
+
+    #[test]
+    fn divergent_context_resets() {
+        let mut d = draft();
+        let mut meter = Meter::new();
+        let a = d.propose(&[1, 2, 3], 3, &mut meter);
+        d.propose(&[9, 9], 3, &mut meter);
+        let a2 = d.propose(&[1, 2, 3], 3, &mut meter);
+        assert_eq!(a, a2, "same context must give same proposals after reset");
+    }
+
+    #[test]
+    fn tree_respects_shape() {
+        let mut d = draft();
+        let mut meter = Meter::new();
+        let shape = TreeShape::new(vec![3, 2]);
+        let tree = d.propose_tree(&[1, 2], &shape, &mut meter);
+        assert_eq!(tree.len(), 3 + 6);
+        assert_eq!(tree.paths().len(), 6);
+        for p in tree.paths() {
+            assert_eq!(p.len(), 2);
+        }
+    }
+
+    #[test]
+    fn draft_ops_metered_at_target_scale() {
+        let target = ModelConfig::sim_llama2_7b();
+        let mut d = DraftModel::new(&target, &mut Pcg::seed(6));
+        let mut meter = Meter::new();
+        d.propose(&[1], 4, &mut meter);
+        let t = meter.kind(OpKind::Draft);
+        // one 7B-scale layer + head is ~0.67 GFLOP
+        assert!(t.flops > 5e8, "draft flops {}", t.flops);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests on draft token trees: topological validity, path
+//! enumeration, and the EAGLE-2-style budget pruning.
+
+use proptest::prelude::*;
+use specee_draft::TokenTree;
+
+/// Builds a random valid tree from (parent-choice, prob) pairs.
+fn arb_tree() -> impl Strategy<Value = TokenTree> {
+    prop::collection::vec((0usize..8, 0.01f32..1.0), 1..24).prop_map(|specs| {
+        let mut tree = TokenTree::new();
+        for (i, (parent_pick, prob)) in specs.iter().enumerate() {
+            // Roots with probability ~1/8, otherwise attach to an earlier node.
+            let parent = if i == 0 || *parent_pick == 0 {
+                None
+            } else {
+                Some(parent_pick % i)
+            };
+            tree.push(i as u32, parent, *prob);
+        }
+        tree
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Paths partition the leaves: every leaf appears in exactly one path,
+    /// every path ends at a leaf and starts at a root.
+    #[test]
+    fn paths_partition_leaves(tree in arb_tree()) {
+        let paths = tree.paths();
+        let mut has_child = vec![false; tree.len()];
+        for n in tree.nodes() {
+            if let Some(p) = n.parent {
+                has_child[p] = true;
+            }
+        }
+        let leaves: Vec<usize> =
+            (0..tree.len()).filter(|&i| !has_child[i]).collect();
+        prop_assert_eq!(paths.len(), leaves.len());
+        let mut seen = std::collections::HashSet::new();
+        for path in &paths {
+            prop_assert!(tree.node(path[0]).parent.is_none());
+            let last = *path.last().unwrap();
+            prop_assert!(!has_child[last]);
+            prop_assert!(seen.insert(last), "leaf in two paths");
+            // Consecutive nodes are parent/child.
+            for w in path.windows(2) {
+                prop_assert_eq!(tree.node(w[1]).parent, Some(w[0]));
+            }
+        }
+    }
+
+    /// Joint path probability is monotone non-increasing down any path.
+    #[test]
+    fn path_prob_monotone(tree in arb_tree()) {
+        for path in tree.paths() {
+            for w in path.windows(2) {
+                prop_assert!(tree.path_prob(w[1]) <= tree.path_prob(w[0]) + 1e-7);
+            }
+        }
+    }
+
+    /// Pruning respects the budget, keeps topological order, preserves
+    /// depth/parent consistency, and never invents tokens.
+    #[test]
+    fn prune_is_valid_subtree(tree in arb_tree(), budget in 1usize..24) {
+        let pruned = tree.prune_to_budget(budget);
+        prop_assert!(pruned.len() <= tree.len());
+        prop_assert!(pruned.len() >= 1);
+        // Budget can only be exceeded by ancestor closure on ties; the
+        // closure of the top-k by joint probability is itself within k for
+        // strictly positive probabilities, so assert <= budget here.
+        prop_assert!(pruned.len() <= budget.max(1));
+        let original: std::collections::HashSet<u32> =
+            tree.tokens().into_iter().collect();
+        for (i, n) in pruned.nodes().iter().enumerate() {
+            prop_assert!(original.contains(&n.token));
+            if let Some(p) = n.parent {
+                prop_assert!(p < i);
+                prop_assert_eq!(pruned.node(p).depth + 1, n.depth);
+            } else {
+                prop_assert_eq!(n.depth, 0);
+            }
+        }
+    }
+
+    /// The pruned tree keeps the single most probable root-to-leaf path's
+    /// prefix: its best surviving joint probability equals the original
+    /// best among trees that fit the budget.
+    #[test]
+    fn prune_keeps_best_path_prefix(tree in arb_tree(), budget in 1usize..24) {
+        let pruned = tree.prune_to_budget(budget);
+        let best_original = (0..tree.len())
+            .map(|i| tree.path_prob(i))
+            .fold(0.0f32, f32::max);
+        let best_pruned = (0..pruned.len())
+            .map(|i| pruned.path_prob(i))
+            .fold(0.0f32, f32::max);
+        // The highest-probability single node is always kept (rank 1).
+        prop_assert!((best_pruned - best_original).abs() < 1e-6);
+    }
+}

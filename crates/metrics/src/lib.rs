@@ -1,0 +1,33 @@
+//! Op-level metering and hardware cost modelling for the SpecEE simulator.
+//!
+//! The paper evaluates on A100-80G, RTX 4090 and RTX 4060 Laptop GPUs. None
+//! of that hardware is available to the reproduction, so every engine in
+//! this workspace records the *operations it actually executed* — matmuls
+//! with their true shapes, KV-cache reads, predictor forwards — into a
+//! [`Meter`], and a [`Roofline`] model prices the trace for a target
+//! [`HardwareProfile`]. Because decode-phase LLM inference is memory-bound,
+//! the roofline (max of compute time and memory time per op, plus a kernel
+//! launch overhead) reproduces the relative speedups the paper reports,
+//! while CPU wall-clock is reported alongside for honesty.
+//!
+//! # Examples
+//!
+//! ```
+//! use specee_metrics::{HardwareProfile, Meter, OpKind, Roofline};
+//!
+//! let mut meter = Meter::new();
+//! meter.record(OpKind::Ffn, 1.0e9, 5.0e8, 1);
+//! let roofline = Roofline::new(HardwareProfile::a100_80g());
+//! let report = roofline.cost(&meter);
+//! assert!(report.latency_s > 0.0);
+//! ```
+
+pub mod hardware;
+pub mod meter;
+pub mod report;
+pub mod roofline;
+
+pub use hardware::{FrameworkProfile, HardwareProfile};
+pub use meter::{KindTotals, Meter, OpKind};
+pub use report::Table;
+pub use roofline::{CostReport, KindCost, Roofline};

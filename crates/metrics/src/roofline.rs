@@ -1,0 +1,242 @@
+//! Roofline latency and energy model over a recorded op trace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hardware::{FrameworkProfile, HardwareProfile};
+use crate::meter::{Meter, OpKind};
+
+/// Latency/energy attributed to a single op kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KindCost {
+    /// Seconds spent in this kind.
+    pub latency_s: f64,
+    /// Joules consumed by this kind.
+    pub energy_j: f64,
+    /// Whether the kind was memory-bound on the target.
+    pub memory_bound: bool,
+}
+
+/// Priced trace: end-to-end latency, energy and per-kind breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Total device latency, seconds.
+    pub latency_s: f64,
+    /// Host/framework overhead included in `latency_s`, seconds.
+    pub framework_s: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Tokens generated (copied from the meter).
+    pub tokens: u64,
+    /// Per-kind cost breakdown in [`OpKind::ALL`] order, empty kinds omitted.
+    pub by_kind: Vec<(OpKind, KindCost)>,
+}
+
+impl CostReport {
+    /// Decode throughput in tokens per second.
+    ///
+    /// Returns zero when no time elapsed.
+    pub fn tokens_per_s(&self) -> f64 {
+        if self.latency_s > 0.0 {
+            self.tokens as f64 / self.latency_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Average power in watts (energy over latency).
+    pub fn avg_power_w(&self) -> f64 {
+        if self.latency_s > 0.0 {
+            self.energy_j / self.latency_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Seconds attributed to kinds classified as decoder-layer work
+    /// (Fig. 1(b)'s numerator).
+    pub fn decoder_layer_s(&self) -> f64 {
+        self.by_kind
+            .iter()
+            .filter(|(k, _)| k.is_decoder_layer())
+            .map(|(_, c)| c.latency_s)
+            .sum()
+    }
+
+    /// Seconds attributed to SpecEE overhead kinds (§7.4.4).
+    pub fn specee_overhead_s(&self) -> f64 {
+        self.by_kind
+            .iter()
+            .filter(|(k, _)| k.is_specee_overhead())
+            .map(|(_, c)| c.latency_s)
+            .sum()
+    }
+
+    /// Latency share of one kind.
+    pub fn share(&self, kind: OpKind) -> f64 {
+        if self.latency_s == 0.0 {
+            return 0.0;
+        }
+        self.by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0.0, |(_, c)| c.latency_s / self.latency_s)
+    }
+}
+
+/// Roofline pricing of op traces for one hardware profile.
+///
+/// Per kind: `time = max(flops / peak_flops, bytes / mem_bw) +
+/// kernels × launch_overhead`. Power scales between idle and TDP with the
+/// op's compute intensity, which reproduces the paper's observation
+/// (§7.3.1) that the memory-bound predictor lowers average power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    hw: HardwareProfile,
+    framework: Option<FrameworkProfile>,
+}
+
+impl Roofline {
+    /// A roofline for bare device execution.
+    pub fn new(hw: HardwareProfile) -> Self {
+        Roofline { hw, framework: None }
+    }
+
+    /// A roofline including a framework's host overhead.
+    pub fn with_framework(hw: HardwareProfile, framework: FrameworkProfile) -> Self {
+        Roofline {
+            hw,
+            framework: Some(framework),
+        }
+    }
+
+    /// The hardware profile being modelled.
+    pub fn hardware(&self) -> &HardwareProfile {
+        &self.hw
+    }
+
+    /// Prices a single op.
+    pub fn op_latency(&self, flops: f64, bytes: f64, kernels: u64) -> f64 {
+        let compute = flops / self.hw.peak_flops;
+        let memory = bytes / self.hw.mem_bw;
+        let launch_mult = self
+            .framework
+            .as_ref()
+            .map_or(1.0, |f| f.launch_multiplier);
+        compute.max(memory) + kernels as f64 * self.hw.launch_overhead_s * launch_mult
+    }
+
+    /// Prices a full trace.
+    pub fn cost(&self, meter: &Meter) -> CostReport {
+        let mut report = CostReport {
+            tokens: meter.tokens(),
+            ..CostReport::default()
+        };
+        for (kind, totals) in meter.iter() {
+            let compute = totals.flops / self.hw.peak_flops;
+            let memory = totals.bytes / self.hw.mem_bw;
+            let latency = self.op_latency(totals.flops, totals.bytes, totals.kernels);
+            // Compute intensity in [0, 1]: 1 when compute-bound (full power),
+            // lower when memory stalls leave execution units idle.
+            let intensity = if latency > 0.0 {
+                (compute / compute.max(memory).max(f64::MIN_POSITIVE)).clamp(0.05, 1.0)
+            } else {
+                0.0
+            };
+            let power = self.hw.idle_w + (self.hw.tdp_w - self.hw.idle_w) * intensity;
+            let cost = KindCost {
+                latency_s: latency,
+                energy_j: latency * power,
+                memory_bound: memory > compute,
+            };
+            report.latency_s += cost.latency_s;
+            report.energy_j += cost.energy_j;
+            report.by_kind.push((kind, cost));
+        }
+        if let Some(fw) = &self.framework {
+            let host = fw.per_step_overhead_s * meter.host_steps() as f64;
+            report.framework_s = host;
+            report.latency_s += host;
+            report.energy_j += host * self.hw.idle_w;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter_with(kind: OpKind, flops: f64, bytes: f64) -> Meter {
+        let mut m = Meter::new();
+        m.record(kind, flops, bytes, 1);
+        m.mark_token();
+        m
+    }
+
+    #[test]
+    fn memory_bound_op_priced_by_bandwidth() {
+        let hw = HardwareProfile::a100_80g();
+        let r = Roofline::new(hw.clone());
+        // Tiny compute, huge bytes: bandwidth term dominates.
+        let m = meter_with(OpKind::Ffn, 1.0, 1.4e10);
+        let report = r.cost(&m);
+        let expected = 1.4e10 / hw.mem_bw + hw.launch_overhead_s;
+        assert!((report.latency_s - expected).abs() / expected < 1e-9);
+        assert!(report.by_kind[0].1.memory_bound);
+    }
+
+    #[test]
+    fn compute_bound_op_priced_by_flops() {
+        let hw = HardwareProfile::a100_80g();
+        let r = Roofline::new(hw.clone());
+        let m = meter_with(OpKind::Attention, 1.0e15, 8.0, );
+        let report = r.cost(&m);
+        let expected = 1.0e15 / hw.peak_flops + hw.launch_overhead_s;
+        assert!((report.latency_s - expected).abs() / expected < 1e-9);
+        assert!(!report.by_kind[0].1.memory_bound);
+    }
+
+    #[test]
+    fn memory_bound_burns_less_power() {
+        let r = Roofline::new(HardwareProfile::a100_80g());
+        let mem = r.cost(&meter_with(OpKind::Predictor, 1.0, 1.0e9));
+        let cmp = r.cost(&meter_with(OpKind::Ffn, 1.0e13, 8.0));
+        assert!(mem.avg_power_w() < cmp.avg_power_w());
+    }
+
+    #[test]
+    fn framework_overhead_scales_with_host_steps() {
+        let hw = HardwareProfile::a100_80g();
+        let fw = FrameworkProfile::hugging_face();
+        let r = Roofline::with_framework(hw, fw.clone());
+        let mut m = Meter::new();
+        for _ in 0..10 {
+            m.mark_token();
+        }
+        for _ in 0..3 {
+            m.mark_host_step();
+        }
+        let report = r.cost(&m);
+        assert!((report.framework_s - 3.0 * fw.per_step_overhead_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokens_per_s_inverse_of_latency() {
+        let r = Roofline::new(HardwareProfile::rtx4090());
+        let report = r.cost(&meter_with(OpKind::Ffn, 1e9, 1e9));
+        assert!(report.tokens_per_s() > 0.0);
+        let per_token = 1.0 / report.tokens_per_s();
+        assert!((per_token - report.latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decoder_share_counts_layer_kinds_only() {
+        let r = Roofline::new(HardwareProfile::a100_80g());
+        let mut m = Meter::new();
+        m.record(OpKind::Ffn, 0.0, 1e9, 1);
+        m.record(OpKind::Draft, 0.0, 1e9, 1);
+        let report = r.cost(&m);
+        assert!(report.decoder_layer_s() > 0.0);
+        assert!(report.decoder_layer_s() < report.latency_s);
+    }
+}

@@ -1,0 +1,347 @@
+//! Multi-head self-attention with KV cache, including tree-masked
+//! attention for speculative-decoding verification.
+
+use specee_metrics::Meter;
+
+use crate::config::ModelConfig;
+use crate::kv::KvCache;
+use crate::metering::OpScale;
+use crate::rope::apply_rope;
+use crate::weights::LayerWeights;
+
+/// Per-node key/value rows produced by one tree-attention pass, kept aside
+/// until verification decides which path to commit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TreeKv {
+    /// One key row per tree node.
+    pub k: Vec<Vec<f32>>,
+    /// One value row per tree node.
+    pub v: Vec<Vec<f32>>,
+}
+
+impl TreeKv {
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.k.len()
+    }
+
+    /// Whether the scratch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.k.is_empty()
+    }
+}
+
+fn attend_one_head(
+    q_head: &[f32],
+    keys: &[&[f32]],
+    values: &[&[f32]],
+    head: usize,
+    head_dim: usize,
+    out: &mut [f32],
+) {
+    let hd_scale = 1.0 / (head_dim as f32).sqrt();
+    let offset = head * head_dim;
+    let mut scores: Vec<f32> = keys
+        .iter()
+        .map(|k| {
+            specee_tensor::matrix::dot(q_head, &k[offset..offset + head_dim]) * hd_scale
+        })
+        .collect();
+    specee_tensor::ops::softmax_inplace(&mut scores);
+    for (s, v) in scores.iter().zip(values.iter()) {
+        for (o, &vv) in out.iter_mut().zip(v[offset..offset + head_dim].iter()) {
+            *o += s * vv;
+        }
+    }
+}
+
+/// Single-token attention forward: projects q/k/v from the normalized
+/// hidden state, applies RoPE at `pos`, appends to the cache, attends over
+/// the whole cache and projects the output.
+///
+/// # Panics
+///
+/// Panics if `pos` does not equal the cache length (tokens must be
+/// committed strictly in order).
+pub fn attention_forward(
+    w: &LayerWeights,
+    cfg: &ModelConfig,
+    scale: &OpScale,
+    x: &[f32],
+    pos: usize,
+    cache: &mut KvCache,
+    meter: &mut Meter,
+) -> Vec<f32> {
+    assert_eq!(pos, cache.len(), "attention positions must be sequential");
+    let heads = cfg.n_heads;
+    let head_dim = cfg.head_dim();
+    let mut q = w.wq.matvec(x);
+    let mut k = w.wk.matvec(x);
+    let v = w.wv.matvec(x);
+    apply_rope(&mut q, pos, heads, head_dim, cfg.rope_theta);
+    apply_rope(&mut k, pos, heads, head_dim, cfg.rope_theta);
+    cache.push(&k, &v);
+    let kv_len = cache.len();
+    let keys: Vec<&[f32]> = (0..kv_len).map(|p| cache.key(p)).collect();
+    let values: Vec<&[f32]> = (0..kv_len).map(|p| cache.value(p)).collect();
+    let mut merged = vec![0.0f32; cfg.hidden_dim];
+    for h in 0..heads {
+        let q_head = &q[h * head_dim..(h + 1) * head_dim];
+        attend_one_head(
+            q_head,
+            &keys,
+            &values,
+            h,
+            head_dim,
+            &mut merged[h * head_dim..(h + 1) * head_dim],
+        );
+    }
+    scale.record_attention(meter, kv_len);
+    w.wo.matvec(&merged)
+}
+
+/// Tree-masked attention over a batch of draft nodes.
+///
+/// Each node attends to the committed cache plus its own ancestor chain
+/// within the batch (never to siblings) — the tree attention mask of
+/// speculative decoding. Node positions are `cache.len() + depth`.
+///
+/// Returns per-node outputs and the scratch K/V rows; the engine commits
+/// the accepted path's rows via [`KvCache::push`] afterwards.
+///
+/// # Panics
+///
+/// Panics if a parent index is not smaller than its child's index
+/// (nodes must be supplied in topological order).
+pub fn attention_forward_tree(
+    w: &LayerWeights,
+    cfg: &ModelConfig,
+    scale: &OpScale,
+    xs: &[Vec<f32>],
+    parents: &[Option<usize>],
+    cache: &KvCache,
+    meter: &mut Meter,
+) -> (Vec<Vec<f32>>, TreeKv) {
+    assert_eq!(xs.len(), parents.len(), "nodes/parents length");
+    let heads = cfg.n_heads;
+    let head_dim = cfg.head_dim();
+    let base = cache.len();
+    let depths = depths_from_parents(parents);
+
+    // Project and rope every node first (this is the batched kernel).
+    let mut qs = Vec::with_capacity(xs.len());
+    let mut tree_kv = TreeKv::default();
+    for (i, x) in xs.iter().enumerate() {
+        let pos = base + depths[i];
+        let mut q = w.wq.matvec(x);
+        let mut k = w.wk.matvec(x);
+        let v = w.wv.matvec(x);
+        apply_rope(&mut q, pos, heads, head_dim, cfg.rope_theta);
+        apply_rope(&mut k, pos, heads, head_dim, cfg.rope_theta);
+        qs.push(q);
+        tree_kv.k.push(k);
+        tree_kv.v.push(v);
+    }
+
+    let cache_keys: Vec<&[f32]> = (0..base).map(|p| cache.key(p)).collect();
+    let cache_values: Vec<&[f32]> = (0..base).map(|p| cache.value(p)).collect();
+
+    let mut outputs = Vec::with_capacity(xs.len());
+    let mut kv_lens = Vec::with_capacity(xs.len());
+    for i in 0..xs.len() {
+        // Gather ancestor chain (committed context + path to this node).
+        let mut chain = Vec::new();
+        let mut cur = Some(i);
+        while let Some(n) = cur {
+            chain.push(n);
+            cur = parents[n];
+            if let Some(p) = cur {
+                assert!(p < n, "parents must precede children");
+            }
+        }
+        chain.reverse();
+        let mut keys = cache_keys.clone();
+        let mut values = cache_values.clone();
+        for &n in &chain {
+            keys.push(&tree_kv.k[n]);
+            values.push(&tree_kv.v[n]);
+        }
+        let mut merged = vec![0.0f32; cfg.hidden_dim];
+        for h in 0..heads {
+            let q_head = &qs[i][h * head_dim..(h + 1) * head_dim];
+            attend_one_head(
+                q_head,
+                &keys,
+                &values,
+                h,
+                head_dim,
+                &mut merged[h * head_dim..(h + 1) * head_dim],
+            );
+        }
+        kv_lens.push(keys.len());
+        outputs.push(w.wo.matvec(&merged));
+    }
+    scale.record_attention_tree(meter, &kv_lens);
+    (outputs, tree_kv)
+}
+
+/// Computes node depths from parent links (roots have depth 0).
+///
+/// # Panics
+///
+/// Panics if a parent index is out of range or not smaller than the child.
+pub fn depths_from_parents(parents: &[Option<usize>]) -> Vec<usize> {
+    let mut depths = vec![0usize; parents.len()];
+    for (i, p) in parents.iter().enumerate() {
+        if let Some(p) = *p {
+            assert!(p < i, "parents must precede children (node {i} parent {p})");
+            depths[i] = depths[p] + 1;
+        }
+    }
+    depths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvLayout;
+    use specee_tensor::rng::Pcg;
+
+    fn setup() -> (ModelConfig, LayerWeights, OpScale) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = Pcg::seed(11);
+        let w = LayerWeights::random(&cfg, &mut rng);
+        let scale = OpScale::of(&cfg);
+        (cfg, w, scale)
+    }
+
+    #[test]
+    fn forward_appends_to_cache() {
+        let (cfg, w, scale) = setup();
+        let mut cache = KvCache::new(cfg.hidden_dim, KvLayout::Contiguous);
+        let mut meter = Meter::new();
+        let x = vec![0.1; cfg.hidden_dim];
+        let out = attention_forward(&w, &cfg, &scale, &x, 0, &mut cache, &mut meter);
+        assert_eq!(out.len(), cfg.hidden_dim);
+        assert_eq!(cache.len(), 1);
+        let _ = attention_forward(&w, &cfg, &scale, &x, 1, &mut cache, &mut meter);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn forward_rejects_position_gaps() {
+        let (cfg, w, scale) = setup();
+        let mut cache = KvCache::new(cfg.hidden_dim, KvLayout::Contiguous);
+        let mut meter = Meter::new();
+        let x = vec![0.1; cfg.hidden_dim];
+        attention_forward(&w, &cfg, &scale, &x, 3, &mut cache, &mut meter);
+    }
+
+    #[test]
+    fn depths_follow_chains() {
+        let parents = vec![None, Some(0), Some(0), Some(1)];
+        assert_eq!(depths_from_parents(&parents), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn tree_root_matches_sequential_attention() {
+        // A single-node "tree" must produce the same output as the ordinary
+        // sequential forward at the same position.
+        let (cfg, w, scale) = setup();
+        let mut rng = Pcg::seed(12);
+        let mut cache = KvCache::new(cfg.hidden_dim, KvLayout::Contiguous);
+        let mut meter = Meter::new();
+        // Commit two context positions.
+        for pos in 0..2 {
+            let mut x = vec![0.0; cfg.hidden_dim];
+            rng.fill_uniform(&mut x, 0.5);
+            attention_forward(&w, &cfg, &scale, &x, pos, &mut cache, &mut meter);
+        }
+        let mut x = vec![0.0; cfg.hidden_dim];
+        rng.fill_uniform(&mut x, 0.5);
+
+        let (tree_out, tree_kv) =
+            attention_forward_tree(&w, &cfg, &scale, &[x.clone()], &[None], &cache, &mut meter);
+        let seq_out = attention_forward(&w, &cfg, &scale, &x, 2, &mut cache, &mut meter);
+        for (a, b) in tree_out[0].iter().zip(seq_out.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        // The scratch K/V equals what the sequential pass committed.
+        for (a, b) in tree_kv.k[0].iter().zip(cache.key(2).iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn siblings_do_not_see_each_other() {
+        let (cfg, w, scale) = setup();
+        let mut rng = Pcg::seed(13);
+        let mut cache = KvCache::new(cfg.hidden_dim, KvLayout::Contiguous);
+        let mut meter = Meter::new();
+        let mut ctx = vec![0.0; cfg.hidden_dim];
+        rng.fill_uniform(&mut ctx, 0.5);
+        attention_forward(&w, &cfg, &scale, &ctx, 0, &mut cache, &mut meter);
+
+        let mut a = vec![0.0; cfg.hidden_dim];
+        let mut b = vec![0.0; cfg.hidden_dim];
+        rng.fill_uniform(&mut a, 0.5);
+        rng.fill_uniform(&mut b, 0.5);
+
+        // Node a alone vs node a next to sibling b: identical outputs.
+        let (alone, _) =
+            attention_forward_tree(&w, &cfg, &scale, &[a.clone()], &[None], &cache, &mut meter);
+        let (paired, _) = attention_forward_tree(
+            &w,
+            &cfg,
+            &scale,
+            &[a.clone(), b],
+            &[None, None],
+            &cache,
+            &mut meter,
+        );
+        for (x, y) in alone[0].iter().zip(paired[0].iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn child_sees_its_parent() {
+        let (cfg, w, scale) = setup();
+        let mut rng = Pcg::seed(14);
+        let cache = KvCache::new(cfg.hidden_dim, KvLayout::Contiguous);
+        let mut meter = Meter::new();
+        let mut root = vec![0.0; cfg.hidden_dim];
+        let mut child = vec![0.0; cfg.hidden_dim];
+        rng.fill_uniform(&mut root, 0.5);
+        rng.fill_uniform(&mut child, 0.5);
+
+        // Child attending to parent differs from child attending to nothing
+        // but itself (swap parentage to an unrelated root).
+        let mut other_root = vec![0.0; cfg.hidden_dim];
+        rng.fill_uniform(&mut other_root, 0.9);
+        let (with_parent, _) = attention_forward_tree(
+            &w,
+            &cfg,
+            &scale,
+            &[root.clone(), child.clone()],
+            &[None, Some(0)],
+            &cache,
+            &mut meter,
+        );
+        let (with_other, _) = attention_forward_tree(
+            &w,
+            &cfg,
+            &scale,
+            &[other_root, child.clone()],
+            &[None, Some(0)],
+            &cache,
+            &mut meter,
+        );
+        let differs = with_parent[1]
+            .iter()
+            .zip(with_other[1].iter())
+            .any(|(x, y)| (x - y).abs() > 1e-6);
+        assert!(differs, "child output must depend on its ancestor");
+    }
+}

@@ -1,0 +1,154 @@
+//! Linear operators: dense f32, group-quantized, or AWQ-calibrated weights.
+
+use serde::{Deserialize, Serialize};
+use specee_tensor::awq::{AwqCalibration, AwqMatrix};
+use specee_tensor::{Matrix, QuantBits, QuantizedMatrix};
+
+/// A weight matrix that is dense f32, plain group-quantized
+/// (round-to-nearest), or AWQ-quantized with activation-aware per-channel
+/// scales. All variants expose the same mat-vec interface so the decoder
+/// is agnostic to precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinearOp {
+    /// Dense f32 weights.
+    Dense(Matrix),
+    /// Group-quantized weights with dequantize-on-the-fly mat-vec.
+    Quant(QuantizedMatrix),
+    /// AWQ-quantized weights (activation-calibrated channel scales).
+    Awq(AwqMatrix),
+}
+
+impl LinearOp {
+    /// Quantizes a dense operator in place (group size 32, clamped to the
+    /// column count when smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count is not divisible by the chosen group size
+    /// (all model dims in this workspace are powers of two ≥ 32).
+    pub fn quantized(m: &Matrix, bits: QuantBits) -> Self {
+        let group = 32.min(m.cols());
+        LinearOp::Quant(QuantizedMatrix::quantize(m, bits, group).expect("pow2 dims"))
+    }
+
+    /// AWQ-quantizes a dense operator with a grid search over the channel
+    /// scale exponent, calibrated on the recorded `activations` of this
+    /// operator's input site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activations` is empty, disagrees with the column count,
+    /// or the group size does not divide the columns.
+    pub fn awq_quantized(m: &Matrix, bits: QuantBits, activations: &[Vec<f32>]) -> Self {
+        let group = 32.min(m.cols());
+        let calib = AwqCalibration::from_activations(activations);
+        LinearOp::Awq(
+            AwqMatrix::quantize(m, &calib, bits, group, activations).expect("pow2 dims"),
+        )
+    }
+
+    /// Output rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            LinearOp::Dense(m) => m.rows(),
+            LinearOp::Quant(q) => q.rows(),
+            LinearOp::Awq(a) => a.rows(),
+        }
+    }
+
+    /// Input columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            LinearOp::Dense(m) => m.cols(),
+            LinearOp::Quant(q) => q.cols(),
+            LinearOp::Awq(a) => a.cols(),
+        }
+    }
+
+    /// Mat-vec product.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            LinearOp::Dense(m) => m.matvec(x),
+            LinearOp::Quant(q) => q.matvec(x),
+            LinearOp::Awq(a) => a.matvec(x),
+        }
+    }
+
+    /// Product against a subset of rows (speculative LM-head slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of bounds.
+    pub fn matvec_rows(&self, rows: &[usize], x: &[f32]) -> Vec<f32> {
+        match self {
+            LinearOp::Dense(m) => m.matvec_rows(rows, x),
+            LinearOp::Quant(q) => {
+                // Dequantized gather for the handful of candidate rows.
+                let dense = q.dequantize();
+                dense.matvec_rows(rows, x)
+            }
+            LinearOp::Awq(a) => a.matvec_rows(rows, x),
+        }
+    }
+
+    /// Payload bytes at the executed precision.
+    pub fn bytes(&self) -> usize {
+        match self {
+            LinearOp::Dense(m) => m.bytes(),
+            LinearOp::Quant(q) => q.bytes(),
+            LinearOp::Awq(a) => a.bytes(),
+        }
+    }
+
+    /// Whether the operator is quantized (either scheme).
+    pub fn is_quantized(&self) -> bool {
+        !matches!(self, LinearOp::Dense(_))
+    }
+}
+
+impl From<Matrix> for LinearOp {
+    fn from(m: Matrix) -> Self {
+        LinearOp::Dense(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee_tensor::rng::Pcg;
+
+    #[test]
+    fn dense_and_quant_agree_roughly() {
+        let mut rng = Pcg::seed(1);
+        let m = Matrix::random(8, 64, 0.3, &mut rng);
+        let d = LinearOp::from(m.clone());
+        let q = LinearOp::quantized(&m, QuantBits::Int8);
+        let x: Vec<f32> = (0..64).map(|i| (i as f32).sin() * 0.1).collect();
+        for (a, b) in d.matvec(&x).iter().zip(q.matvec(&x).iter()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quant_is_smaller() {
+        let mut rng = Pcg::seed(2);
+        let m = Matrix::random(16, 64, 1.0, &mut rng);
+        let d = LinearOp::from(m.clone());
+        let q = LinearOp::quantized(&m, QuantBits::Int4);
+        assert!(q.bytes() < d.bytes() / 3);
+        assert!(q.is_quantized());
+        assert!(!d.is_quantized());
+    }
+
+    #[test]
+    fn matvec_rows_matches_full() {
+        let mut rng = Pcg::seed(3);
+        let m = Matrix::random(10, 32, 0.5, &mut rng);
+        let q = LinearOp::quantized(&m, QuantBits::Int8);
+        let x = vec![0.05; 32];
+        let full = q.matvec(&x);
+        let sel = q.matvec_rows(&[2, 9], &x);
+        assert!((sel[0] - full[2]).abs() < 1e-6);
+        assert!((sel[1] - full[9]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,70 @@
+//! Rotary position embeddings (RoPE), as used by Llama-family models.
+
+/// Applies rotary position embedding in place to a per-head vector layout:
+/// `x` is `[n_heads × head_dim]`, rotated pairwise within each head.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not `n_heads * head_dim` or `head_dim` is odd.
+pub fn apply_rope(x: &mut [f32], pos: usize, n_heads: usize, head_dim: usize, theta: f32) {
+    assert_eq!(x.len(), n_heads * head_dim, "rope shape");
+    assert!(head_dim % 2 == 0, "head_dim must be even");
+    for h in 0..n_heads {
+        let head = &mut x[h * head_dim..(h + 1) * head_dim];
+        for i in 0..head_dim / 2 {
+            let freq = theta.powf(-2.0 * i as f32 / head_dim as f32);
+            let angle = pos as f32 * freq;
+            let (sin, cos) = angle.sin_cos();
+            let (a, b) = (head[2 * i], head[2 * i + 1]);
+            head[2 * i] = a * cos - b * sin;
+            head[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee_tensor::ops::l2_norm;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let mut x = vec![0.5, -0.25, 1.0, 2.0];
+        let orig = x.clone();
+        apply_rope(&mut x, 0, 1, 4, 10000.0);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let mut x = vec![0.3, -0.7, 0.2, 0.9, 1.1, -0.4, 0.0, 0.5];
+        let before = l2_norm(&x);
+        apply_rope(&mut x, 17, 2, 4, 10000.0);
+        assert!((l2_norm(&x) - before).abs() < 1e-5);
+    }
+
+    #[test]
+    fn relative_property_dot_depends_on_distance() {
+        // q at pos p and k at pos q: their dot depends only on p - q.
+        let base_q = vec![0.4, 0.1];
+        let base_k = vec![-0.2, 0.8];
+        let dot_at = |pq: usize, pk: usize| {
+            let mut q = base_q.clone();
+            let mut k = base_k.clone();
+            apply_rope(&mut q, pq, 1, 2, 10000.0);
+            apply_rope(&mut k, pk, 1, 2, 10000.0);
+            q[0] * k[0] + q[1] * k[1]
+        };
+        assert!((dot_at(5, 3) - dot_at(9, 7)).abs() < 1e-5);
+        assert!((dot_at(5, 3) - dot_at(5, 2)).abs() > 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rope shape")]
+    fn validates_shape() {
+        let mut x = vec![0.0; 6];
+        apply_rope(&mut x, 0, 2, 4, 10000.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The [`LayeredLm`] abstraction: per-layer stepping for early exit.
+//!
+//! SpecEE interleaves decoder layers with predictor calls (Fig. 3), so the
+//! engine cannot treat the model as a black-box `forward()`. `LayeredLm`
+//! exposes exactly the control points the engine needs: embed a token, run
+//! one layer, run one layer over a draft-token tree, read full or sliced
+//! logits, and fill the KV cache of skipped layers after an exit.
+//!
+//! Both the real [`crate::Transformer`] and the calibrated synthetic model
+//! in `specee-synth` implement this trait, so every engine runs unchanged
+//! on either substrate.
+
+use specee_metrics::Meter;
+
+use crate::attention::TreeKv;
+use crate::config::{ModelConfig, TokenId};
+use crate::kv::SkipKvPolicy;
+
+/// A decoder-only LM that can be stepped one layer at a time.
+pub trait LayeredLm {
+    /// Model configuration (executed dims + cost twin).
+    fn config(&self) -> &ModelConfig;
+
+    /// Clears all sequence state (KV caches, context bookkeeping).
+    fn reset(&mut self);
+
+    /// Notes `token` as the next committed context token and returns its
+    /// embedding. Position bookkeeping is internal: tokens must be fed
+    /// strictly in order.
+    fn begin_token(&mut self, token: TokenId, meter: &mut Meter) -> Vec<f32>;
+
+    /// Runs decoder layer `layer` on hidden state `h` at position `pos`,
+    /// appending this layer's K/V for the position.
+    fn forward_layer(&mut self, layer: usize, h: &[f32], pos: usize, meter: &mut Meter)
+        -> Vec<f32>;
+
+    /// Embeds a batch of draft-tree tokens (`parents[i]` is the in-batch
+    /// parent index, `None` for tree roots hanging off the committed
+    /// context).
+    fn begin_tree(
+        &mut self,
+        tokens: &[TokenId],
+        parents: &[Option<usize>],
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>>;
+
+    /// Runs decoder layer `layer` over the whole draft tree with a tree
+    /// attention mask; returns per-node outputs and the scratch K/V that
+    /// [`LayeredLm::commit_tree_kv`] can later commit.
+    fn forward_layer_tree(
+        &mut self,
+        layer: usize,
+        hs: &[Vec<f32>],
+        parents: &[Option<usize>],
+        meter: &mut Meter,
+    ) -> (Vec<Vec<f32>>, TreeKv);
+
+    /// Commits the K/V rows of the accepted node indices (in path order)
+    /// into layer `layer`'s cache.
+    fn commit_tree_kv(&mut self, layer: usize, kv: &TreeKv, accepted: &[usize]);
+
+    /// Notes that `tokens` (in order) were accepted into the context after
+    /// a speculative verification round.
+    fn accept_tokens(&mut self, tokens: &[TokenId]);
+
+    /// Fills a *single* layer's K/V for position `pos` according to
+    /// `policy`, for a layer whose block computation was bypassed. Used by
+    /// early exit (suffix skips, via [`LayeredLm::fill_skipped_kv`]) and by
+    /// skip-layer baselines (mid-stack skips, MoD / D-LLM style) alike.
+    fn fill_layer_kv(
+        &mut self,
+        layer: usize,
+        h: &[f32],
+        pos: usize,
+        policy: SkipKvPolicy,
+        meter: &mut Meter,
+    );
+
+    /// After an early exit at layer `first_skipped - 1`, fills layers
+    /// `first_skipped..n_layers` K/V for position `pos` according to
+    /// `policy`.
+    fn fill_skipped_kv(
+        &mut self,
+        first_skipped: usize,
+        h: &[f32],
+        pos: usize,
+        policy: SkipKvPolicy,
+        meter: &mut Meter,
+    ) {
+        for layer in first_skipped..self.config().n_layers {
+            self.fill_layer_kv(layer, h, pos, policy, meter);
+        }
+    }
+
+    /// Final norm + full LM head over the whole vocabulary.
+    fn final_logits(&mut self, h: &[f32], meter: &mut Meter) -> Vec<f32>;
+
+    /// Batched full LM head over several hidden states (one weight read —
+    /// how tree verification prices the head). The default computes
+    /// per-state logits and meters each separately; `Transformer`
+    /// overrides with batched metering.
+    fn final_logits_batch(&mut self, hs: &[Vec<f32>], meter: &mut Meter) -> Vec<Vec<f32>> {
+        hs.iter().map(|h| self.final_logits(h, meter)).collect()
+    }
+
+    /// Final norm + LM-head slice over the candidate `tokens` only
+    /// (SpecEE's speculative LM head).
+    fn slice_logits(&mut self, h: &[f32], tokens: &[TokenId], meter: &mut Meter) -> Vec<f32>;
+
+    /// Grouped candidate-slice logits for several (hidden, candidates)
+    /// pairs, metered as ONE block-wise grouped GEMM (T3's custom
+    /// kernel, Fig. 13). The default meters per group; `Transformer`
+    /// overrides with batched metering.
+    fn grouped_slice_logits(
+        &mut self,
+        hs: &[&[f32]],
+        candidate_sets: &[&[TokenId]],
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        hs.iter()
+            .zip(candidate_sets.iter())
+            .map(|(h, c)| self.slice_logits(h, c, meter))
+            .collect()
+    }
+
+    /// Number of committed positions.
+    fn kv_len(&self) -> usize;
+
+    /// Rolls every layer's cache back to `len` positions.
+    fn truncate_kv(&mut self, len: usize);
+
+    /// Token slots currently allocated across layers (layout-dependent).
+    fn allocated_kv_tokens(&self) -> usize;
+
+    /// Modelled full-scale weight payload in bytes (for memory reports).
+    fn modelled_weight_bytes(&self) -> f64;
+}

@@ -1,0 +1,554 @@
+//! The executable decoder-only transformer.
+
+use specee_metrics::Meter;
+use specee_tensor::{ops, rng::Pcg, QuantBits};
+
+use crate::attention::{attention_forward, attention_forward_tree, TreeKv};
+use crate::calibration::ActivationTap;
+use crate::config::{ModelConfig, TokenId};
+use crate::ffn::{ffn_apply, ffn_apply_sparse, ffn_forward, ffn_forward_sparse, FfnMode, FfnRouter};
+use crate::kv::{KvCache, KvLayout, SkipKvPolicy};
+use crate::linear::LinearOp;
+use crate::metering::OpScale;
+use crate::traits::LayeredLm;
+use crate::weights::ModelWeights;
+
+/// A from-scratch Llama-style decoder with per-layer stepping.
+///
+/// # Examples
+///
+/// ```
+/// use specee_model::{ModelConfig, Transformer};
+/// use specee_model::traits::LayeredLm;
+/// use specee_metrics::Meter;
+/// use specee_tensor::rng::Pcg;
+///
+/// let cfg = ModelConfig::tiny();
+/// let mut model = Transformer::random(cfg.clone(), &mut Pcg::seed(1));
+/// let mut meter = Meter::new();
+/// let mut h = model.begin_token(5, &mut meter);
+/// for layer in 0..cfg.n_layers {
+///     h = model.forward_layer(layer, &h, 0, &mut meter);
+/// }
+/// let logits = model.final_logits(&h, &mut meter);
+/// assert_eq!(logits.len(), cfg.vocab_size);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transformer {
+    config: ModelConfig,
+    weights: ModelWeights,
+    caches: Vec<KvCache>,
+    ffn_mode: FfnMode,
+    routers: Vec<FfnRouter>,
+    scale: OpScale,
+    /// Armed during AWQ calibration runs; `None` on the hot path.
+    tap: Option<ActivationTap>,
+}
+
+impl Transformer {
+    /// Builds a transformer from explicit weights with a contiguous cache.
+    pub fn new(config: ModelConfig, weights: ModelWeights) -> Self {
+        Self::with_layout(config, weights, KvLayout::Contiguous)
+    }
+
+    /// Builds a transformer with the given KV layout.
+    pub fn with_layout(config: ModelConfig, weights: ModelWeights, layout: KvLayout) -> Self {
+        config.validate().expect("valid config");
+        let caches = (0..config.n_layers)
+            .map(|_| KvCache::new(config.hidden_dim, layout))
+            .collect();
+        let scale = OpScale::of(&config);
+        Transformer {
+            config,
+            weights,
+            caches,
+            ffn_mode: FfnMode::Dense,
+            routers: Vec::new(),
+            scale,
+            tap: None,
+        }
+    }
+
+    /// Builds a randomly-initialized transformer.
+    pub fn random(config: ModelConfig, rng: &mut Pcg) -> Self {
+        let weights = ModelWeights::random(&config, rng);
+        Self::new(config, weights)
+    }
+
+    /// Switches to sparse-activation FFNs (PowerInfer substitution),
+    /// creating one router per layer.
+    pub fn enable_sparse_ffn(&mut self, active_frac: f32, router_rank: usize, rng: &mut Pcg) {
+        self.routers = (0..self.config.n_layers)
+            .map(|_| FfnRouter::random(self.config.hidden_dim, self.config.ffn_dim, router_rank, rng))
+            .collect();
+        self.ffn_mode = FfnMode::Sparse {
+            active_frac,
+            router_rank,
+        };
+    }
+
+    /// Quantizes all projection weights with plain round-to-nearest.
+    /// Callers should pair this with a cost twin carrying the matching
+    /// `weight_bits`. For activation-calibrated quantization see
+    /// [`crate::calibration::quantize_awq`].
+    pub fn quantize(&mut self, bits: QuantBits) {
+        self.weights.quantize(bits);
+    }
+
+    /// Arms the AWQ calibration tap: subsequent forwards record linear-op
+    /// inputs until [`Transformer::take_calibration_tap`].
+    pub fn start_calibration_tap(&mut self) {
+        self.tap = Some(ActivationTap::new(self.config.n_layers));
+    }
+
+    /// Disarms the tap and returns the recorded activations (`None` if the
+    /// tap was never armed).
+    pub fn take_calibration_tap(&mut self) -> Option<ActivationTap> {
+        self.tap.take()
+    }
+
+    /// Applies AWQ quantization from recorded activations: calibrated
+    /// channel scales for the norm-fed projections (`wq`/`wk`/`wv`,
+    /// `w_gate`/`w_up`, LM head), round-to-nearest for `wo`/`w_down`.
+    pub(crate) fn apply_awq(&mut self, bits: QuantBits, tap: &ActivationTap) {
+        for (layer, w) in self.weights.layers.iter_mut().enumerate() {
+            for op in [&mut w.wq, &mut w.wk, &mut w.wv] {
+                if let LinearOp::Dense(m) = op {
+                    *op = LinearOp::awq_quantized(m, bits, &tap.attn_in[layer]);
+                }
+            }
+            for op in [&mut w.w_gate, &mut w.w_up] {
+                if let LinearOp::Dense(m) = op {
+                    *op = LinearOp::awq_quantized(m, bits, &tap.ffn_in[layer]);
+                }
+            }
+            for op in [&mut w.wo, &mut w.w_down] {
+                if let LinearOp::Dense(m) = op {
+                    *op = LinearOp::quantized(m, bits);
+                }
+            }
+        }
+        if let LinearOp::Dense(m) = &self.weights.lm_head {
+            self.weights.lm_head = LinearOp::awq_quantized(m, bits, &tap.head_in);
+        }
+    }
+
+    /// Switches the KV layout (clears cached positions).
+    pub fn set_kv_layout(&mut self, layout: KvLayout) {
+        self.caches = (0..self.config.n_layers)
+            .map(|_| KvCache::new(self.config.hidden_dim, layout))
+            .collect();
+    }
+
+    /// Borrows the weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// The pricing scale in use.
+    pub fn scale(&self) -> &OpScale {
+        &self.scale
+    }
+
+    fn normed(&self, h: &[f32], gain: &[f32]) -> Vec<f32> {
+        ops::rmsnorm(h, gain, 1e-5)
+    }
+}
+
+impl LayeredLm for Transformer {
+    fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.caches {
+            c.clear();
+        }
+    }
+
+    fn begin_token(&mut self, token: TokenId, meter: &mut Meter) -> Vec<f32> {
+        assert!(
+            (token as usize) < self.config.vocab_size,
+            "token {token} out of vocabulary"
+        );
+        self.scale.record_embed(meter);
+        self.weights.embed.row(token as usize).to_vec()
+    }
+
+    fn forward_layer(
+        &mut self,
+        layer: usize,
+        h: &[f32],
+        pos: usize,
+        meter: &mut Meter,
+    ) -> Vec<f32> {
+        assert!(layer < self.config.n_layers, "layer {layer} out of range");
+        let w = &self.weights.layers[layer];
+        let cache = &mut self.caches[layer];
+        let normed = ops::rmsnorm(h, &w.attn_norm, 1e-5);
+        let attn = attention_forward(w, &self.config, &self.scale, &normed, pos, cache, meter);
+        let mut mid: Vec<f32> = h.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
+        let normed2 = ops::rmsnorm(&mid, &w.ffn_norm, 1e-5);
+        let ffn = match self.ffn_mode {
+            FfnMode::Dense => ffn_forward(w, &self.scale, &normed2, meter),
+            FfnMode::Sparse { active_frac, .. } => ffn_forward_sparse(
+                w,
+                &self.routers[layer],
+                active_frac,
+                &self.scale,
+                &normed2,
+                meter,
+            ),
+        };
+        self.scale.record_norms(meter);
+        for (m, f) in mid.iter_mut().zip(ffn.iter()) {
+            *m += f;
+        }
+        if let Some(tap) = &mut self.tap {
+            tap.record_attn(layer, &normed);
+            tap.record_ffn(layer, &normed2);
+        }
+        mid
+    }
+
+    fn begin_tree(
+        &mut self,
+        tokens: &[TokenId],
+        parents: &[Option<usize>],
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(tokens.len(), parents.len(), "tokens/parents length");
+        tokens
+            .iter()
+            .map(|&t| {
+                self.scale.record_embed(meter);
+                self.weights.embed.row(t as usize).to_vec()
+            })
+            .collect()
+    }
+
+    fn forward_layer_tree(
+        &mut self,
+        layer: usize,
+        hs: &[Vec<f32>],
+        parents: &[Option<usize>],
+        meter: &mut Meter,
+    ) -> (Vec<Vec<f32>>, TreeKv) {
+        assert!(layer < self.config.n_layers, "layer {layer} out of range");
+        let w = &self.weights.layers[layer];
+        let cache = &self.caches[layer];
+        let normed: Vec<Vec<f32>> = hs
+            .iter()
+            .map(|h| ops::rmsnorm(h, &w.attn_norm, 1e-5))
+            .collect();
+        let (attn_outs, tree_kv) =
+            attention_forward_tree(w, &self.config, &self.scale, &normed, parents, cache, meter);
+        let mut outs = Vec::with_capacity(hs.len());
+        for (h, attn) in hs.iter().zip(attn_outs.iter()) {
+            let mut mid: Vec<f32> = h.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
+            let normed2 = ops::rmsnorm(&mid, &w.ffn_norm, 1e-5);
+            let ffn = match self.ffn_mode {
+                FfnMode::Dense => ffn_apply(w, &normed2),
+                FfnMode::Sparse { active_frac, .. } => {
+                    ffn_apply_sparse(w, &self.routers[layer], active_frac, &normed2)
+                }
+            };
+            for (m, f) in mid.iter_mut().zip(ffn.iter()) {
+                *m += f;
+            }
+            outs.push(mid);
+        }
+        // Batched metering: the FFN/norm weights are read once per layer
+        // regardless of how many tree nodes flow through.
+        match self.ffn_mode {
+            FfnMode::Dense => self.scale.record_ffn_tree(meter, hs.len()),
+            FfnMode::Sparse {
+                active_frac,
+                router_rank,
+            } => self.scale.record_ffn_sparse_tree(
+                meter,
+                hs.len(),
+                active_frac as f64,
+                router_rank,
+            ),
+        }
+        self.scale.record_norms_tree(meter, hs.len());
+        (outs, tree_kv)
+    }
+
+    fn commit_tree_kv(&mut self, layer: usize, kv: &TreeKv, accepted: &[usize]) {
+        let cache = &mut self.caches[layer];
+        for &i in accepted {
+            cache.push(&kv.k[i], &kv.v[i]);
+        }
+    }
+
+    fn accept_tokens(&mut self, _tokens: &[TokenId]) {
+        // The plain transformer keeps no semantic context; KV commitment is
+        // handled by `commit_tree_kv`.
+    }
+
+    fn fill_layer_kv(
+        &mut self,
+        layer: usize,
+        h: &[f32],
+        pos: usize,
+        policy: SkipKvPolicy,
+        meter: &mut Meter,
+    ) {
+        let heads = self.config.n_heads;
+        let head_dim = self.config.head_dim();
+        let w = &self.weights.layers[layer];
+        let cache = &mut self.caches[layer];
+        debug_assert_eq!(cache.len(), pos, "skip-fill position");
+        match policy {
+            SkipKvPolicy::ProjectExitHidden => {
+                let normed = ops::rmsnorm(h, &w.attn_norm, 1e-5);
+                let mut k = w.wk.matvec(&normed);
+                crate::rope::apply_rope(&mut k, pos, heads, head_dim, self.config.rope_theta);
+                let v = w.wv.matvec(&normed);
+                cache.push(&k, &v);
+                self.scale.record_skip_kv_fill(meter);
+            }
+            SkipKvPolicy::ReuseLast => {
+                if cache.is_empty() {
+                    cache.push_zero();
+                } else {
+                    cache.push_repeat_last();
+                }
+            }
+            SkipKvPolicy::ZeroFill => cache.push_zero(),
+        }
+    }
+
+    fn final_logits(&mut self, h: &[f32], meter: &mut Meter) -> Vec<f32> {
+        let normed = self.normed(h, &self.weights.final_norm.clone());
+        if let Some(tap) = &mut self.tap {
+            tap.record_head(&normed);
+        }
+        self.scale.record_lm_head_full(meter);
+        self.weights.lm_head.matvec(&normed)
+    }
+
+    fn final_logits_batch(&mut self, hs: &[Vec<f32>], meter: &mut Meter) -> Vec<Vec<f32>> {
+        self.scale.record_lm_head_full_batch(meter, hs.len());
+        hs.iter()
+            .map(|h| {
+                let normed = self.normed(h, &self.weights.final_norm.clone());
+                self.weights.lm_head.matvec(&normed)
+            })
+            .collect()
+    }
+
+    fn slice_logits(&mut self, h: &[f32], tokens: &[TokenId], meter: &mut Meter) -> Vec<f32> {
+        let normed = self.normed(h, &self.weights.final_norm.clone());
+        self.scale.record_lm_head_slice(meter, tokens.len());
+        let rows: Vec<usize> = tokens.iter().map(|&t| t as usize).collect();
+        self.weights.lm_head.matvec_rows(&rows, &normed)
+    }
+
+    fn grouped_slice_logits(
+        &mut self,
+        hs: &[&[f32]],
+        candidate_sets: &[&[TokenId]],
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(hs.len(), candidate_sets.len(), "groups mismatch");
+        let total_k: usize = candidate_sets.iter().map(|c| c.len()).sum();
+        self.scale.record_lm_head_slice(meter, total_k);
+        hs.iter()
+            .zip(candidate_sets.iter())
+            .map(|(h, tokens)| {
+                let normed = self.normed(h, &self.weights.final_norm.clone());
+                let rows: Vec<usize> = tokens.iter().map(|&t| t as usize).collect();
+                self.weights.lm_head.matvec_rows(&rows, &normed)
+            })
+            .collect()
+    }
+
+    fn kv_len(&self) -> usize {
+        self.caches.first().map_or(0, KvCache::len)
+    }
+
+    fn truncate_kv(&mut self, len: usize) {
+        for c in &mut self.caches {
+            c.truncate(len);
+        }
+    }
+
+    fn allocated_kv_tokens(&self) -> usize {
+        self.caches.iter().map(KvCache::allocated_tokens).sum()
+    }
+
+    fn modelled_weight_bytes(&self) -> f64 {
+        match &self.config.cost {
+            Some(c) => c.weight_bytes_total(),
+            None => self.weights.bytes() as f64,
+        }
+    }
+}
+
+/// Runs a full prompt prefill through all layers, committing KV for every
+/// prompt position, and returns the final hidden state of the last prompt
+/// token.
+///
+/// # Panics
+///
+/// Panics if `prompt` is empty.
+pub fn prefill<M: LayeredLm + ?Sized>(model: &mut M, prompt: &[TokenId], meter: &mut Meter) -> Vec<f32> {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    let n_layers = model.config().n_layers;
+    let mut last_hidden = Vec::new();
+    let base = model.kv_len();
+    for (i, &tok) in prompt.iter().enumerate() {
+        let pos = base + i;
+        let mut h = model.begin_token(tok, meter);
+        for layer in 0..n_layers {
+            h = model.forward_layer(layer, &h, pos, meter);
+        }
+        last_hidden = h;
+    }
+    last_hidden
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee_tensor::ops::argmax;
+
+    fn model() -> Transformer {
+        Transformer::random(ModelConfig::tiny(), &mut Pcg::seed(42))
+    }
+
+    #[test]
+    fn full_forward_produces_vocab_logits() {
+        let mut m = model();
+        let mut meter = Meter::new();
+        let h = prefill(&mut m, &[1, 2, 3], &mut meter);
+        let logits = m.final_logits(&h, &mut meter);
+        assert_eq!(logits.len(), m.config().vocab_size);
+        assert_eq!(m.kv_len(), 3);
+        assert!(argmax(&logits).is_some());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = model();
+        let mut b = model();
+        let mut meter = Meter::new();
+        let ha = prefill(&mut a, &[5, 9], &mut meter);
+        let hb = prefill(&mut b, &[5, 9], &mut meter);
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn slice_logits_match_full_logits() {
+        let mut m = model();
+        let mut meter = Meter::new();
+        let h = prefill(&mut m, &[7], &mut meter);
+        let full = m.final_logits(&h, &mut meter);
+        let slice = m.slice_logits(&h, &[3, 11, 64], &mut meter);
+        assert!((slice[0] - full[3]).abs() < 1e-5);
+        assert!((slice[1] - full[11]).abs() < 1e-5);
+        assert!((slice[2] - full[64]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reset_clears_kv() {
+        let mut m = model();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[1, 2], &mut meter);
+        m.reset();
+        assert_eq!(m.kv_len(), 0);
+    }
+
+    #[test]
+    fn fill_skipped_kv_advances_all_layers() {
+        let mut m = model();
+        let mut meter = Meter::new();
+        // run position 0 through only 2 of 4 layers
+        let mut h = m.begin_token(1, &mut meter);
+        for layer in 0..2 {
+            h = m.forward_layer(layer, &h, 0, &mut meter);
+        }
+        m.fill_skipped_kv(2, &h, 0, SkipKvPolicy::ProjectExitHidden, &mut meter);
+        for layer in 0..4 {
+            assert_eq!(m.caches[layer].len(), 1, "layer {layer}");
+        }
+        // next token can now run all layers
+        let mut h2 = m.begin_token(2, &mut meter);
+        for layer in 0..4 {
+            h2 = m.forward_layer(layer, &h2, 1, &mut meter);
+        }
+        assert_eq!(m.kv_len(), 2);
+    }
+
+    #[test]
+    fn zero_fill_policy_pushes_zeros() {
+        let mut m = model();
+        let mut meter = Meter::new();
+        let h = m.begin_token(1, &mut meter);
+        let h = m.forward_layer(0, &h, 0, &mut meter);
+        m.fill_skipped_kv(1, &h, 0, SkipKvPolicy::ZeroFill, &mut meter);
+        assert_eq!(m.caches[3].key(0), vec![0.0; 32].as_slice());
+    }
+
+    #[test]
+    fn tree_commit_matches_sequential_kv() {
+        let mut m = model();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[4, 6], &mut meter);
+        let kv_before = m.kv_len();
+
+        // One-node tree through all layers, then commit.
+        let tokens = [9u32];
+        let parents = [None];
+        let mut hs = m.begin_tree(&tokens, &parents, &mut meter);
+        let mut kvs = Vec::new();
+        for layer in 0..m.config().n_layers {
+            let (out, kv) = m.forward_layer_tree(layer, &hs, &parents, &mut meter);
+            hs = out;
+            kvs.push(kv);
+        }
+        for (layer, kv) in kvs.iter().enumerate() {
+            m.commit_tree_kv(layer, kv, &[0]);
+        }
+        assert_eq!(m.kv_len(), kv_before + 1);
+
+        // Sequential reference on a fresh, identical model.
+        let mut reference = model();
+        prefill(&mut reference, &[4, 6], &mut meter);
+        let mut h = reference.begin_token(9, &mut meter);
+        for layer in 0..reference.config().n_layers {
+            h = reference.forward_layer(layer, &h, 2, &mut meter);
+        }
+        for (a, b) in hs[0].iter().zip(h.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        for layer in 0..4 {
+            let ck = m.caches[layer].key(2);
+            let rk = reference.caches[layer].key(2);
+            for (a, b) in ck.iter().zip(rk.iter()) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_model_still_decodes() {
+        let mut m = model();
+        m.quantize(QuantBits::Int8);
+        let mut meter = Meter::new();
+        let h = prefill(&mut m, &[3, 2, 1], &mut meter);
+        assert_eq!(m.final_logits(&h, &mut meter).len(), 128);
+    }
+
+    #[test]
+    fn sparse_ffn_model_still_decodes() {
+        let mut m = model();
+        m.enable_sparse_ffn(0.25, 4, &mut Pcg::seed(9));
+        let mut meter = Meter::new();
+        let h = prefill(&mut m, &[3, 2, 1], &mut meter);
+        assert_eq!(m.final_logits(&h, &mut meter).len(), 128);
+    }
+}

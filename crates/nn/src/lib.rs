@@ -1,0 +1,33 @@
+//! Small neural-network substrate for SpecEE's learned components.
+//!
+//! The paper's exit predictor is a 2-layer MLP (12 → 512 → 1, ReLU hidden,
+//! sigmoid output, BCE loss) trained offline on features collected from the
+//! running model (§4.3.2, §7.4.4). The AdaInfer baseline uses an SVM over
+//! full-vocabulary features. This crate provides exactly those pieces:
+//! [`Mlp`] with manual backprop, an [`Adam`] optimizer and
+//! [`BinaryTrainer`], plus [`LogisticRegression`] and [`LinearSvm`] for the
+//! baselines, and binary-classification [`metrics`].
+//!
+//! # Examples
+//!
+//! ```
+//! use specee_nn::{Activation, Mlp};
+//! use specee_tensor::rng::Pcg;
+//!
+//! let mut rng = Pcg::seed(1);
+//! let mlp = Mlp::new(&[12, 512, 1], Activation::Relu, &mut rng);
+//! let y = mlp.forward(&[0.0; 12]);
+//! assert_eq!(y.len(), 1);
+//! ```
+
+pub mod dense;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod train;
+
+pub use dense::Dense;
+pub use linear::{LinearSvm, LogisticRegression};
+pub use metrics::BinaryMetrics;
+pub use mlp::{Activation, Mlp};
+pub use train::{Adam, BinaryTrainer, TrainConfig, TrainReport};

@@ -1,0 +1,198 @@
+//! Linear classifiers for the AdaInfer baseline.
+//!
+//! AdaInfer attaches an SVM (the paper also discusses basic-model
+//! predictors generally) to every decoder layer, fed with features derived
+//! from the *full* vocabulary distribution. These linear models are
+//! intentionally simple: their cost profile (a full LM-head traversal per
+//! layer plus a cheap classifier) is what SpecEE's T1 is measured against.
+
+use serde::{Deserialize, Serialize};
+use specee_tensor::{ops, rng::Pcg};
+
+/// Logistic-regression binary classifier trained by SGD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    w: Vec<f32>,
+    b: f32,
+}
+
+impl LogisticRegression {
+    /// Creates a zero-initialized model of the given input dimension.
+    pub fn new(dim: usize) -> Self {
+        LogisticRegression {
+            w: vec![0.0; dim],
+            b: 0.0,
+        }
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Predicted probability of the positive class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn predict_proba(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.w.len(), "feature dimension");
+        ops::sigmoid(specee_tensor::matrix::dot(&self.w, x) + self.b)
+    }
+
+    /// Hard prediction at a 0.5 threshold.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        self.predict_proba(x) > 0.5
+    }
+
+    /// Trains with plain SGD on log loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs and labels disagree in length or dimension.
+    pub fn fit(&mut self, inputs: &[Vec<f32>], labels: &[bool], epochs: usize, lr: f32, seed: u64) {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length");
+        let mut rng = Pcg::seed(seed);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let x = &inputs[i];
+                let target = if labels[i] { 1.0 } else { 0.0 };
+                let err = self.predict_proba(x) - target;
+                for (w, &xv) in self.w.iter_mut().zip(x.iter()) {
+                    *w -= lr * err * xv;
+                }
+                self.b -= lr * err;
+            }
+        }
+    }
+}
+
+/// Linear soft-margin SVM trained by Pegasos-style SGD on hinge loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    w: Vec<f32>,
+    b: f32,
+    lambda: f32,
+}
+
+impl LinearSvm {
+    /// Creates a zero model with L2 regularization strength `lambda`.
+    pub fn new(dim: usize, lambda: f32) -> Self {
+        LinearSvm {
+            w: vec![0.0; dim],
+            b: 0.0,
+            lambda,
+        }
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Signed margin of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn decision(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.w.len(), "feature dimension");
+        specee_tensor::matrix::dot(&self.w, x) + self.b
+    }
+
+    /// Hard prediction: positive margin → `true`.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        self.decision(x) > 0.0
+    }
+
+    /// Trains with Pegasos SGD on hinge loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs and labels disagree in length or dimension.
+    pub fn fit(&mut self, inputs: &[Vec<f32>], labels: &[bool], epochs: usize, seed: u64) {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length");
+        let mut rng = Pcg::seed(seed);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        let mut t: f32 = 1.0;
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let x = &inputs[i];
+                let y = if labels[i] { 1.0f32 } else { -1.0 };
+                let lr = 1.0 / (self.lambda * t);
+                let margin = y * self.decision(x);
+                for w in &mut self.w {
+                    *w *= 1.0 - lr * self.lambda;
+                }
+                if margin < 1.0 {
+                    for (w, &xv) in self.w.iter_mut().zip(x.iter()) {
+                        *w += lr * y * xv;
+                    }
+                    self.b += lr * y * 0.1;
+                }
+                t += 1.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(seed: u64, n: usize) -> (Vec<Vec<f32>>, Vec<bool>) {
+        let mut rng = Pcg::seed(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x0 = rng.uniform(-1.0, 1.0) as f32;
+            let x1 = rng.uniform(-1.0, 1.0) as f32;
+            xs.push(vec![x0, x1]);
+            ys.push(x0 + x1 > 0.2);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn logistic_learns_separable_data() {
+        let (xs, ys) = linearly_separable(1, 400);
+        let mut lr = LogisticRegression::new(2);
+        lr.fit(&xs, &ys, 30, 0.1, 0);
+        let correct = xs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| lr.predict(x) == y)
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.95, "correct {correct}");
+    }
+
+    #[test]
+    fn svm_learns_separable_data() {
+        let (xs, ys) = linearly_separable(2, 400);
+        let mut svm = LinearSvm::new(2, 1e-3);
+        svm.fit(&xs, &ys, 30, 0);
+        let correct = xs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| svm.predict(x) == y)
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.93, "correct {correct}");
+    }
+
+    #[test]
+    fn untrained_models_are_neutral() {
+        let lr = LogisticRegression::new(3);
+        assert!((lr.predict_proba(&[1.0, 2.0, 3.0]) - 0.5).abs() < 1e-6);
+        let svm = LinearSvm::new(3, 0.01);
+        assert_eq!(svm.decision(&[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension")]
+    fn dimension_validated() {
+        LogisticRegression::new(2).predict_proba(&[1.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Continuous-batching serving simulation for SpecEE.
+//!
+//! The paper evaluates SpecEE at batch size 1 (one stream per GPU). This
+//! crate extends the reproduction to the *serving* regime the cloud
+//! scenario motivates: many requests, Poisson arrivals, a continuous
+//! batcher that admits a request as soon as a slot frees, and a cost model
+//! in which each decode step reads every executed layer's weights **once
+//! for the whole batch** (how real batched GEMV kernels behave).
+//!
+//! That amortization is exactly what erodes early exiting at scale: a
+//! layer's weight read is saved only when *every* sequence in the batch
+//! exits below it, so SpecEE's advantage decays from the full single-stream
+//! speedup at batch 1 toward the compute-only savings at large batches.
+//! The `ablation_batch_serving` bench quantifies the decay curve.
+//!
+//! # Design: replay-based simulation
+//!
+//! Under greedy decoding a sequence's tokens and exit layers do not depend
+//! on what else shares the batch — batching changes *timing*, not values.
+//! The simulator therefore records each request's trace (tokens, per-token
+//! exit layers, predictor/verify call counts) by running the real engines
+//! once per request ([`trace`]), then replays the traces through the
+//! admission/batching/pricing loop ([`batcher`]). Every token in a served
+//! run is a genuinely computed token; only the clock is modelled.
+//!
+//! # Examples
+//!
+//! ```
+//! use specee_metrics::{FrameworkProfile, HardwareProfile};
+//! use specee_model::CostDims;
+//! use specee_serve::{BatcherConfig, ContinuousBatcher, PoissonArrivals, RequestTrace, ServeRequest};
+//!
+//! // Two synthetic traces standing in for recorded engine runs.
+//! let traces = vec![
+//!     RequestTrace::dense(vec![5, 6, 7, 8], 32),
+//!     RequestTrace::dense(vec![9, 10, 11], 32),
+//! ];
+//! let requests: Vec<ServeRequest> = PoissonArrivals::new(4.0, 11)
+//!     .requests(&[(vec![1, 2, 3], 4), (vec![4, 5], 3)]);
+//!
+//! let config = BatcherConfig {
+//!     max_batch: 2,
+//!     hardware: HardwareProfile::a100_80g(),
+//!     framework: FrameworkProfile::vllm(),
+//!     cost: CostDims::llama2_7b(),
+//! };
+//! let report = ContinuousBatcher::new(config).run(&requests, &traces);
+//! assert_eq!(report.completions.len(), 2);
+//! assert!(report.stats().throughput_tok_s > 0.0);
+//! ```
+
+pub mod batcher;
+pub mod cost;
+pub mod request;
+pub mod stats;
+pub mod trace;
+
+pub use batcher::{AdmissionPolicy, BatcherConfig, ContinuousBatcher, ServeReport};
+pub use cost::StepCostModel;
+pub use request::{Completion, PoissonArrivals, ServeRequest};
+pub use stats::ServeStats;
+pub use trace::RequestTrace;

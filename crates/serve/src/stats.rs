@@ -1,0 +1,135 @@
+//! Aggregate serving statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::batcher::ServeReport;
+
+/// Latency/throughput summary of a served run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests completed.
+    pub requests: usize,
+    /// Total decoded tokens.
+    pub tokens: usize,
+    /// Decode throughput over the makespan, tokens per second.
+    pub throughput_tok_s: f64,
+    /// Mean time to first token, seconds.
+    pub mean_ttft_s: f64,
+    /// 95th-percentile time to first token, seconds.
+    pub p95_ttft_s: f64,
+    /// Mean time per output token, seconds.
+    pub mean_tpot_s: f64,
+    /// Mean end-to-end request latency, seconds.
+    pub mean_latency_s: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub p95_latency_s: f64,
+    /// Mean batch occupancy over decode steps.
+    pub avg_occupancy: f64,
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) of an unsorted sample.
+///
+/// Returns zero for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN latencies"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ServeStats {
+    /// Summarizes a batcher report.
+    pub fn from_report(report: &ServeReport) -> Self {
+        let n = report.completions.len();
+        let tokens: usize = report.completions.iter().map(|c| c.tokens).sum();
+        let ttfts: Vec<f64> = report.completions.iter().map(|c| c.ttft_s()).collect();
+        let latencies: Vec<f64> = report.completions.iter().map(|c| c.latency_s()).collect();
+        let tpots: Vec<f64> = report.completions.iter().map(|c| c.tpot_s()).collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        ServeStats {
+            requests: n,
+            tokens,
+            throughput_tok_s: if report.makespan_s > 0.0 {
+                tokens as f64 / report.makespan_s
+            } else {
+                0.0
+            },
+            mean_ttft_s: mean(&ttfts),
+            p95_ttft_s: percentile(&ttfts, 0.95),
+            mean_tpot_s: mean(&tpots),
+            mean_latency_s: mean(&latencies),
+            p95_latency_s: percentile(&latencies, 0.95),
+            avg_occupancy: report.avg_occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Completion;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [4.0, 1.0, 3.0, 2.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.95), 5.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_validates_q() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn stats_from_report() {
+        let report = ServeReport {
+            completions: vec![
+                Completion {
+                    id: 0,
+                    arrival_s: 0.0,
+                    first_token_s: 0.1,
+                    finish_s: 1.1,
+                    tokens: 11,
+                },
+                Completion {
+                    id: 1,
+                    arrival_s: 0.5,
+                    first_token_s: 0.7,
+                    finish_s: 1.7,
+                    tokens: 11,
+                },
+            ],
+            makespan_s: 2.0,
+            steps: 20,
+            avg_occupancy: 1.6,
+            avg_layers: 32.0,
+        };
+        let s = report.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.tokens, 22);
+        assert!((s.throughput_tok_s - 11.0).abs() < 1e-12);
+        assert!((s.mean_ttft_s - 0.15).abs() < 1e-12);
+        assert!((s.mean_tpot_s - 0.1).abs() < 1e-12);
+        assert!((s.mean_latency_s - ((1.1 + 1.2) / 2.0)).abs() < 1e-12);
+        assert_eq!(s.avg_occupancy, 1.6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Recorded per-request execution traces.
+//!
+//! A trace captures everything the batcher needs to replay a request's
+//! timing: the decoded tokens, the layer each token exited at, and the
+//! SpecEE overhead call counts. Traces are recorded by running the real
+//! engines once per request, so a served token is always a genuinely
+//! computed token.
+
+use serde::{Deserialize, Serialize};
+use specee_core::GenOutput;
+use specee_model::TokenId;
+
+/// The replayable execution record of one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Decoded tokens.
+    pub tokens: Vec<TokenId>,
+    /// Exit layer of each token (`n_layers` when no early exit fired).
+    pub exit_layers: Vec<usize>,
+    /// Mean predictor invocations per decoded token.
+    pub predictor_calls_per_token: f64,
+    /// Mean full-LM-head verification calls per decoded token.
+    pub verify_calls_per_token: f64,
+    /// Whether the trace came from a SpecEE engine (prices draft + predictor
+    /// overhead during replay).
+    pub speculative: bool,
+}
+
+impl RequestTrace {
+    /// A dense trace: every token runs all `n_layers` layers, no SpecEE
+    /// overhead.
+    pub fn dense(tokens: Vec<TokenId>, n_layers: usize) -> Self {
+        let exit_layers = vec![n_layers; tokens.len()];
+        RequestTrace {
+            tokens,
+            exit_layers,
+            predictor_calls_per_token: 0.0,
+            verify_calls_per_token: 0.0,
+            speculative: false,
+        }
+    }
+
+    /// Builds a trace from an engine's [`GenOutput`].
+    ///
+    /// `speculative` marks SpecEE runs so the replay prices the draft model
+    /// and predictor calls the engine actually performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output's token and exit-layer streams disagree in
+    /// length.
+    pub fn from_output(output: &GenOutput, speculative: bool) -> Self {
+        assert_eq!(
+            output.tokens.len(),
+            output.exit_layers.len(),
+            "malformed GenOutput"
+        );
+        let n = output.tokens.len().max(1) as f64;
+        RequestTrace {
+            tokens: output.tokens.clone(),
+            exit_layers: output.exit_layers.clone(),
+            predictor_calls_per_token: output.predictor_calls as f64 / n,
+            verify_calls_per_token: output.verify_calls as f64 / n,
+            speculative,
+        }
+    }
+
+    /// Number of decoded tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Mean exit layer across the trace.
+    pub fn avg_exit_layer(&self) -> f64 {
+        if self.exit_layers.is_empty() {
+            0.0
+        } else {
+            self.exit_layers.iter().sum::<usize>() as f64 / self.exit_layers.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_trace_runs_all_layers() {
+        let t = RequestTrace::dense(vec![1, 2, 3], 32);
+        assert_eq!(t.exit_layers, vec![32, 32, 32]);
+        assert_eq!(t.avg_exit_layer(), 32.0);
+        assert!(!t.speculative);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn from_output_computes_per_token_rates() {
+        let out = GenOutput {
+            tokens: vec![4, 5, 6, 7],
+            exit_layers: vec![32, 20, 24, 22],
+            ce_sum: 0.0,
+            meter: specee_metrics::Meter::new(),
+            predictor_calls: 8,
+            verify_calls: 4,
+            rounds: 0,
+        };
+        let t = RequestTrace::from_output(&out, true);
+        assert_eq!(t.predictor_calls_per_token, 2.0);
+        assert_eq!(t.verify_calls_per_token, 1.0);
+        assert!(t.speculative);
+        assert!((t.avg_exit_layer() - 24.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn mismatched_output_rejected() {
+        let out = GenOutput {
+            tokens: vec![1, 2],
+            exit_layers: vec![32],
+            ce_sum: 0.0,
+            meter: specee_metrics::Meter::new(),
+            predictor_calls: 0,
+            verify_calls: 0,
+            rounds: 0,
+        };
+        let _ = RequestTrace::from_output(&out, false);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = RequestTrace::dense(vec![], 8);
+        assert!(t.is_empty());
+        assert_eq!(t.avg_exit_layer(), 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! A deterministic procedural language: the ground truth the synthetic
+//! model converges to.
+//!
+//! The language is an order-2 Markov source defined *procedurally* from a
+//! seed: the successor distribution of any bigram is derived by hashing,
+//! so no transition tables are stored and the language is identical across
+//! the target model, the draft oracle and the workload generator.
+
+use serde::{Deserialize, Serialize};
+use specee_model::TokenId;
+use specee_tensor::Pcg;
+
+/// Deterministic order-2 Markov language over a token vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use specee_synth::SyntheticLanguage;
+///
+/// let lang = SyntheticLanguage::new(1000, 7);
+/// let next = lang.next_token(&[3, 5]);
+/// assert_eq!(next, lang.next_token(&[3, 5])); // deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntheticLanguage {
+    vocab_size: usize,
+    seed: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl SyntheticLanguage {
+    /// Creates a language over `vocab_size` tokens from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size < 8` (the candidate machinery needs room).
+    pub fn new(vocab_size: usize, seed: u64) -> Self {
+        assert!(vocab_size >= 8, "vocabulary too small");
+        SyntheticLanguage { vocab_size, seed }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    fn bigram_key(&self, context: &[TokenId]) -> u64 {
+        let a = context.len().checked_sub(2).map_or(0, |i| context[i]) as u64;
+        let b = context.last().copied().unwrap_or(0) as u64;
+        mix(self.seed ^ (a << 32) ^ b ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// The ground-truth next token for a context.
+    ///
+    /// Zipf-shaped: successors are biased toward the head of the
+    /// vocabulary, like frequent tokens in a real corpus.
+    pub fn next_token(&self, context: &[TokenId]) -> TokenId {
+        let key = self.bigram_key(context);
+        let mut rng = Pcg::seed(key);
+        rng.zipf(self.vocab_size, 1.3) as TokenId
+    }
+
+    /// The `k` most plausible next tokens for a context (the language's own
+    /// confusion set), most plausible first. The ground-truth token is
+    /// always `candidates(ctx, k)[0]`.
+    pub fn candidates(&self, context: &[TokenId], k: usize) -> Vec<TokenId> {
+        let truth = self.next_token(context);
+        let key = self.bigram_key(context) ^ 0x517c_c1b7_2722_0a95;
+        let mut rng = Pcg::seed(key);
+        let mut out = vec![truth];
+        while out.len() < k.min(self.vocab_size) {
+            let c = rng.zipf(self.vocab_size, 1.2) as TokenId;
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Plausibility weights for a candidate list: the truth gets the bulk
+    /// of the mass, distractors decay geometrically.
+    pub fn candidate_weights(&self, k: usize) -> Vec<f32> {
+        let mut w: Vec<f32> = (0..k).map(|i| 0.55f32 * 0.45f32.powi(i as i32)).collect();
+        let sum: f32 = w.iter().sum();
+        for v in &mut w {
+            *v /= sum;
+        }
+        w
+    }
+
+    /// Generates a plausible token sequence of the given length by walking
+    /// the language from a seed token.
+    pub fn sample_sequence(&self, start: TokenId, len: usize, noise_seed: u64) -> Vec<TokenId> {
+        let mut rng = Pcg::seed(self.seed ^ mix(noise_seed));
+        let mut seq = vec![start % self.vocab_size as TokenId];
+        while seq.len() < len {
+            // mostly follow the language, sometimes jump (topic change)
+            let next = if rng.chance(0.85) {
+                self.next_token(&seq)
+            } else {
+                rng.zipf(self.vocab_size, 1.1) as TokenId
+            };
+            seq.push(next);
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order2() {
+        let lang = SyntheticLanguage::new(512, 3);
+        assert_eq!(lang.next_token(&[1, 2, 3]), lang.next_token(&[9, 2, 3]));
+        // depends on last two tokens
+        let a = lang.next_token(&[1, 2]);
+        let b = lang.next_token(&[1, 3]);
+        let c = lang.next_token(&[4, 2]);
+        assert!(a != b || a != c, "successor should vary with the bigram");
+    }
+
+    #[test]
+    fn truth_heads_candidate_list() {
+        let lang = SyntheticLanguage::new(512, 11);
+        let ctx = [5, 9];
+        let truth = lang.next_token(&ctx);
+        let cands = lang.candidates(&ctx, 4);
+        assert_eq!(cands[0], truth);
+        assert_eq!(cands.len(), 4);
+        let mut dedup = cands.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_decay() {
+        let lang = SyntheticLanguage::new(512, 1);
+        let w = lang.candidate_weights(4);
+        let sum: f32 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+    }
+
+    #[test]
+    fn zipf_marginals_head_heavy() {
+        let lang = SyntheticLanguage::new(1024, 7);
+        let mut head = 0usize;
+        for a in 0..60u32 {
+            for b in 0..60u32 {
+                if lang.next_token(&[a, b]) < 64 {
+                    head += 1;
+                }
+            }
+        }
+        // far more than the uniform 6.25%
+        assert!(head > 1000, "head hits {head}");
+    }
+
+    #[test]
+    fn sequences_have_requested_length() {
+        let lang = SyntheticLanguage::new(256, 5);
+        let s = lang.sample_sequence(3, 40, 9);
+        assert_eq!(s.len(), 40);
+        assert!(s.iter().all(|&t| (t as usize) < 256));
+    }
+}

@@ -1,0 +1,534 @@
+//! The calibrated synthetic language model.
+//!
+//! [`SyntheticLm`] wraps a real [`Transformer`] (every matmul, KV update
+//! and norm is executed and metered) and *steers* the hidden state after
+//! each decoder layer toward the ground-truth token's embedding following
+//! the token's scripted saturation schedule. Because the LM head is tied
+//! to the embedding table, the steered hidden state reproduces the exact
+//! logit trajectory the paper's predictor learns from: candidate
+//! probabilities stay low and flat until the saturation layer, then the
+//! correct token's probability shifts sharply upward (§4.2, Fig. 5).
+
+use specee_metrics::Meter;
+use specee_model::{
+    LayeredLm, ModelConfig, SkipKvPolicy, TokenId, Transformer, TreeKv,
+};
+use specee_tensor::{ops, rng::Pcg};
+
+use crate::language::SyntheticLanguage;
+use crate::profile::DatasetProfile;
+use crate::schedule::{gamma, SaturationDriver};
+
+/// Hidden-state magnitude; sets how confident the final softmax is.
+const LOGIT_SCALE: f32 = 12.0;
+/// Share of the pre-saturation state carried by the real layer output.
+const BASE_WEIGHT: f32 = 0.92;
+/// Share of the pre-saturation state spread over plausible distractors.
+const DISTRACTOR_WEIGHT: f32 = 0.05;
+/// Per-component steering noise.
+const NOISE: f32 = 0.015;
+
+/// The per-token script: ground truth, plausible distractors and the
+/// saturation depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenScript {
+    /// The token fed at this position (its embedding echo is suppressed).
+    pub input: TokenId,
+    /// Ground-truth next token for the position's context.
+    pub target: TokenId,
+    /// Plausible-but-wrong candidates (the language's confusion set).
+    pub distractors: Vec<TokenId>,
+    /// Layer at which the target's probability shifts upward.
+    pub sat: f64,
+}
+
+/// A calibrated synthetic LM implementing [`LayeredLm`].
+///
+/// # Examples
+///
+/// ```
+/// use specee_synth::{DatasetProfile, SyntheticLmBuilder};
+/// use specee_model::{ModelConfig, LayeredLm, prefill};
+/// use specee_metrics::Meter;
+///
+/// let mut lm = SyntheticLmBuilder::new(ModelConfig::tiny(), DatasetProfile::qa())
+///     .seed(7)
+///     .build();
+/// let mut meter = Meter::new();
+/// let h = prefill(&mut lm, &[1, 2, 3], &mut meter);
+/// let logits = lm.final_logits(&h, &mut meter);
+/// assert_eq!(logits.len(), lm.config().vocab_size);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticLm {
+    inner: Transformer,
+    language: SyntheticLanguage,
+    profile: DatasetProfile,
+    driver: SaturationDriver,
+    context: Vec<TokenId>,
+    scripts: Vec<TokenScript>,
+    tree_scripts: Vec<TokenScript>,
+    noise: Pcg,
+    seed: u64,
+}
+
+impl SyntheticLm {
+    /// The procedural language this model speaks.
+    pub fn language(&self) -> &SyntheticLanguage {
+        &self.language
+    }
+
+    /// The dataset profile driving the schedules.
+    pub fn profile(&self) -> &DatasetProfile {
+        &self.profile
+    }
+
+    /// The committed token context.
+    pub fn context(&self) -> &[TokenId] {
+        &self.context
+    }
+
+    /// Scripts of the committed positions (ground truth + saturation).
+    pub fn scripts(&self) -> &[TokenScript] {
+        &self.scripts
+    }
+
+    /// The seed this model was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Mutable access to the wrapped transformer (quantization, sparse FFN,
+    /// KV-layout configuration).
+    pub fn inner_mut(&mut self) -> &mut Transformer {
+        &mut self.inner
+    }
+
+    /// Shared access to the wrapped transformer.
+    pub fn inner(&self) -> &Transformer {
+        &self.inner
+    }
+
+    fn make_script(&mut self, ctx_ends_with: &[TokenId], prev_sat: Option<f64>) -> TokenScript {
+        let input = *ctx_ends_with.last().expect("non-empty context");
+        let target = self.language.next_token(ctx_ends_with);
+        let cands = self.language.candidates(ctx_ends_with, 4);
+        let sat = self.driver.sample(prev_sat);
+        TokenScript {
+            input,
+            target,
+            distractors: cands[1..].to_vec(),
+            sat,
+        }
+    }
+
+    fn blend(&mut self, h: &[f32], script: &TokenScript, layer: usize) -> Vec<f32> {
+        let g = gamma(layer, script.sat);
+        let embed = &self.inner.weights().embed;
+        let mut out = h.to_vec();
+        ops::l2_normalize(&mut out);
+        // Project out the controlled directions before re-adding their
+        // scheduled amounts: the input token (real decoders stop echoing it
+        // after the first layers) and the candidate set (otherwise their
+        // components accumulate through the residual stream across layers
+        // and distractors start winning the pre-saturation argmax, which a
+        // real model's unsaturated logits do not do).
+        let mut directions: Vec<TokenId> = vec![script.input, script.target];
+        directions.extend_from_slice(&script.distractors);
+        for d in directions {
+            let e_d = embed.row(d as usize);
+            let proj = specee_tensor::matrix::dot(&out, e_d);
+            for (o, &e) in out.iter_mut().zip(e_d.iter()) {
+                *o -= proj * e;
+            }
+        }
+        ops::l2_normalize(&mut out);
+        for v in &mut out {
+            *v *= (1.0 - g) * BASE_WEIGHT;
+        }
+        let w = self.language.candidate_weights(script.distractors.len());
+        for (i, &d) in script.distractors.iter().enumerate() {
+            let coeff = (1.0 - g) * DISTRACTOR_WEIGHT * w[i];
+            for (o, &e) in out.iter_mut().zip(embed.row(d as usize).iter()) {
+                *o += coeff * e;
+            }
+        }
+        for (o, &e) in out.iter_mut().zip(embed.row(script.target as usize).iter()) {
+            *o += g * e;
+        }
+        for o in &mut out {
+            *o = (*o + self.noise.normal() as f32 * NOISE) * LOGIT_SCALE;
+        }
+        out
+    }
+
+    fn node_context(&self, tokens: &[TokenId], parents: &[Option<usize>], node: usize) -> Vec<TokenId> {
+        let mut path = Vec::new();
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            path.push(tokens[n]);
+            cur = parents[n];
+        }
+        path.reverse();
+        let mut ctx = self.context.clone();
+        ctx.extend_from_slice(&path);
+        ctx
+    }
+}
+
+impl LayeredLm for SyntheticLm {
+    fn config(&self) -> &ModelConfig {
+        self.inner.config()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.context.clear();
+        self.scripts.clear();
+        self.tree_scripts.clear();
+    }
+
+    fn begin_token(&mut self, token: TokenId, meter: &mut Meter) -> Vec<f32> {
+        self.context.push(token);
+        let prev = self.scripts.last().map(|s| s.sat);
+        let ctx = self.context.clone();
+        let script = self.make_script(&ctx, prev);
+        self.scripts.push(script);
+        self.inner.begin_token(token, meter)
+    }
+
+    fn forward_layer(
+        &mut self,
+        layer: usize,
+        h: &[f32],
+        pos: usize,
+        meter: &mut Meter,
+    ) -> Vec<f32> {
+        let out = self.inner.forward_layer(layer, h, pos, meter);
+        let script = self.scripts[pos].clone();
+        self.blend(&out, &script, layer)
+    }
+
+    fn begin_tree(
+        &mut self,
+        tokens: &[TokenId],
+        parents: &[Option<usize>],
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        self.tree_scripts.clear();
+        let last_sat = self.scripts.last().map(|s| s.sat);
+        let mut node_sats: Vec<f64> = Vec::with_capacity(tokens.len());
+        for i in 0..tokens.len() {
+            let ctx = self.node_context(tokens, parents, i);
+            let prev = match parents[i] {
+                Some(p) => Some(node_sats[p]),
+                None => last_sat,
+            };
+            let script = self.make_script(&ctx, prev);
+            node_sats.push(script.sat);
+            self.tree_scripts.push(script);
+        }
+        self.inner.begin_tree(tokens, parents, meter)
+    }
+
+    fn forward_layer_tree(
+        &mut self,
+        layer: usize,
+        hs: &[Vec<f32>],
+        parents: &[Option<usize>],
+        meter: &mut Meter,
+    ) -> (Vec<Vec<f32>>, TreeKv) {
+        let (outs, kv) = self.inner.forward_layer_tree(layer, hs, parents, meter);
+        let blended = outs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let script = self.tree_scripts[i].clone();
+                self.blend(o, &script, layer)
+            })
+            .collect();
+        (blended, kv)
+    }
+
+    fn commit_tree_kv(&mut self, layer: usize, kv: &TreeKv, accepted: &[usize]) {
+        self.inner.commit_tree_kv(layer, kv, accepted);
+        // Engines commit layer 0 first (documented contract); hook the
+        // script bookkeeping there so committed positions stay aligned.
+        if layer == 0 {
+            for &i in accepted {
+                self.scripts.push(self.tree_scripts[i].clone());
+            }
+        }
+    }
+
+    fn accept_tokens(&mut self, tokens: &[TokenId]) {
+        self.context.extend_from_slice(tokens);
+        self.inner.accept_tokens(tokens);
+    }
+
+    fn fill_layer_kv(
+        &mut self,
+        layer: usize,
+        h: &[f32],
+        pos: usize,
+        policy: SkipKvPolicy,
+        meter: &mut Meter,
+    ) {
+        self.inner.fill_layer_kv(layer, h, pos, policy, meter);
+    }
+
+    fn fill_skipped_kv(
+        &mut self,
+        first_skipped: usize,
+        h: &[f32],
+        pos: usize,
+        policy: SkipKvPolicy,
+        meter: &mut Meter,
+    ) {
+        self.inner.fill_skipped_kv(first_skipped, h, pos, policy, meter);
+    }
+
+    fn final_logits(&mut self, h: &[f32], meter: &mut Meter) -> Vec<f32> {
+        self.inner.final_logits(h, meter)
+    }
+
+    fn final_logits_batch(&mut self, hs: &[Vec<f32>], meter: &mut Meter) -> Vec<Vec<f32>> {
+        self.inner.final_logits_batch(hs, meter)
+    }
+
+    fn slice_logits(&mut self, h: &[f32], tokens: &[TokenId], meter: &mut Meter) -> Vec<f32> {
+        self.inner.slice_logits(h, tokens, meter)
+    }
+
+    fn grouped_slice_logits(
+        &mut self,
+        hs: &[&[f32]],
+        candidate_sets: &[&[TokenId]],
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        self.inner.grouped_slice_logits(hs, candidate_sets, meter)
+    }
+
+    fn kv_len(&self) -> usize {
+        self.inner.kv_len()
+    }
+
+    fn truncate_kv(&mut self, len: usize) {
+        self.inner.truncate_kv(len);
+    }
+
+    fn allocated_kv_tokens(&self) -> usize {
+        self.inner.allocated_kv_tokens()
+    }
+
+    fn modelled_weight_bytes(&self) -> f64 {
+        self.inner.modelled_weight_bytes()
+    }
+}
+
+/// Builder for [`SyntheticLm`].
+#[derive(Debug, Clone)]
+pub struct SyntheticLmBuilder {
+    config: ModelConfig,
+    profile: DatasetProfile,
+    seed: u64,
+}
+
+impl SyntheticLmBuilder {
+    /// Starts a builder from a model configuration and dataset profile.
+    pub fn new(config: ModelConfig, profile: DatasetProfile) -> Self {
+        SyntheticLmBuilder {
+            config,
+            profile,
+            seed: 0,
+        }
+    }
+
+    /// Sets the experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn build(self) -> SyntheticLm {
+        self.config.validate().expect("valid config");
+        let mut root = Pcg::seed(self.seed ^ self.profile.language_seed);
+        let mut weights_rng = root.split(1);
+        let driver_seed = root.next_u64();
+        let noise = root.split(2);
+        let inner = Transformer::random(self.config.clone(), &mut weights_rng);
+        let language = SyntheticLanguage::new(self.config.vocab_size, self.profile.language_seed);
+        let driver = SaturationDriver::new(&self.profile, self.config.n_layers, driver_seed);
+        SyntheticLm {
+            inner,
+            language,
+            profile: self.profile,
+            driver,
+            context: Vec::new(),
+            scripts: Vec::new(),
+            tree_scripts: Vec::new(),
+            noise,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee_model::prefill;
+    use specee_tensor::ops::{argmax, softmax};
+
+    fn lm() -> SyntheticLm {
+        SyntheticLmBuilder::new(ModelConfig::tiny(), DatasetProfile::qa())
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn dense_run_outputs_ground_truth() {
+        let mut m = lm();
+        let mut meter = Meter::new();
+        let prompt = [1u32, 2, 3, 4];
+        let mut correct = 0;
+        let mut h = prefill(&mut m, &prompt, &mut meter);
+        let mut ctx = prompt.to_vec();
+        for _ in 0..20 {
+            let logits = m.final_logits(&h, &mut meter);
+            let out = argmax(&logits).unwrap() as TokenId;
+            let truth = m.language().next_token(&ctx);
+            if out == truth {
+                correct += 1;
+            }
+            ctx.push(out);
+            let pos = m.kv_len();
+            h = m.begin_token(out, &mut meter);
+            for layer in 0..m.config().n_layers {
+                h = m.forward_layer(layer, &h, pos, &mut meter);
+            }
+        }
+        assert!(correct >= 18, "dense accuracy {correct}/20");
+    }
+
+    #[test]
+    fn probability_shift_visible_in_candidate_slice() {
+        // tiny config has only 4 layers; use a deeper sim config so the
+        // shift has room.
+        let cfg = ModelConfig {
+            n_layers: 16,
+            ..ModelConfig::tiny()
+        };
+        let mut m = SyntheticLmBuilder::new(cfg, DatasetProfile::qa())
+            .seed(5)
+            .build();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[3, 1, 4], &mut meter);
+        let pos = m.kv_len();
+        let token = 2u32;
+        let mut h = m.begin_token(token, &mut meter);
+        let script = m.scripts().last().unwrap().clone();
+        let mut cands = vec![script.target];
+        cands.extend_from_slice(&script.distractors);
+        let mut target_probs = Vec::new();
+        for layer in 0..16 {
+            h = m.forward_layer(layer, &h, pos, &mut meter);
+            let logits = m.slice_logits(&h, &cands, &mut meter);
+            target_probs.push(softmax(&logits)[0]);
+        }
+        let sat = script.sat.round() as usize;
+        let before = target_probs[..sat.saturating_sub(2)].last().copied().unwrap_or(0.3);
+        let after = target_probs[(sat + 1).min(15)];
+        assert!(after > 0.8, "after {after} (sat {sat}, probs {target_probs:?})");
+        assert!(before < 0.7, "before {before} (sat {sat})");
+    }
+
+    #[test]
+    fn early_exit_before_saturation_is_wrong() {
+        let cfg = ModelConfig {
+            n_layers: 16,
+            ..ModelConfig::tiny()
+        };
+        let mut m = SyntheticLmBuilder::new(cfg, DatasetProfile::qa())
+            .seed(9)
+            .build();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[5, 6, 7], &mut meter);
+        let pos = m.kv_len();
+        let mut h = m.begin_token(1, &mut meter);
+        let script = m.scripts().last().unwrap().clone();
+        let early_stop = (script.sat as usize).saturating_sub(3).max(1);
+        for layer in 0..early_stop {
+            h = m.forward_layer(layer, &h, pos, &mut meter);
+        }
+        let logits = m.final_logits(&h, &mut meter);
+        let early_tok = argmax(&logits).unwrap() as TokenId;
+        // pre-saturation argmax should generally not be the target
+        // (the state is dominated by base + distractors)
+        assert_ne!(early_tok, script.target, "sat {}", script.sat);
+    }
+
+    #[test]
+    fn scripts_track_positions() {
+        let mut m = lm();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[1, 2, 3], &mut meter);
+        assert_eq!(m.scripts().len(), 3);
+        assert_eq!(m.context(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn tree_scripts_chain_saturation() {
+        let mut m = lm();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[1, 2], &mut meter);
+        let tokens = [5u32, 6, 7];
+        let parents = [None, Some(0), Some(1)];
+        let _ = m.begin_tree(&tokens, &parents, &mut meter);
+        assert_eq!(m.tree_scripts.len(), 3);
+        // targets follow the language along the path
+        let ctx_child = vec![1, 2, 5, 6];
+        assert_eq!(
+            m.tree_scripts[1].target,
+            m.language().next_token(&ctx_child)
+        );
+    }
+
+    #[test]
+    fn commit_tree_pushes_scripts_once() {
+        let mut m = lm();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[1, 2], &mut meter);
+        let tokens = [5u32, 6];
+        let parents = [None, Some(0)];
+        let mut hs = m.begin_tree(&tokens, &parents, &mut meter);
+        let mut kvs = Vec::new();
+        for layer in 0..m.config().n_layers {
+            let (out, kv) = m.forward_layer_tree(layer, &hs, &parents, &mut meter);
+            hs = out;
+            kvs.push(kv);
+        }
+        for (layer, kv) in kvs.iter().enumerate() {
+            m.commit_tree_kv(layer, kv, &[0, 1]);
+        }
+        m.accept_tokens(&[5, 6]);
+        assert_eq!(m.scripts().len(), 4);
+        assert_eq!(m.context(), &[1, 2, 5, 6]);
+        assert_eq!(m.kv_len(), 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = lm();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[1, 2, 3], &mut meter);
+        m.reset();
+        assert_eq!(m.kv_len(), 0);
+        assert!(m.context().is_empty());
+        assert!(m.scripts().is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Dataset workload profiles.
+//!
+//! The paper's nine evaluation datasets enter the experiments through the
+//! behaviour they induce: how deep tokens saturate (exit-layer
+//! distribution), how well the draft model guesses (hit rate), prompt and
+//! generation lengths, and the dense model's task quality. Each profile
+//! encodes those knobs; the calibration constants are chosen so the
+//! *relative* per-dataset ordering of Table 4 / Fig. 7 holds.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload profile standing in for one evaluation dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name as the paper spells it.
+    pub name: String,
+    /// Mean token-saturation depth as a fraction of layer count.
+    pub exit_mu: f64,
+    /// Std-dev of the saturation depth (fraction of layer count).
+    pub exit_sigma: f64,
+    /// Probability a token belongs to the early-saturating cluster.
+    pub early_frac: f64,
+    /// Mean depth of the early cluster (fraction of layer count).
+    pub early_mu: f64,
+    /// AR(1) correlation of consecutive tokens' saturation depths — the
+    /// source of the paper's context similarity (Fig. 11).
+    pub rho: f64,
+    /// Probability a token breaks context and resamples its depth fresh
+    /// (topic shifts).
+    pub jump: f64,
+    /// Extra per-token jitter on the depth (fraction of layer count).
+    pub jitter: f64,
+    /// Probability the draft model's top-K contains the true token.
+    pub hit_rate: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Generation length in tokens.
+    pub gen_len: usize,
+    /// Dense-model task accuracy in percent (Table 4), when applicable.
+    pub base_acc: Option<f64>,
+    /// Dense-model perplexity (Table 4), when applicable.
+    pub base_ppl: Option<f64>,
+    /// Seed of the procedural language for this dataset.
+    pub language_seed: u64,
+}
+
+impl DatasetProfile {
+    fn base(name: &str, seed: u64) -> Self {
+        DatasetProfile {
+            name: name.to_string(),
+            exit_mu: 0.64,
+            exit_sigma: 0.10,
+            early_frac: 0.15,
+            early_mu: 0.34,
+            rho: 0.70,
+            jump: 0.12,
+            jitter: 0.09,
+            hit_rate: 0.88,
+            prompt_len: 48,
+            gen_len: 48,
+            base_acc: None,
+            base_ppl: None,
+            language_seed: seed,
+        }
+    }
+
+    /// MT-Bench: chat turns, moderate depth, PPL-evaluated.
+    pub fn mt_bench() -> Self {
+        DatasetProfile {
+            exit_mu: 0.645,
+            hit_rate: 0.89,
+            base_ppl: Some(6.49),
+            gen_len: 64,
+            ..Self::base("MT-Bench", 101)
+        }
+    }
+
+    /// SUM (abstractive summarization): slightly deeper exits.
+    pub fn sum() -> Self {
+        DatasetProfile {
+            exit_mu: 0.67,
+            hit_rate: 0.90,
+            base_ppl: Some(10.09),
+            prompt_len: 96,
+            gen_len: 56,
+            ..Self::base("SUM", 102)
+        }
+    }
+
+    /// QA (Natural Questions): short factual answers.
+    pub fn qa() -> Self {
+        DatasetProfile {
+            exit_mu: 0.63,
+            hit_rate: 0.90,
+            gen_len: 32,
+            ..Self::base("QA", 103)
+        }
+    }
+
+    /// Alpaca: instruction following, the earliest exits in Table 4.
+    pub fn alpaca() -> Self {
+        DatasetProfile {
+            exit_mu: 0.60,
+            early_frac: 0.22,
+            hit_rate: 0.91,
+            base_ppl: Some(6.86),
+            ..Self::base("Alpaca", 104)
+        }
+    }
+
+    /// GSM8K: math reasoning, harder drafts.
+    pub fn gsm8k() -> Self {
+        DatasetProfile {
+            exit_mu: 0.645,
+            hit_rate: 0.85,
+            base_acc: Some(20.62),
+            gen_len: 64,
+            ..Self::base("GSM8K", 105)
+        }
+    }
+
+    /// HumanEval: code generation, hardest drafts.
+    pub fn human_eval() -> Self {
+        DatasetProfile {
+            exit_mu: 0.66,
+            hit_rate: 0.84,
+            gen_len: 64,
+            ..Self::base("HumanEval", 106)
+        }
+    }
+
+    /// MMLU: multiple-choice knowledge.
+    pub fn mmlu() -> Self {
+        DatasetProfile {
+            exit_mu: 0.645,
+            hit_rate: 0.87,
+            base_acc: Some(45.30),
+            gen_len: 24,
+            prompt_len: 80,
+            ..Self::base("MMLU", 107)
+        }
+    }
+
+    /// CommonsenseQA.
+    pub fn csqa() -> Self {
+        DatasetProfile {
+            exit_mu: 0.635,
+            hit_rate: 0.88,
+            base_acc: Some(61.43),
+            gen_len: 24,
+            ..Self::base("CommonsenseQA", 108)
+        }
+    }
+
+    /// SST-2 sentiment classification.
+    pub fn sst2() -> Self {
+        DatasetProfile {
+            exit_mu: 0.655,
+            hit_rate: 0.89,
+            base_acc: Some(86.24),
+            gen_len: 16,
+            prompt_len: 40,
+            ..Self::base("SST2", 109)
+        }
+    }
+
+    /// All nine datasets (§7.1.3).
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::mt_bench(),
+            Self::sum(),
+            Self::qa(),
+            Self::alpaca(),
+            Self::gsm8k(),
+            Self::human_eval(),
+            Self::mmlu(),
+            Self::csqa(),
+            Self::sst2(),
+        ]
+    }
+
+    /// The eight datasets of the speedup evaluation (Fig. 14/15/19).
+    pub fn speedup_set() -> Vec<Self> {
+        vec![
+            Self::mt_bench(),
+            Self::sum(),
+            Self::qa(),
+            Self::alpaca(),
+            Self::gsm8k(),
+            Self::human_eval(),
+            Self::mmlu(),
+            Self::csqa(),
+        ]
+    }
+
+    /// The seven datasets of the accuracy evaluation (Table 4).
+    pub fn accuracy_set() -> Vec<Self> {
+        vec![
+            Self::mmlu(),
+            Self::csqa(),
+            Self::sst2(),
+            Self::gsm8k(),
+            Self::sum(),
+            Self::mt_bench(),
+            Self::alpaca(),
+        ]
+    }
+
+    /// The six datasets of the PC evaluation (Fig. 16).
+    pub fn pc_set() -> Vec<Self> {
+        vec![
+            Self::alpaca(),
+            Self::gsm8k(),
+            Self::human_eval(),
+            Self::mt_bench(),
+            Self::qa(),
+            Self::sum(),
+        ]
+    }
+
+    /// Scales prompt/generation lengths (quick-run knob for tests).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.prompt_len = ((self.prompt_len as f64 * factor) as usize).max(4);
+        self.gen_len = ((self.gen_len as f64 * factor) as usize).max(4);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_distinct_profiles() {
+        let all = DatasetProfile::all();
+        assert_eq!(all.len(), 9);
+        let mut names: Vec<&str> = all.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+        let mut seeds: Vec<u64> = all.iter().map(|p| p.language_seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 9, "languages must differ across datasets");
+    }
+
+    #[test]
+    fn parameters_in_sane_ranges() {
+        for p in DatasetProfile::all() {
+            assert!((0.3..0.9).contains(&p.exit_mu), "{}", p.name);
+            assert!((0.0..1.0).contains(&p.early_frac), "{}", p.name);
+            assert!((0.5..1.0).contains(&p.hit_rate), "{}", p.name);
+            assert!((0.0..1.0).contains(&p.rho), "{}", p.name);
+            assert!(p.gen_len >= 4 && p.prompt_len >= 4, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn alpaca_exits_earliest_sum_latest() {
+        // Table 4 ordering on Llama2-7B: Alpaca 21.96 < SUM 23.79 layers.
+        assert!(DatasetProfile::alpaca().exit_mu < DatasetProfile::sum().exit_mu);
+    }
+
+    #[test]
+    fn code_and_math_have_hardest_drafts() {
+        let he = DatasetProfile::human_eval().hit_rate;
+        let gsm = DatasetProfile::gsm8k().hit_rate;
+        for p in [DatasetProfile::sum(), DatasetProfile::alpaca(), DatasetProfile::qa()] {
+            assert!(p.hit_rate > he && p.hit_rate > gsm, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn scaled_shrinks_lengths() {
+        let p = DatasetProfile::mt_bench().scaled(0.25);
+        assert_eq!(p.prompt_len, 12);
+        assert_eq!(p.gen_len, 16);
+    }
+}

@@ -1,0 +1,96 @@
+//! Synthetic vocabulary with printable token strings.
+
+use serde::{Deserialize, Serialize};
+use specee_model::TokenId;
+
+/// A synthetic vocabulary: token ids with deterministic printable strings.
+///
+/// The strings only matter for examples and debugging; all engine code
+/// works on [`TokenId`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    size: usize,
+}
+
+/// Common-word head of the vocabulary, mimicking the frequent-token head
+/// of a real BPE vocabulary.
+const HEAD_WORDS: &[&str] = &[
+    "the", "of", "and", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on", "are",
+    "as", "with", "his", "they", "I", "at", "be", "this", "have", "from", "or", "one", "had",
+    "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+    "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will", "up",
+    "other", "about", "out", "many", "then", "them", "these", "so", "some", "her", "would",
+    "make", "like", "him", "into", "time", "has", "look", "two", "more", "write", "go", "see",
+    "number", "no", "way", "could", "people", "my", "than", "first", "water", "been", "call",
+    "who", "oil", "its", "now", "find", "long", "down", "day", "did", "get", "come", "made",
+    "may", "part",
+];
+
+impl Vocabulary {
+    /// Creates a vocabulary of `size` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "vocabulary must be non-empty");
+        Vocabulary { size }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the vocabulary is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Printable string of a token id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn token_str(&self, id: TokenId) -> String {
+        assert!((id as usize) < self.size, "token {id} out of range");
+        match HEAD_WORDS.get(id as usize) {
+            Some(w) => (*w).to_string(),
+            None => format!("tok{id}"),
+        }
+    }
+
+    /// Renders a token sequence as a space-joined string.
+    pub fn detokenize(&self, tokens: &[TokenId]) -> String {
+        tokens
+            .iter()
+            .map(|&t| self.token_str(t))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_words_then_generated() {
+        let v = Vocabulary::new(256);
+        assert_eq!(v.token_str(0), "the");
+        assert_eq!(v.token_str(200), "tok200");
+        assert_eq!(v.len(), 256);
+    }
+
+    #[test]
+    fn detokenize_joins() {
+        let v = Vocabulary::new(64);
+        assert_eq!(v.detokenize(&[0, 1]), "the of");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        Vocabulary::new(8).token_str(8);
+    }
+}

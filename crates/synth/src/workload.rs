@@ -1,0 +1,85 @@
+//! Workload generation: prompts and generation budgets per dataset.
+
+use serde::{Deserialize, Serialize};
+use specee_model::TokenId;
+use specee_tensor::Pcg;
+
+use crate::language::SyntheticLanguage;
+use crate::profile::DatasetProfile;
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Prompt tokens.
+    pub prompt: Vec<TokenId>,
+    /// Number of tokens to generate.
+    pub gen_len: usize,
+}
+
+/// Generates `n` requests for a dataset profile, with ±25 % length
+/// variation around the profile's prompt length.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn generate_workload(
+    language: &SyntheticLanguage,
+    profile: &DatasetProfile,
+    n: usize,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(n > 0, "need at least one request");
+    let mut rng = Pcg::seed_stream(seed, 0x77a1);
+    (0..n)
+        .map(|i| {
+            let span = (profile.prompt_len as f64 * 0.25) as i64;
+            let len = (profile.prompt_len as i64
+                + if span > 0 { rng.range(-span, span + 1) } else { 0 })
+            .max(4) as usize;
+            let start = rng.below(language.vocab_size()) as TokenId;
+            Request {
+                prompt: language.sample_sequence(start, len, seed ^ (i as u64) << 7),
+                gen_len: profile.gen_len,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_lengths() {
+        let lang = SyntheticLanguage::new(256, 3);
+        let profile = DatasetProfile::qa();
+        let reqs = generate_workload(&lang, &profile, 10, 1);
+        assert_eq!(reqs.len(), 10);
+        for r in &reqs {
+            assert!(r.prompt.len() >= 4);
+            assert_eq!(r.gen_len, profile.gen_len);
+            assert!(r.prompt.iter().all(|&t| (t as usize) < 256));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let lang = SyntheticLanguage::new(256, 3);
+        let p = DatasetProfile::sum();
+        assert_eq!(
+            generate_workload(&lang, &p, 5, 9),
+            generate_workload(&lang, &p, 5, 9)
+        );
+    }
+
+    #[test]
+    fn lengths_vary_across_requests() {
+        let lang = SyntheticLanguage::new(256, 3);
+        let p = DatasetProfile::sum();
+        let reqs = generate_workload(&lang, &p, 20, 4);
+        let lens: Vec<usize> = reqs.iter().map(|r| r.prompt.len()).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max > min, "lengths should vary: {lens:?}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be bit-reproducible across runs and platforms, so all
+//! library code draws randomness from this small PCG-XSH-RR generator
+//! (seeded explicitly everywhere) instead of an external RNG whose stream
+//! may change between crate versions.
+
+/// A deterministic PCG-XSH-RR 64/32 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use specee_tensor::rng::Pcg;
+///
+/// let mut a = Pcg::seed(42);
+/// let mut b = Pcg::seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Pcg {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg {
+    /// Creates a generator from a 64-bit seed with the default stream.
+    pub fn seed(seed: u64) -> Self {
+        Self::seed_stream(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Creates a generator from a seed and an explicit stream id, so
+    /// independent subsystems can derive uncorrelated streams from one seed.
+    pub fn seed_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Derives a child generator; useful for splitting one experiment seed
+    /// into per-component seeds.
+    pub fn split(&mut self, stream: u64) -> Pcg {
+        Pcg::seed_stream(self.next_u64(), stream)
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        self.next_f64() as f32
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire-style rejection-free mapping is fine for simulation use.
+        (self.next_f64() * bound as f64) as usize % bound
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_f64() * (hi - lo) as f64) as i64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Log-normal sample with the given parameters of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Samples an index from an (unnormalized) non-negative weight slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Samples from a Zipf distribution over `n` ranks with exponent `s`,
+    /// returning a rank in `[0, n)`. Used for synthetic vocabulary draws.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        // Inverse-CDF over precomputable harmonic mass would need state; a
+        // simple rejection-free approximation via the inverse power method
+        // keeps the generator stateless.
+        let u = self.next_f64().max(1e-12);
+        let x = u.powf(-1.0 / (s - 1.0).max(1e-9));
+        ((x - 1.0) as usize).min(n - 1)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Fills a slice with scaled uniform noise in `[-scale, scale)`.
+    pub fn fill_uniform(&mut self, out: &mut [f32], scale: f32) {
+        for v in out {
+            *v = (self.next_f32() * 2.0 - 1.0) * scale;
+        }
+    }
+}
+
+impl Default for Pcg {
+    fn default() -> Self {
+        Pcg::seed(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg::seed(123);
+        let mut b = Pcg::seed(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg::seed(1);
+        let mut b = Pcg::seed(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg::seed(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Pcg::seed(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Pcg::seed(17);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_bucket() {
+        let mut rng = Pcg::seed(3);
+        let w = [0.05, 0.9, 0.05];
+        let hits = (0..5000).filter(|_| rng.weighted(&w) == 1).count();
+        assert!(hits > 4000, "hits {hits}");
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut rng = Pcg::seed(11);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = Pcg::seed(23);
+        let head = (0..5000).filter(|_| rng.zipf(1000, 1.2) < 10).count();
+        let tail = (0..5000).filter(|_| rng.zipf(1000, 1.2) >= 500).count();
+        assert!(head > tail, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg::seed(31);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut root = Pcg::seed(77);
+        let mut a = root.split(1);
+        let mut b = root.split(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+}

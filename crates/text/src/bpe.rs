@@ -1,0 +1,293 @@
+//! Byte-pair-encoding training.
+//!
+//! The trainer runs the classic merge loop: count adjacent symbol pairs
+//! across the pre-tokenized corpus, merge the most frequent pair into a new
+//! token, repeat until the target vocabulary size. Pair counts are
+//! maintained *incrementally* — each merge touches only the words that
+//! contain the merged pair — so training cost scales with the number of
+//! affected words, not with a full corpus rescan per merge.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::tokenizer::Tokenizer;
+use crate::vocab::Vocabulary;
+use crate::TokenId;
+
+/// One learned merge: `left` followed by `right` rewrites to `result`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeRule {
+    /// Left symbol of the pair.
+    pub left: TokenId,
+    /// Right symbol of the pair.
+    pub right: TokenId,
+    /// The merged token id.
+    pub result: TokenId,
+}
+
+/// Splits `text` into chunks whose concatenation is exactly `text`.
+///
+/// A chunk is an optional single leading space plus a maximal run of
+/// letters or digits (GPT-2's "space belongs to the following word"), or a
+/// single non-alphanumeric byte. Operating on bytes keeps the partition
+/// exact for arbitrary (including non-UTF-8-boundary-aligned) input.
+pub(crate) fn pretokenize(text: &[u8]) -> Vec<&[u8]> {
+    let mut chunks = Vec::new();
+    let mut i = 0;
+    while i < text.len() {
+        let start = i;
+        let mut j = i;
+        if text[j] == b' ' && j + 1 < text.len() && text[j + 1].is_ascii_alphanumeric() {
+            j += 1;
+        }
+        if j < text.len() && text[j].is_ascii_alphabetic() {
+            while j < text.len() && text[j].is_ascii_alphabetic() {
+                j += 1;
+            }
+        } else if j < text.len() && text[j].is_ascii_digit() {
+            while j < text.len() && text[j].is_ascii_digit() {
+                j += 1;
+            }
+        } else {
+            j += 1;
+        }
+        chunks.push(&text[start..j]);
+        i = j;
+    }
+    chunks
+}
+
+/// Adjacent pairs of a symbol sequence.
+fn pairs_of(word: &[TokenId]) -> Vec<(TokenId, TokenId)> {
+    word.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// A BPE trainer targeting a vocabulary size.
+///
+/// # Examples
+///
+/// ```
+/// use specee_text::BpeTrainer;
+///
+/// let tok = BpeTrainer::new(300).train("low lower lowest low low slow slower");
+/// assert!(tok.vocab().len() <= 300);
+/// assert_eq!(tok.decode(&tok.encode("slower lowest")), "slower lowest");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpeTrainer {
+    target_vocab: usize,
+    min_pair_freq: usize,
+}
+
+impl BpeTrainer {
+    /// Creates a trainer that stops at `target_vocab` total tokens
+    /// (specials + 256 bytes + merges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_vocab` is smaller than the base table
+    /// (specials + 256).
+    pub fn new(target_vocab: usize) -> Self {
+        let base = Vocabulary::base().len();
+        assert!(
+            target_vocab >= base,
+            "target vocab {target_vocab} below base table {base}"
+        );
+        BpeTrainer {
+            target_vocab,
+            min_pair_freq: 2,
+        }
+    }
+
+    /// Sets the minimum pair frequency worth merging (default 2).
+    pub fn min_pair_freq(mut self, freq: usize) -> Self {
+        self.min_pair_freq = freq.max(1);
+        self
+    }
+
+    /// Trains on `corpus` and returns the runtime tokenizer.
+    pub fn train(&self, corpus: &str) -> Tokenizer {
+        let mut vocab = Vocabulary::base();
+
+        // Unique chunk -> (symbols, frequency).
+        let mut chunk_freq: HashMap<&[u8], usize> = HashMap::new();
+        for chunk in pretokenize(corpus.as_bytes()) {
+            *chunk_freq.entry(chunk).or_default() += 1;
+        }
+        let mut words: Vec<(Vec<TokenId>, usize)> = chunk_freq
+            .iter()
+            .map(|(chunk, &freq)| (chunk.iter().map(|&b| vocab.byte_id(b)).collect(), freq))
+            .collect();
+        // Deterministic order regardless of hash iteration.
+        words.sort_unstable();
+
+        let mut pair_counts: HashMap<(TokenId, TokenId), i64> = HashMap::new();
+        let mut pair_words: HashMap<(TokenId, TokenId), BTreeSet<usize>> = HashMap::new();
+        for (idx, (word, freq)) in words.iter().enumerate() {
+            for pair in pairs_of(word) {
+                *pair_counts.entry(pair).or_default() += *freq as i64;
+                pair_words.entry(pair).or_default().insert(idx);
+            }
+        }
+
+        let mut merges = Vec::new();
+        while vocab.len() < self.target_vocab {
+            // Most frequent pair; ties break to the smallest (left, right)
+            // so training is independent of hash-map iteration order.
+            let best = pair_counts
+                .iter()
+                .filter(|(_, &c)| c >= self.min_pair_freq as i64)
+                .max_by(|(pa, ca), (pb, cb)| ca.cmp(cb).then_with(|| pb.cmp(pa)));
+            let (&pair, _) = match best {
+                Some(b) => b,
+                None => break,
+            };
+
+            let mut bytes = vocab.bytes(pair.0).to_vec();
+            bytes.extend_from_slice(vocab.bytes(pair.1));
+            let new_id = vocab.push_merged(bytes);
+            merges.push(MergeRule {
+                left: pair.0,
+                right: pair.1,
+                result: new_id,
+            });
+
+            let affected: Vec<usize> = pair_words
+                .get(&pair)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            for idx in affected {
+                let (word, freq) = &mut words[idx];
+                let old_pairs = pairs_of(word);
+
+                let mut merged = Vec::with_capacity(word.len());
+                let mut k = 0;
+                while k < word.len() {
+                    if k + 1 < word.len() && word[k] == pair.0 && word[k + 1] == pair.1 {
+                        merged.push(new_id);
+                        k += 2;
+                    } else {
+                        merged.push(word[k]);
+                        k += 1;
+                    }
+                }
+                *word = merged;
+                let new_pairs = pairs_of(word);
+                let freq = *freq as i64;
+
+                for p in &old_pairs {
+                    let c = pair_counts.entry(*p).or_default();
+                    *c -= freq;
+                    if *c <= 0 {
+                        pair_counts.remove(p);
+                    }
+                }
+                for p in &new_pairs {
+                    *pair_counts.entry(*p).or_default() += freq;
+                }
+                for p in &old_pairs {
+                    if !new_pairs.contains(p) {
+                        if let Some(set) = pair_words.get_mut(p) {
+                            set.remove(&idx);
+                        }
+                    }
+                }
+                for p in new_pairs {
+                    pair_words.entry(p).or_default().insert(idx);
+                }
+            }
+            pair_counts.remove(&pair);
+            pair_words.remove(&pair);
+        }
+
+        Tokenizer::from_parts(vocab, merges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusConfig, SyntheticCorpus};
+    use crate::vocab::BYTE_BASE;
+
+    #[test]
+    fn pretokenize_partitions_exactly() {
+        let cases = [
+            "the quick brown fox",
+            "  leading spaces",
+            "mixed 123 numbers, punct! and\nnewlines",
+            "",
+            " ",
+            "a",
+            "...",
+            "tabs\tand spaces  double",
+        ];
+        for case in cases {
+            let chunks = pretokenize(case.as_bytes());
+            let rebuilt: Vec<u8> = chunks.concat();
+            assert_eq!(rebuilt, case.as_bytes(), "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn pretokenize_attaches_leading_space_to_words() {
+        let chunks = pretokenize(b"the cache layer");
+        assert_eq!(chunks[0], b"the");
+        assert_eq!(chunks[1], b" cache");
+        assert_eq!(chunks[2], b" layer");
+    }
+
+    #[test]
+    fn merges_concatenate_their_parts() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::default(), 17).paragraphs(40);
+        let tok = BpeTrainer::new(500).train(&corpus);
+        for rule in tok.merges() {
+            let mut expect = tok.vocab().bytes(rule.left).to_vec();
+            expect.extend_from_slice(tok.vocab().bytes(rule.right));
+            assert_eq!(tok.vocab().bytes(rule.result), &expect[..]);
+        }
+        assert!(!tok.merges().is_empty());
+    }
+
+    #[test]
+    fn target_vocab_respected_and_monotone() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::default(), 17).paragraphs(40);
+        let small = BpeTrainer::new(400).train(&corpus);
+        let large = BpeTrainer::new(800).train(&corpus);
+        assert!(small.vocab().len() <= 400);
+        assert!(large.vocab().len() <= 800);
+        assert!(large.vocab().len() > small.vocab().len());
+        // The first merges agree: training is a deterministic prefix.
+        for (a, b) in small.merges().iter().zip(large.merges()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::default(), 23).paragraphs(30);
+        let a = BpeTrainer::new(600).train(&corpus);
+        let b = BpeTrainer::new(600).train(&corpus);
+        assert_eq!(a.merges(), b.merges());
+    }
+
+    #[test]
+    fn min_pair_freq_stops_early() {
+        // A corpus of unique words: no pair ever repeats at freq >= 3.
+        let tok = BpeTrainer::new(5000)
+            .min_pair_freq(3)
+            .train("ab cd ef gh ij kl");
+        assert_eq!(tok.vocab().len(), BYTE_BASE + 256);
+    }
+
+    #[test]
+    fn frequent_word_becomes_single_token() {
+        let corpus = "the ".repeat(200) + &SyntheticCorpus::new(CorpusConfig::default(), 3)
+            .paragraphs(20);
+        let tok = BpeTrainer::new(700).train(&corpus);
+        let ids = tok.encode("the the");
+        // "the" and " the" each collapse to one token.
+        assert_eq!(ids.len(), 2, "ids {ids:?}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Deterministic synthetic corpus generation.
+//!
+//! BPE merge statistics only need a text whose word-frequency distribution
+//! is Zipf-like and whose words share sub-word structure (prefixes,
+//! suffixes, inflections) — which a seeded template grammar over inflected
+//! word stems provides without any external data. The paper's datasets
+//! enter the evaluation through the *vocabulary they induce*, so corpus
+//! realism beyond those two statistics is irrelevant here.
+
+use specee_tensor::rng::Pcg;
+
+/// Corpus shape knobs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CorpusConfig {
+    /// Sentences per generated paragraph.
+    pub sentences_per_paragraph: usize,
+    /// Zipf exponent for stem selection (1.0 ≈ natural language).
+    pub zipf_s: f64,
+    /// Probability a noun phrase carries an adjective.
+    pub adjective_p: f64,
+    /// Probability a sentence is compound (joined with a conjunction).
+    pub compound_p: f64,
+    /// Probability a noun phrase carries a numeric quantifier. Numbers
+    /// give the corpus combinatorial surface diversity, which keeps BPE
+    /// merge statistics productive at large target vocabularies.
+    pub number_p: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            sentences_per_paragraph: 5,
+            zipf_s: 1.07,
+            adjective_p: 0.45,
+            compound_p: 0.3,
+            number_p: 0.15,
+        }
+    }
+}
+
+const NOUNS: &[&str] = &[
+    "system", "model", "layer", "token", "cache", "kernel", "vector", "matrix", "predictor",
+    "engine", "schedule", "latency", "memory", "thread", "batch", "tree", "path", "node", "head",
+    "weight", "gradient", "budget", "queue", "buffer", "device", "tensor", "router", "sample",
+    "prompt", "answer", "question", "paper", "result", "figure", "table", "bandwidth", "compute",
+    "worker", "request", "server", "client", "draft", "target", "feature", "metric", "profile",
+    "dataset", "language", "corpus", "word",
+];
+
+const VERBS: &[&str] = &[
+    "measure", "reduce", "accelerate", "predict", "verify", "schedule", "merge", "exit", "skip",
+    "decode", "encode", "train", "evaluate", "compute", "store", "load", "stream", "batch",
+    "prune", "quantize", "sample", "accept", "reject", "propose", "commit", "allocate", "trace",
+    "price", "record", "report",
+];
+
+const ADJECTIVES: &[&str] = &[
+    "fast", "slow", "sparse", "dense", "early", "late", "speculative", "lightweight", "heavy",
+    "shallow", "deep", "linear", "quadratic", "skewed", "stable", "dynamic", "static", "greedy",
+    "optimal", "contextual", "local", "global", "partial", "full", "small", "large", "quick",
+    "warm", "cold", "hybrid",
+];
+
+const ADVERBS: &[&str] = &[
+    "quickly", "slowly", "eagerly", "lazily", "often", "rarely", "timely", "jointly",
+    "independently", "consistently",
+];
+
+const CONJUNCTIONS: &[&str] = &["and", "but", "while", "because", "so"];
+
+const DETERMINERS: &[&str] = &["the", "a", "each", "every", "this", "that"];
+
+const SUFFIXES: &[&str] = &["", "s", "ed", "ing", "er"];
+
+/// A seeded generator of English-like text.
+///
+/// # Examples
+///
+/// ```
+/// use specee_text::{CorpusConfig, SyntheticCorpus};
+///
+/// let a = SyntheticCorpus::new(CorpusConfig::default(), 9).paragraphs(3);
+/// let b = SyntheticCorpus::new(CorpusConfig::default(), 9).paragraphs(3);
+/// assert_eq!(a, b); // fully deterministic
+/// assert!(a.split_whitespace().count() > 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    config: CorpusConfig,
+    rng: Pcg,
+}
+
+impl SyntheticCorpus {
+    /// Creates a generator with the given shape and seed.
+    pub fn new(config: CorpusConfig, seed: u64) -> Self {
+        SyntheticCorpus {
+            config,
+            rng: Pcg::seed_stream(seed, 0x7e47),
+        }
+    }
+
+    fn pick<'a>(&mut self, words: &[&'a str]) -> &'a str {
+        words[self.rng.zipf(words.len(), self.config.zipf_s)]
+    }
+
+    fn inflect(&mut self, stem: &str) -> String {
+        let suffix = SUFFIXES[self.rng.zipf(SUFFIXES.len(), 1.3)];
+        // Drop a trailing 'e' before vowel-initial suffixes ("measure" +
+        // "ing" -> "measuring"), the one spelling rule that matters for
+        // realistic merge statistics.
+        if (suffix.starts_with('e') || suffix.starts_with('i'))
+            && stem.ends_with('e')
+        {
+            format!("{}{}", &stem[..stem.len() - 1], suffix)
+        } else {
+            format!("{stem}{suffix}")
+        }
+    }
+
+    fn noun_phrase(&mut self, out: &mut String) {
+        if self.rng.chance(self.config.number_p) {
+            // Zipf over magnitudes: small numbers dominate, as in text.
+            let digits = 1 + self.rng.zipf(4, 1.2);
+            let mut n = 0u64;
+            for _ in 0..digits {
+                n = n * 10 + self.rng.below(10) as u64;
+            }
+            out.push_str(&n.to_string());
+            out.push(' ');
+        } else {
+            out.push_str(self.pick(DETERMINERS));
+            out.push(' ');
+            if self.rng.chance(self.config.adjective_p) {
+                out.push_str(self.pick(ADJECTIVES));
+                out.push(' ');
+            }
+        }
+        let noun = self.pick(NOUNS);
+        let inflected = self.inflect(noun);
+        out.push_str(&inflected);
+    }
+
+    fn clause(&mut self, out: &mut String) {
+        self.noun_phrase(out);
+        out.push(' ');
+        if self.rng.chance(0.25) {
+            out.push_str(self.pick(ADVERBS));
+            out.push(' ');
+        }
+        let verb = self.pick(VERBS);
+        let inflected = self.inflect(verb);
+        out.push_str(&inflected);
+        out.push(' ');
+        self.noun_phrase(out);
+    }
+
+    /// Generates one sentence.
+    pub fn sentence(&mut self) -> String {
+        let mut s = String::new();
+        self.clause(&mut s);
+        if self.rng.chance(self.config.compound_p) {
+            s.push(' ');
+            s.push_str(self.pick(CONJUNCTIONS));
+            s.push(' ');
+            self.clause(&mut s);
+        }
+        s.push('.');
+        s
+    }
+
+    /// Generates `n` paragraphs joined by blank lines.
+    pub fn paragraphs(&mut self, n: usize) -> String {
+        let mut out = String::new();
+        for p in 0..n {
+            if p > 0 {
+                out.push_str("\n\n");
+            }
+            for s in 0..self.config.sentences_per_paragraph {
+                if s > 0 {
+                    out.push(' ');
+                }
+                let sentence = self.sentence();
+                out.push_str(&sentence);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = SyntheticCorpus::new(CorpusConfig::default(), 3).paragraphs(5);
+        let b = SyntheticCorpus::new(CorpusConfig::default(), 3).paragraphs(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticCorpus::new(CorpusConfig::default(), 3).paragraphs(5);
+        let b = SyntheticCorpus::new(CorpusConfig::default(), 4).paragraphs(5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let text = SyntheticCorpus::new(CorpusConfig::default(), 11).paragraphs(100);
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for w in text.split_whitespace() {
+            *freq.entry(w.trim_end_matches('.')).or_default() += 1;
+        }
+        let mut counts: Vec<usize> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = counts.iter().sum();
+        let top10: usize = counts.iter().take(10).sum();
+        // Zipf-like: a handful of words dominates.
+        assert!(
+            top10 as f64 > 0.25 * total as f64,
+            "top-10 share {} of {total}",
+            top10
+        );
+        assert!(counts.len() > 100, "vocabulary too small: {}", counts.len());
+    }
+
+    #[test]
+    fn sentences_end_with_period() {
+        let mut gen = SyntheticCorpus::new(CorpusConfig::default(), 5);
+        for _ in 0..20 {
+            let s = gen.sentence();
+            assert!(s.ends_with('.'), "{s}");
+            assert!(s.split_whitespace().count() >= 4, "{s}");
+        }
+    }
+
+    #[test]
+    fn inflection_spelling_rule() {
+        let mut gen = SyntheticCorpus::new(CorpusConfig::default(), 5);
+        // "measure" + "ing" must drop the trailing 'e'.
+        let mut saw_rule = false;
+        for _ in 0..2000 {
+            let w = gen.inflect("measure");
+            assert!(!w.contains("eing") && !w.contains("eed"), "{w}");
+            if w == "measuring" {
+                saw_rule = true;
+            }
+        }
+        assert!(saw_rule);
+    }
+}

@@ -1,0 +1,48 @@
+//! Byte-level BPE tokenizer and synthetic corpus substrate.
+//!
+//! SpecEE's key insight (paper §3) is that the LLM *vocabulary* is the
+//! online search space of the early-exit predictor: AdaInfer-style
+//! predictors multiply every layer's hidden state with the full
+//! `hidden_dim × vocab_size` LM head (~3 × 10⁴ columns in Llama2), while
+//! SpecEE's draft-reduced slice touches only K ≈ 4 columns — a ~10⁴×
+//! search-space reduction (Fig. 2(b)).
+//!
+//! To make that claim reproducible rather than asserted, this crate builds
+//! real vocabularies of parametric size from scratch:
+//!
+//! * [`corpus`] — a deterministic synthetic English-like corpus generator
+//!   (Zipf-distributed word choice over template grammars), so training
+//!   needs no external data;
+//! * [`bpe`] — a byte-pair-encoding trainer with incremental pair-count
+//!   maintenance (the classic merge loop, not a quadratic rescan);
+//! * [`tokenizer`] — the runtime encoder/decoder over trained merges;
+//! * [`vocab`] — the id ↔ byte-string table with special tokens.
+//!
+//! The vocabulary-size ablation bench (`ablation_vocab_size`) trains
+//! tokenizers at several target sizes and prices the per-layer predictor
+//! workload of a full-vocabulary baseline against SpecEE's K-column slice.
+//!
+//! # Examples
+//!
+//! ```
+//! use specee_text::{BpeTrainer, CorpusConfig, SyntheticCorpus};
+//!
+//! let corpus = SyntheticCorpus::new(CorpusConfig::default(), 7).paragraphs(50);
+//! let tokenizer = BpeTrainer::new(600).train(&corpus);
+//! let ids = tokenizer.encode("the quick system measures the cache");
+//! assert_eq!(tokenizer.decode(&ids), "the quick system measures the cache");
+//! assert!(tokenizer.vocab().len() <= 600);
+//! ```
+
+pub mod bpe;
+pub mod corpus;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use bpe::{BpeTrainer, MergeRule};
+pub use corpus::{CorpusConfig, SyntheticCorpus};
+pub use tokenizer::{TokenStats, Tokenizer};
+pub use vocab::{SpecialToken, Vocabulary};
+
+/// Token identifier, compatible with `specee_model::TokenId`.
+pub type TokenId = u32;

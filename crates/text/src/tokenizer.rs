@@ -1,0 +1,273 @@
+//! The runtime encoder/decoder over trained merges.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bpe::{pretokenize, MergeRule};
+use crate::vocab::{SpecialToken, Vocabulary};
+use crate::TokenId;
+
+/// A trained byte-level BPE tokenizer.
+///
+/// Encoding applies merges in rank order (lowest-rank pair first), exactly
+/// inverse to training, so `decode(encode(text)) == text` for any input.
+///
+/// # Examples
+///
+/// ```
+/// use specee_text::{BpeTrainer, CorpusConfig, SyntheticCorpus};
+///
+/// let corpus = SyntheticCorpus::new(CorpusConfig::default(), 1).paragraphs(30);
+/// let tok = BpeTrainer::new(500).train(&corpus);
+/// let ids = tok.encode_with_specials("the fast cache");
+/// assert_eq!(ids[0], 1); // <bos>
+/// assert_eq!(*ids.last().unwrap(), 2); // <eos>
+/// assert_eq!(tok.decode(&ids), "the fast cache");
+/// ```
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Tokenizer {
+    vocab: Vocabulary,
+    merges: Vec<MergeRule>,
+    /// (left, right) -> (rank, merged id), rebuilt from `merges` on load.
+    #[serde(skip)]
+    ranks: HashMap<(TokenId, TokenId), (usize, TokenId)>,
+    /// Per-chunk encode cache (word -> ids).
+    #[serde(skip)]
+    cache: RefCell<HashMap<Vec<u8>, Vec<TokenId>>>,
+}
+
+impl Clone for Tokenizer {
+    fn clone(&self) -> Self {
+        Tokenizer::from_parts(self.vocab.clone(), self.merges.clone())
+    }
+}
+
+impl PartialEq for Tokenizer {
+    fn eq(&self, other: &Self) -> bool {
+        self.vocab == other.vocab && self.merges == other.merges
+    }
+}
+
+impl Tokenizer {
+    /// Assembles a tokenizer from a vocabulary and its merge list.
+    pub fn from_parts(vocab: Vocabulary, merges: Vec<MergeRule>) -> Self {
+        let ranks = merges
+            .iter()
+            .enumerate()
+            .map(|(rank, m)| ((m.left, m.right), (rank, m.result)))
+            .collect();
+        Tokenizer {
+            vocab,
+            merges,
+            ranks,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The vocabulary table.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The learned merges in training order.
+    pub fn merges(&self) -> &[MergeRule] {
+        &self.merges
+    }
+
+    fn encode_chunk(&self, chunk: &[u8]) -> Vec<TokenId> {
+        if let Some(ids) = self.cache.borrow().get(chunk) {
+            return ids.clone();
+        }
+        let mut ids: Vec<TokenId> = chunk.iter().map(|&b| self.vocab.byte_id(b)).collect();
+        loop {
+            let mut best: Option<(usize, usize, TokenId)> = None; // (rank, pos, result)
+            for pos in 0..ids.len().saturating_sub(1) {
+                if let Some(&(rank, result)) = self.ranks.get(&(ids[pos], ids[pos + 1])) {
+                    if best.map_or(true, |(r, _, _)| rank < r) {
+                        best = Some((rank, pos, result));
+                    }
+                }
+            }
+            match best {
+                Some((_, pos, result)) => {
+                    ids[pos] = result;
+                    ids.remove(pos + 1);
+                }
+                None => break,
+            }
+        }
+        self.cache.borrow_mut().insert(chunk.to_vec(), ids.clone());
+        ids
+    }
+
+    /// Encodes `text` to token ids (no specials).
+    pub fn encode(&self, text: &str) -> Vec<TokenId> {
+        let mut out = Vec::new();
+        for chunk in pretokenize(text.as_bytes()) {
+            out.extend(self.encode_chunk(chunk));
+        }
+        out
+    }
+
+    /// Encodes with `<bos>` / `<eos>` wrapping.
+    pub fn encode_with_specials(&self, text: &str) -> Vec<TokenId> {
+        let mut out = vec![SpecialToken::Bos.id()];
+        out.extend(self.encode(text));
+        out.push(SpecialToken::Eos.id());
+        out
+    }
+
+    /// Decodes ids back to text (specials skipped, lossy UTF-8).
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        self.vocab.decode(ids)
+    }
+
+    /// Token statistics of `text` under this tokenizer.
+    pub fn stats(&self, text: &str) -> TokenStats {
+        let ids = self.encode(text);
+        let words = text.split_whitespace().count();
+        TokenStats {
+            tokens: ids.len(),
+            bytes: text.len(),
+            words,
+        }
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` serialization error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON (rebuilding the rank index).
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` parse error.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let raw: Tokenizer = serde_json::from_str(json)?;
+        Ok(Tokenizer::from_parts(raw.vocab, raw.merges))
+    }
+}
+
+/// Encoding statistics over a text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenStats {
+    /// Tokens produced.
+    pub tokens: usize,
+    /// Input bytes.
+    pub bytes: usize,
+    /// Whitespace-separated words.
+    pub words: usize,
+}
+
+impl TokenStats {
+    /// Mean bytes encoded per token (compression; higher is better).
+    pub fn bytes_per_token(&self) -> f64 {
+        if self.tokens == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.tokens as f64
+        }
+    }
+
+    /// Mean tokens per word (fertility; lower is better).
+    pub fn tokens_per_word(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            self.tokens as f64 / self.words as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpe::BpeTrainer;
+    use crate::corpus::{CorpusConfig, SyntheticCorpus};
+
+    fn trained(vocab: usize) -> (Tokenizer, String) {
+        let corpus = SyntheticCorpus::new(CorpusConfig::default(), 29).paragraphs(40);
+        (BpeTrainer::new(vocab).train(&corpus), corpus)
+    }
+
+    #[test]
+    fn roundtrip_on_training_text() {
+        let (tok, corpus) = trained(700);
+        let ids = tok.encode(&corpus);
+        assert_eq!(tok.decode(&ids), corpus);
+    }
+
+    #[test]
+    fn roundtrip_on_unseen_text_with_unseen_bytes() {
+        let (tok, _) = trained(700);
+        let text = "zzz überraschung 北京 -- bytes the trainer never saw!";
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+    }
+
+    #[test]
+    fn encode_never_emits_specials() {
+        let (tok, corpus) = trained(700);
+        for id in tok.encode(&corpus) {
+            assert!(!tok.vocab().is_special(id));
+        }
+    }
+
+    #[test]
+    fn larger_vocab_compresses_better() {
+        let corpus = SyntheticCorpus::new(CorpusConfig::default(), 31).paragraphs(60);
+        let eval = SyntheticCorpus::new(CorpusConfig::default(), 99).paragraphs(10);
+        let small = BpeTrainer::new(300).train(&corpus).stats(&eval);
+        let large = BpeTrainer::new(1200).train(&corpus).stats(&eval);
+        assert!(
+            large.bytes_per_token() > small.bytes_per_token(),
+            "large {} <= small {}",
+            large.bytes_per_token(),
+            small.bytes_per_token()
+        );
+    }
+
+    #[test]
+    fn cache_is_transparent() {
+        let (tok, _) = trained(500);
+        let a = tok.encode("the fast cache measures the cache");
+        let b = tok.encode("the fast cache measures the cache");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_encoding() {
+        let (tok, _) = trained(500);
+        let json = tok.to_json().expect("serialize");
+        let back = Tokenizer::from_json(&json).expect("parse");
+        let text = "the speculative predictor exits early";
+        assert_eq!(tok.encode(text), back.encode(text));
+        assert_eq!(tok, back);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (tok, _) = trained(500);
+        let s = tok.stats("the cache measures the cache");
+        assert_eq!(s.words, 5);
+        assert!(s.tokens >= 5); // a word is at least one token here
+        assert!(s.bytes_per_token() > 1.0);
+        assert!(s.tokens_per_word() >= 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (tok, _) = trained(400);
+        assert!(tok.encode("").is_empty());
+        assert_eq!(tok.decode(&[]), "");
+        let s = tok.stats("");
+        assert_eq!(s.bytes_per_token(), 0.0);
+        assert_eq!(s.tokens_per_word(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The id ↔ byte-string vocabulary table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TokenId;
+
+/// Special tokens reserved at the bottom of every vocabulary.
+///
+/// Their ids are fixed (`<pad>` = 0 … `<unk>` = 3) so engines can hard-code
+/// them, mirroring how Llama2 reserves its control tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialToken {
+    /// Padding (id 0).
+    Pad,
+    /// Beginning of sequence (id 1).
+    Bos,
+    /// End of sequence (id 2).
+    Eos,
+    /// Unknown/fallback (id 3). Never produced by the byte-level encoder
+    /// (all bytes are representable); present for API compatibility.
+    Unk,
+}
+
+impl SpecialToken {
+    /// All specials in id order.
+    pub const ALL: [SpecialToken; 4] = [
+        SpecialToken::Pad,
+        SpecialToken::Bos,
+        SpecialToken::Eos,
+        SpecialToken::Unk,
+    ];
+
+    /// The fixed id of this special token.
+    pub fn id(self) -> TokenId {
+        match self {
+            SpecialToken::Pad => 0,
+            SpecialToken::Bos => 1,
+            SpecialToken::Eos => 2,
+            SpecialToken::Unk => 3,
+        }
+    }
+
+    /// The display form (e.g. `"<bos>"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpecialToken::Pad => "<pad>",
+            SpecialToken::Bos => "<bos>",
+            SpecialToken::Eos => "<eos>",
+            SpecialToken::Unk => "<unk>",
+        }
+    }
+}
+
+/// Number of reserved special-token ids.
+pub const NUM_SPECIALS: usize = SpecialToken::ALL.len();
+
+/// Id of the first base byte token (byte `b` has id `BYTE_BASE + b`).
+pub const BYTE_BASE: usize = NUM_SPECIALS;
+
+/// A trained vocabulary: specials, the 256 base bytes, then one entry per
+/// BPE merge, in merge order.
+///
+/// # Examples
+///
+/// ```
+/// use specee_text::{SpecialToken, Vocabulary};
+///
+/// let vocab = Vocabulary::base();
+/// assert_eq!(vocab.len(), 4 + 256);
+/// assert_eq!(vocab.bytes(SpecialToken::Bos.id()), b"");
+/// assert_eq!(vocab.bytes(vocab.byte_id(b'a')), b"a");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    tokens: Vec<Vec<u8>>,
+}
+
+impl Vocabulary {
+    /// The minimal vocabulary: specials + 256 byte tokens, no merges.
+    pub fn base() -> Self {
+        let mut tokens = Vec::with_capacity(BYTE_BASE + 256);
+        for special in SpecialToken::ALL {
+            // Specials decode to nothing; their text form is metadata.
+            let _ = special;
+            tokens.push(Vec::new());
+        }
+        for b in 0..=255u8 {
+            tokens.push(vec![b]);
+        }
+        Vocabulary { tokens }
+    }
+
+    /// The id of base byte `b`.
+    pub fn byte_id(&self, b: u8) -> TokenId {
+        (BYTE_BASE + b as usize) as TokenId
+    }
+
+    /// Appends a merged token with the given byte expansion and returns its
+    /// id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty: every non-special token must decode to
+    /// at least one byte.
+    pub fn push_merged(&mut self, bytes: Vec<u8>) -> TokenId {
+        assert!(!bytes.is_empty(), "merged token must be non-empty");
+        let id = self.tokens.len() as TokenId;
+        self.tokens.push(bytes);
+        id
+    }
+
+    /// The byte expansion of `id` (empty for specials).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn bytes(&self, id: TokenId) -> &[u8] {
+        &self.tokens[id as usize]
+    }
+
+    /// Whether `id` is one of the reserved specials.
+    pub fn is_special(&self, id: TokenId) -> bool {
+        (id as usize) < NUM_SPECIALS
+    }
+
+    /// Total number of tokens (specials + bytes + merges).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Decodes a token sequence to a string (lossy UTF-8, specials skipped).
+    pub fn decode(&self, ids: &[TokenId]) -> String {
+        let mut bytes = Vec::new();
+        for &id in ids {
+            bytes.extend_from_slice(self.bytes(id));
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Vocabulary::base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        assert_eq!(SpecialToken::Pad.id(), 0);
+        assert_eq!(SpecialToken::Bos.id(), 1);
+        assert_eq!(SpecialToken::Eos.id(), 2);
+        assert_eq!(SpecialToken::Unk.id(), 3);
+        for (i, s) in SpecialToken::ALL.iter().enumerate() {
+            assert_eq!(s.id() as usize, i);
+        }
+    }
+
+    #[test]
+    fn base_covers_all_bytes() {
+        let v = Vocabulary::base();
+        for b in 0..=255u8 {
+            assert_eq!(v.bytes(v.byte_id(b)), &[b]);
+        }
+    }
+
+    #[test]
+    fn merged_tokens_extend_the_table() {
+        let mut v = Vocabulary::base();
+        let id = v.push_merged(b"th".to_vec());
+        assert_eq!(id as usize, BYTE_BASE + 256);
+        assert_eq!(v.bytes(id), b"th");
+        assert!(!v.is_special(id));
+        assert!(v.is_special(SpecialToken::Eos.id()));
+    }
+
+    #[test]
+    fn decode_skips_specials() {
+        let mut v = Vocabulary::base();
+        let th = v.push_merged(b"th".to_vec());
+        let ids = [SpecialToken::Bos.id(), th, v.byte_id(b'e'), SpecialToken::Eos.id()];
+        assert_eq!(v.decode(&ids), "the");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_merge_rejected() {
+        Vocabulary::base().push_merged(Vec::new());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the tokenizer: the roundtrip invariant must
+//! hold for *arbitrary* input, not just corpus-like text.
+
+use proptest::prelude::*;
+use specee_text::{BpeTrainer, CorpusConfig, SyntheticCorpus, Tokenizer};
+
+fn trained() -> Tokenizer {
+    let corpus = SyntheticCorpus::new(CorpusConfig::default(), 41).paragraphs(30);
+    BpeTrainer::new(600).train(&corpus)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode(encode(s)) == s for arbitrary unicode strings.
+    #[test]
+    fn roundtrip_arbitrary_unicode(s in "\\PC*") {
+        let tok = trained();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    /// Roundtrip holds for ASCII with heavy whitespace/punctuation mixes.
+    #[test]
+    fn roundtrip_ascii_soup(s in "[ a-z0-9.,!?\t\n-]{0,200}") {
+        let tok = trained();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    /// Every emitted id is in range and non-special.
+    #[test]
+    fn ids_in_range(s in "[ a-z]{0,100}") {
+        let tok = trained();
+        for id in tok.encode(&s) {
+            prop_assert!((id as usize) < tok.vocab().len());
+            prop_assert!(!tok.vocab().is_special(id));
+        }
+    }
+
+    /// Encoding is longest at byte level: token count never exceeds byte
+    /// count, and concatenation-compatible (encode(a) ++ encode(b)
+    /// decodes to a ++ b).
+    #[test]
+    fn token_count_bounded_and_concat_decodes(a in "[ a-z]{0,50}", b in "[ a-z]{0,50}") {
+        let tok = trained();
+        let ia = tok.encode(&a);
+        let ib = tok.encode(&b);
+        prop_assert!(ia.len() <= a.len());
+        let mut joined = ia.clone();
+        joined.extend(&ib);
+        prop_assert_eq!(tok.decode(&joined), format!("{a}{b}"));
+    }
+}
+
+#[test]
+fn trained_tokenizer_compresses_corpus_like_text() {
+    let tok = trained();
+    let eval = SyntheticCorpus::new(CorpusConfig::default(), 123).paragraphs(5);
+    let stats = tok.stats(&eval);
+    // On in-distribution text a 600-token vocab should beat 2 bytes/token.
+    assert!(
+        stats.bytes_per_token() > 2.0,
+        "bytes/token {}",
+        stats.bytes_per_token()
+    );
+}

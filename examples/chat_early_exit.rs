@@ -1,0 +1,67 @@
+//! Interactive-style chat demo: decode several "turns" and visualize per
+//! token how deep the model had to go — the Fig. 1(c) intuition that
+//! different tokens need different numbers of decoder layers.
+//!
+//! Run with: `cargo run --release --example chat_early_exit`
+
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::SpecEeEngine;
+use specee::core::predictor::PredictorBank;
+use specee::core::SpecEeConfig;
+use specee::model::ModelConfig;
+use specee::nn::TrainConfig;
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder, Vocabulary};
+use specee::tensor::rng::Pcg;
+
+fn main() {
+    let cfg = ModelConfig::sim_llama2_7b();
+    let profile = DatasetProfile::mt_bench();
+    let seed = 99;
+    let vocab = Vocabulary::new(cfg.vocab_size);
+
+    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    let mut draft = OracleDraft::new(*lm.language(), profile.hit_rate, &cfg, seed);
+    let prompts = vec![
+        (lm.language().sample_sequence(2, 14, 1), 18),
+        (lm.language().sample_sequence(6, 14, 2), 18),
+    ];
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    let config = SpecEeConfig::default();
+    let mut bank = PredictorBank::new(cfg.n_layers, &config.predictor, &mut Pcg::seed(seed));
+    train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
+
+    println!("Chat with early exiting — bar length = layers executed\n");
+    for (turn, start) in [(1u32, 13u32), (2, 42), (3, 77)] {
+        let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
+        let fresh = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+            .seed(seed)
+            .build();
+        let prompt = fresh.language().sample_sequence(start, 10, u64::from(start));
+        let mut engine =
+            SpecEeEngine::new(fresh, draft.clone(), bank.clone(), schedule, config.clone());
+        let out = engine.generate(&prompt, 16);
+
+        println!("turn {turn}> {}", vocab.detokenize(&prompt));
+        print!("reply{turn}> ");
+        for tok in &out.tokens {
+            print!("{} ", vocab.token_str(*tok));
+        }
+        println!();
+        for (tok, &layers) in out.tokens.iter().zip(out.exit_layers.iter()) {
+            println!(
+                "   {:<10} |{:<32}| {layers}/{} layers",
+                vocab.token_str(*tok),
+                "█".repeat(layers.min(32)),
+                cfg.n_layers
+            );
+        }
+        println!(
+            "   avg {:.1} layers — {} of {} tokens exited early\n",
+            out.avg_layers(),
+            out.exit_layers.iter().filter(|&&l| l < cfg.n_layers).count(),
+            out.tokens.len()
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! PC scenario: Llama2-7B on an 8 GB laptop GPU + CPU hybrid, llama.cpp
+//! style, with and without SpecEE and with PowerInfer-style sparse
+//! activation — reproducing the Fig. 16 setting as a runnable program.
+//!
+//! Run with: `cargo run --release --example pc_scenario`
+
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::{DenseEngine, SpecEeEngine};
+use specee::core::predictor::PredictorBank;
+use specee::core::SpecEeConfig;
+use specee::metrics::{FrameworkProfile, HardwareProfile, Roofline};
+use specee::model::ModelConfig;
+use specee::nn::TrainConfig;
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder};
+use specee::tensor::rng::Pcg;
+
+fn main() {
+    let cfg = ModelConfig::sim_llama2_7b();
+    let profile = DatasetProfile::sum();
+    let seed = 33;
+    let hw = HardwareProfile::pc_hybrid(0.55);
+    println!("hardware: {} ({:.0} GB/s effective)", hw.name, hw.mem_bw / 1e9);
+
+    // Offline predictor training.
+    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    let mut draft = OracleDraft::new(*lm.language(), profile.hit_rate, &cfg, seed);
+    let prompts = vec![
+        (lm.language().sample_sequence(4, 14, 1), 18),
+        (lm.language().sample_sequence(8, 14, 2), 18),
+    ];
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    let config = SpecEeConfig::default();
+    let mut bank = PredictorBank::new(cfg.n_layers, &config.predictor, &mut Pcg::seed(seed));
+    train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
+
+    let prompt = lm.language().sample_sequence(21, 24, 5);
+    let gen = 40;
+
+    // llama.cpp baseline: dense weights, hybrid bandwidth.
+    let dense_lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    let base = DenseEngine::new(dense_lm).generate(&prompt, gen);
+    let lcpp = Roofline::with_framework(hw.clone(), FrameworkProfile::llama_cpp());
+    let base_tps = lcpp.cost(&base.meter).tokens_per_s();
+    println!("\nllama.cpp baseline      : {base_tps:.2} tokens/s (paper ~6.6)");
+
+    // SpecEE on llama.cpp.
+    let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
+    let ee_lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    let mut engine = SpecEeEngine::new(ee_lm, draft.clone(), bank.clone(), schedule, config.clone());
+    let out = engine.generate(&prompt, gen);
+    let tps = lcpp.cost(&out.meter).tokens_per_s();
+    println!(
+        "SpecEE + llama.cpp      : {tps:.2} tokens/s ({:.2}x, paper 1.25x; avg layers {:.1})",
+        tps / base_tps,
+        out.avg_layers()
+    );
+
+    // PowerInfer: sparse-activation FFN (25% hot neurons).
+    let mut sparse_lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    sparse_lm
+        .inner_mut()
+        .enable_sparse_ffn(0.25, 16, &mut Pcg::seed(seed));
+    let pi_base = DenseEngine::new(sparse_lm).generate(&prompt, gen);
+    let pi = Roofline::with_framework(hw.clone(), FrameworkProfile::power_infer());
+    let pi_tps = pi.cost(&pi_base.meter).tokens_per_s();
+    println!("PowerInfer baseline     : {pi_tps:.2} tokens/s (paper ~11.8)");
+
+    let mut sparse_ee = SyntheticLmBuilder::new(cfg.clone(), profile).seed(seed).build();
+    sparse_ee
+        .inner_mut()
+        .enable_sparse_ffn(0.25, 16, &mut Pcg::seed(seed));
+    let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
+    let mut engine = SpecEeEngine::new(sparse_ee, draft, bank, schedule, config);
+    let out = engine.generate(&prompt, gen);
+    let tps = pi.cost(&out.meter).tokens_per_s();
+    println!(
+        "SpecEE + PowerInfer     : {tps:.2} tokens/s ({:.2}x, paper 1.15x)",
+        tps / pi_tps
+    );
+}

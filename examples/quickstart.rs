@@ -1,0 +1,80 @@
+//! Quickstart: the full SpecEE pipeline in ~60 lines.
+//!
+//! Builds a calibrated synthetic Llama2-7B stand-in, collects training
+//! features, trains the per-layer exit predictors, and decodes with
+//! speculative early exiting — printing where each token exited.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::{DenseEngine, SpecEeEngine};
+use specee::core::predictor::PredictorBank;
+use specee::core::{agreement, SpecEeConfig};
+use specee::model::ModelConfig;
+use specee::nn::TrainConfig;
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder, Vocabulary};
+use specee::tensor::rng::Pcg;
+
+fn main() {
+    let cfg = ModelConfig::sim_llama2_7b();
+    let profile = DatasetProfile::mt_bench();
+    let seed = 2024;
+
+    // 1. Build the target model and an aligned draft (speculative) model.
+    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    let mut draft = OracleDraft::new(*lm.language(), profile.hit_rate, &cfg, seed);
+
+    // 2. Offline phase (§7.4.4): collect per-layer features and labels,
+    //    then train one lightweight MLP predictor per layer.
+    println!("collecting training data ...");
+    let prompts = vec![
+        (lm.language().sample_sequence(3, 16, 1), 20),
+        (lm.language().sample_sequence(9, 16, 2), 20),
+        (lm.language().sample_sequence(27, 16, 3), 20),
+    ];
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    println!(
+        "  {} samples over {} layers; theoretical average exit: {:.1} layers",
+        data.samples.len(),
+        cfg.n_layers,
+        data.theoretical_layers
+    );
+    let config = SpecEeConfig::default();
+    let mut bank = PredictorBank::new(cfg.n_layers, &config.predictor, &mut Pcg::seed(seed));
+    let report = train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
+    println!("  mean predictor accuracy: {:.1}%", report.mean_accuracy * 100.0);
+
+    // 3. Online phase: decode with speculative early exiting.
+    let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
+    let fresh = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    let prompt = fresh.language().sample_sequence(5, 12, 7);
+    let mut engine = SpecEeEngine::new(fresh, draft, bank, schedule, config);
+    let out = engine.generate(&prompt, 24);
+
+    let vocab = Vocabulary::new(cfg.vocab_size);
+    println!("\nprompt : {}", vocab.detokenize(&prompt));
+    println!("output : {}", vocab.detokenize(&out.tokens));
+    println!("\ntoken-by-token exit layers (of {} total):", cfg.n_layers);
+    for (tok, layers) in out.tokens.iter().zip(out.exit_layers.iter()) {
+        println!("  {:<10} exited after layer {layers}", vocab.token_str(*tok));
+    }
+    println!(
+        "\naverage layers: {:.2} / {} ({} predictor calls, {} verifications)",
+        out.avg_layers(),
+        cfg.n_layers,
+        out.predictor_calls,
+        out.verify_calls
+    );
+
+    // 4. Sanity: the early-exit output matches dense decoding.
+    let reference = SyntheticLmBuilder::new(cfg, profile).seed(seed).build();
+    let dense = DenseEngine::new(reference).generate(&prompt, 24);
+    println!(
+        "agreement with dense decoding: {:.1}%",
+        agreement(&out.tokens, &dense.tokens) * 100.0
+    );
+}

@@ -1,0 +1,84 @@
+//! Serving: SpecEE under continuous batching (the multi-request extension).
+//!
+//! The paper evaluates single-stream decoding; this example records real
+//! engine traces for a burst of requests and replays them through the
+//! continuous batcher at several batch caps, showing how the early-exit
+//! advantage decays as weight reads amortize across the batch.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::{DenseEngine, SpecEeEngine};
+use specee::core::predictor::PredictorBank;
+use specee::core::SpecEeConfig;
+use specee::metrics::{FrameworkProfile, HardwareProfile};
+use specee::model::{ModelConfig, TokenId};
+use specee::nn::TrainConfig;
+use specee::serve::{BatcherConfig, ContinuousBatcher, PoissonArrivals, RequestTrace};
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder};
+use specee::tensor::rng::Pcg;
+
+fn main() {
+    let cfg = ModelConfig::sim_llama2_7b();
+    let profile = DatasetProfile::mt_bench();
+    let seed = 77;
+    let gen = 16usize;
+    let n_requests = 12;
+
+    // Offline phase: train the predictor bank once.
+    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone()).seed(seed).build();
+    let mut draft = OracleDraft::new(*lm.language(), profile.hit_rate, &cfg, seed);
+    let prompts: Vec<(Vec<TokenId>, usize)> = (0..6)
+        .map(|i| (lm.language().sample_sequence(3 + i, 12, seed ^ u64::from(i)), gen))
+        .collect();
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    let config = SpecEeConfig::default();
+    let mut bank = PredictorBank::new(cfg.n_layers, &config.predictor, &mut Pcg::seed(seed));
+    train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
+
+    // Record one trace per request with the real engines.
+    let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
+    let fresh = SyntheticLmBuilder::new(cfg.clone(), profile.clone()).seed(seed).build();
+    let lang = *fresh.language();
+    let mut spec_engine = SpecEeEngine::new(fresh, draft, bank, schedule, config);
+    let mut dense_engine =
+        DenseEngine::new(SyntheticLmBuilder::new(cfg.clone(), profile.clone()).seed(seed).build());
+
+    let specs: Vec<(Vec<TokenId>, usize)> = (0..n_requests)
+        .map(|i| (lang.sample_sequence(5 + i, 10, seed ^ (0x40 + u64::from(i))), gen))
+        .collect();
+    let mut dense_traces = Vec::new();
+    let mut spec_traces = Vec::new();
+    for (prompt, g) in &specs {
+        dense_traces.push(RequestTrace::from_output(&dense_engine.generate(prompt, *g), false));
+        spec_traces.push(RequestTrace::from_output(&spec_engine.generate(prompt, *g), true));
+    }
+    println!(
+        "recorded {n_requests} request traces; SpecEE mean exit layer {:.1} / {}",
+        spec_traces.iter().map(RequestTrace::avg_exit_layer).sum::<f64>() / n_requests as f64,
+        cfg.n_layers
+    );
+
+    // Replay under several batch caps.
+    let requests = PoissonArrivals::new(8.0, seed).requests(&specs);
+    println!("\nbatch | dense tok/s | SpecEE tok/s | speedup | SpecEE mean TTFT");
+    for max_batch in [1usize, 2, 4, 8] {
+        let batcher = ContinuousBatcher::new(BatcherConfig {
+            max_batch,
+            hardware: HardwareProfile::a100_80g(),
+            framework: FrameworkProfile::vllm(),
+            cost: cfg.cost.expect("sim preset has a cost twin"),
+        });
+        let d = batcher.run(&requests, &dense_traces).stats();
+        let s = batcher.run(&requests, &spec_traces).stats();
+        println!(
+            "{max_batch:>5} | {:>11.2} | {:>12.2} | {:>6.2}x | {:>13.0} ms",
+            d.throughput_tok_s,
+            s.throughput_tok_s,
+            s.throughput_tok_s / d.throughput_tok_s,
+            s.mean_ttft_s * 1e3
+        );
+    }
+    println!("\nthe speedup decays toward 1x: a layer's weights are saved only when");
+    println!("every co-batched sequence exits below it.");
+}

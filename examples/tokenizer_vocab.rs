@@ -1,0 +1,46 @@
+//! The vocabulary as a search space: trains byte-level BPE tokenizers of
+//! increasing size on the synthetic corpus and shows the two quantities
+//! the paper's key insight connects — encoding quality (why real systems
+//! want *large* vocabularies) and exit-predictor search-space size (what
+//! large vocabularies cost AdaInfer-style methods, Fig. 2(b)).
+//!
+//! Run with: `cargo run --release --example tokenizer_vocab`
+
+use specee::text::{BpeTrainer, CorpusConfig, SyntheticCorpus};
+
+fn main() {
+    let corpus = SyntheticCorpus::new(CorpusConfig::default(), 11).paragraphs(400);
+    let eval = SyntheticCorpus::new(CorpusConfig::default(), 1234).paragraphs(10);
+    println!(
+        "training corpus: {} KB, evaluation text: {} KB\n",
+        corpus.len() / 1024,
+        eval.len() / 1024
+    );
+
+    println!("target | vocab | bytes/token | tokens/word | search-space reduction (K=4)");
+    for target in [300usize, 512, 1024, 2048] {
+        let tok = BpeTrainer::new(target).train(&corpus);
+        let stats = tok.stats(&eval);
+        println!(
+            "{target:>6} | {:>5} | {:>11.2} | {:>11.2} | {:>7}x",
+            tok.vocab().len(),
+            stats.bytes_per_token(),
+            stats.tokens_per_word(),
+            tok.vocab().len() / 4
+        );
+    }
+
+    // A concrete encoding, end to end.
+    let tok = BpeTrainer::new(1024).train(&corpus);
+    let text = "the speculative predictor measures the cache";
+    let ids = tok.encode(text);
+    println!("\nencode {text:?}:");
+    for &id in &ids {
+        println!(
+            "  {id:>5} -> {:?}",
+            String::from_utf8_lossy(tok.vocab().bytes(id))
+        );
+    }
+    assert_eq!(tok.decode(&ids), text);
+    println!("roundtrip exact; {} tokens for {} bytes", ids.len(), text.len());
+}

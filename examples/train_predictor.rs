@@ -1,0 +1,76 @@
+//! The offline predictor pipeline of §7.4.4, end to end: collect per-layer
+//! features with all predictors active, split train/test, train the
+//! 2-layer MLP bank, sweep the training-set fraction (Fig. 18's axis), and
+//! persist/reload the bank as JSON.
+//!
+//! Run with: `cargo run --release --example train_predictor`
+
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::predictor::{PredictorBank, PredictorConfig};
+use specee::model::{ModelConfig, TokenId};
+use specee::nn::TrainConfig;
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder};
+use specee::tensor::rng::Pcg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ModelConfig::sim_llama2_7b();
+    let profile = DatasetProfile::mt_bench();
+    let seed = 4242;
+
+    // 1. Collection: run the model with every predictor site active and
+    //    label each (layer, features) pair by whether the early-exit token
+    //    equals the full-depth token.
+    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone()).seed(seed).build();
+    let mut draft = OracleDraft::new(*lm.language(), profile.hit_rate, &cfg, seed);
+    let prompts: Vec<(Vec<TokenId>, usize)> = (0..8)
+        .map(|i| (lm.language().sample_sequence(2 + i, 14, seed ^ u64::from(i)), 18))
+        .collect();
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    let positives = data.samples.iter().filter(|s| s.label).count();
+    println!(
+        "collected {} samples ({} positive, {:.1}%), theoretical exit {:.2} layers",
+        data.samples.len(),
+        positives,
+        positives as f64 / data.samples.len() as f64 * 100.0,
+        data.theoretical_layers
+    );
+
+    // 2. Fraction sweep (Fig. 18): a small slice of the data already
+    //    trains an accurate bank.
+    let pcfg = PredictorConfig::default();
+    println!("\ntrain fraction | mean accuracy");
+    for fraction in [0.02, 0.1, 0.5, 1.0] {
+        let mut bank = PredictorBank::new(cfg.n_layers, &pcfg, &mut Pcg::seed(seed));
+        let report = train_bank(
+            &mut bank,
+            &data.samples,
+            fraction,
+            &TrainConfig {
+                epochs: 16,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
+            seed,
+        );
+        println!(
+            "{:>13.0}% | {:>12.1}%  ({} samples)",
+            fraction * 100.0,
+            report.mean_accuracy * 100.0,
+            report.samples_used
+        );
+    }
+
+    // 3. Persist and reload: the bank round-trips through JSON so a
+    //    deployment can ship pre-trained predictors next to the weights.
+    let mut bank = PredictorBank::new(cfg.n_layers, &pcfg, &mut Pcg::seed(seed));
+    train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
+    let json = bank.to_json()?;
+    let reloaded = PredictorBank::from_json(&json)?;
+    println!(
+        "\nserialized bank: {} KB JSON, {} predictors, {} KB of weights",
+        json.len() / 1024,
+        reloaded.len(),
+        reloaded.total_bytes() / 1024
+    );
+    Ok(())
+}

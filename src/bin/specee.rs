@@ -1,0 +1,379 @@
+//! `specee` — command-line front end for the SpecEE reproduction.
+//!
+//! ```text
+//! specee info                         # model / hardware / dataset tables
+//! specee generate [OPTIONS]           # decode with a chosen engine
+//! specee train [OPTIONS]              # offline predictor training (§7.4.4)
+//! specee tokenize [--vocab N] TEXT    # train a BPE vocab, encode TEXT
+//! specee serve [OPTIONS]              # continuous-batching simulation
+//! ```
+//!
+//! Every run is deterministic for a fixed `--seed`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::{DenseEngine, SpecEeEngine};
+use specee::core::predictor::PredictorBank;
+use specee::core::skip_layer::{calibrate_calm_threshold, CalmEngine};
+use specee::core::{agreement, GenOutput, SpecEeConfig};
+use specee::metrics::{FrameworkProfile, HardwareProfile, Roofline};
+use specee::model::{ModelConfig, TokenId};
+use specee::nn::TrainConfig;
+use specee::serve::{BatcherConfig, ContinuousBatcher, PoissonArrivals, RequestTrace};
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
+use specee::tensor::rng::Pcg;
+use specee::text::{BpeTrainer, CorpusConfig, SyntheticCorpus};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_help();
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "info" => cmd_info(),
+        "generate" => cmd_generate(&args[1..]),
+        "train" => cmd_train(&args[1..]),
+        "tokenize" => cmd_tokenize(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `specee help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "specee — speculative early exiting for LLM inference (ISCA 2025 reproduction)\n\n\
+         USAGE: specee <COMMAND> [OPTIONS]\n\n\
+         COMMANDS:\n  \
+           info       list model presets, dataset profiles and hardware targets\n  \
+           generate   decode a prompt (--model 7b|13b|70b --dataset NAME --tokens N\n             \
+                      --engine dense|specee|calm --seed N)\n  \
+           train      offline predictor pipeline; prints per-layer accuracy\n             \
+                      (--model, --dataset, --seed as above)\n  \
+           tokenize   train a byte-level BPE vocabulary and encode TEXT (--vocab N)\n  \
+           serve      continuous-batching simulation (--batch N --requests N --rate R)\n  \
+           help       this message"
+    );
+}
+
+/// Parses `--key value` options; positional arguments are returned in order.
+fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    let mut opts = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} expects a value"))?;
+            opts.insert(key.to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((opts, positional))
+}
+
+fn model_by_name(name: &str) -> Result<ModelConfig, String> {
+    match name {
+        "7b" => Ok(ModelConfig::sim_llama2_7b()),
+        "13b" => Ok(ModelConfig::sim_llama2_13b()),
+        "70b" => Ok(ModelConfig::sim_llama2_70b()),
+        "tiny" => Ok(ModelConfig::tiny()),
+        other => Err(format!("unknown model `{other}` (7b, 13b, 70b, tiny)")),
+    }
+}
+
+fn dataset_by_name(name: &str) -> Result<DatasetProfile, String> {
+    DatasetProfile::all()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<String> = DatasetProfile::all().iter().map(|p| p.name.clone()).collect();
+            format!("unknown dataset `{name}` (one of: {})", names.join(", "))
+        })
+}
+
+fn parse_num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad value `{v}`")),
+    }
+}
+
+struct Pipeline {
+    cfg: ModelConfig,
+    profile: DatasetProfile,
+    seed: u64,
+}
+
+impl Pipeline {
+    fn from_opts(opts: &HashMap<String, String>) -> Result<Self, String> {
+        let cfg = model_by_name(opts.get("model").map_or("7b", String::as_str))?;
+        let profile = dataset_by_name(opts.get("dataset").map_or("QA", String::as_str))?;
+        let seed = parse_num(opts, "seed", 2025u64)?;
+        Ok(Pipeline { cfg, profile, seed })
+    }
+
+    fn lm(&self) -> SyntheticLm {
+        SyntheticLmBuilder::new(self.cfg.clone(), self.profile.clone())
+            .seed(self.seed)
+            .build()
+    }
+
+    fn draft(&self, lm: &SyntheticLm) -> OracleDraft {
+        OracleDraft::new(*lm.language(), self.profile.hit_rate, &self.cfg, self.seed ^ 0xd)
+    }
+
+    fn prompts(&self, lm: &SyntheticLm, n: usize, gen: usize) -> Vec<(Vec<TokenId>, usize)> {
+        (0..n)
+            .map(|i| {
+                let start = (self.seed as u32 + i as u32 * 7) % self.cfg.vocab_size as u32;
+                (
+                    lm.language().sample_sequence(start, 12, self.seed ^ i as u64),
+                    gen,
+                )
+            })
+            .collect()
+    }
+
+    fn trained_bank(&self) -> (PredictorBank, Vec<f64>) {
+        let mut lm = self.lm();
+        let mut draft = self.draft(&lm);
+        let prompts = self.prompts(&lm, 6, 16);
+        let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+        let config = SpecEeConfig::default();
+        let mut bank =
+            PredictorBank::new(self.cfg.n_layers, &config.predictor, &mut Pcg::seed(self.seed));
+        train_bank(
+            &mut bank,
+            &data.samples,
+            1.0,
+            &TrainConfig {
+                epochs: 16,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
+            self.seed,
+        );
+        (bank, data.exit_frequencies)
+    }
+}
+
+fn cmd_info() -> Result<(), String> {
+    println!("models (executed dims, metered at full scale):");
+    for name in ["7b", "13b", "70b"] {
+        let cfg = model_by_name(name)?;
+        let cost = cfg.cost.expect("sim presets carry cost twins");
+        println!(
+            "  {:<14} {} layers, hidden {} (metered {}), vocab {} (metered {}), ~{:.1} GB f16",
+            cfg.name,
+            cfg.n_layers,
+            cfg.hidden_dim,
+            cost.hidden_dim,
+            cfg.vocab_size,
+            cost.vocab_size,
+            cost.weight_bytes_total() / 1e9
+        );
+    }
+    println!("\ndataset profiles:");
+    for p in DatasetProfile::all() {
+        println!("  {:<16} draft hit rate {:.2}", p.name, p.hit_rate);
+    }
+    println!("\nhardware targets:");
+    for hw in [
+        HardwareProfile::a100_80g(),
+        HardwareProfile::rtx4090(),
+        HardwareProfile::rtx4060_laptop(),
+        HardwareProfile::cpu_i7_13650hx(),
+    ] {
+        println!(
+            "  {:<28} {:>6.1} TFLOP/s, {:>7.1} GB/s, TDP {:.0} W",
+            hw.name,
+            hw.peak_flops / 1e12,
+            hw.mem_bw / 1e9,
+            hw.tdp_w
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (opts, _) = parse_opts(args)?;
+    let pipe = Pipeline::from_opts(&opts)?;
+    let tokens: usize = parse_num(&opts, "tokens", 24)?;
+    let engine_name = opts.get("engine").map_or("specee", String::as_str);
+
+    let lm = pipe.lm();
+    let prompt = lm.language().sample_sequence(5, 12, pipe.seed ^ 0x9e);
+    let out: GenOutput = match engine_name {
+        "dense" => DenseEngine::new(pipe.lm()).generate(&prompt, tokens),
+        "specee" => {
+            let (bank, freqs) = pipe.trained_bank();
+            let config = SpecEeConfig::default();
+            let schedule = config.build_schedule(pipe.cfg.n_layers, Some(&freqs));
+            let draft = pipe.draft(&lm);
+            SpecEeEngine::new(pipe.lm(), draft, bank, schedule, config).generate(&prompt, tokens)
+        }
+        "calm" => {
+            let mut calib = pipe.lm();
+            let prompts = pipe.prompts(&calib, 4, 12);
+            let thr = calibrate_calm_threshold(&mut calib, &prompts);
+            CalmEngine::new(pipe.lm(), thr).generate(&prompt, tokens)
+        }
+        other => return Err(format!("unknown engine `{other}` (dense, specee, calm)")),
+    };
+
+    let dense = DenseEngine::new(pipe.lm()).generate(&prompt, tokens);
+    let cost = Roofline::with_framework(HardwareProfile::a100_80g(), FrameworkProfile::hugging_face())
+        .cost(&out.meter);
+    println!("engine        : {engine_name} on {}", pipe.cfg.name);
+    println!("dataset       : {}", pipe.profile.name);
+    println!("tokens        : {:?}", out.tokens);
+    println!("exit layers   : {:?}", out.exit_layers);
+    println!(
+        "avg layers    : {:.2} / {}",
+        out.avg_layers(),
+        pipe.cfg.n_layers
+    );
+    println!(
+        "agreement     : {:.1}% vs dense",
+        agreement(&out.tokens, &dense.tokens) * 100.0
+    );
+    println!("modelled tok/s: {:.2} @ A100/HuggingFace", cost.tokens_per_s());
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (opts, _) = parse_opts(args)?;
+    let pipe = Pipeline::from_opts(&opts)?;
+    let mut lm = pipe.lm();
+    let mut draft = pipe.draft(&lm);
+    let prompts = pipe.prompts(&lm, 6, 16);
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    println!(
+        "collected {} samples over {} tokens; theoretical average exit {:.2} layers",
+        data.samples.len(),
+        data.tokens,
+        data.theoretical_layers
+    );
+    let config = SpecEeConfig::default();
+    let mut bank =
+        PredictorBank::new(pipe.cfg.n_layers, &config.predictor, &mut Pcg::seed(pipe.seed));
+    let report = train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), pipe.seed);
+    println!("mean predictor accuracy: {:.1}%", report.mean_accuracy * 100.0);
+    if let Some(path) = opts.get("out") {
+        let json = bank.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("predictor bank written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_tokenize(args: &[String]) -> Result<(), String> {
+    let (opts, positional) = parse_opts(args)?;
+    let vocab: usize = parse_num(&opts, "vocab", 1024)?;
+    let text = if positional.is_empty() {
+        "the speculative predictor exits the layer early".to_string()
+    } else {
+        positional.join(" ")
+    };
+    let corpus = SyntheticCorpus::new(CorpusConfig::default(), 301).paragraphs(200);
+    let tok = BpeTrainer::new(vocab).train(&corpus);
+    let ids = tok.encode(&text);
+    println!("vocabulary    : {} tokens ({} merges)", tok.vocab().len(), tok.merges().len());
+    println!("input         : {text}");
+    println!("ids           : {ids:?}");
+    println!("roundtrip     : {}", tok.decode(&ids));
+    let stats = tok.stats(&text);
+    println!(
+        "compression   : {:.2} bytes/token, {:.2} tokens/word",
+        stats.bytes_per_token(),
+        stats.tokens_per_word()
+    );
+    println!(
+        "search space  : full vocabulary {} -> 4 speculative candidates ({}x reduction)",
+        tok.vocab().len(),
+        tok.vocab().len() / 4
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (opts, _) = parse_opts(args)?;
+    let pipe = Pipeline::from_opts(&opts)?;
+    let batch: usize = parse_num(&opts, "batch", 8)?;
+    let n_requests: usize = parse_num(&opts, "requests", 12)?;
+    let rate: f64 = parse_num(&opts, "rate", 6.0)?;
+    let gen = 16usize;
+
+    // Record per-request traces with the real engines.
+    let (bank, freqs) = pipe.trained_bank();
+    let config = SpecEeConfig::default();
+    let schedule = config.build_schedule(pipe.cfg.n_layers, Some(&freqs));
+    let lm = pipe.lm();
+    let draft = pipe.draft(&lm);
+    let mut spec_engine = SpecEeEngine::new(lm, draft, bank, schedule, config);
+    let mut dense_engine = DenseEngine::new(pipe.lm());
+
+    let specs: Vec<(Vec<TokenId>, usize)> = pipe
+        .prompts(&spec_engine.model(), n_requests, gen)
+        .into_iter()
+        .collect();
+    let mut dense_traces = Vec::new();
+    let mut spec_traces = Vec::new();
+    for (prompt, g) in &specs {
+        dense_traces.push(RequestTrace::from_output(
+            &dense_engine.generate(prompt, *g),
+            false,
+        ));
+        spec_traces.push(RequestTrace::from_output(
+            &spec_engine.generate(prompt, *g),
+            true,
+        ));
+    }
+    let requests = PoissonArrivals::new(rate, pipe.seed ^ 0x11).requests(&specs);
+    let batcher = ContinuousBatcher::new(BatcherConfig {
+        max_batch: batch,
+        hardware: HardwareProfile::a100_80g(),
+        framework: FrameworkProfile::vllm(),
+        cost: pipe.cfg.cost.ok_or("model has no cost twin")?,
+    });
+    let d = batcher.run(&requests, &dense_traces).stats();
+    let s = batcher.run(&requests, &spec_traces).stats();
+    println!(
+        "{} requests, Poisson {rate}/s, batch cap {batch}, {} on A100/vllm",
+        n_requests, pipe.cfg.name
+    );
+    println!(
+        "dense  : {:>8.2} tok/s | TTFT {:>6.0} ms | p95 latency {:>7.0} ms",
+        d.throughput_tok_s,
+        d.mean_ttft_s * 1e3,
+        d.p95_latency_s * 1e3
+    );
+    println!(
+        "SpecEE : {:>8.2} tok/s | TTFT {:>6.0} ms | p95 latency {:>7.0} ms  ({:.2}x)",
+        s.throughput_tok_s,
+        s.mean_ttft_s * 1e3,
+        s.p95_latency_s * 1e3,
+        s.throughput_tok_s / d.throughput_tok_s
+    );
+    Ok(())
+}

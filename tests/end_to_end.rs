@@ -1,0 +1,226 @@
+//! Cross-crate integration tests: the full SpecEE pipeline from synthetic
+//! model construction through predictor training to early-exit decoding.
+
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::{DenseEngine, SpecEeEngine, SpeculativeEngine};
+use specee::core::predictor::{PredictorBank, PredictorConfig};
+use specee::core::{agreement, SchedulingMode, SpecEeConfig};
+use specee::model::{LayeredLm, ModelConfig, TokenId};
+use specee::nn::TrainConfig;
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
+use specee::tensor::rng::Pcg;
+
+fn test_cfg() -> ModelConfig {
+    ModelConfig {
+        n_layers: 16,
+        vocab_size: 1024,
+        ..ModelConfig::tiny()
+    }
+}
+
+fn build_lm(seed: u64, profile: &DatasetProfile) -> SyntheticLm {
+    SyntheticLmBuilder::new(test_cfg(), profile.clone())
+        .seed(seed)
+        .build()
+}
+
+struct Pipeline {
+    trained_bank: PredictorBank,
+    frequencies: Vec<f64>,
+    theoretical: f64,
+    config: SpecEeConfig,
+    draft: OracleDraft,
+    seed: u64,
+    profile: DatasetProfile,
+}
+
+fn pipeline(seed: u64) -> Pipeline {
+    let profile = DatasetProfile::qa();
+    let mut lm = build_lm(seed, &profile);
+    let mut draft = OracleDraft::new(*lm.language(), 0.9, &test_cfg(), seed ^ 7);
+    let lang = *lm.language();
+    let prompts: Vec<(Vec<TokenId>, usize)> = (0..10)
+        .map(|i| (lang.sample_sequence(3 + i, 10, u64::from(i)), 14))
+        .collect();
+    let collection = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    let pcfg = PredictorConfig {
+        hidden_dim: 64,
+        ..PredictorConfig::default()
+    };
+    let mut bank = PredictorBank::new(test_cfg().n_layers, &pcfg, &mut Pcg::seed(seed));
+    train_bank(
+        &mut bank,
+        &collection.samples,
+        1.0,
+        &TrainConfig {
+            epochs: 20,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        },
+        seed,
+    );
+    Pipeline {
+        trained_bank: bank,
+        frequencies: collection.exit_frequencies,
+        theoretical: collection.theoretical_layers,
+        config: SpecEeConfig {
+            predictor: pcfg,
+            ..SpecEeConfig::default()
+        },
+        draft,
+        seed,
+        profile,
+    }
+}
+
+#[test]
+fn specee_preserves_dense_output_and_exits_early() {
+    let p = pipeline(101);
+    let prompt = vec![2u32, 9, 4, 7];
+    let schedule = p
+        .config
+        .build_schedule(test_cfg().n_layers, Some(&p.frequencies));
+    let mut engine = SpecEeEngine::new(
+        build_lm(p.seed, &p.profile),
+        p.draft.clone(),
+        p.trained_bank.clone(),
+        schedule,
+        p.config.clone(),
+    );
+    let out = engine.generate(&prompt, 24);
+    let dense = DenseEngine::new(build_lm(p.seed, &p.profile)).generate(&prompt, 24);
+
+    assert_eq!(out.tokens.len(), 24);
+    let agr = agreement(&out.tokens, &dense.tokens);
+    assert!(agr >= 0.85, "agreement {agr}");
+    assert!(
+        out.avg_layers() < test_cfg().n_layers as f64 - 1.0,
+        "avg layers {}",
+        out.avg_layers()
+    );
+    // actual exits cannot beat the theoretical earliest
+    assert!(out.avg_layers() + 0.5 >= p.theoretical, "impossible exits");
+}
+
+#[test]
+fn speculative_engine_is_faster_in_layers_and_consistent() {
+    let p = pipeline(103);
+    let prompt = vec![5u32, 3, 8];
+    let dense = DenseEngine::new(build_lm(p.seed, &p.profile)).generate(&prompt, 24);
+
+    let mut eagle = SpeculativeEngine::baseline(
+        build_lm(p.seed, &p.profile),
+        p.draft.clone(),
+        p.config.clone(),
+    );
+    let eagle_out = eagle.generate(&prompt, 24);
+    assert!(eagle_out.rounds > 0);
+    assert!(
+        eagle_out.tokens.len() as f64 / eagle_out.rounds as f64 > 1.3,
+        "tokens per round {}",
+        eagle_out.tokens.len() as f64 / eagle_out.rounds as f64
+    );
+    let agr = agreement(&eagle_out.tokens, &dense.tokens);
+    assert!(agr >= 0.85, "EAGLE agreement {agr}");
+
+    let schedule = p
+        .config
+        .build_schedule(test_cfg().n_layers, Some(&p.frequencies));
+    let mut specee = SpeculativeEngine::with_early_exit(
+        build_lm(p.seed, &p.profile),
+        p.draft.clone(),
+        p.trained_bank.clone(),
+        schedule,
+        p.config.clone(),
+    );
+    let out = specee.generate(&prompt, 24);
+    assert!(out.avg_layers() <= test_cfg().n_layers as f64);
+    let agr = agreement(&out.tokens, &dense.tokens);
+    assert!(agr >= 0.7, "SpecEE+EAGLE agreement {agr}");
+}
+
+#[test]
+fn kv_cache_stays_aligned_across_engines() {
+    let p = pipeline(107);
+    let prompt = vec![1u32, 2, 3, 4, 5];
+    let schedule = p
+        .config
+        .build_schedule(test_cfg().n_layers, Some(&p.frequencies));
+    let mut engine = SpecEeEngine::new(
+        build_lm(p.seed, &p.profile),
+        p.draft.clone(),
+        p.trained_bank.clone(),
+        schedule,
+        p.config.clone(),
+    );
+    let out = engine.generate(&prompt, 16);
+    // prompt + all fed tokens must be committed at every layer
+    assert_eq!(engine.model().kv_len(), prompt.len() + 15);
+    assert_eq!(out.exit_layers.len(), 16);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let p = pipeline(109);
+        let schedule = p
+            .config
+            .build_schedule(test_cfg().n_layers, Some(&p.frequencies));
+        let mut engine = SpecEeEngine::new(
+            build_lm(p.seed, &p.profile),
+            p.draft.clone(),
+            p.trained_bank.clone(),
+            schedule,
+            p.config.clone(),
+        );
+        engine.generate(&[3, 1, 4], 12).tokens
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn two_level_scheduling_cuts_predictor_work_without_hurting_exits() {
+    let p = pipeline(113);
+    let prompt = vec![6u32, 2, 8];
+    let run = |mode: SchedulingMode| {
+        let config = SpecEeConfig {
+            scheduling: mode,
+            ..p.config.clone()
+        };
+        let schedule = config.build_schedule(test_cfg().n_layers, Some(&p.frequencies));
+        let mut engine = SpecEeEngine::new(
+            build_lm(p.seed, &p.profile),
+            p.draft.clone(),
+            p.trained_bank.clone(),
+            schedule,
+            config,
+        );
+        engine.generate(&prompt, 24)
+    };
+    let all = run(SchedulingMode::AllLayers);
+    let two = run(SchedulingMode::TwoLevel);
+    assert!(
+        two.predictor_calls < all.predictor_calls,
+        "two-level {} vs all-layers {}",
+        two.predictor_calls,
+        all.predictor_calls
+    );
+    assert!(two.avg_layers() <= all.avg_layers() + 2.5);
+}
+
+#[test]
+fn meter_records_full_scale_costs() {
+    let cfg = ModelConfig::sim_llama2_7b();
+    let profile = DatasetProfile::qa();
+    let lm = SyntheticLmBuilder::new(cfg.clone(), profile).seed(3).build();
+    let mut dense = DenseEngine::new(lm);
+    let out = dense.generate(&[1, 2, 3], 4);
+    // one decode token at 7B scale moves ~13 GB of weights
+    let bytes_per_token = out.meter.total_bytes() / out.meter.tokens() as f64;
+    assert!(
+        (8e9..25e9).contains(&bytes_per_token),
+        "bytes/token {bytes_per_token:.3e}"
+    );
+    assert_eq!(out.meter.tokens(), 4);
+    assert!(out.meter.host_steps() >= 4);
+}

@@ -1,0 +1,142 @@
+//! Integration tests for the serving extension: real engine traces
+//! replayed through the continuous batcher, plus batcher-level properties.
+
+use proptest::prelude::*;
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::{DenseEngine, SpecEeEngine};
+use specee::core::predictor::{PredictorBank, PredictorConfig};
+use specee::core::SpecEeConfig;
+use specee::metrics::{FrameworkProfile, HardwareProfile};
+use specee::model::{CostDims, ModelConfig, TokenId};
+use specee::nn::TrainConfig;
+use specee::serve::{
+    BatcherConfig, ContinuousBatcher, PoissonArrivals, RequestTrace, ServeRequest,
+};
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder};
+use specee::tensor::rng::Pcg;
+
+fn batcher(max_batch: usize) -> ContinuousBatcher {
+    ContinuousBatcher::new(BatcherConfig {
+        max_batch,
+        hardware: HardwareProfile::a100_80g(),
+        framework: FrameworkProfile::vllm(),
+        cost: CostDims::llama2_7b(),
+    })
+}
+
+/// Records dense + SpecEE traces for a small real workload.
+fn real_traces(seed: u64, n: usize, gen: usize) -> (Vec<(Vec<TokenId>, usize)>, Vec<RequestTrace>, Vec<RequestTrace>) {
+    let cfg = ModelConfig {
+        n_layers: 8,
+        vocab_size: 256,
+        ..ModelConfig::tiny()
+    };
+    let build = |s| SyntheticLmBuilder::new(cfg.clone(), DatasetProfile::qa()).seed(s).build();
+    let mut lm = build(seed);
+    let mut draft = OracleDraft::new(*lm.language(), 0.9, &cfg, seed);
+    let prompts: Vec<(Vec<TokenId>, usize)> =
+        (0..6u32).map(|i| (vec![1 + i, 2 + i], 8usize)).collect();
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    let pcfg = PredictorConfig { hidden_dim: 16, ..PredictorConfig::default() };
+    let mut bank = PredictorBank::new(8, &pcfg, &mut Pcg::seed(seed));
+    train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
+    let config = SpecEeConfig { predictor: pcfg, ..SpecEeConfig::default() };
+    let schedule = config.build_schedule(8, Some(&data.exit_frequencies));
+    let mut spec = SpecEeEngine::new(build(seed), draft, bank, schedule, config);
+    let mut dense = DenseEngine::new(build(seed));
+
+    let specs: Vec<(Vec<TokenId>, usize)> = (0..n as u32)
+        .map(|i| (vec![2 + i, 5 + i, 1 + i], gen))
+        .collect();
+    let mut dense_traces = Vec::new();
+    let mut spec_traces = Vec::new();
+    for (p, g) in &specs {
+        dense_traces.push(RequestTrace::from_output(&dense.generate(p, *g), false));
+        spec_traces.push(RequestTrace::from_output(&spec.generate(p, *g), true));
+    }
+    (specs, dense_traces, spec_traces)
+}
+
+#[test]
+fn real_traces_replay_end_to_end() {
+    let (specs, dense_traces, spec_traces) = real_traces(31, 6, 10);
+    let requests = PoissonArrivals::new(20.0, 7).requests(&specs);
+    let b = batcher(3);
+    let d = b.run(&requests, &dense_traces);
+    let s = b.run(&requests, &spec_traces);
+    assert_eq!(d.completions.len(), 6);
+    assert_eq!(s.completions.len(), 6);
+    // Token conservation: every request decodes its gen_len tokens.
+    assert_eq!(d.stats().tokens, 6 * 10);
+    assert_eq!(s.stats().tokens, 6 * 10);
+    // SpecEE traces exit below full depth on this substrate, so the served
+    // run must be no slower than dense at batch 3.
+    assert!(s.makespan_s <= d.makespan_s * 1.02, "{} vs {}", s.makespan_s, d.makespan_s);
+    assert!(s.avg_layers < d.avg_layers);
+}
+
+#[test]
+fn serving_replay_is_deterministic() {
+    let (specs, _, spec_traces) = real_traces(33, 5, 8);
+    let requests = PoissonArrivals::new(10.0, 5).requests(&specs);
+    let a = batcher(2).run(&requests, &spec_traces);
+    let b = batcher(2).run(&requests, &spec_traces);
+    assert_eq!(a, b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Raising the batch cap never slows the served run (same traces, same
+    /// arrivals; more parallelism can only help under amortized pricing).
+    #[test]
+    fn larger_cap_never_slower(seed in 0u64..100, gen in 2usize..12) {
+        let n = 8;
+        let traces: Vec<RequestTrace> = (0..n)
+            .map(|i| RequestTrace::dense(vec![i as u32; gen], 32))
+            .collect();
+        let specs: Vec<(Vec<TokenId>, usize)> =
+            (0..n).map(|i| (vec![i as u32 + 1, 2], gen)).collect();
+        let requests = PoissonArrivals::new(50.0, seed).requests(&specs);
+        let small = batcher(2).run(&requests, &traces);
+        let large = batcher(8).run(&requests, &traces);
+        prop_assert!(large.makespan_s <= small.makespan_s * 1.0001);
+    }
+
+    /// Timing milestones are ordered for every completion, and completions
+    /// arrive in id order.
+    #[test]
+    fn completion_milestones_ordered(seed in 0u64..100, rate in 1.0f64..40.0) {
+        let specs: Vec<(Vec<TokenId>, usize)> =
+            (0..6).map(|i| (vec![i as u32 + 1], 5)).collect();
+        let traces: Vec<RequestTrace> =
+            (0..6).map(|i| RequestTrace::dense(vec![i as u32; 5], 32)).collect();
+        let requests = PoissonArrivals::new(rate, seed).requests(&specs);
+        let report = batcher(3).run(&requests, &traces);
+        for (c, r) in report.completions.iter().zip(&requests) {
+            prop_assert_eq!(c.id, r.id);
+            prop_assert!(c.arrival_s <= c.first_token_s);
+            prop_assert!(c.first_token_s <= c.finish_s);
+            prop_assert!(c.finish_s <= report.makespan_s + 1e-9);
+        }
+    }
+
+    /// A request arriving when the server is idle has TTFT equal to one
+    /// batched prefill, independent of the arrival gap.
+    #[test]
+    fn idle_server_ttft_is_prefill_only(gap in 0.5f64..10.0) {
+        let specs = vec![(vec![1u32, 2, 3], 4usize), (vec![4u32, 5, 6], 4)];
+        let traces: Vec<RequestTrace> =
+            (0..2).map(|i| RequestTrace::dense(vec![i as u32; 4], 32)).collect();
+        // Second request arrives long after the first finishes.
+        let requests = vec![
+            ServeRequest { id: 0, prompt: specs[0].0.clone(), gen_len: 4, arrival_s: 0.0 },
+            ServeRequest { id: 1, prompt: specs[1].0.clone(), gen_len: 4, arrival_s: gap },
+        ];
+        let b = batcher(4);
+        let report = b.run(&requests, &traces);
+        let prefill = b.cost_model().prefill_latency(&[3]);
+        prop_assert!((report.completions[0].ttft_s() - prefill).abs() < 1e-9);
+        prop_assert!((report.completions[1].ttft_s() - prefill).abs() < 1e-9);
+    }
+}
