@@ -110,7 +110,12 @@ fn main() {
     use specee_tensor::Matrix;
     let mut rng = Pcg::seed(404);
     let w = Matrix::random(64, 256, 1.0, &mut rng);
-    let mut table = Table::new(vec!["hot-channel skew", "RTN int4 MSE", "AWQ int4 MSE", "AWQ alpha"]);
+    let mut table = Table::new(vec![
+        "hot-channel skew",
+        "RTN int4 MSE",
+        "AWQ int4 MSE",
+        "AWQ alpha",
+    ]);
     for factor in [1.0f32, 5.0, 20.0, 50.0] {
         let acts: Vec<Vec<f32>> = (0..64)
             .map(|_| {

@@ -19,7 +19,10 @@ fn main() {
     let fw = FrameworkProfile::hugging_face();
 
     let mut dense_engine = DenseEngine::new(build_lm(&cfg, &ds, seed, ModelVariant::Dense));
-    let dense_outputs: Vec<_> = wl.iter().map(|r| dense_engine.generate(&r.prompt, r.gen_len)).collect();
+    let dense_outputs: Vec<_> = wl
+        .iter()
+        .map(|r| dense_engine.generate(&r.prompt, r.gen_len))
+        .collect();
     let dense_run = EngineRun {
         stats: RunStats::aggregate(&dense_outputs),
         outputs: dense_outputs,
@@ -31,12 +34,23 @@ fn main() {
     for hit in [0.3f64, 0.5, 0.7, 0.8, 0.9, 0.95] {
         let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
         let draft = OracleDraft::new(*lm.language(), hit, &cfg, seed ^ 0x99);
-        let config = SpecEeConfig { predictor: trained.predictor, ..SpecEeConfig::default() };
-        let schedule = config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
+        let config = SpecEeConfig {
+            predictor: trained.predictor,
+            ..SpecEeConfig::default()
+        };
+        let schedule =
+            config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
         let mut engine = SpecEeEngine::new(lm, draft, trained.bank.clone(), schedule, config);
-        let outputs: Vec<_> = wl.iter().map(|r| engine.generate(&r.prompt, r.gen_len)).collect();
+        let outputs: Vec<_> = wl
+            .iter()
+            .map(|r| engine.generate(&r.prompt, r.gen_len))
+            .collect();
         let stats = RunStats::aggregate(&outputs);
-        let run = EngineRun { stats, outputs, avg_active_predictors: None };
+        let run = EngineRun {
+            stats,
+            outputs,
+            avg_active_predictors: None,
+        };
         let tps = price(&run.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
         t.row(vec![
             format!("{hit:.2}"),

@@ -15,9 +15,22 @@ fn main() {
     let seed = 73;
     let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
     let wl = workload(&cfg, &ds, request_count(), seed);
-    let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+    let dense = run_engine(
+        EngineKind::Dense,
+        &cfg,
+        &ds,
+        seed,
+        ModelVariant::Dense,
+        &trained,
+        &wl,
+    );
 
-    let mut t = Table::new(vec!["policy", "agreement vs dense", "avg layers", "skip-fill bytes/token"]);
+    let mut t = Table::new(vec![
+        "policy",
+        "agreement vs dense",
+        "avg layers",
+        "skip-fill bytes/token",
+    ]);
     for (name, policy) in [
         ("ProjectExitHidden", SkipKvPolicy::ProjectExitHidden),
         ("ReuseLast", SkipKvPolicy::ReuseLast),
@@ -28,19 +41,30 @@ fn main() {
             skip_kv_policy: policy,
             ..SpecEeConfig::default()
         };
-        let schedule = config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
+        let schedule =
+            config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
         let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
         let draft = build_draft(&lm, &cfg, seed);
         let mut engine = SpecEeEngine::new(lm, draft, trained.bank.clone(), schedule, config);
-        let outputs: Vec<_> = wl.iter().map(|r| engine.generate(&r.prompt, r.gen_len)).collect();
+        let outputs: Vec<_> = wl
+            .iter()
+            .map(|r| engine.generate(&r.prompt, r.gen_len))
+            .collect();
         let stats = RunStats::aggregate(&outputs);
-        let run = EngineRun { stats, outputs, avg_active_predictors: None };
+        let run = EngineRun {
+            stats,
+            outputs,
+            avg_active_predictors: None,
+        };
         let fill = run.stats.meter.kind(specee_metrics::OpKind::SkipKvFill);
         t.row(vec![
             name.to_string(),
             format!("{:.1}%", agreement_vs(&dense, &run) * 100.0),
             format!("{:.2}", run.stats.avg_layers),
-            format!("{:.1} MB", fill.bytes / run.stats.tokens.max(1) as f64 / 1e6),
+            format!(
+                "{:.1} MB",
+                fill.bytes / run.stats.tokens.max(1) as f64 / 1e6
+            ),
         ]);
     }
     println!("{t}");

@@ -9,7 +9,10 @@ use specee_core::{RunStats, SpecEeConfig};
 use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
 
 fn main() {
-    banner("ablation_threshold", "exit-threshold sweep (accuracy vs speedup)");
+    banner(
+        "ablation_threshold",
+        "exit-threshold sweep (accuracy vs speedup)",
+    );
     let cfg = model_7b();
     let ds = specee_synth::DatasetProfile::mt_bench();
     let seed = 83;
@@ -21,7 +24,15 @@ fn main() {
         // thresholds > 1 never exit: reuse as the dense reference point
         let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
         let wl = workload(&cfg, &ds, request_count(), seed);
-        let d = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+        let d = run_engine(
+            EngineKind::Dense,
+            &cfg,
+            &ds,
+            seed,
+            ModelVariant::Dense,
+            &trained,
+            &wl,
+        );
         (trained, wl, d)
     };
     let (trained, wl, dense_run) = dense;
@@ -37,15 +48,23 @@ fn main() {
             predictor: pcfg,
             ..SpecEeConfig::default()
         };
-        let schedule = config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
+        let schedule =
+            config.build_schedule(cfg.n_layers, Some(&trained.collection.exit_frequencies));
         let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
         let draft = build_draft(&lm, &cfg, seed);
         let mut bank = trained.bank.clone();
         bank.set_threshold(threshold);
         let mut engine = SpecEeEngine::new(lm, draft, bank, schedule, config);
-        let outputs: Vec<_> = wl.iter().map(|r| engine.generate(&r.prompt, r.gen_len)).collect();
+        let outputs: Vec<_> = wl
+            .iter()
+            .map(|r| engine.generate(&r.prompt, r.gen_len))
+            .collect();
         let stats = RunStats::aggregate(&outputs);
-        let run = EngineRun { stats, outputs, avg_active_predictors: None };
+        let run = EngineRun {
+            stats,
+            outputs,
+            avg_active_predictors: None,
+        };
         let tps = price(&run.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
         t.row(vec![
             format!("{threshold:.2}"),

@@ -44,8 +44,10 @@ fn main() {
             FrameworkProfile::eagle(),
         );
         rows.push(Row {
-            label: budget
-                .map_or_else(|| format!("full ({})", shape.node_count()), |b| b.to_string()),
+            label: budget.map_or_else(
+                || format!("full ({})", shape.node_count()),
+                |b| b.to_string(),
+            ),
             tokens_per_round: run.stats.tokens_per_round(),
             tps: cost.tokens_per_s(),
             avg_layers: run.stats.avg_layers,

@@ -14,8 +14,21 @@ fn main() {
     let hw = HardwareProfile::rtx4090();
     let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
     let wl = workload(&cfg, &ds, request_count(), seed);
-    let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
-    let base_tps = price(&dense.stats.meter, hw.clone(), FrameworkProfile::hugging_face()).tokens_per_s();
+    let dense = run_engine(
+        EngineKind::Dense,
+        &cfg,
+        &ds,
+        seed,
+        ModelVariant::Dense,
+        &trained,
+        &wl,
+    );
+    let base_tps = price(
+        &dense.stats.meter,
+        hw.clone(),
+        FrameworkProfile::hugging_face(),
+    )
+    .tokens_per_s();
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     {
@@ -25,18 +38,62 @@ fn main() {
             let agr = agreement_vs(&dense, &run);
             rows.push((name.to_string(), tps / base_tps, agr));
         };
-        add("Baseline (HF)", EngineKind::Dense, ModelVariant::Dense, FrameworkProfile::hugging_face());
-        add("vllm", EngineKind::Dense, ModelVariant::Dense, FrameworkProfile::vllm());
-        add("AWQ", EngineKind::Dense, ModelVariant::Quantized, FrameworkProfile::awq());
-        add("EAGLE", EngineKind::Speculative, ModelVariant::Dense, FrameworkProfile::eagle());
-        add("SpecEE (AR)", EngineKind::SpecEeAr(SchedulingMode::TwoLevel), ModelVariant::Dense, FrameworkProfile::hugging_face());
-        add("SpecEE (full)", EngineKind::SpecEeSpeculative, ModelVariant::Dense, FrameworkProfile::hugging_face());
-        add("SpecEE+AWQ", EngineKind::SpecEeSpeculative, ModelVariant::Quantized, FrameworkProfile::awq());
-        add("SpecEE+vllm", EngineKind::SpecEeSpeculative, ModelVariant::Dense, FrameworkProfile::vllm());
+        add(
+            "Baseline (HF)",
+            EngineKind::Dense,
+            ModelVariant::Dense,
+            FrameworkProfile::hugging_face(),
+        );
+        add(
+            "vllm",
+            EngineKind::Dense,
+            ModelVariant::Dense,
+            FrameworkProfile::vllm(),
+        );
+        add(
+            "AWQ",
+            EngineKind::Dense,
+            ModelVariant::Quantized,
+            FrameworkProfile::awq(),
+        );
+        add(
+            "EAGLE",
+            EngineKind::Speculative,
+            ModelVariant::Dense,
+            FrameworkProfile::eagle(),
+        );
+        add(
+            "SpecEE (AR)",
+            EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+            ModelVariant::Dense,
+            FrameworkProfile::hugging_face(),
+        );
+        add(
+            "SpecEE (full)",
+            EngineKind::SpecEeSpeculative,
+            ModelVariant::Dense,
+            FrameworkProfile::hugging_face(),
+        );
+        add(
+            "SpecEE+AWQ",
+            EngineKind::SpecEeSpeculative,
+            ModelVariant::Quantized,
+            FrameworkProfile::awq(),
+        );
+        add(
+            "SpecEE+vllm",
+            EngineKind::SpecEeSpeculative,
+            ModelVariant::Dense,
+            FrameworkProfile::vllm(),
+        );
     }
     let mut t = Table::new(vec!["engine", "normalized speedup", "normalized accuracy"]);
     for (name, speedup, acc) in &rows {
-        t.row(vec![name.clone(), format!("{speedup:.2}"), format!("{acc:.3}")]);
+        t.row(vec![
+            name.clone(),
+            format!("{speedup:.2}"),
+            format!("{acc:.3}"),
+        ]);
     }
     println!("paper: SpecEE points push the frontier right at ~constant accuracy");
     println!("{t}");

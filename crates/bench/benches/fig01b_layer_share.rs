@@ -5,7 +5,10 @@ use specee_bench::*;
 use specee_metrics::{report::fmt_pct, FrameworkProfile, HardwareProfile, Table};
 
 fn main() {
-    banner("fig01b_layer_share", "decoder-layer share of end-to-end time");
+    banner(
+        "fig01b_layer_share",
+        "decoder-layer share of end-to-end time",
+    );
     let ds = specee_synth::DatasetProfile::mt_bench();
     let seed = 7;
     let mut table = Table::new(vec!["model", "decoding", "decoder-layer share"]);
@@ -17,8 +20,16 @@ fn main() {
         let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
         let wl = workload(&cfg, &ds, request_count().min(2), seed);
         for (mode, kind, fw) in [
-            ("autoregressive", EngineKind::Dense, FrameworkProfile::hugging_face()),
-            ("speculative", EngineKind::Speculative, FrameworkProfile::eagle()),
+            (
+                "autoregressive",
+                EngineKind::Dense,
+                FrameworkProfile::hugging_face(),
+            ),
+            (
+                "speculative",
+                EngineKind::Speculative,
+                FrameworkProfile::eagle(),
+            ),
         ] {
             let run = run_engine(kind, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
             let cost = price(&run.stats.meter, HardwareProfile::a100_80g(), fw);

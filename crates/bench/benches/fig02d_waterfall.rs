@@ -7,7 +7,10 @@ use specee_core::SchedulingMode;
 use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
 
 fn main() {
-    banner("fig02d_waterfall", "technique waterfall (paper: 1.12x, 1.21x, 1.66x steps)");
+    banner(
+        "fig02d_waterfall",
+        "technique waterfall (paper: 1.12x, 1.21x, 1.66x steps)",
+    );
     let cfg = model_7b();
     let seed = 42;
     let n = request_count();
@@ -18,11 +21,23 @@ fn main() {
     let wl = workload(&cfg, &ds, n, seed);
     let steps = [
         ("HuggingFace", EngineKind::Dense),
-        ("+T1 (predictor)", EngineKind::SpecEeAr(SchedulingMode::AllLayers)),
-        ("+T2 (scheduling)", EngineKind::SpecEeAr(SchedulingMode::TwoLevel)),
+        (
+            "+T1 (predictor)",
+            EngineKind::SpecEeAr(SchedulingMode::AllLayers),
+        ),
+        (
+            "+T2 (scheduling)",
+            EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+        ),
         ("+T3 (hyper-token)", EngineKind::SpecEeSpeculative),
     ];
-    let mut table = Table::new(vec!["technique", "tokens/s", "step", "cumulative", "avg layers"]);
+    let mut table = Table::new(vec![
+        "technique",
+        "tokens/s",
+        "step",
+        "cumulative",
+        "avg layers",
+    ]);
     let mut prev = 0.0;
     let mut base = 0.0;
     for (name, kind) in steps {
@@ -46,7 +61,9 @@ fn main() {
         ]);
         prev = tps;
     }
-    println!("Cloud scenario: Llama2-7B @ A100, MT-Bench (paper: 42.3 -> 47.4 -> 57.4 -> 95.2 tok/s)");
+    println!(
+        "Cloud scenario: Llama2-7B @ A100, MT-Bench (paper: 42.3 -> 47.4 -> 57.4 -> 95.2 tok/s)"
+    );
     println!("{table}");
 
     // PC: SUM on the hybrid laptop, llama.cpp base.
@@ -81,6 +98,8 @@ fn main() {
         ]);
         prev = tps;
     }
-    println!("PC scenario: Llama2-7B @ Lenovo PC, SUM (paper: 5.63 -> 6.64 -> 8.29 -> 13.70 tok/s)");
+    println!(
+        "PC scenario: Llama2-7B @ Lenovo PC, SUM (paper: 5.63 -> 6.64 -> 8.29 -> 13.70 tok/s)"
+    );
     println!("{table}");
 }

@@ -9,7 +9,10 @@ use specee_metrics::Meter;
 use specee_model::{prefill, LayeredLm};
 
 fn main() {
-    banner("fig05_probability_shift", "per-layer candidate probabilities");
+    banner(
+        "fig05_probability_shift",
+        "per-layer candidate probabilities",
+    );
     let cfg = model_7b();
     let ds = specee_synth::DatasetProfile::qa();
     let mut lm = build_lm(&cfg, &ds, 11, ModelVariant::Dense);
@@ -25,12 +28,20 @@ fn main() {
     let mut good = vec![script.target];
     good.extend_from_slice(&script.distractors);
     // unsuccessful case: candidates exclude the target
-    let bad: Vec<u32> = script.distractors.iter().copied().chain([script.target + 1]).collect();
+    let bad: Vec<u32> = script
+        .distractors
+        .iter()
+        .copied()
+        .chain([script.target + 1])
+        .collect();
 
     let mut tr_good = FeatureTracker::new();
     let mut tr_bad = FeatureTracker::new();
     println!("saturation layer (scripted): {:.0}", script.sat);
-    println!("{:<6} {:>28} {:>28}", "layer", "p(target|in-candidates)", "max p(candidates, miss-case)");
+    println!(
+        "{:<6} {:>28} {:>28}",
+        "layer", "p(target|in-candidates)", "max p(candidates, miss-case)"
+    );
     for layer in 0..cfg.n_layers {
         h = lm.forward_layer(layer, &h, pos, &mut meter);
         let fg = tr_good.extract(&mut lm, &h, &good, &mut meter);

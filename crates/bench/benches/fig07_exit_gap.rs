@@ -8,7 +8,10 @@ use specee_core::SchedulingMode;
 use specee_metrics::{report::fmt_pct, Table};
 
 fn main() {
-    banner("fig07_exit_gap", "actual vs theoretical average forward layers");
+    banner(
+        "fig07_exit_gap",
+        "actual vs theoretical average forward layers",
+    );
     let seed = 19;
     for (model_name, cfg) in [("Llama2-7B", model_7b()), ("Llama2-13B", model_13b())] {
         let mut table = Table::new(vec![
@@ -24,9 +27,22 @@ fn main() {
             let wl = workload(&cfg, &ds, request_count().min(2), seed);
             let spec = run_engine(
                 EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
-                &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Dense,
+                &trained,
+                &wl,
             );
-            let ada = run_engine(EngineKind::AdaInfer, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+            let ada = run_engine(
+                EngineKind::AdaInfer,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Dense,
+                &trained,
+                &wl,
+            );
             let theory = trained.collection.theoretical_layers;
             table.row(vec![
                 ds.name.clone(),

@@ -23,7 +23,11 @@ fn main() {
             &mut bank,
             samples,
             1.0,
-            &TrainConfig { epochs: 12, lr: 3e-3, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 12,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
             11,
         );
         // execution time of one predictor forward (measured on this CPU)
@@ -44,16 +48,34 @@ fn main() {
 
     let mut t = Table::new(vec!["MLP layers", "hidden", "accuracy", "cpu time (us)"]);
     for layers in [1usize, 2, 3, 4] {
-        let (acc, us) = sweep(PredictorConfig { layers, hidden_dim: 512, ..PredictorConfig::default() });
-        t.row(vec![layers.to_string(), "512".into(), format!("{:.1}%", acc * 100.0), format!("{us:.2}")]);
+        let (acc, us) = sweep(PredictorConfig {
+            layers,
+            hidden_dim: 512,
+            ..PredictorConfig::default()
+        });
+        t.row(vec![
+            layers.to_string(),
+            "512".into(),
+            format!("{:.1}%", acc * 100.0),
+            format!("{us:.2}"),
+        ]);
     }
     println!("(a) layers sweep at hidden 512 (paper: accuracy flat ~93%, time grows with depth)");
     println!("{t}");
 
     let mut t = Table::new(vec!["MLP layers", "hidden", "accuracy", "cpu time (us)"]);
     for hidden in [64usize, 128, 256, 512, 1024] {
-        let (acc, us) = sweep(PredictorConfig { layers: 2, hidden_dim: hidden, ..PredictorConfig::default() });
-        t.row(vec!["2".into(), hidden.to_string(), format!("{:.1}%", acc * 100.0), format!("{us:.2}")]);
+        let (acc, us) = sweep(PredictorConfig {
+            layers: 2,
+            hidden_dim: hidden,
+            ..PredictorConfig::default()
+        });
+        t.row(vec![
+            "2".into(),
+            hidden.to_string(),
+            format!("{:.1}%", acc * 100.0),
+            format!("{us:.2}"),
+        ]);
     }
     println!("(b) hidden sweep at 2 layers (paper optimum: 2 layers x 512 hidden)");
     println!("{t}");

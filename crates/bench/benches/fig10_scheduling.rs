@@ -3,8 +3,8 @@
 //! fixed predictor budget while using only ~10 active layers.
 
 use specee_bench::*;
-use specee_core::scheduler::{OfflineScheduler, ScheduleEngine};
 use specee_core::engine::SpecEeEngine;
+use specee_core::scheduler::{OfflineScheduler, ScheduleEngine};
 use specee_core::{SchedulingMode, SpecEeConfig};
 use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
 use specee_tensor::rng::Pcg;
@@ -19,11 +19,24 @@ fn main() {
     let hw = HardwareProfile::a100_80g();
     let fw = FrameworkProfile::hugging_face();
 
-    let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+    let dense = run_engine(
+        EngineKind::Dense,
+        &cfg,
+        &ds,
+        seed,
+        ModelVariant::Dense,
+        &trained,
+        &wl,
+    );
     let base_tps = price(&dense.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
 
     // (b) fixed predictors at random positions
-    let mut table = Table::new(vec!["placement", "#predictors", "avg layers", "speedup vs HF"]);
+    let mut table = Table::new(vec![
+        "placement",
+        "#predictors",
+        "avg layers",
+        "speedup vs HF",
+    ]);
     for &n_pred in &[8usize, 10, 12, 16, 24] {
         // random positions
         let mut rng = Pcg::seed(seed ^ n_pred as u64);
@@ -34,14 +47,23 @@ fn main() {
             freq[l] = 1.0;
         }
         let offline = OfflineScheduler::from_frequencies(&freq, n_pred);
-        let config = SpecEeConfig { predictor: trained.predictor, ..SpecEeConfig::default() };
+        let config = SpecEeConfig {
+            predictor: trained.predictor,
+            ..SpecEeConfig::default()
+        };
         let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
         let draft = build_draft(&lm, &cfg, seed);
         let mut engine = SpecEeEngine::new(
-            lm, draft, trained.bank.clone(),
-            ScheduleEngine::offline_only(offline), config,
+            lm,
+            draft,
+            trained.bank.clone(),
+            ScheduleEngine::offline_only(offline),
+            config,
         );
-        let outs: Vec<_> = wl.iter().map(|r| engine.generate(&r.prompt, r.gen_len)).collect();
+        let outs: Vec<_> = wl
+            .iter()
+            .map(|r| engine.generate(&r.prompt, r.gen_len))
+            .collect();
         let stats = specee_core::RunStats::aggregate(&outs);
         let tps = price(&stats.meter, hw.clone(), fw.clone()).tokens_per_s();
         table.row(vec![
@@ -53,15 +75,25 @@ fn main() {
     }
     // frequency-ranked fixed placement
     for &n_pred in &[8usize, 10, 12, 16] {
-        let offline = OfflineScheduler::from_frequencies(&trained.collection.exit_frequencies, n_pred);
-        let config = SpecEeConfig { predictor: trained.predictor, ..SpecEeConfig::default() };
+        let offline =
+            OfflineScheduler::from_frequencies(&trained.collection.exit_frequencies, n_pred);
+        let config = SpecEeConfig {
+            predictor: trained.predictor,
+            ..SpecEeConfig::default()
+        };
         let lm = build_lm(&cfg, &ds, seed, ModelVariant::Dense);
         let draft = build_draft(&lm, &cfg, seed);
         let mut engine = SpecEeEngine::new(
-            lm, draft, trained.bank.clone(),
-            ScheduleEngine::offline_only(offline), config,
+            lm,
+            draft,
+            trained.bank.clone(),
+            ScheduleEngine::offline_only(offline),
+            config,
         );
-        let outs: Vec<_> = wl.iter().map(|r| engine.generate(&r.prompt, r.gen_len)).collect();
+        let outs: Vec<_> = wl
+            .iter()
+            .map(|r| engine.generate(&r.prompt, r.gen_len))
+            .collect();
         let stats = specee_core::RunStats::aggregate(&outs);
         let tps = price(&stats.meter, hw.clone(), fw.clone()).tokens_per_s();
         table.row(vec![
@@ -74,7 +106,12 @@ fn main() {
     // dynamic two-level
     let dynamic = run_engine(
         EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
-        &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+        &cfg,
+        &ds,
+        seed,
+        ModelVariant::Dense,
+        &trained,
+        &wl,
     );
     let tps = price(&dynamic.stats.meter, hw, fw).tokens_per_s();
     table.row(vec![

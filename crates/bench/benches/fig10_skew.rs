@@ -14,15 +14,26 @@ fn main() {
         let wl = workload(&cfg, &ds, request_count(), seed);
         let run = run_engine(
             EngineKind::SpecEeAr(SchedulingMode::AllLayers),
-            &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+            &cfg,
+            &ds,
+            seed,
+            ModelVariant::Dense,
+            &trained,
+            &wl,
         );
         let hist = &run.stats.layer_histogram;
         let total: u64 = hist.iter().sum();
         println!("\n{name}: measured exit-layer histogram ({total} tokens)");
         for (layer, &count) in hist.iter().enumerate() {
-            if count == 0 { continue; }
+            if count == 0 {
+                continue;
+            }
             let pct = count as f64 / total as f64;
-            println!("  layer {layer:>3}: {:>5.1}% {}", pct * 100.0, "#".repeat((pct * 120.0) as usize));
+            println!(
+                "  layer {layer:>3}: {:>5.1}% {}",
+                pct * 100.0,
+                "#".repeat((pct * 120.0) as usize)
+            );
         }
         let mut sorted: Vec<u64> = hist.clone();
         sorted.sort_unstable();

@@ -7,7 +7,10 @@ use specee_core::SchedulingMode;
 use specee_metrics::Table;
 
 fn main() {
-    banner("fig11_context_similarity", "exit-layer context similarity vs window N");
+    banner(
+        "fig11_context_similarity",
+        "exit-layer context similarity vs window N",
+    );
     let cfg = model_7b();
     let ds = specee_synth::DatasetProfile::mt_bench();
     let seed = 29;
@@ -15,7 +18,12 @@ fn main() {
     let wl = workload(&cfg, &ds, request_count(), seed);
     let run = run_engine(
         EngineKind::SpecEeAr(SchedulingMode::AllLayers),
-        &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+        &cfg,
+        &ds,
+        seed,
+        ModelVariant::Dense,
+        &trained,
+        &wl,
     );
     // exit layers across the whole stream, skipping full-depth misses
     let exits: Vec<i64> = run
@@ -24,7 +32,12 @@ fn main() {
         .flat_map(|o| o.exit_layers.iter().map(|&l| l as i64 - 1))
         .collect();
 
-    let mut table = Table::new(vec!["N", "actual hit ratio", "theoretical", "avg union layers"]);
+    let mut table = Table::new(vec![
+        "N",
+        "actual hit ratio",
+        "theoretical",
+        "avg union layers",
+    ]);
     for n in 1..=8usize {
         let (mut hits, mut total, mut union_sum) = (0usize, 0usize, 0usize);
         for i in n..exits.len() {

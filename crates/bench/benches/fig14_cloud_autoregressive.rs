@@ -5,23 +5,79 @@
 use specee_bench::*;
 use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
 
-fn panel(name: &str, cfg: &specee_model::ModelConfig, hw: &HardwareProfile, n_req: usize, paper: &str) {
+fn panel(
+    name: &str,
+    cfg: &specee_model::ModelConfig,
+    hw: &HardwareProfile,
+    n_req: usize,
+    paper: &str,
+) {
     let seed = 37;
     let mut table = Table::new(vec![
-        "dataset", "HF t/s", "SpecEE+HF", "x", "vllm t/s", "SpecEE+vllm", "x",
-        "AWQ t/s", "AWQ+SpecEE", "x",
+        "dataset",
+        "HF t/s",
+        "SpecEE+HF",
+        "x",
+        "vllm t/s",
+        "SpecEE+vllm",
+        "x",
+        "AWQ t/s",
+        "AWQ+SpecEE",
+        "x",
     ]);
     let mut sp = (Vec::new(), Vec::new(), Vec::new());
     for ds in specee_synth::DatasetProfile::speedup_set() {
         let trained = train_pipeline(cfg, &ds, seed, paper_predictor());
         let wl = workload(cfg, &ds, n_req, seed);
-        let dense = run_engine(EngineKind::Dense, cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
-        let dense_q = run_engine(EngineKind::Dense, cfg, &ds, seed, ModelVariant::Quantized, &trained, &wl);
-        let spec = run_engine(EngineKind::SpecEeSpeculative, cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
-        let spec_q = run_engine(EngineKind::SpecEeSpeculative, cfg, &ds, seed, ModelVariant::Quantized, &trained, &wl);
+        let dense = run_engine(
+            EngineKind::Dense,
+            cfg,
+            &ds,
+            seed,
+            ModelVariant::Dense,
+            &trained,
+            &wl,
+        );
+        let dense_q = run_engine(
+            EngineKind::Dense,
+            cfg,
+            &ds,
+            seed,
+            ModelVariant::Quantized,
+            &trained,
+            &wl,
+        );
+        let spec = run_engine(
+            EngineKind::SpecEeSpeculative,
+            cfg,
+            &ds,
+            seed,
+            ModelVariant::Dense,
+            &trained,
+            &wl,
+        );
+        let spec_q = run_engine(
+            EngineKind::SpecEeSpeculative,
+            cfg,
+            &ds,
+            seed,
+            ModelVariant::Quantized,
+            &trained,
+            &wl,
+        );
 
-        let hf = price(&dense.stats.meter, hw.clone(), FrameworkProfile::hugging_face()).tokens_per_s();
-        let hf_s = price(&spec.stats.meter, hw.clone(), FrameworkProfile::hugging_face()).tokens_per_s();
+        let hf = price(
+            &dense.stats.meter,
+            hw.clone(),
+            FrameworkProfile::hugging_face(),
+        )
+        .tokens_per_s();
+        let hf_s = price(
+            &spec.stats.meter,
+            hw.clone(),
+            FrameworkProfile::hugging_face(),
+        )
+        .tokens_per_s();
         let vl = price(&dense.stats.meter, hw.clone(), FrameworkProfile::vllm()).tokens_per_s();
         let vl_s = price(&spec.stats.meter, hw.clone(), FrameworkProfile::vllm()).tokens_per_s();
         let aw = price(&dense_q.stats.meter, hw.clone(), FrameworkProfile::awq()).tokens_per_s();
@@ -31,29 +87,65 @@ fn panel(name: &str, cfg: &specee_model::ModelConfig, hw: &HardwareProfile, n_re
         sp.2.push(aw_s / aw);
         table.row(vec![
             ds.name.clone(),
-            format!("{hf:.1}"), format!("{hf_s:.1}"), fmt_x(hf_s / hf),
-            format!("{vl:.1}"), format!("{vl_s:.1}"), fmt_x(vl_s / vl),
-            format!("{aw:.1}"), format!("{aw_s:.1}"), fmt_x(aw_s / aw),
+            format!("{hf:.1}"),
+            format!("{hf_s:.1}"),
+            fmt_x(hf_s / hf),
+            format!("{vl:.1}"),
+            format!("{vl_s:.1}"),
+            fmt_x(vl_s / vl),
+            format!("{aw:.1}"),
+            format!("{aw_s:.1}"),
+            fmt_x(aw_s / aw),
         ]);
     }
     table.row(vec![
-        "Geo.Mean".into(), String::new(), String::new(), fmt_x(geomean(&sp.0)),
-        String::new(), String::new(), fmt_x(geomean(&sp.1)),
-        String::new(), String::new(), fmt_x(geomean(&sp.2)),
+        "Geo.Mean".into(),
+        String::new(),
+        String::new(),
+        fmt_x(geomean(&sp.0)),
+        String::new(),
+        String::new(),
+        fmt_x(geomean(&sp.1)),
+        String::new(),
+        String::new(),
+        fmt_x(geomean(&sp.2)),
     ]);
     println!("\n{name}  ({paper})");
     println!("{table}");
 }
 
 fn main() {
-    banner("fig14_cloud_autoregressive", "cloud speedup/throughput, SpecEE vs HF/vllm/AWQ");
+    banner(
+        "fig14_cloud_autoregressive",
+        "cloud speedup/throughput, SpecEE vs HF/vllm/AWQ",
+    );
     let n = request_count();
-    panel("(a) Llama2-7B @ RTX 4090", &model_7b(), &HardwareProfile::rtx4090(), n,
-          "paper geomean: 1.43x HF, 1.12x vllm, 1.13x AWQ");
-    panel("(b) Llama2-7B @ A100", &model_7b(), &HardwareProfile::a100_80g(), n,
-          "paper geomean: 1.27x HF, 1.12x vllm, 1.09x AWQ; but 2.02-2.25x incl. T3 vs HF");
-    panel("(c) Llama2-13B @ A100", &model_13b(), &HardwareProfile::a100_80g(), n.min(2),
-          "paper geomean: 1.43x HF, 1.14x vllm, 1.12x AWQ");
-    panel("(d) Llama2-70B @ 4xA100", &model_70b(), &HardwareProfile::a100_80g(), 1,
-          "paper geomean: 1.23x HF, 1.12x vllm, 1.12x AWQ");
+    panel(
+        "(a) Llama2-7B @ RTX 4090",
+        &model_7b(),
+        &HardwareProfile::rtx4090(),
+        n,
+        "paper geomean: 1.43x HF, 1.12x vllm, 1.13x AWQ",
+    );
+    panel(
+        "(b) Llama2-7B @ A100",
+        &model_7b(),
+        &HardwareProfile::a100_80g(),
+        n,
+        "paper geomean: 1.27x HF, 1.12x vllm, 1.09x AWQ; but 2.02-2.25x incl. T3 vs HF",
+    );
+    panel(
+        "(c) Llama2-13B @ A100",
+        &model_13b(),
+        &HardwareProfile::a100_80g(),
+        n.min(2),
+        "paper geomean: 1.43x HF, 1.14x vllm, 1.12x AWQ",
+    );
+    panel(
+        "(d) Llama2-70B @ 4xA100",
+        &model_70b(),
+        &HardwareProfile::a100_80g(),
+        1,
+        "paper geomean: 1.23x HF, 1.12x vllm, 1.12x AWQ",
+    );
 }

@@ -9,16 +9,46 @@ fn main() {
     let seed = 41;
     let hw = HardwareProfile::a100_80g();
     for (name, cfg, paper) in [
-        ("Llama2-7B @ A100", model_7b(), "paper: 1.05x, SpecEE+EAGLE ~124.7 tok/s"),
-        ("Llama2-13B @ A100", model_13b(), "paper: 1.06x, SpecEE+EAGLE ~120.8 tok/s"),
+        (
+            "Llama2-7B @ A100",
+            model_7b(),
+            "paper: 1.05x, SpecEE+EAGLE ~124.7 tok/s",
+        ),
+        (
+            "Llama2-13B @ A100",
+            model_13b(),
+            "paper: 1.06x, SpecEE+EAGLE ~120.8 tok/s",
+        ),
     ] {
-        let mut table = Table::new(vec!["dataset", "EAGLE t/s", "SpecEE+EAGLE t/s", "speedup", "tok/round"]);
+        let mut table = Table::new(vec![
+            "dataset",
+            "EAGLE t/s",
+            "SpecEE+EAGLE t/s",
+            "speedup",
+            "tok/round",
+        ]);
         let mut speedups = Vec::new();
         for ds in specee_synth::DatasetProfile::speedup_set() {
             let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
             let wl = workload(&cfg, &ds, request_count().min(2), seed);
-            let eagle = run_engine(EngineKind::Speculative, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
-            let spec = run_engine(EngineKind::SpecEeSpeculative, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+            let eagle = run_engine(
+                EngineKind::Speculative,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Dense,
+                &trained,
+                &wl,
+            );
+            let spec = run_engine(
+                EngineKind::SpecEeSpeculative,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Dense,
+                &trained,
+                &wl,
+            );
             let e = price(&eagle.stats.meter, hw.clone(), FrameworkProfile::eagle()).tokens_per_s();
             let s = price(&spec.stats.meter, hw.clone(), FrameworkProfile::eagle()).tokens_per_s();
             speedups.push(s / e);
@@ -30,7 +60,13 @@ fn main() {
                 format!("{:.2}", spec.stats.tokens_per_round()),
             ]);
         }
-        table.row(vec!["Geo.Mean".into(), String::new(), String::new(), fmt_x(geomean(&speedups)), String::new()]);
+        table.row(vec![
+            "Geo.Mean".into(),
+            String::new(),
+            String::new(),
+            fmt_x(geomean(&speedups)),
+            String::new(),
+        ]);
         println!("\n{name}  ({paper})");
         println!("{table}");
     }

@@ -11,7 +11,13 @@ fn main() {
     let seed = 43;
     let hw = HardwareProfile::pc_hybrid(0.55);
     let mut table = Table::new(vec![
-        "dataset", "llama.cpp", "SpecEE+l.cpp", "x", "PowerInfer", "SpecEE+PI", "x",
+        "dataset",
+        "llama.cpp",
+        "SpecEE+l.cpp",
+        "x",
+        "PowerInfer",
+        "SpecEE+PI",
+        "x",
     ]);
     let (mut s1, mut s2) = (Vec::new(), Vec::new());
     for ds in specee_synth::DatasetProfile::pc_set() {
@@ -19,31 +25,82 @@ fn main() {
         let wl = workload(&cfg, &ds, request_count().min(2), seed);
         // llama.cpp: dense weights on the hybrid profile; PC runs use the
         // autoregressive SpecEE dataflow (llama.cpp has no tree decoding)
-        let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+        let dense = run_engine(
+            EngineKind::Dense,
+            &cfg,
+            &ds,
+            seed,
+            ModelVariant::Dense,
+            &trained,
+            &wl,
+        );
         let spec = run_engine(
             EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
-            &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+            &cfg,
+            &ds,
+            seed,
+            ModelVariant::Dense,
+            &trained,
+            &wl,
         );
-        let dense_sp = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Sparse, &trained, &wl);
+        let dense_sp = run_engine(
+            EngineKind::Dense,
+            &cfg,
+            &ds,
+            seed,
+            ModelVariant::Sparse,
+            &trained,
+            &wl,
+        );
         let spec_sp = run_engine(
             EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
-            &cfg, &ds, seed, ModelVariant::Sparse, &trained, &wl,
+            &cfg,
+            &ds,
+            seed,
+            ModelVariant::Sparse,
+            &trained,
+            &wl,
         );
-        let lc = price(&dense.stats.meter, hw.clone(), FrameworkProfile::llama_cpp()).tokens_per_s();
-        let lc_s = price(&spec.stats.meter, hw.clone(), FrameworkProfile::llama_cpp()).tokens_per_s();
-        let pi = price(&dense_sp.stats.meter, hw.clone(), FrameworkProfile::power_infer()).tokens_per_s();
-        let pi_s = price(&spec_sp.stats.meter, hw.clone(), FrameworkProfile::power_infer()).tokens_per_s();
+        let lc = price(
+            &dense.stats.meter,
+            hw.clone(),
+            FrameworkProfile::llama_cpp(),
+        )
+        .tokens_per_s();
+        let lc_s =
+            price(&spec.stats.meter, hw.clone(), FrameworkProfile::llama_cpp()).tokens_per_s();
+        let pi = price(
+            &dense_sp.stats.meter,
+            hw.clone(),
+            FrameworkProfile::power_infer(),
+        )
+        .tokens_per_s();
+        let pi_s = price(
+            &spec_sp.stats.meter,
+            hw.clone(),
+            FrameworkProfile::power_infer(),
+        )
+        .tokens_per_s();
         s1.push(lc_s / lc);
         s2.push(pi_s / pi);
         table.row(vec![
             ds.name.clone(),
-            format!("{lc:.2}"), format!("{lc_s:.2}"), fmt_x(lc_s / lc),
-            format!("{pi:.2}"), format!("{pi_s:.2}"), fmt_x(pi_s / pi),
+            format!("{lc:.2}"),
+            format!("{lc_s:.2}"),
+            fmt_x(lc_s / lc),
+            format!("{pi:.2}"),
+            format!("{pi_s:.2}"),
+            fmt_x(pi_s / pi),
         ]);
     }
     table.row(vec![
-        "Geo.Mean".into(), String::new(), String::new(), fmt_x(geomean(&s1)),
-        String::new(), String::new(), fmt_x(geomean(&s2)),
+        "Geo.Mean".into(),
+        String::new(),
+        String::new(),
+        fmt_x(geomean(&s1)),
+        String::new(),
+        String::new(),
+        fmt_x(geomean(&s2)),
     ]);
     println!("paper geomean: 1.25x llama.cpp (8.29 t/s), 1.15x PowerInfer (13.57 t/s)");
     println!("{table}");

@@ -24,7 +24,12 @@ fn main() {
         let draft_bytes = draft.modelled_bytes();
         let predictors = trained.bank.total_bytes() as f64;
 
-        let mut table = Table::new(vec!["generated tokens", "HF (GB)", "SpecEE (GB)", "delta (GB)"]);
+        let mut table = Table::new(vec![
+            "generated tokens",
+            "HF (GB)",
+            "SpecEE (GB)",
+            "delta (GB)",
+        ]);
         for toks in [0usize, 400, 800, 1600, 2400, 3200] {
             let kv = kv_per_token * toks as f64;
             let hf = (weights + kv) / 1e9;
@@ -36,14 +41,25 @@ fn main() {
                 format!("{:.2}", specee - hf),
             ]);
         }
-        println!("\n{name} ({paper}; predictors add only {:.0} KB)", predictors / 1024.0);
+        println!(
+            "\n{name} ({paper}; predictors add only {:.0} KB)",
+            predictors / 1024.0
+        );
         println!("{table}");
         // sanity: measured allocation trace grows with decoded tokens
         let wl = workload(&cfg, &ds, 1, seed);
         let run = run_engine(
             EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
-            &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+            &cfg,
+            &ds,
+            seed,
+            ModelVariant::Dense,
+            &trained,
+            &wl,
         );
-        println!("(engine decoded {} tokens; KV grows linearly as shown)", run.stats.tokens);
+        println!(
+            "(engine decoded {} tokens; KV grows linearly as shown)",
+            run.stats.tokens
+        );
     }
 }

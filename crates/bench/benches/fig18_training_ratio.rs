@@ -9,7 +9,10 @@ use specee_nn::TrainConfig;
 use specee_tensor::rng::Pcg;
 
 fn main() {
-    banner("fig18_training_ratio", "predictor accuracy vs training-set fraction");
+    banner(
+        "fig18_training_ratio",
+        "predictor accuracy vs training-set fraction",
+    );
     let ds = specee_synth::DatasetProfile::mt_bench();
     for (name, cfg) in [("Llama2-7B", model_7b()), ("Llama2-13B", model_13b())] {
         let trained = train_pipeline(&cfg, &ds, 3, paper_predictor());
@@ -18,8 +21,14 @@ fn main() {
         for frac in [0.01f64, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00] {
             let mut bank = PredictorBank::new(cfg.n_layers, &paper_predictor(), &mut Pcg::seed(5));
             let report = train_bank(
-                &mut bank, samples, frac,
-                &TrainConfig { epochs: 12, lr: 3e-3, ..TrainConfig::default() },
+                &mut bank,
+                samples,
+                frac,
+                &TrainConfig {
+                    epochs: 12,
+                    lr: 3e-3,
+                    ..TrainConfig::default()
+                },
                 7,
             );
             table.row(vec![

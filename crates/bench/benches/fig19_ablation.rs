@@ -6,7 +6,10 @@ use specee_core::SchedulingMode;
 use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
 
 fn main() {
-    banner("fig19_ablation", "T1 / T1+T2 / T1+T2+T3 speedups over HuggingFace");
+    banner(
+        "fig19_ablation",
+        "T1 / T1+T2 / T1+T2+T3 speedups over HuggingFace",
+    );
     let cfg = model_7b();
     let seed = 53;
     let hw = HardwareProfile::a100_80g();
@@ -16,7 +19,15 @@ fn main() {
     for ds in specee_synth::DatasetProfile::speedup_set() {
         let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
         let wl = workload(&cfg, &ds, request_count().min(2), seed);
-        let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+        let dense = run_engine(
+            EngineKind::Dense,
+            &cfg,
+            &ds,
+            seed,
+            ModelVariant::Dense,
+            &trained,
+            &wl,
+        );
         let base = price(&dense.stats.meter, hw.clone(), fw.clone()).tokens_per_s();
         let speedup = |kind| {
             let run = run_engine(kind, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);

@@ -16,13 +16,29 @@ fn main() {
     let hw = HardwareProfile::a100_80g();
     let fw = FrameworkProfile::hugging_face();
 
-    let mut table = Table::new(vec!["engine", "avg power (W)", "J/token", "energy efficiency"]);
-    let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+    let mut table = Table::new(vec![
+        "engine",
+        "avg power (W)",
+        "J/token",
+        "energy efficiency",
+    ]);
+    let dense = run_engine(
+        EngineKind::Dense,
+        &cfg,
+        &ds,
+        seed,
+        ModelVariant::Dense,
+        &trained,
+        &wl,
+    );
     let dc = price(&dense.stats.meter, hw.clone(), fw.clone());
     let base_jpt = dc.energy_j / dc.tokens as f64;
     for (name, kind) in [
         ("Dense (HF)", EngineKind::Dense),
-        ("SpecEE (AR)", EngineKind::SpecEeAr(SchedulingMode::TwoLevel)),
+        (
+            "SpecEE (AR)",
+            EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
+        ),
         ("SpecEE (full)", EngineKind::SpecEeSpeculative),
     ] {
         let run = run_engine(kind, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);

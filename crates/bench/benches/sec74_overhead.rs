@@ -18,26 +18,54 @@ fn main() {
     let draft = build_draft(&lm, &cfg, seed);
 
     let mut t = Table::new(vec!["component", "modelled size"]);
-    t.row(vec!["target model weights".into(), format!("{:.2} GB", lm.modelled_weight_bytes() / 1e9)]);
-    t.row(vec!["draft model (EAGLE head)".into(), format!("{:.2} GB", draft.modelled_bytes() / 1e9)]);
-    t.row(vec!["all layer predictors".into(), format!("{:.0} KB", trained.bank.total_bytes() as f64 / 1024.0)]);
+    t.row(vec![
+        "target model weights".into(),
+        format!("{:.2} GB", lm.modelled_weight_bytes() / 1e9),
+    ]);
+    t.row(vec![
+        "draft model (EAGLE head)".into(),
+        format!("{:.2} GB", draft.modelled_bytes() / 1e9),
+    ]);
+    t.row(vec![
+        "all layer predictors".into(),
+        format!("{:.0} KB", trained.bank.total_bytes() as f64 / 1024.0),
+    ]);
     println!("memory (paper: ~0.9 GB draft, ~416 KB predictors for Llama2-7B)");
     println!("{t}");
 
     let wl = workload(&cfg, &ds, request_count(), seed);
     let run = run_engine(
         EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
-        &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+        &cfg,
+        &ds,
+        seed,
+        ModelVariant::Dense,
+        &trained,
+        &wl,
     );
-    let cost = price(&run.stats.meter, HardwareProfile::a100_80g(), FrameworkProfile::hugging_face());
+    let cost = price(
+        &run.stats.meter,
+        HardwareProfile::a100_80g(),
+        FrameworkProfile::hugging_face(),
+    );
     let mut t = Table::new(vec!["share of latency", "value"]);
-    t.row(vec!["predictor ops".into(), fmt_pct(cost.share(OpKind::Predictor))]);
-    t.row(vec!["all SpecEE overhead (pred+slice+kv-fill)".into(),
-               fmt_pct(cost.specee_overhead_s() / cost.latency_s)]);
-    t.row(vec!["decoder layers".into(), fmt_pct(cost.decoder_layer_s() / cost.latency_s)]);
+    t.row(vec![
+        "predictor ops".into(),
+        fmt_pct(cost.share(OpKind::Predictor)),
+    ]);
+    t.row(vec![
+        "all SpecEE overhead (pred+slice+kv-fill)".into(),
+        fmt_pct(cost.specee_overhead_s() / cost.latency_s),
+    ]);
+    t.row(vec![
+        "decoder layers".into(),
+        fmt_pct(cost.decoder_layer_s() / cost.latency_s),
+    ]);
     println!("runtime (paper: predictors ~5.6% of inference latency)");
     println!("{t}");
-    println!("predictor calls/token: {:.1}  (dynamic active layers: {:.1})",
+    println!(
+        "predictor calls/token: {:.1}  (dynamic active layers: {:.1})",
         run.stats.predictor_calls as f64 / run.stats.tokens as f64,
-        run.avg_active_predictors.unwrap_or(0.0));
+        run.avg_active_predictors.unwrap_or(0.0)
+    );
 }

@@ -42,24 +42,14 @@ fn main() {
     // (name, engine, modelled extra memory at 7B scale, training cost)
     let rows: Vec<(&str, EngineKind, &str, &str)> = vec![
         ("Dense", EngineKind::Dense, "0", "none"),
-        (
-            "AdaInfer",
-            EngineKind::AdaInfer,
-            "~KB (SVMs)",
-            "low (SVMs)",
-        ),
+        ("AdaInfer", EngineKind::AdaInfer, "~KB (SVMs)", "low (SVMs)"),
         (
             "RAEE",
             EngineKind::Raee,
             ">GB (retrieval DB)",
             "low (DB build)",
         ),
-        (
-            "CALM-conf",
-            EngineKind::Calm,
-            "0",
-            "none (threshold)",
-        ),
+        ("CALM-conf", EngineKind::Calm, "0", "none (threshold)"),
         (
             "MoD",
             EngineKind::MoD,
@@ -100,9 +90,8 @@ fn main() {
         // Prediction cost: everything that exists only to decide the exit.
         // For AdaInfer/CALM that is the per-layer full-LM-head reads beyond
         // the one the dense decode needs per token.
-        let lm_head_extra = (cost.share(OpKind::LmHeadFull)
-            - dense_cost.share(OpKind::LmHeadFull))
-        .max(0.0);
+        let lm_head_extra =
+            (cost.share(OpKind::LmHeadFull) - dense_cost.share(OpKind::LmHeadFull)).max(0.0);
         let pred_share = cost.share(OpKind::Predictor)
             + cost.share(OpKind::LmHeadSlice)
             + cost.share(OpKind::Draft)

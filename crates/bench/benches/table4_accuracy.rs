@@ -18,22 +18,61 @@ fn main() {
         ("Llama2-70B (80 layers)", model_70b(), 1usize),
     ] {
         let mut table = Table::new(vec![
-            "dataset", "engine", "acc (scaled)", "PPL", "avg layers", "agreement",
+            "dataset",
+            "engine",
+            "acc (scaled)",
+            "PPL",
+            "avg layers",
+            "agreement",
         ]);
         for ds in specee_synth::DatasetProfile::accuracy_set() {
             let trained = train_pipeline(&cfg, &ds, seed, paper_predictor());
             let wl = workload(&cfg, &ds, n_req, seed);
-            let dense = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
-            let dense_q = run_engine(EngineKind::Dense, &cfg, &ds, seed, ModelVariant::Quantized, &trained, &wl);
+            let dense = run_engine(
+                EngineKind::Dense,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Dense,
+                &trained,
+                &wl,
+            );
+            let dense_q = run_engine(
+                EngineKind::Dense,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Quantized,
+                &trained,
+                &wl,
+            );
             let spec = run_engine(
                 EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
-                &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Dense,
+                &trained,
+                &wl,
             );
             let spec_q = run_engine(
                 EngineKind::SpecEeAr(SchedulingMode::TwoLevel),
-                &cfg, &ds, seed, ModelVariant::Quantized, &trained, &wl,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Quantized,
+                &trained,
+                &wl,
             );
-            let ada = run_engine(EngineKind::AdaInfer, &cfg, &ds, seed, ModelVariant::Dense, &trained, &wl);
+            let ada = run_engine(
+                EngineKind::AdaInfer,
+                &cfg,
+                &ds,
+                seed,
+                ModelVariant::Dense,
+                &trained,
+                &wl,
+            );
             let fmt_acc = |agr: f64| match reported_accuracy(&ds, agr) {
                 Some(a) => format!("{a:.2}"),
                 None => "-".to_string(),

@@ -10,19 +10,21 @@
 //! 4. price the recorded op trace for the paper's hardware/framework
 //!    combination ([`price`]) and print the paper's rows.
 
+#![deny(missing_docs)]
+
 use specee_core::baselines::{collect_adainfer_data, AdaInferEngine, RaeeEngine};
 use specee_core::collect::{collect_training_data, train_bank, CollectionReport};
-use specee_core::skip_layer::{
-    calibrate_calm_threshold, collect_router_data, CalmEngine, DLlmEngine, MoDEngine,
-};
 use specee_core::engine::{DenseEngine, SpecEeEngine, SpeculativeEngine};
 use specee_core::output::{agreement, GenOutput, RunStats};
 use specee_core::predictor::{PredictorBank, PredictorConfig};
+use specee_core::skip_layer::{
+    calibrate_calm_threshold, collect_router_data, CalmEngine, DLlmEngine, MoDEngine,
+};
 use specee_core::{SchedulingMode, SpecEeConfig};
 use specee_metrics::{CostReport, FrameworkProfile, HardwareProfile, Meter, Roofline};
 use specee_model::{prefill, KvLayout, LayeredLm, ModelConfig, TokenId};
-use specee_serve::{PoissonArrivals, RequestTrace, ServeRequest};
 use specee_nn::TrainConfig;
+use specee_serve::{PoissonArrivals, RequestTrace, ServeRequest};
 use specee_synth::{
     generate_workload, DatasetProfile, OracleDraft, Request, SyntheticLm, SyntheticLmBuilder,
 };
@@ -55,7 +57,9 @@ pub fn build_lm(
             cfg.cost = Some(cost.with_weight_bits(4));
         }
     }
-    let mut lm = SyntheticLmBuilder::new(cfg, profile.clone()).seed(seed).build();
+    let mut lm = SyntheticLmBuilder::new(cfg, profile.clone())
+        .seed(seed)
+        .build();
     match variant {
         ModelVariant::Dense => {}
         ModelVariant::Paged => lm
@@ -104,7 +108,10 @@ pub fn train_pipeline(
     let prompts: Vec<(Vec<TokenId>, usize)> = (0..TRAIN_PROMPTS)
         .map(|i| {
             let start = (seed as u32 + i as u32 * 7) % cfg.vocab_size as u32;
-            (lang.sample_sequence(start, 12, seed ^ (i as u64)), TRAIN_GEN)
+            (
+                lang.sample_sequence(start, 12, seed ^ (i as u64)),
+                TRAIN_GEN,
+            )
         })
         .collect();
     let collection = collect_training_data(&mut lm, &mut draft, &prompts, predictor.spec_k);
@@ -334,7 +341,10 @@ pub fn train_prompt_set(
     (0..TRAIN_PROMPTS)
         .map(|i| {
             let start = (seed as u32 + i as u32 * 7) % cfg.vocab_size as u32;
-            (lang.sample_sequence(start, 12, seed ^ (i as u64)), TRAIN_GEN)
+            (
+                lang.sample_sequence(start, 12, seed ^ (i as u64)),
+                TRAIN_GEN,
+            )
         })
         .collect()
 }

@@ -245,8 +245,9 @@ impl<M: LayeredLm> RaeeEngine<M> {
 
     fn lookup(&self, ctx: &[TokenId]) -> usize {
         match self.db.get(&bigram_key(ctx)) {
-            Some((sum, n)) if *n > 0 => ((sum / *n as f64).round() as usize)
-                .clamp(1, self.default_layer),
+            Some((sum, n)) if *n > 0 => {
+                ((sum / *n as f64).round() as usize).clamp(1, self.default_layer)
+            }
             _ => self.default_layer,
         }
     }
@@ -371,7 +372,10 @@ mod tests {
         assert_eq!(out.tokens.len(), 10);
         // most tokens exit at the retrieved depth (5) or full depth default
         assert!(out.exit_layers.iter().all(|&l| l == 5 || l == 8));
-        assert!(out.meter.kind(OpKind::Other).kernels > 0, "retrieval metered");
+        assert!(
+            out.meter.kind(OpKind::Other).kernels > 0,
+            "retrieval metered"
+        );
     }
 
     #[test]

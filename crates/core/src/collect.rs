@@ -181,8 +181,12 @@ pub fn train_bank(
         }
         rng.shuffle(data);
         let test_cut = (data.len() as f64 * 0.2).ceil() as usize;
-        let (test, pool) = data.split_at(test_cut.min(data.len().saturating_sub(1)).max(1).min(data.len()))
-            ;
+        let (test, pool) = data.split_at(
+            test_cut
+                .min(data.len().saturating_sub(1))
+                .max(1)
+                .min(data.len()),
+        );
         let take = ((pool.len() as f64) * fraction).ceil() as usize;
         let train_set = &pool[..take.clamp(1.min(pool.len()), pool.len())];
         if train_set.is_empty() {
@@ -199,7 +203,11 @@ pub fn train_bank(
     }
     BankTrainingReport {
         layer_accuracy,
-        mean_accuracy: if acc_n == 0 { 0.0 } else { acc_sum / acc_n as f64 },
+        mean_accuracy: if acc_n == 0 {
+            0.0
+        } else {
+            acc_sum / acc_n as f64
+        },
         samples_used: used,
     }
 }
@@ -251,8 +259,9 @@ mod tests {
     #[test]
     fn trained_bank_beats_chance() {
         let (mut lm, mut draft) = setup();
-        let prompts: Vec<(Vec<TokenId>, usize)> =
-            (0..6).map(|i| (vec![1 + i, 2 + i, 3 + i], 10usize)).collect();
+        let prompts: Vec<(Vec<TokenId>, usize)> = (0..6)
+            .map(|i| (vec![1 + i, 2 + i, 3 + i], 10usize))
+            .collect();
         let report = collect_training_data(&mut lm, &mut draft, &prompts, 4);
         let pcfg = PredictorConfig {
             hidden_dim: 32,

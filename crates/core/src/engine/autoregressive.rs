@@ -200,8 +200,9 @@ mod tests {
     fn trained_engine(seed: u64, mode: SchedulingMode) -> SpecEeEngine<SyntheticLm, OracleDraft> {
         let mut lm = build_lm(seed);
         let mut draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), 21);
-        let prompts: Vec<(Vec<TokenId>, usize)> =
-            (0..16).map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], 14usize)).collect();
+        let prompts: Vec<(Vec<TokenId>, usize)> = (0..16)
+            .map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], 14usize))
+            .collect();
         let report = collect_training_data(&mut lm, &mut draft, &prompts, 4);
         let pcfg = PredictorConfig {
             hidden_dim: 32,

@@ -19,9 +19,9 @@ use crate::config::SpecEeConfig;
 use crate::features::FeatureTracker;
 use crate::mapping::TreeExitState;
 use crate::output::GenOutput;
-use crate::verify::verify_exit;
 use crate::predictor::PredictorBank;
 use crate::scheduler::ScheduleEngine;
+use crate::verify::verify_exit;
 
 /// Speculative decoding engine; `bank = None` is the EAGLE baseline,
 /// `Some(bank)` with `config.tree_early_exit` is SpecEE+EAGLE.
@@ -163,7 +163,9 @@ impl<M: LayeredLm, D: SpeculativeSource> SpeculativeEngine<M, D> {
                 node_cands.push(self.draft.cached_candidates(&path_ctx, spec_k, &mut meter));
             }
 
-            let mut hs = self.model.begin_tree(&node_tokens, &node_parents, &mut meter);
+            let mut hs = self
+                .model
+                .begin_tree(&node_tokens, &node_parents, &mut meter);
             let mut kvs = Vec::with_capacity(n_layers);
             let mut exit_state = TreeExitState::new(&node_parents);
             let mut trackers: Vec<FeatureTracker> = vec![FeatureTracker::new(); n_nodes];
@@ -189,9 +191,9 @@ impl<M: LayeredLm, D: SpeculativeSource> SpeculativeEngine<M, D> {
                 let h_refs: Vec<&[f32]> = pending.iter().map(|&i| hs[i].as_slice()).collect();
                 let cand_refs: Vec<&[TokenId]> =
                     pending.iter().map(|&i| node_cands[i].as_slice()).collect();
-                let logits_per_node =
-                    self.model
-                        .grouped_slice_logits(&h_refs, &cand_refs, &mut meter);
+                let logits_per_node = self
+                    .model
+                    .grouped_slice_logits(&h_refs, &cand_refs, &mut meter);
                 let feats: Vec<_> = pending
                     .iter()
                     .zip(logits_per_node)
@@ -216,15 +218,13 @@ impl<M: LayeredLm, D: SpeculativeSource> SpeculativeEngine<M, D> {
                     let fulls = self.model.final_logits_batch(&hs, &mut meter);
                     verify_calls += 1;
                     let trusted = |j: usize| {
-                        exit_state.fired(j)
-                            && verify_exit(&fulls[j], &node_cands[j]).is_some()
+                        exit_state.fired(j) && verify_exit(&fulls[j], &node_cands[j]).is_some()
                     };
                     if trusted(0) {
                         let mut cur = 0usize;
                         let mut complete = true;
                         loop {
-                            let pred =
-                                ops::argmax(&fulls[cur]).expect("logits") as TokenId;
+                            let pred = ops::argmax(&fulls[cur]).expect("logits") as TokenId;
                             match children[cur].iter().find(|&&j| node_tokens[j] == pred) {
                                 Some(&j) if trusted(j) => cur = j,
                                 Some(_) => {
@@ -308,8 +308,7 @@ impl<M: LayeredLm, D: SpeculativeSource> SpeculativeEngine<M, D> {
                     );
                 }
             }
-            let accepted_tokens: Vec<TokenId> =
-                accepted.iter().map(|&i| node_tokens[i]).collect();
+            let accepted_tokens: Vec<TokenId> = accepted.iter().map(|&i| node_tokens[i]).collect();
             self.model.accept_tokens(&accepted_tokens);
             ctx.extend_from_slice(&accepted_tokens);
 
@@ -403,8 +402,9 @@ mod tests {
         // train a bank on collected data
         let mut lm = build_lm(47);
         let mut draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), 5);
-        let prompts: Vec<(Vec<TokenId>, usize)> =
-            (0..16).map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], 14usize)).collect();
+        let prompts: Vec<(Vec<TokenId>, usize)> = (0..16)
+            .map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], 14usize))
+            .collect();
         let report = collect_training_data(&mut lm, &mut draft, &prompts, 4);
         let pcfg = PredictorConfig {
             hidden_dim: 32,

@@ -48,6 +48,8 @@
 //! assert_eq!(out.tokens.len(), 8);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod baselines;
 pub mod collect;
 pub mod config;

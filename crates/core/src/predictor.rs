@@ -283,7 +283,10 @@ mod tests {
         let cfg = PredictorConfig::default();
         let bank = PredictorBank::new(32, &cfg, &mut Pcg::seed(2));
         let kb = bank.total_bytes() as f64 / 1024.0;
-        assert!((700.0..900.0).contains(&kb) || (350.0..500.0).contains(&kb), "{kb} KB");
+        assert!(
+            (700.0..900.0).contains(&kb) || (350.0..500.0).contains(&kb),
+            "{kb} KB"
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! The paper positions SpecEE against two families beyond AdaInfer/RAEE:
 //!
-//! * **Skip layer** — MoD [35] routes tokens *around* individual blocks
-//!   with a learned router under a capacity budget; D-LLM [45] places a
+//! * **Skip layer** — MoD \[35\] routes tokens *around* individual blocks
+//!   with a learned router under a capacity budget; D-LLM \[45\] places a
 //!   dynamic decision gate before every layer. Both are "light prediction,
 //!   low latency" but "high training" in Table 1: the real methods
 //!   fine-tune the LLM jointly with the routers. Our routers are trained
@@ -535,7 +535,9 @@ mod tests {
     }
 
     fn train_prompts() -> Vec<(Vec<TokenId>, usize)> {
-        (0..12u32).map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], 12usize)).collect()
+        (0..12u32)
+            .map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], 12usize))
+            .collect()
     }
 
     #[test]

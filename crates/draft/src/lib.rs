@@ -8,6 +8,8 @@
 //! scale of the EAGLE draft head (≈ one target decoder layer, §7.4.2). The
 //! oracle draft with a calibrated hit rate lives in `specee-synth`.
 
+#![deny(missing_docs)]
+
 pub mod model;
 pub mod source;
 pub mod tree;

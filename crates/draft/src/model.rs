@@ -1,9 +1,7 @@
 //! A real single-layer transformer draft model (EAGLE stand-in).
 
 use specee_metrics::Meter;
-use specee_model::{
-    prefill, LayeredLm, ModelConfig, OpScale, TokenId, Transformer,
-};
+use specee_model::{prefill, LayeredLm, ModelConfig, OpScale, TokenId, Transformer};
 use specee_tensor::{ops, rng::Pcg};
 
 use crate::source::SpeculativeSource;
@@ -99,14 +97,16 @@ impl DraftModel {
             self.last_hidden = prefill(&mut self.inner, tail, &mut scratch);
             self.mirror.extend_from_slice(tail);
             for _ in tail {
-                self.target_scale.record_draft_forward(meter, self.mirror.len());
+                self.target_scale
+                    .record_draft_forward(meter, self.mirror.len());
             }
         }
     }
 
     fn logits_of_last(&mut self) -> Vec<f32> {
         let mut scratch = Meter::new();
-        self.inner.final_logits(&self.last_hidden.clone(), &mut scratch)
+        self.inner
+            .final_logits(&self.last_hidden.clone(), &mut scratch)
     }
 }
 
@@ -149,7 +149,8 @@ impl SpeculativeSource for DraftModel {
             let (outs, _kv) = self
                 .inner
                 .forward_layer_tree(0, &hs, &parents, &mut scratch);
-            self.target_scale.record_draft_forward(meter, self.mirror.len() + tree.len());
+            self.target_scale
+                .record_draft_forward(meter, self.mirror.len() + tree.len());
             let mut next_frontier = Vec::new();
             for &node in &frontier {
                 let logits = self.inner.final_logits(&outs[node], &mut scratch);

@@ -18,7 +18,10 @@ impl TreeShape {
     /// Panics if any level has zero branching or the shape is empty.
     pub fn new(branching: Vec<usize>) -> Self {
         assert!(!branching.is_empty(), "tree must have at least one level");
-        assert!(branching.iter().all(|&b| b > 0), "branching must be positive");
+        assert!(
+            branching.iter().all(|&b| b > 0),
+            "branching must be positive"
+        );
         TreeShape { branching }
     }
 

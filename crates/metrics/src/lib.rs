@@ -22,6 +22,8 @@
 //! assert!(report.latency_s > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod hardware;
 pub mod meter;
 pub mod report;

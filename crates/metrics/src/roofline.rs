@@ -98,7 +98,10 @@ pub struct Roofline {
 impl Roofline {
     /// A roofline for bare device execution.
     pub fn new(hw: HardwareProfile) -> Self {
-        Roofline { hw, framework: None }
+        Roofline {
+            hw,
+            framework: None,
+        }
     }
 
     /// A roofline including a framework's host overhead.
@@ -118,10 +121,7 @@ impl Roofline {
     pub fn op_latency(&self, flops: f64, bytes: f64, kernels: u64) -> f64 {
         let compute = flops / self.hw.peak_flops;
         let memory = bytes / self.hw.mem_bw;
-        let launch_mult = self
-            .framework
-            .as_ref()
-            .map_or(1.0, |f| f.launch_multiplier);
+        let launch_mult = self.framework.as_ref().map_or(1.0, |f| f.launch_multiplier);
         compute.max(memory) + kernels as f64 * self.hw.launch_overhead_s * launch_mult
     }
 
@@ -189,7 +189,7 @@ mod tests {
     fn compute_bound_op_priced_by_flops() {
         let hw = HardwareProfile::a100_80g();
         let r = Roofline::new(hw.clone());
-        let m = meter_with(OpKind::Attention, 1.0e15, 8.0, );
+        let m = meter_with(OpKind::Attention, 1.0e15, 8.0);
         let report = r.cost(&m);
         let expected = 1.0e15 / hw.peak_flops + hw.launch_overhead_s;
         assert!((report.latency_s - expected).abs() / expected < 1e-9);

@@ -43,9 +43,7 @@ fn attend_one_head(
     let offset = head * head_dim;
     let mut scores: Vec<f32> = keys
         .iter()
-        .map(|k| {
-            specee_tensor::matrix::dot(q_head, &k[offset..offset + head_dim]) * hd_scale
-        })
+        .map(|k| specee_tensor::matrix::dot(q_head, &k[offset..offset + head_dim]) * hd_scale)
         .collect();
     specee_tensor::ops::softmax_inplace(&mut scores);
     for (s, v) in scores.iter().zip(values.iter()) {

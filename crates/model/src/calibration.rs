@@ -20,7 +20,7 @@ use crate::transformer::Transformer;
 /// statistics, bounded memory for long calibration runs.
 pub const TAP_SAMPLE_CAP: usize = 256;
 
-/// Recorded per-site activations ([layer][sample][channel]).
+/// Recorded per-site activations (`[layer][sample][channel]`).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ActivationTap {
     /// Inputs to `wq`/`wk`/`wv` (post attention-norm), per layer.
@@ -130,7 +130,9 @@ mod tests {
     }
 
     fn prompts() -> Vec<Vec<TokenId>> {
-        (0..4u32).map(|i| vec![1 + i, 5 + i, 9 + i, 2 + i]).collect()
+        (0..4u32)
+            .map(|i| vec![1 + i, 5 + i, 9 + i, 2 + i])
+            .collect()
     }
 
     #[test]

@@ -285,7 +285,10 @@ mod tests {
         let gb = CostDims::llama2_7b().weight_bytes_total() / 1e9;
         assert!((12.0..15.5).contains(&gb), "7B weights {gb} GB");
         // int4 shrinks ~4x.
-        let gb4 = CostDims::llama2_7b().with_weight_bits(4).weight_bytes_total() / 1e9;
+        let gb4 = CostDims::llama2_7b()
+            .with_weight_bits(4)
+            .weight_bytes_total()
+            / 1e9;
         assert!(gb4 < gb / 3.5, "int4 {gb4} GB");
     }
 

@@ -183,6 +183,13 @@ mod tests {
         let mut rng = Pcg::seed(24);
         let router = FfnRouter::random(cfg.hidden_dim, cfg.ffn_dim, 4, &mut rng);
         let mut meter = Meter::new();
-        ffn_forward_sparse(&w, &router, 0.0, &scale, &vec![0.0; cfg.hidden_dim], &mut meter);
+        ffn_forward_sparse(
+            &w,
+            &router,
+            0.0,
+            &scale,
+            &vec![0.0; cfg.hidden_dim],
+            &mut meter,
+        );
     }
 }

@@ -26,6 +26,8 @@
 //! assert_eq!(logits.len(), model.config().vocab_size);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod attention;
 pub mod calibration;
 pub mod config;

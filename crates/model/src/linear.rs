@@ -42,9 +42,7 @@ impl LinearOp {
     pub fn awq_quantized(m: &Matrix, bits: QuantBits, activations: &[Vec<f32>]) -> Self {
         let group = 32.min(m.cols());
         let calib = AwqCalibration::from_activations(activations);
-        LinearOp::Awq(
-            AwqMatrix::quantize(m, &calib, bits, group, activations).expect("pow2 dims"),
-        )
+        LinearOp::Awq(AwqMatrix::quantize(m, &calib, bits, group, activations).expect("pow2 dims"))
     }
 
     /// Output rows.

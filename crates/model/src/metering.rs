@@ -2,7 +2,8 @@
 //!
 //! Each executed operation calls one of these helpers with the number of
 //! context positions etc. it actually touched; the helper prices the op at
-//! the [`CostDims`] twin (or the executed dims when no twin is set) and
+//! the [`CostDims`](crate::config::CostDims) twin (or the executed dims
+//! when no twin is set) and
 //! records it in the [`Meter`]. Activations and KV-cache entries are priced
 //! at f16 (2 bytes) as on the paper's GPUs.
 
@@ -103,8 +104,7 @@ impl OpScale {
     pub fn record_ffn_tree(&self, meter: &mut Meter, n_nodes: usize) {
         let n = n_nodes as f64;
         let flops = (6.0 * self.hidden * self.ffn + self.ffn) * n;
-        let bytes =
-            3.0 * self.hidden * self.ffn * self.wbytes + 4.0 * self.hidden * ACT_BYTES * n;
+        let bytes = 3.0 * self.hidden * self.ffn * self.wbytes + 4.0 * self.hidden * ACT_BYTES * n;
         meter.record(OpKind::Ffn, flops, bytes, 3);
     }
 
@@ -141,7 +141,12 @@ impl OpScale {
     /// Records the batched norms of a tree layer.
     pub fn record_norms_tree(&self, meter: &mut Meter, n_nodes: usize) {
         let n = n_nodes as f64;
-        meter.record(OpKind::Norm, 8.0 * self.hidden * n, 4.0 * self.hidden * ACT_BYTES * n, 2);
+        meter.record(
+            OpKind::Norm,
+            8.0 * self.hidden * n,
+            4.0 * self.hidden * ACT_BYTES * n,
+            2,
+        );
     }
 
     /// Records a dense gated-FFN block.
@@ -203,7 +208,12 @@ impl OpScale {
 
     /// Records a softmax/sampling step over the vocabulary.
     pub fn record_sampling(&self, meter: &mut Meter) {
-        meter.record(OpKind::Sampling, 3.0 * self.vocab, self.vocab * ACT_BYTES, 1);
+        meter.record(
+            OpKind::Sampling,
+            3.0 * self.vocab,
+            self.vocab * ACT_BYTES,
+            1,
+        );
     }
 
     /// Records one draft-model forward: one decoder layer plus its LM head
@@ -213,8 +223,8 @@ impl OpScale {
         let kv = self.kv_dim;
         let n = kv_len as f64;
         let layer_flops = 4.0 * h * h + 4.0 * h * kv + 4.0 * n * h + 6.0 * h * self.ffn;
-        let layer_bytes =
-            (2.0 * h * h + 2.0 * h * kv + 3.0 * h * self.ffn) * self.wbytes + 2.0 * n * kv * ACT_BYTES;
+        let layer_bytes = (2.0 * h * h + 2.0 * h * kv + 3.0 * h * self.ffn) * self.wbytes
+            + 2.0 * n * kv * ACT_BYTES;
         let head_flops = 2.0 * h * self.vocab;
         let head_bytes = h * self.vocab * self.wbytes;
         meter.record(
@@ -265,7 +275,8 @@ mod tests {
     #[test]
     fn quantized_twin_reduces_bytes_not_flops() {
         let cfg16 = ModelConfig::sim_llama2_7b();
-        let cfg4 = ModelConfig::sim_llama2_7b().with_cost(CostDims::llama2_7b().with_weight_bits(4));
+        let cfg4 =
+            ModelConfig::sim_llama2_7b().with_cost(CostDims::llama2_7b().with_weight_bits(4));
         let (s16, s4) = (OpScale::of(&cfg16), OpScale::of(&cfg4));
         let mut m16 = Meter::new();
         s16.record_ffn(&mut m16);

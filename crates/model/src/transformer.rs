@@ -6,7 +6,9 @@ use specee_tensor::{ops, rng::Pcg, QuantBits};
 use crate::attention::{attention_forward, attention_forward_tree, TreeKv};
 use crate::calibration::ActivationTap;
 use crate::config::{ModelConfig, TokenId};
-use crate::ffn::{ffn_apply, ffn_apply_sparse, ffn_forward, ffn_forward_sparse, FfnMode, FfnRouter};
+use crate::ffn::{
+    ffn_apply, ffn_apply_sparse, ffn_forward, ffn_forward_sparse, FfnMode, FfnRouter,
+};
 use crate::kv::{KvCache, KvLayout, SkipKvPolicy};
 use crate::linear::LinearOp;
 use crate::metering::OpScale;
@@ -79,7 +81,14 @@ impl Transformer {
     /// creating one router per layer.
     pub fn enable_sparse_ffn(&mut self, active_frac: f32, router_rank: usize, rng: &mut Pcg) {
         self.routers = (0..self.config.n_layers)
-            .map(|_| FfnRouter::random(self.config.hidden_dim, self.config.ffn_dim, router_rank, rng))
+            .map(|_| {
+                FfnRouter::random(
+                    self.config.hidden_dim,
+                    self.config.ffn_dim,
+                    router_rank,
+                    rng,
+                )
+            })
             .collect();
         self.ffn_mode = FfnMode::Sparse {
             active_frac,
@@ -265,12 +274,10 @@ impl LayeredLm for Transformer {
             FfnMode::Sparse {
                 active_frac,
                 router_rank,
-            } => self.scale.record_ffn_sparse_tree(
-                meter,
-                hs.len(),
-                active_frac as f64,
-                router_rank,
-            ),
+            } => {
+                self.scale
+                    .record_ffn_sparse_tree(meter, hs.len(), active_frac as f64, router_rank)
+            }
         }
         self.scale.record_norms_tree(meter, hs.len());
         (outs, tree_kv)
@@ -395,7 +402,11 @@ impl LayeredLm for Transformer {
 /// # Panics
 ///
 /// Panics if `prompt` is empty.
-pub fn prefill<M: LayeredLm + ?Sized>(model: &mut M, prompt: &[TokenId], meter: &mut Meter) -> Vec<f32> {
+pub fn prefill<M: LayeredLm + ?Sized>(
+    model: &mut M,
+    prompt: &[TokenId],
+    meter: &mut Meter,
+) -> Vec<f32> {
     assert!(!prompt.is_empty(), "prompt must be non-empty");
     let n_layers = model.config().n_layers;
     let mut last_hidden = Vec::new();

@@ -149,7 +149,11 @@ mod tests {
             let fp: f32 = d.forward(&xp).iter().sum();
             let fm: f32 = d.forward(&xm).iter().sum();
             let numeric = (fp - fm) / (2.0 * eps);
-            assert!((dx[i] - numeric).abs() < 1e-2, "dx[{i}] {} vs {numeric}", dx[i]);
+            assert!(
+                (dx[i] - numeric).abs() < 1e-2,
+                "dx[{i}] {} vs {numeric}",
+                dx[i]
+            );
         }
         // weight gradient of sum(y) wrt w[r][c] is x[c]
         for r in 0..2 {

@@ -20,6 +20,8 @@
 //! assert_eq!(y.len(), 1);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod dense;
 pub mod linear;
 pub mod metrics;

@@ -121,7 +121,9 @@ impl ContinuousBatcher {
     pub fn run(&self, requests: &[ServeRequest], traces: &[RequestTrace]) -> ServeReport {
         assert_eq!(requests.len(), traces.len(), "one trace per request");
         assert!(
-            requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s),
             "requests must be sorted by arrival"
         );
         for (r, t) in requests.iter().zip(traces) {
@@ -376,7 +378,10 @@ mod tests {
         let reqs = PoissonArrivals::new(10.0, 3).requests(&[(vec![1, 2, 3], 1)]);
         let report = ContinuousBatcher::new(config(2)).run(&reqs, &dense_traces(1, 1));
         assert_eq!(report.completions.len(), 1);
-        assert_eq!(report.completions[0].finish_s, report.completions[0].first_token_s);
+        assert_eq!(
+            report.completions[0].finish_s,
+            report.completions[0].first_token_s
+        );
         assert_eq!(report.steps, 0);
     }
 

@@ -152,8 +152,8 @@ impl StepCostModel {
 
         if spec.lm_head_evals > 0.0 {
             bytes += self.lm_head_bytes();
-            flops += spec.lm_head_evals * 2.0 * self.lm_head_bytes()
-                / self.cost.weight_bytes_per_elem();
+            flops +=
+                spec.lm_head_evals * 2.0 * self.lm_head_bytes() / self.cost.weight_bytes_per_elem();
             kernels += 1;
         }
 
@@ -168,8 +168,8 @@ impl StepCostModel {
             // MLP weights are shared; candidate-slice GEMV per call.
             bytes += self.predictor_params * F16
                 + spec.predictor_calls * self.spec_k as f64 * h * self.cost.weight_bytes_per_elem();
-            flops += spec.predictor_calls
-                * (2.0 * self.predictor_params + 2.0 * self.spec_k as f64 * h);
+            flops +=
+                spec.predictor_calls * (2.0 * self.predictor_params + 2.0 * self.spec_k as f64 * h);
             kernels += 2;
         }
 

@@ -49,6 +49,8 @@
 //! assert!(report.stats().throughput_tok_s > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod batcher;
 pub mod cost;
 pub mod request;

@@ -163,8 +163,11 @@ mod tests {
 
     #[test]
     fn requests_are_stamped_in_order() {
-        let reqs = PoissonArrivals::new(2.0, 3)
-            .requests(&[(vec![1, 2], 4), (vec![3], 2), (vec![4, 5, 6], 1)]);
+        let reqs = PoissonArrivals::new(2.0, 3).requests(&[
+            (vec![1, 2], 4),
+            (vec![3], 2),
+            (vec![4, 5, 6], 1),
+        ]);
         assert_eq!(reqs.len(), 3);
         assert!(reqs.windows(2).all(|w| w[0].arrival_s < w[1].arrival_s));
         assert_eq!(reqs[2].id, 2);

@@ -18,6 +18,8 @@
 //!   of §4.2), implementing `LayeredLm`.
 //! * [`OracleDraft`] — a draft source with calibrated top-K hit rate.
 
+#![deny(missing_docs)]
+
 pub mod calib;
 pub mod language;
 pub mod lm;

@@ -10,9 +10,7 @@
 //! correct token's probability shifts sharply upward (§4.2, Fig. 5).
 
 use specee_metrics::Meter;
-use specee_model::{
-    LayeredLm, ModelConfig, SkipKvPolicy, TokenId, Transformer, TreeKv,
-};
+use specee_model::{LayeredLm, ModelConfig, SkipKvPolicy, TokenId, Transformer, TreeKv};
 use specee_tensor::{ops, rng::Pcg};
 
 use crate::language::SyntheticLanguage;
@@ -162,7 +160,12 @@ impl SyntheticLm {
         out
     }
 
-    fn node_context(&self, tokens: &[TokenId], parents: &[Option<usize>], node: usize) -> Vec<TokenId> {
+    fn node_context(
+        &self,
+        tokens: &[TokenId],
+        parents: &[Option<usize>],
+        node: usize,
+    ) -> Vec<TokenId> {
         let mut path = Vec::new();
         let mut cur = Some(node);
         while let Some(n) = cur {
@@ -285,7 +288,8 @@ impl LayeredLm for SyntheticLm {
         policy: SkipKvPolicy,
         meter: &mut Meter,
     ) {
-        self.inner.fill_skipped_kv(first_skipped, h, pos, policy, meter);
+        self.inner
+            .fill_skipped_kv(first_skipped, h, pos, policy, meter);
     }
 
     fn final_logits(&mut self, h: &[f32], meter: &mut Meter) -> Vec<f32> {
@@ -441,9 +445,15 @@ mod tests {
             target_probs.push(softmax(&logits)[0]);
         }
         let sat = script.sat.round() as usize;
-        let before = target_probs[..sat.saturating_sub(2)].last().copied().unwrap_or(0.3);
+        let before = target_probs[..sat.saturating_sub(2)]
+            .last()
+            .copied()
+            .unwrap_or(0.3);
         let after = target_probs[(sat + 1).min(15)];
-        assert!(after > 0.8, "after {after} (sat {sat}, probs {target_probs:?})");
+        assert!(
+            after > 0.8,
+            "after {after} (sat {sat}, probs {target_probs:?})"
+        );
         assert!(before < 0.7, "before {before} (sat {sat})");
     }
 

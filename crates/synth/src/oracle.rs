@@ -50,7 +50,12 @@ impl OracleDraft {
     /// # Panics
     ///
     /// Panics if `hit_rate` is outside `[0, 1]`.
-    pub fn new(language: SyntheticLanguage, hit_rate: f64, target: &ModelConfig, seed: u64) -> Self {
+    pub fn new(
+        language: SyntheticLanguage,
+        hit_rate: f64,
+        target: &ModelConfig,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&hit_rate), "hit_rate in [0,1]");
         let modelled_bytes = match &target.cost {
             Some(c) => {

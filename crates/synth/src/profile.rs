@@ -265,7 +265,11 @@ mod tests {
     fn code_and_math_have_hardest_drafts() {
         let he = DatasetProfile::human_eval().hit_rate;
         let gsm = DatasetProfile::gsm8k().hit_rate;
-        for p in [DatasetProfile::sum(), DatasetProfile::alpaca(), DatasetProfile::qa()] {
+        for p in [
+            DatasetProfile::sum(),
+            DatasetProfile::alpaca(),
+            DatasetProfile::qa(),
+        ] {
             assert!(p.hit_rate > he && p.hit_rate > gsm, "{}", p.name);
         }
     }

@@ -157,11 +157,7 @@ mod tests {
             let li = s.round() as i64;
             if history.len() >= 5 {
                 total += 1;
-                let near = history
-                    .iter()
-                    .rev()
-                    .take(5)
-                    .any(|&h| (h - li).abs() <= 2);
+                let near = history.iter().rev().take(5).any(|&h| (h - li).abs() <= 2);
                 if near {
                     hits += 1;
                 }

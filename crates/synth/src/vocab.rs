@@ -16,14 +16,13 @@ pub struct Vocabulary {
 /// of a real BPE vocabulary.
 const HEAD_WORDS: &[&str] = &[
     "the", "of", "and", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on", "are",
-    "as", "with", "his", "they", "I", "at", "be", "this", "have", "from", "or", "one", "had",
-    "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
-    "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will", "up",
-    "other", "about", "out", "many", "then", "them", "these", "so", "some", "her", "would",
-    "make", "like", "him", "into", "time", "has", "look", "two", "more", "write", "go", "see",
-    "number", "no", "way", "could", "people", "my", "than", "first", "water", "been", "call",
-    "who", "oil", "its", "now", "find", "long", "down", "day", "did", "get", "come", "made",
-    "may", "part",
+    "as", "with", "his", "they", "I", "at", "be", "this", "have", "from", "or", "one", "had", "by",
+    "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said", "there",
+    "use", "an", "each", "which", "she", "do", "how", "their", "if", "will", "up", "other",
+    "about", "out", "many", "then", "them", "these", "so", "some", "her", "would", "make", "like",
+    "him", "into", "time", "has", "look", "two", "more", "write", "go", "see", "number", "no",
+    "way", "could", "people", "my", "than", "first", "water", "been", "call", "who", "oil", "its",
+    "now", "find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
 ];
 
 impl Vocabulary {

@@ -34,7 +34,11 @@ pub fn generate_workload(
         .map(|i| {
             let span = (profile.prompt_len as f64 * 0.25) as i64;
             let len = (profile.prompt_len as i64
-                + if span > 0 { rng.range(-span, span + 1) } else { 0 })
+                + if span > 0 {
+                    rng.range(-span, span + 1)
+                } else {
+                    0
+                })
             .max(4) as usize;
             let start = rng.below(language.vocab_size()) as TokenId;
             Request {

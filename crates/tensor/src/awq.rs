@@ -62,8 +62,7 @@ impl AwqCalibration {
             .iter()
             .map(|&m| m.max(1e-6).powf(alpha))
             .collect();
-        let log_mean =
-            powed.iter().map(|&s| f64::from(s.ln())).sum::<f64>() / powed.len() as f64;
+        let log_mean = powed.iter().map(|&s| f64::from(s.ln())).sum::<f64>() / powed.len() as f64;
         let norm = (log_mean.exp()) as f32;
         powed.iter().map(|&s| (s / norm).clamp(1e-4, 1e4)).collect()
     }
@@ -215,14 +214,7 @@ impl AwqMatrix {
         let scaled: Vec<f32> = x.iter().zip(&self.inv_scales).map(|(v, s)| v * s).collect();
         let dense = self.q.dequantize();
         rows.iter()
-            .map(|&r| {
-                dense
-                    .row(r)
-                    .iter()
-                    .zip(&scaled)
-                    .map(|(w, v)| w * v)
-                    .sum()
-            })
+            .map(|&r| dense.row(r).iter().zip(&scaled).map(|(w, v)| w * v).sum())
             .collect()
     }
 
@@ -278,8 +270,7 @@ mod tests {
         let calib = AwqCalibration::from_activations(&acts);
         for alpha in [0.0f32, 0.5, 1.0] {
             let s = calib.scales(alpha);
-            let log_mean: f64 =
-                s.iter().map(|&v| f64::from(v.ln())).sum::<f64>() / s.len() as f64;
+            let log_mean: f64 = s.iter().map(|&v| f64::from(v.ln())).sum::<f64>() / s.len() as f64;
             assert!(log_mean.abs() < 1e-3, "alpha {alpha} log-mean {log_mean}");
         }
     }

@@ -69,7 +69,11 @@ impl GroupedGemm {
         unique_rows.sort_unstable();
         unique_rows.dedup();
         for &r in &unique_rows {
-            assert!(r < weight.rows(), "row {r} out of bounds ({})", weight.rows());
+            assert!(
+                r < weight.rows(),
+                "row {r} out of bounds ({})",
+                weight.rows()
+            );
         }
         let mut compact = Matrix::zeros(unique_rows.len(), weight.cols());
         for (i, &r) in unique_rows.iter().enumerate() {
@@ -108,7 +112,11 @@ impl GroupedGemm {
     /// Panics if `inputs.len()` differs from the group count or any input
     /// has the wrong dimension.
     pub fn run(&self, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        assert_eq!(inputs.len(), self.group_indices.len(), "group count mismatch");
+        assert_eq!(
+            inputs.len(),
+            self.group_indices.len(),
+            "group count mismatch"
+        );
         inputs
             .iter()
             .zip(self.group_indices.iter())

@@ -19,6 +19,8 @@
 //! assert_eq!(y.len(), 4);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod awq;
 pub mod grouped;
 pub mod matrix;

@@ -56,9 +56,10 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 pub fn top_k(x: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..x.len()).collect();
     let k = k.min(x.len());
-    idx.select_nth_unstable_by(k.saturating_sub(1).min(x.len().saturating_sub(1)), |&a, &b| {
-        x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.select_nth_unstable_by(
+        k.saturating_sub(1).min(x.len().saturating_sub(1)),
+        |&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal),
+    );
     idx.truncate(k);
     idx.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal));
     idx
@@ -73,7 +74,10 @@ pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
     assert_eq!(x.len(), gain.len(), "rmsnorm shape");
     let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len().max(1) as f32;
     let inv = 1.0 / (ms + eps).sqrt();
-    x.iter().zip(gain.iter()).map(|(v, g)| v * inv * g).collect()
+    x.iter()
+        .zip(gain.iter())
+        .map(|(v, g)| v * inv * g)
+        .collect()
 }
 
 /// SiLU activation `x * sigmoid(x)` (Llama FFN gate).

@@ -283,8 +283,8 @@ mod tests {
 
     #[test]
     fn frequent_word_becomes_single_token() {
-        let corpus = "the ".repeat(200) + &SyntheticCorpus::new(CorpusConfig::default(), 3)
-            .paragraphs(20);
+        let corpus =
+            "the ".repeat(200) + &SyntheticCorpus::new(CorpusConfig::default(), 3).paragraphs(20);
         let tok = BpeTrainer::new(700).train(&corpus);
         let ids = tok.encode("the the");
         // "the" and " the" each collapse to one token.

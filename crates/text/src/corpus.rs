@@ -39,31 +39,135 @@ impl Default for CorpusConfig {
 }
 
 const NOUNS: &[&str] = &[
-    "system", "model", "layer", "token", "cache", "kernel", "vector", "matrix", "predictor",
-    "engine", "schedule", "latency", "memory", "thread", "batch", "tree", "path", "node", "head",
-    "weight", "gradient", "budget", "queue", "buffer", "device", "tensor", "router", "sample",
-    "prompt", "answer", "question", "paper", "result", "figure", "table", "bandwidth", "compute",
-    "worker", "request", "server", "client", "draft", "target", "feature", "metric", "profile",
-    "dataset", "language", "corpus", "word",
+    "system",
+    "model",
+    "layer",
+    "token",
+    "cache",
+    "kernel",
+    "vector",
+    "matrix",
+    "predictor",
+    "engine",
+    "schedule",
+    "latency",
+    "memory",
+    "thread",
+    "batch",
+    "tree",
+    "path",
+    "node",
+    "head",
+    "weight",
+    "gradient",
+    "budget",
+    "queue",
+    "buffer",
+    "device",
+    "tensor",
+    "router",
+    "sample",
+    "prompt",
+    "answer",
+    "question",
+    "paper",
+    "result",
+    "figure",
+    "table",
+    "bandwidth",
+    "compute",
+    "worker",
+    "request",
+    "server",
+    "client",
+    "draft",
+    "target",
+    "feature",
+    "metric",
+    "profile",
+    "dataset",
+    "language",
+    "corpus",
+    "word",
 ];
 
 const VERBS: &[&str] = &[
-    "measure", "reduce", "accelerate", "predict", "verify", "schedule", "merge", "exit", "skip",
-    "decode", "encode", "train", "evaluate", "compute", "store", "load", "stream", "batch",
-    "prune", "quantize", "sample", "accept", "reject", "propose", "commit", "allocate", "trace",
-    "price", "record", "report",
+    "measure",
+    "reduce",
+    "accelerate",
+    "predict",
+    "verify",
+    "schedule",
+    "merge",
+    "exit",
+    "skip",
+    "decode",
+    "encode",
+    "train",
+    "evaluate",
+    "compute",
+    "store",
+    "load",
+    "stream",
+    "batch",
+    "prune",
+    "quantize",
+    "sample",
+    "accept",
+    "reject",
+    "propose",
+    "commit",
+    "allocate",
+    "trace",
+    "price",
+    "record",
+    "report",
 ];
 
 const ADJECTIVES: &[&str] = &[
-    "fast", "slow", "sparse", "dense", "early", "late", "speculative", "lightweight", "heavy",
-    "shallow", "deep", "linear", "quadratic", "skewed", "stable", "dynamic", "static", "greedy",
-    "optimal", "contextual", "local", "global", "partial", "full", "small", "large", "quick",
-    "warm", "cold", "hybrid",
+    "fast",
+    "slow",
+    "sparse",
+    "dense",
+    "early",
+    "late",
+    "speculative",
+    "lightweight",
+    "heavy",
+    "shallow",
+    "deep",
+    "linear",
+    "quadratic",
+    "skewed",
+    "stable",
+    "dynamic",
+    "static",
+    "greedy",
+    "optimal",
+    "contextual",
+    "local",
+    "global",
+    "partial",
+    "full",
+    "small",
+    "large",
+    "quick",
+    "warm",
+    "cold",
+    "hybrid",
 ];
 
 const ADVERBS: &[&str] = &[
-    "quickly", "slowly", "eagerly", "lazily", "often", "rarely", "timely", "jointly",
-    "independently", "consistently",
+    "quickly",
+    "slowly",
+    "eagerly",
+    "lazily",
+    "often",
+    "rarely",
+    "timely",
+    "jointly",
+    "independently",
+    "consistently",
 ];
 
 const CONJUNCTIONS: &[&str] = &["and", "but", "while", "because", "so"];
@@ -108,9 +212,7 @@ impl SyntheticCorpus {
         // Drop a trailing 'e' before vowel-initial suffixes ("measure" +
         // "ing" -> "measuring"), the one spelling rule that matters for
         // realistic merge statistics.
-        if (suffix.starts_with('e') || suffix.starts_with('i'))
-            && stem.ends_with('e')
-        {
+        if (suffix.starts_with('e') || suffix.starts_with('i')) && stem.ends_with('e') {
             format!("{}{}", &stem[..stem.len() - 1], suffix)
         } else {
             format!("{stem}{suffix}")

@@ -34,6 +34,8 @@
 //! assert!(tokenizer.vocab().len() <= 600);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod bpe;
 pub mod corpus;
 pub mod tokenizer;

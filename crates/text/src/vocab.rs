@@ -186,7 +186,12 @@ mod tests {
     fn decode_skips_specials() {
         let mut v = Vocabulary::base();
         let th = v.push_merged(b"th".to_vec());
-        let ids = [SpecialToken::Bos.id(), th, v.byte_id(b'e'), SpecialToken::Eos.id()];
+        let ids = [
+            SpecialToken::Bos.id(),
+            th,
+            v.byte_id(b'e'),
+            SpecialToken::Eos.id(),
+        ];
         assert_eq!(v.decode(&ids), "the");
     }
 

@@ -38,7 +38,9 @@ fn main() {
         let fresh = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
             .seed(seed)
             .build();
-        let prompt = fresh.language().sample_sequence(start, 10, u64::from(start));
+        let prompt = fresh
+            .language()
+            .sample_sequence(start, 10, u64::from(start));
         let mut engine =
             SpecEeEngine::new(fresh, draft.clone(), bank.clone(), schedule, config.clone());
         let out = engine.generate(&prompt, 16);
@@ -60,7 +62,10 @@ fn main() {
         println!(
             "   avg {:.1} layers — {} of {} tokens exited early\n",
             out.avg_layers(),
-            out.exit_layers.iter().filter(|&&l| l < cfg.n_layers).count(),
+            out.exit_layers
+                .iter()
+                .filter(|&&l| l < cfg.n_layers)
+                .count(),
             out.tokens.len()
         );
     }

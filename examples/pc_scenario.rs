@@ -19,7 +19,11 @@ fn main() {
     let profile = DatasetProfile::sum();
     let seed = 33;
     let hw = HardwareProfile::pc_hybrid(0.55);
-    println!("hardware: {} ({:.0} GB/s effective)", hw.name, hw.mem_bw / 1e9);
+    println!(
+        "hardware: {} ({:.0} GB/s effective)",
+        hw.name,
+        hw.mem_bw / 1e9
+    );
 
     // Offline predictor training.
     let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
@@ -52,7 +56,8 @@ fn main() {
     let ee_lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
         .seed(seed)
         .build();
-    let mut engine = SpecEeEngine::new(ee_lm, draft.clone(), bank.clone(), schedule, config.clone());
+    let mut engine =
+        SpecEeEngine::new(ee_lm, draft.clone(), bank.clone(), schedule, config.clone());
     let out = engine.generate(&prompt, gen);
     let tps = lcpp.cost(&out.meter).tokens_per_s();
     println!(
@@ -73,7 +78,9 @@ fn main() {
     let pi_tps = pi.cost(&pi_base.meter).tokens_per_s();
     println!("PowerInfer baseline     : {pi_tps:.2} tokens/s (paper ~11.8)");
 
-    let mut sparse_ee = SyntheticLmBuilder::new(cfg.clone(), profile).seed(seed).build();
+    let mut sparse_ee = SyntheticLmBuilder::new(cfg.clone(), profile)
+        .seed(seed)
+        .build();
     sparse_ee
         .inner_mut()
         .enable_sparse_ffn(0.25, 16, &mut Pcg::seed(seed));

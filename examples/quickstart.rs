@@ -44,7 +44,10 @@ fn main() {
     let config = SpecEeConfig::default();
     let mut bank = PredictorBank::new(cfg.n_layers, &config.predictor, &mut Pcg::seed(seed));
     let report = train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
-    println!("  mean predictor accuracy: {:.1}%", report.mean_accuracy * 100.0);
+    println!(
+        "  mean predictor accuracy: {:.1}%",
+        report.mean_accuracy * 100.0
+    );
 
     // 3. Online phase: decode with speculative early exiting.
     let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
@@ -60,7 +63,10 @@ fn main() {
     println!("output : {}", vocab.detokenize(&out.tokens));
     println!("\ntoken-by-token exit layers (of {} total):", cfg.n_layers);
     for (tok, layers) in out.tokens.iter().zip(out.exit_layers.iter()) {
-        println!("  {:<10} exited after layer {layers}", vocab.token_str(*tok));
+        println!(
+            "  {:<10} exited after layer {layers}",
+            vocab.token_str(*tok)
+        );
     }
     println!(
         "\naverage layers: {:.2} / {} ({} predictor calls, {} verifications)",

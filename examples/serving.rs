@@ -26,10 +26,18 @@ fn main() {
     let n_requests = 12;
 
     // Offline phase: train the predictor bank once.
-    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone()).seed(seed).build();
+    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
     let mut draft = OracleDraft::new(*lm.language(), profile.hit_rate, &cfg, seed);
     let prompts: Vec<(Vec<TokenId>, usize)> = (0..6)
-        .map(|i| (lm.language().sample_sequence(3 + i, 12, seed ^ u64::from(i)), gen))
+        .map(|i| {
+            (
+                lm.language()
+                    .sample_sequence(3 + i, 12, seed ^ u64::from(i)),
+                gen,
+            )
+        })
         .collect();
     let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
     let config = SpecEeConfig::default();
@@ -38,24 +46,44 @@ fn main() {
 
     // Record one trace per request with the real engines.
     let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
-    let fresh = SyntheticLmBuilder::new(cfg.clone(), profile.clone()).seed(seed).build();
+    let fresh = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
     let lang = *fresh.language();
     let mut spec_engine = SpecEeEngine::new(fresh, draft, bank, schedule, config);
-    let mut dense_engine =
-        DenseEngine::new(SyntheticLmBuilder::new(cfg.clone(), profile.clone()).seed(seed).build());
+    let mut dense_engine = DenseEngine::new(
+        SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+            .seed(seed)
+            .build(),
+    );
 
     let specs: Vec<(Vec<TokenId>, usize)> = (0..n_requests)
-        .map(|i| (lang.sample_sequence(5 + i, 10, seed ^ (0x40 + u64::from(i))), gen))
+        .map(|i| {
+            (
+                lang.sample_sequence(5 + i, 10, seed ^ (0x40 + u64::from(i))),
+                gen,
+            )
+        })
         .collect();
     let mut dense_traces = Vec::new();
     let mut spec_traces = Vec::new();
     for (prompt, g) in &specs {
-        dense_traces.push(RequestTrace::from_output(&dense_engine.generate(prompt, *g), false));
-        spec_traces.push(RequestTrace::from_output(&spec_engine.generate(prompt, *g), true));
+        dense_traces.push(RequestTrace::from_output(
+            &dense_engine.generate(prompt, *g),
+            false,
+        ));
+        spec_traces.push(RequestTrace::from_output(
+            &spec_engine.generate(prompt, *g),
+            true,
+        ));
     }
     println!(
         "recorded {n_requests} request traces; SpecEE mean exit layer {:.1} / {}",
-        spec_traces.iter().map(RequestTrace::avg_exit_layer).sum::<f64>() / n_requests as f64,
+        spec_traces
+            .iter()
+            .map(RequestTrace::avg_exit_layer)
+            .sum::<f64>()
+            / n_requests as f64,
         cfg.n_layers
     );
 

@@ -50,9 +50,15 @@ fn main() {
     let base = eagle.generate(&prompt, 48);
     let base_cost = roofline.cost(&base.meter);
     println!("EAGLE baseline:");
-    println!("  tokens/round      : {:.2}", base.tokens.len() as f64 / base.rounds as f64);
+    println!(
+        "  tokens/round      : {:.2}",
+        base.tokens.len() as f64 / base.rounds as f64
+    );
     println!("  avg layers        : {:.2}", base.avg_layers());
-    println!("  modelled tokens/s : {:.1} (A100)", base_cost.tokens_per_s());
+    println!(
+        "  modelled tokens/s : {:.1} (A100)",
+        base_cost.tokens_per_s()
+    );
 
     // SpecEE + EAGLE: hyper-token merged mapping (T3).
     let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
@@ -60,7 +66,10 @@ fn main() {
     let out = specee.generate(&prompt, 48);
     let cost = roofline.cost(&out.meter);
     println!("\nSpecEE+EAGLE:");
-    println!("  tokens/round      : {:.2}", out.tokens.len() as f64 / out.rounds as f64);
+    println!(
+        "  tokens/round      : {:.2}",
+        out.tokens.len() as f64 / out.rounds as f64
+    );
     println!("  avg layers        : {:.2}", out.avg_layers());
     println!("  modelled tokens/s : {:.1} (A100)", cost.tokens_per_s());
     println!(

@@ -42,5 +42,9 @@ fn main() {
         );
     }
     assert_eq!(tok.decode(&ids), text);
-    println!("roundtrip exact; {} tokens for {} bytes", ids.len(), text.len());
+    println!(
+        "roundtrip exact; {} tokens for {} bytes",
+        ids.len(),
+        text.len()
+    );
 }

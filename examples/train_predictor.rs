@@ -20,10 +20,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Collection: run the model with every predictor site active and
     //    label each (layer, features) pair by whether the early-exit token
     //    equals the full-depth token.
-    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone()).seed(seed).build();
+    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
     let mut draft = OracleDraft::new(*lm.language(), profile.hit_rate, &cfg, seed);
     let prompts: Vec<(Vec<TokenId>, usize)> = (0..8)
-        .map(|i| (lm.language().sample_sequence(2 + i, 14, seed ^ u64::from(i)), 18))
+        .map(|i| {
+            (
+                lm.language()
+                    .sample_sequence(2 + i, 14, seed ^ u64::from(i)),
+                18,
+            )
+        })
         .collect();
     let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
     let positives = data.samples.iter().filter(|s| s.label).count();

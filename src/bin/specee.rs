@@ -102,7 +102,10 @@ fn dataset_by_name(name: &str) -> Result<DatasetProfile, String> {
         .into_iter()
         .find(|p| p.name.eq_ignore_ascii_case(name))
         .ok_or_else(|| {
-            let names: Vec<String> = DatasetProfile::all().iter().map(|p| p.name.clone()).collect();
+            let names: Vec<String> = DatasetProfile::all()
+                .iter()
+                .map(|p| p.name.clone())
+                .collect();
             format!("unknown dataset `{name}` (one of: {})", names.join(", "))
         })
 }
@@ -139,7 +142,12 @@ impl Pipeline {
     }
 
     fn draft(&self, lm: &SyntheticLm) -> OracleDraft {
-        OracleDraft::new(*lm.language(), self.profile.hit_rate, &self.cfg, self.seed ^ 0xd)
+        OracleDraft::new(
+            *lm.language(),
+            self.profile.hit_rate,
+            &self.cfg,
+            self.seed ^ 0xd,
+        )
     }
 
     fn prompts(&self, lm: &SyntheticLm, n: usize, gen: usize) -> Vec<(Vec<TokenId>, usize)> {
@@ -147,7 +155,8 @@ impl Pipeline {
             .map(|i| {
                 let start = (self.seed as u32 + i as u32 * 7) % self.cfg.vocab_size as u32;
                 (
-                    lm.language().sample_sequence(start, 12, self.seed ^ i as u64),
+                    lm.language()
+                        .sample_sequence(start, 12, self.seed ^ i as u64),
                     gen,
                 )
             })
@@ -160,8 +169,11 @@ impl Pipeline {
         let prompts = self.prompts(&lm, 6, 16);
         let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
         let config = SpecEeConfig::default();
-        let mut bank =
-            PredictorBank::new(self.cfg.n_layers, &config.predictor, &mut Pcg::seed(self.seed));
+        let mut bank = PredictorBank::new(
+            self.cfg.n_layers,
+            &config.predictor,
+            &mut Pcg::seed(self.seed),
+        );
         train_bank(
             &mut bank,
             &data.samples,
@@ -242,8 +254,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     };
 
     let dense = DenseEngine::new(pipe.lm()).generate(&prompt, tokens);
-    let cost = Roofline::with_framework(HardwareProfile::a100_80g(), FrameworkProfile::hugging_face())
-        .cost(&out.meter);
+    let cost = Roofline::with_framework(
+        HardwareProfile::a100_80g(),
+        FrameworkProfile::hugging_face(),
+    )
+    .cost(&out.meter);
     println!("engine        : {engine_name} on {}", pipe.cfg.name);
     println!("dataset       : {}", pipe.profile.name);
     println!("tokens        : {:?}", out.tokens);
@@ -257,7 +272,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         "agreement     : {:.1}% vs dense",
         agreement(&out.tokens, &dense.tokens) * 100.0
     );
-    println!("modelled tok/s: {:.2} @ A100/HuggingFace", cost.tokens_per_s());
+    println!(
+        "modelled tok/s: {:.2} @ A100/HuggingFace",
+        cost.tokens_per_s()
+    );
     Ok(())
 }
 
@@ -275,10 +293,22 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         data.theoretical_layers
     );
     let config = SpecEeConfig::default();
-    let mut bank =
-        PredictorBank::new(pipe.cfg.n_layers, &config.predictor, &mut Pcg::seed(pipe.seed));
-    let report = train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), pipe.seed);
-    println!("mean predictor accuracy: {:.1}%", report.mean_accuracy * 100.0);
+    let mut bank = PredictorBank::new(
+        pipe.cfg.n_layers,
+        &config.predictor,
+        &mut Pcg::seed(pipe.seed),
+    );
+    let report = train_bank(
+        &mut bank,
+        &data.samples,
+        1.0,
+        &TrainConfig::default(),
+        pipe.seed,
+    );
+    println!(
+        "mean predictor accuracy: {:.1}%",
+        report.mean_accuracy * 100.0
+    );
     if let Some(path) = opts.get("out") {
         let json = bank.to_json().map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| e.to_string())?;
@@ -298,7 +328,11 @@ fn cmd_tokenize(args: &[String]) -> Result<(), String> {
     let corpus = SyntheticCorpus::new(CorpusConfig::default(), 301).paragraphs(200);
     let tok = BpeTrainer::new(vocab).train(&corpus);
     let ids = tok.encode(&text);
-    println!("vocabulary    : {} tokens ({} merges)", tok.vocab().len(), tok.merges().len());
+    println!(
+        "vocabulary    : {} tokens ({} merges)",
+        tok.vocab().len(),
+        tok.merges().len()
+    );
     println!("input         : {text}");
     println!("ids           : {ids:?}");
     println!("roundtrip     : {}", tok.decode(&ids));

@@ -11,6 +11,8 @@
 //! let m = Matrix::zeros(2, 2); assert_eq!(m.rows(), 2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub use specee_core as core;
 pub use specee_draft as draft;
 pub use specee_metrics as metrics;

@@ -46,7 +46,10 @@ fn prompt() -> Vec<TokenId> {
 fn run_all() -> Vec<(&'static str, GenOutput)> {
     let mut outs = Vec::new();
 
-    outs.push(("dense", DenseEngine::new(build_lm()).generate(&prompt(), GEN)));
+    outs.push((
+        "dense",
+        DenseEngine::new(build_lm()).generate(&prompt(), GEN),
+    ));
 
     // SpecEE
     let mut lm = build_lm();
@@ -98,7 +101,10 @@ fn run_all() -> Vec<(&'static str, GenOutput)> {
     // CALM
     let mut calib_lm = build_lm();
     let thr = calibrate_calm_threshold(&mut calib_lm, &train_prompts());
-    outs.push(("calm", CalmEngine::new(build_lm(), thr).generate(&prompt(), GEN)));
+    outs.push((
+        "calm",
+        CalmEngine::new(build_lm(), thr).generate(&prompt(), GEN),
+    ));
 
     // MoD + D-LLM
     let mut router_lm = build_lm();
@@ -175,7 +181,12 @@ fn full_vocab_predictors_pay_lm_head_per_layer() {
     };
     // AdaInfer and CALM traverse the full vocabulary at every evaluated
     // layer; SpecEE only at verification. Dense reads it once per token.
-    assert!(heads("adainfer") > heads("specee"), "{} vs {}", heads("adainfer"), heads("specee"));
+    assert!(
+        heads("adainfer") > heads("specee"),
+        "{} vs {}",
+        heads("adainfer"),
+        heads("specee")
+    );
     assert!(heads("calm") > heads("dense"));
     // Skip-layer engines never read the head mid-stack.
     assert!(heads("mod") <= heads("dense") + 2);

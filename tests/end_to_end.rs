@@ -212,7 +212,9 @@ fn two_level_scheduling_cuts_predictor_work_without_hurting_exits() {
 fn meter_records_full_scale_costs() {
     let cfg = ModelConfig::sim_llama2_7b();
     let profile = DatasetProfile::qa();
-    let lm = SyntheticLmBuilder::new(cfg.clone(), profile).seed(3).build();
+    let lm = SyntheticLmBuilder::new(cfg.clone(), profile)
+        .seed(3)
+        .build();
     let mut dense = DenseEngine::new(lm);
     let out = dense.generate(&[1, 2, 3], 4);
     // one decode token at 7B scale moves ~13 GB of weights

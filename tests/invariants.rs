@@ -3,8 +3,8 @@
 //! dominance, and engine determinism under randomized configurations.
 
 use proptest::prelude::*;
-use specee::core::engine::{DenseEngine, SpecEeEngine};
 use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::{DenseEngine, SpecEeEngine};
 use specee::core::predictor::{PredictorBank, PredictorConfig};
 use specee::core::skip_layer::{collect_router_data, MoDEngine};
 use specee::core::SpecEeConfig;

@@ -25,22 +25,40 @@ fn batcher(max_batch: usize) -> ContinuousBatcher {
 }
 
 /// Records dense + SpecEE traces for a small real workload.
-fn real_traces(seed: u64, n: usize, gen: usize) -> (Vec<(Vec<TokenId>, usize)>, Vec<RequestTrace>, Vec<RequestTrace>) {
+fn real_traces(
+    seed: u64,
+    n: usize,
+    gen: usize,
+) -> (
+    Vec<(Vec<TokenId>, usize)>,
+    Vec<RequestTrace>,
+    Vec<RequestTrace>,
+) {
     let cfg = ModelConfig {
         n_layers: 8,
         vocab_size: 256,
         ..ModelConfig::tiny()
     };
-    let build = |s| SyntheticLmBuilder::new(cfg.clone(), DatasetProfile::qa()).seed(s).build();
+    let build = |s| {
+        SyntheticLmBuilder::new(cfg.clone(), DatasetProfile::qa())
+            .seed(s)
+            .build()
+    };
     let mut lm = build(seed);
     let mut draft = OracleDraft::new(*lm.language(), 0.9, &cfg, seed);
     let prompts: Vec<(Vec<TokenId>, usize)> =
         (0..6u32).map(|i| (vec![1 + i, 2 + i], 8usize)).collect();
     let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
-    let pcfg = PredictorConfig { hidden_dim: 16, ..PredictorConfig::default() };
+    let pcfg = PredictorConfig {
+        hidden_dim: 16,
+        ..PredictorConfig::default()
+    };
     let mut bank = PredictorBank::new(8, &pcfg, &mut Pcg::seed(seed));
     train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
-    let config = SpecEeConfig { predictor: pcfg, ..SpecEeConfig::default() };
+    let config = SpecEeConfig {
+        predictor: pcfg,
+        ..SpecEeConfig::default()
+    };
     let schedule = config.build_schedule(8, Some(&data.exit_frequencies));
     let mut spec = SpecEeEngine::new(build(seed), draft, bank, schedule, config);
     let mut dense = DenseEngine::new(build(seed));
@@ -71,7 +89,12 @@ fn real_traces_replay_end_to_end() {
     assert_eq!(s.stats().tokens, 6 * 10);
     // SpecEE traces exit below full depth on this substrate, so the served
     // run must be no slower than dense at batch 3.
-    assert!(s.makespan_s <= d.makespan_s * 1.02, "{} vs {}", s.makespan_s, d.makespan_s);
+    assert!(
+        s.makespan_s <= d.makespan_s * 1.02,
+        "{} vs {}",
+        s.makespan_s,
+        d.makespan_s
+    );
     assert!(s.avg_layers < d.avg_layers);
 }
 

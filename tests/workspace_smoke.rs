@@ -1,0 +1,90 @@
+//! Workspace smoke test: the README quickstart path, end to end.
+//!
+//! Builds a tiny `SyntheticLm`, trains a `PredictorBank`, decodes with
+//! `SpecEeEngine::generate`, and checks the structural contract of
+//! `GenOutput`: the requested token count is produced and no token ever
+//! reports executing more than `n_layers` decoder layers.
+
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::engine::SpecEeEngine;
+use specee::core::predictor::{PredictorBank, PredictorConfig};
+use specee::core::SpecEeConfig;
+use specee::model::{ModelConfig, TokenId};
+use specee::nn::TrainConfig;
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder};
+use specee::tensor::rng::Pcg;
+
+#[test]
+fn quickstart_path_generates_with_bounded_exits() {
+    let cfg = ModelConfig {
+        n_layers: 12,
+        vocab_size: 512,
+        ..ModelConfig::tiny()
+    };
+    let profile = DatasetProfile::qa();
+    let seed = 7;
+
+    // Target model + aligned draft model.
+    let mut lm = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    let mut draft = OracleDraft::new(*lm.language(), profile.hit_rate, &cfg, seed);
+
+    // Offline phase: collect features, train one predictor per layer.
+    let prompts: Vec<(Vec<TokenId>, usize)> = (0..6)
+        .map(|i| (lm.language().sample_sequence(2 + i, 8, u64::from(i)), 10))
+        .collect();
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    assert!(!data.samples.is_empty(), "no training samples collected");
+
+    let pcfg = PredictorConfig {
+        hidden_dim: 32,
+        ..PredictorConfig::default()
+    };
+    let mut bank = PredictorBank::new(cfg.n_layers, &pcfg, &mut Pcg::seed(seed));
+    let report = train_bank(
+        &mut bank,
+        &data.samples,
+        1.0,
+        &TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
+        seed,
+    );
+    assert!(
+        report.mean_accuracy > 0.5,
+        "predictors should beat chance, got {}",
+        report.mean_accuracy
+    );
+
+    // Online phase: speculative early-exit decoding.
+    let config = SpecEeConfig {
+        predictor: pcfg,
+        ..SpecEeConfig::default()
+    };
+    let schedule = config.build_schedule(cfg.n_layers, Some(&data.exit_frequencies));
+    let fresh = SyntheticLmBuilder::new(cfg.clone(), profile.clone())
+        .seed(seed)
+        .build();
+    let prompt = fresh.language().sample_sequence(3, 6, 11);
+    let mut engine = SpecEeEngine::new(fresh, draft, bank, schedule, config);
+
+    let max_tokens = 16;
+    let out = engine.generate(&prompt, max_tokens);
+
+    assert_eq!(out.tokens.len(), max_tokens, "token count");
+    assert_eq!(
+        out.exit_layers.len(),
+        out.tokens.len(),
+        "one exit record per token"
+    );
+    for (i, &layers) in out.exit_layers.iter().enumerate() {
+        assert!(
+            layers >= 1 && layers <= cfg.n_layers,
+            "token {i} reports {layers} executed layers (n_layers = {})",
+            cfg.n_layers
+        );
+    }
+    assert!(out.avg_layers() <= cfg.n_layers as f64);
+}

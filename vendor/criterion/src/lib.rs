@@ -1,0 +1,117 @@
+//! Minimal offline stand-in for [criterion](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, [`black_box`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark
+//! is warmed up, then timed over enough iterations to fill a short
+//! measurement window; mean and minimum wall-clock times are printed.
+//! No statistics, baselines or HTML reports.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times closures registered through [`Criterion::bench_function`].
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` with a [`Bencher`] and prints the benchmark's timings.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Handed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` (after a warm-up period).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Batch size aiming for ~50 samples in the measurement window.
+        let per_iter = warm_start.elapsed() / (warm_iters.max(1) as u32);
+        let batch = (self.measure.as_nanos() / 50 / per_iter.as_nanos().max(1)).max(1) as u64;
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<40} mean {mean:>12?}   min {min:>12?}   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Collects benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

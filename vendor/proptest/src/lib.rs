@@ -1,0 +1,526 @@
+//! Minimal offline stand-in for [proptest](https://proptest-rs.github.io/proptest/).
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros,
+//! `ProptestConfig::with_cases`, the [`strategy::Strategy`] trait with
+//! `prop_map`, numeric-range and tuple strategies,
+//! `prop::collection::vec`, and regex-subset string strategies.
+//! Generation is deterministic per test (seeded from the test's module
+//! path and case index) and there is no shrinking: a failing case panics
+//! with the case number so it can be replayed.
+
+#![deny(missing_docs)]
+
+pub mod test_runner {
+    //! Deterministic RNG, config and failure plumbing for [`crate::proptest!`].
+
+    use std::fmt;
+
+    /// How many cases each property runs (`with_cases` mirrors proptest).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps the offline suite quick
+            // while still exercising each property broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (carries the assertion message).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic splitmix64-based RNG used for value generation.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// RNG seeded from a test identifier and case index, so every run
+        /// of the suite generates the same inputs.
+        pub fn deterministic(test_id: &str, case: u32) -> Self {
+            let mut seed = 0xcbf29ce484222325u64; // FNV offset basis
+            for b in test_id.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            seed ^= (case as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            Rng { state: seed }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Maps generated values through `f` (no shrinking to invert).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Rng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (a, b) = (self.start as f64, self.end as f64);
+                    (a + rng.unit_f64() * (b - a)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($(($($n:tt $s:ident),+),)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple! {
+        (0 A, 1 B),
+        (0 A, 1 B, 2 C),
+        (0 A, 1 B, 2 C, 3 D),
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut Rng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut Rng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vec of values from `element`, with length drawn from `size`
+    /// (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let SizeRange { lo, hi } = self.size;
+            assert!(lo < hi, "empty vec length range");
+            let len = lo + rng.below((hi - lo) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation backing `&str` strategies.
+    //!
+    //! Supported: literal characters, `\t`/`\n`/`\\` escapes, character
+    //! classes `[...]` with ranges, the `\PC` "any printable" class, and
+    //! the quantifiers `*`, `+`, `{n}`, `{lo,hi}`.
+
+    use crate::test_runner::Rng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>), // inclusive ranges
+        AnyPrintable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Generates a string matching the regex-subset `pattern`.
+    pub fn generate(pattern: &str, rng: &mut Rng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for p in &pieces {
+            let span = (p.max - p.min + 1) as u64;
+            let n = p.min + rng.below(span) as usize;
+            for _ in 0..n {
+                out.push(sample_atom(&p.atom, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut Rng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                    .sum();
+                let mut idx = rng.below(total);
+                for (a, b) in ranges {
+                    let span = (*b as u64) - (*a as u64) + 1;
+                    if idx < span {
+                        return char::from_u32(*a as u32 + idx as u32).unwrap_or('?');
+                    }
+                    idx -= span;
+                }
+                unreachable!("class sampling out of range")
+            }
+            Atom::AnyPrintable => {
+                // \PC: anything outside Unicode category C. Sample mostly
+                // ASCII with occasional wider printable scalars.
+                match rng.below(10) {
+                    0..=6 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+                    7 => char::from_u32(0xA1 + rng.below(0xFF) as u32).unwrap_or('é'),
+                    8 => char::from_u32(0x3041 + rng.below(0x50) as u32).unwrap_or('あ'),
+                    _ => char::from_u32(0x1F300 + rng.below(0xFF) as u32).unwrap_or('🌀'),
+                }
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') => {
+                            // `\PC` — the only \P class used here.
+                            i += 1; // past 'P'
+                            Atom::AnyPrintable
+                        }
+                        Some('t') => Atom::Literal('\t'),
+                        Some('n') => Atom::Literal('\n'),
+                        Some('r') => Atom::Literal('\r'),
+                        Some(c) => Atom::Literal(*c),
+                        None => break,
+                    }
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|off| i + off)
+                        .expect("unterminated character class");
+                    let atom = Atom::Class(parse_class(&chars[i + 1..close]));
+                    i = close;
+                    atom
+                }
+                c => Atom::Literal(c),
+            };
+            i += 1;
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 32)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 32)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|off| i + off)
+                        .expect("unterminated quantifier");
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn parse_class(body: &[char]) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            let c = match body[i] {
+                '\\' => {
+                    i += 1;
+                    match body.get(i) {
+                        Some('t') => '\t',
+                        Some('n') => '\n',
+                        Some('r') => '\r',
+                        Some(c) => *c,
+                        None => break,
+                    }
+                }
+                c => c,
+            };
+            // `a-z` range (a `-` not followed by anything is a literal).
+            if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+                ranges.push((c, body[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((c, c));
+                i += 1;
+            }
+        }
+        ranges
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace mirroring the real crate's `prop` re-export module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn p(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::Rng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body (fails the case,
+/// reporting the condition or a custom formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{:?} != {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)+), __l, __r),
+            ));
+        }
+    }};
+}

@@ -1,0 +1,386 @@
+//! Hand-written stand-in for `serde_derive`, built directly on
+//! [`proc_macro`] (no `syn`/`quote`, so it compiles offline).
+//!
+//! Supports non-generic structs with named fields and non-generic enums
+//! with unit, tuple and struct variants — the shapes this workspace
+//! actually derives — plus the `#[serde(skip)]` field attribute. The
+//! generated impls target the local `serde` stand-in's `Value` data model.
+
+#![deny(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes a run of `#[...]` attributes starting at `i`, returning the
+/// next index and whether any of them was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if is_serde_skip(&g.stream()) {
+                            skip = true;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+fn is_serde_skip(attr: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a type (or any token run) until a top-level `,`,
+/// treating `<`/`>` as nesting so `Vec<(A, B)>`-style generics survive.
+fn skip_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                // A `->` return-type arrow (e.g. `fn(f32) -> f32`) is not a
+                // closing angle bracket; skip the pair as one unit.
+                '-' if matches!(
+                    tokens.get(i + 1),
+                    Some(TokenTree::Punct(n)) if n.as_char() == '>'
+                ) =>
+                {
+                    i += 1;
+                }
+                '>' if angle > 0 => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_until_comma(&tokens, i);
+        i += 1; // ','
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        i = skip_until_comma(&tokens, i) + 1;
+    }
+    count
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        let name = match &tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let kind = match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Trailing discriminant (`= expr`) or separator comma.
+        i = skip_until_comma(&tokens, i) + 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize/Deserialize): expected struct or enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize/Deserialize): expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) stand-in does not support generic types ({name})");
+    }
+    let body = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && keyword == "struct" =>
+        {
+            panic!("derive stand-in does not support tuple structs ({name})");
+        }
+        _ => TokenStream::new(), // unit struct
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("derive(Serialize/Deserialize): unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the stand-in `serde::Serialize` (lowering into `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        let mut __m: Vec<(String, ::serde::Value)> = Vec::new();
+                        {pushes}
+                        ::serde::Value::Map(__m)
+                    }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Seq(vec![{}])",
+                                binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn}({bind}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            bind = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let entries = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {bind} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{entries}]))]),\n",
+                            bind = names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Derives the stand-in `serde::Deserialize` (rebuilding from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{n}: ::std::default::Default::default(),", n = f.name)
+                    } else {
+                        format!("{n}: ::serde::de::field(__v, \"{n}\")?,", n = f.name)
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{
+                        Ok(Self {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!("\"{vn}\" => Ok(Self::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!(
+                                "Ok(Self::{vn}(::serde::de::from_value(::serde::de::payload(__p, \"{vn}\")?)?))"
+                            )
+                        } else {
+                            let items = (0..*n)
+                                .map(|k| format!("::serde::de::seq_field(__payload, {k})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{{ let __payload = ::serde::de::payload(__p, \"{vn}\")?; Ok(Self::{vn}({items})) }}"
+                            )
+                        };
+                        arms.push_str(&format!("\"{vn}\" => {body},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{n}: ::std::default::Default::default(),", n = f.name)
+                                } else {
+                                    format!(
+                                        "{n}: ::serde::de::field(__payload, \"{n}\")?,",
+                                        n = f.name
+                                    )
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n");
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __payload = ::serde::de::payload(__p, \"{vn}\")?; Ok(Self::{vn} {{ {inits} }}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{
+                        let (__name, __p) = ::serde::de::variant(__v)?;
+                        match __name {{
+                            {arms}
+                            __other => Err(::serde::de::Error::custom(format!(
+                                \"unknown {name} variant `{{__other}}`\"
+                            ))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("derive(Deserialize): generated code failed to parse")
+}
