@@ -1,0 +1,575 @@
+//! The lock-step batched decoding engine.
+
+use specee_core::engine::scan::ExitScan;
+use specee_core::predictor::PredictorBank;
+use specee_core::scheduler::ScheduleEngine;
+use specee_core::SpecEeConfig;
+use specee_draft::SpeculativeSource;
+use specee_metrics::Meter;
+use specee_model::{prefill, BatchedStack, LayeredLm, SlotPool, TokenId};
+use specee_tensor::ops;
+
+/// The finished record of one batched sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedOutput {
+    /// Caller-chosen sequence id (e.g. the serving request index).
+    pub id: u64,
+    /// Emitted tokens (the prefill token first).
+    pub tokens: Vec<TokenId>,
+    /// Decoder layers executed per emitted token.
+    pub exit_layers: Vec<usize>,
+    /// Sum of `-log p(token)` under the model's final distribution.
+    pub ce_sum: f64,
+    /// Predictor forwards this sequence executed.
+    pub predictor_calls: u64,
+    /// Full-LM-head verification calls this sequence triggered.
+    pub verify_calls: u64,
+}
+
+impl BatchedOutput {
+    /// Mean executed layers per token.
+    pub fn avg_layers(&self) -> f64 {
+        if self.exit_layers.is_empty() {
+            0.0
+        } else {
+            self.exit_layers.iter().sum::<usize>() as f64 / self.exit_layers.len() as f64
+        }
+    }
+}
+
+/// Outcome of admitting a request into the engine.
+#[derive(Debug)]
+pub enum Admission {
+    /// The sequence occupies a slot and will decode on subsequent steps.
+    Seated {
+        /// The slot index it was seated in.
+        slot: usize,
+    },
+    /// The request wanted only the prefill token; it finished without
+    /// occupying a slot.
+    Done(BatchedOutput),
+}
+
+/// What one lock-step decode step executed, measured — not assumed — from
+/// the live batch. Field meanings mirror the replay simulator's
+/// `StepSpec` so the same batched cost model can price both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStep {
+    /// `layer_runners[l]` = slots that executed layer `l` this step.
+    pub layer_runners: Vec<usize>,
+    /// KV positions attended per active slot this step.
+    pub ctx_lens: Vec<usize>,
+    /// Full-LM-head evaluations this step (final logits + verifications,
+    /// successful or not).
+    pub lm_head_evals: u64,
+    /// Slots that ran the draft model this step (all active slots).
+    pub draft_slots: usize,
+    /// Predictor forwards this step.
+    pub predictor_calls: u64,
+    /// Tokens emitted this step.
+    pub emitted: usize,
+    /// Sequences that finished this step (retired from their slots).
+    pub finished: Vec<BatchedOutput>,
+}
+
+impl BatchStep {
+    /// The rearmost layer any slot executed (the Cannikin position of the
+    /// step): `0` when the step ran nothing.
+    pub fn rearmost_layer(&self) -> usize {
+        self.layer_runners
+            .iter()
+            .rposition(|&r| r > 0)
+            .map_or(0, |l| l + 1)
+    }
+}
+
+struct SeqState<D> {
+    id: u64,
+    draft: D,
+    schedule: ScheduleEngine,
+    scan: ExitScan,
+    ctx: Vec<TokenId>,
+    last: TokenId,
+    gen_len: usize,
+    tokens: Vec<TokenId>,
+    exit_layers: Vec<usize>,
+    ce_sum: f64,
+}
+
+impl<D> SeqState<D> {
+    fn into_output(self) -> BatchedOutput {
+        BatchedOutput {
+            id: self.id,
+            tokens: self.tokens,
+            exit_layers: self.exit_layers,
+            ce_sum: self.ce_sum,
+            predictor_calls: self.scan.predictor_calls(),
+            verify_calls: self.scan.verify_calls(),
+        }
+    }
+}
+
+/// A live batched decoding runtime: up to `max_batch` sequences decode in
+/// lock-step through the real layer stack, each making its own scheduled
+/// predictor decisions ([`ExitScan`] — the exact dataflow of the
+/// single-stream `SpecEeEngine`), firing independently, while the batch
+/// as a whole executes every layer down to the rearmost one still needed.
+///
+/// The per-step [`BatchStep`] report carries the measured layer-runner
+/// counts, so batched pricing reflects exits that actually happened
+/// rather than replayed traces.
+pub struct BatchedEngine<M, D> {
+    stack: BatchedStack<M>,
+    seqs: Vec<Option<SeqState<D>>>,
+    bank: PredictorBank,
+    schedule_template: ScheduleEngine,
+    config: SpecEeConfig,
+    n_layers: usize,
+    meter: Meter,
+    steps: u64,
+}
+
+impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
+    /// Creates an empty engine.
+    ///
+    /// `schedule` is the per-sequence scheduling template: every admitted
+    /// sequence starts from a fresh clone of it, since the online window
+    /// (T2) tracks one sequence's recent exits, not the batch's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `page_size` is zero, or the bank does not
+    /// cover `n_layers - 1` layers.
+    pub fn new(
+        max_batch: usize,
+        page_size: usize,
+        n_layers: usize,
+        bank: PredictorBank,
+        schedule: ScheduleEngine,
+        config: SpecEeConfig,
+    ) -> Self {
+        assert_eq!(
+            bank.len(),
+            n_layers - 1,
+            "one predictor per non-final layer"
+        );
+        BatchedEngine {
+            stack: BatchedStack::new(max_batch, page_size),
+            seqs: (0..max_batch).map(|_| None).collect(),
+            bank,
+            schedule_template: schedule,
+            config,
+            n_layers,
+            meter: Meter::new(),
+            steps: 0,
+        }
+    }
+
+    /// The batch cap.
+    pub fn max_batch(&self) -> usize {
+        self.stack.max_batch()
+    }
+
+    /// Decoder depth the engine drives.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.stack.occupancy()
+    }
+
+    /// Whether a new sequence can be admitted.
+    pub fn has_free_slot(&self) -> bool {
+        self.stack.free_slot().is_some()
+    }
+
+    /// Decode steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The engine-wide op trace (prefills excluded, like the single-stream
+    /// engines).
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    /// The shared KV page pool.
+    pub fn pool(&self) -> &SlotPool {
+        self.stack.pool()
+    }
+
+    /// Admits a sequence: resets the model and draft, prefills the prompt
+    /// (producing the first token at full depth, as the single-stream
+    /// engines do), and seats it in a free slot. A `gen_len` of one
+    /// finishes immediately without occupying a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free (check [`BatchedEngine::has_free_slot`]),
+    /// `prompt` is empty, `gen_len` is zero, or the model's depth does not
+    /// match the engine's.
+    pub fn admit(
+        &mut self,
+        id: u64,
+        mut model: M,
+        mut draft: D,
+        prompt: &[TokenId],
+        gen_len: usize,
+    ) -> Admission {
+        assert!(self.has_free_slot(), "no free slot");
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        assert!(gen_len > 0, "gen_len must be positive");
+        assert_eq!(model.config().n_layers, self.n_layers, "model depth");
+        model.reset();
+        draft.reset();
+        let mut prefill_meter = Meter::new();
+        let h0 = prefill(&mut model, prompt, &mut prefill_meter);
+        let logits = model.final_logits(&h0, &mut self.meter);
+        let t = ops::argmax(&logits).expect("logits") as TokenId;
+        let ce = f64::from(-ops::log_softmax(&logits)[t as usize]);
+        self.meter.mark_token();
+
+        let seq = SeqState {
+            id,
+            draft,
+            schedule: self.schedule_template.clone(),
+            scan: ExitScan::new(),
+            ctx: prompt.to_vec(),
+            last: t,
+            gen_len,
+            tokens: vec![t],
+            exit_layers: vec![self.n_layers],
+            ce_sum: ce,
+        };
+        if gen_len == 1 {
+            return Admission::Done(seq.into_output());
+        }
+        let slot = self.stack.admit(model);
+        self.seqs[slot] = Some(seq);
+        Admission::Seated { slot }
+    }
+
+    /// Runs one synchronized decode step: every seated sequence proposes
+    /// its candidates, feeds its pending token, and sweeps the layer stack
+    /// in lock-step. A sequence whose scheduled predictor fires (and
+    /// verifies) drops out of the sweep at its exit layer; the sweep
+    /// itself continues to the rearmost layer any sequence still needs.
+    /// Emits one token per seated sequence and retires the finished.
+    ///
+    /// Returns the measured step — an empty report (no runners, nothing
+    /// emitted) when no sequence is seated.
+    pub fn step(&mut self) -> BatchStep {
+        let max_batch = self.stack.max_batch();
+        let mut report = BatchStep {
+            layer_runners: vec![0; self.n_layers],
+            ctx_lens: Vec::new(),
+            lm_head_evals: 0,
+            draft_slots: 0,
+            predictor_calls: 0,
+            emitted: 0,
+            finished: Vec::new(),
+        };
+        let spec_k = self.config.predictor.spec_k;
+
+        // Token setup per seated sequence: context, draft proposal, embed.
+        let mut hidden: Vec<Option<Vec<f32>>> = vec![None; max_batch];
+        let mut positions = vec![0usize; max_batch];
+        let mut needs = vec![false; max_batch];
+        let mut cands: Vec<Vec<TokenId>> = vec![Vec::new(); max_batch];
+        let mut exited: Vec<Option<(usize, TokenId, Vec<f32>)>> = vec![None; max_batch];
+        let mut scan_base: Vec<(u64, u64)> = vec![(0, 0); max_batch];
+        for slot in 0..max_batch {
+            let Some(seq) = self.seqs[slot].as_mut() else {
+                continue;
+            };
+            seq.ctx.push(seq.last);
+            cands[slot] = seq.draft.propose(&seq.ctx, spec_k, &mut self.meter);
+            scan_base[slot] = (seq.scan.predictor_calls(), seq.scan.verify_calls());
+            seq.scan.begin_token();
+            let model = self.stack.model_mut(slot);
+            positions[slot] = model.kv_len();
+            hidden[slot] = Some(model.begin_token(seq.last, &mut self.meter));
+            needs[slot] = true;
+            report.ctx_lens.push(positions[slot] + 1);
+            report.draft_slots += 1;
+        }
+        if report.draft_slots == 0 {
+            return report;
+        }
+
+        // The shared layer sweep: active-masked, ending at the rearmost
+        // layer any sequence still needs.
+        for layer in 0..self.n_layers {
+            if !needs.iter().any(|&n| n) {
+                break;
+            }
+            report.layer_runners[layer] =
+                self.stack
+                    .sweep_layer(layer, &mut hidden, &needs, &positions, &mut self.meter);
+            for slot in 0..max_batch {
+                if !needs[slot] {
+                    continue;
+                }
+                let seq = self.seqs[slot].as_mut().expect("seated sequence");
+                let model = self.stack.model_mut(slot);
+                let h = hidden[slot].as_ref().expect("swept state");
+                if let Some((tok, full)) = seq.scan.check(
+                    model,
+                    &self.bank,
+                    &seq.schedule,
+                    h,
+                    &cands[slot],
+                    layer,
+                    &mut self.meter,
+                ) {
+                    model.fill_skipped_kv(
+                        layer + 1,
+                        h,
+                        positions[slot],
+                        self.config.skip_kv_policy,
+                        &mut self.meter,
+                    );
+                    exited[slot] = Some((layer + 1, tok, full));
+                    needs[slot] = false;
+                }
+            }
+        }
+
+        // Emit one token per sequence; retire the finished.
+        for slot in 0..max_batch {
+            let Some(seq) = self.seqs[slot].as_mut() else {
+                continue;
+            };
+            let (executed, next, full) = match exited[slot].take() {
+                Some(exit) => exit,
+                None => {
+                    let h = hidden[slot].as_ref().expect("swept state");
+                    let full = self.stack.model_mut(slot).final_logits(h, &mut self.meter);
+                    let tok = ops::argmax(&full).expect("logits") as TokenId;
+                    report.lm_head_evals += 1;
+                    (self.n_layers, tok, full)
+                }
+            };
+            seq.ce_sum += f64::from(-ops::log_softmax(&full)[next as usize]);
+            seq.schedule.note_exit(executed.saturating_sub(1));
+            seq.tokens.push(next);
+            seq.exit_layers.push(executed);
+            seq.last = next;
+            self.meter.mark_token();
+            report.emitted += 1;
+            let (p0, v0) = scan_base[slot];
+            report.predictor_calls += seq.scan.predictor_calls() - p0;
+            report.lm_head_evals += seq.scan.verify_calls() - v0;
+            if seq.tokens.len() >= seq.gen_len {
+                let seq = self.seqs[slot].take().expect("seated sequence");
+                let _ = self.stack.retire(slot);
+                report.finished.push(seq.into_output());
+            }
+        }
+        self.stack.sync_leases();
+        self.meter.mark_host_step();
+        self.steps += 1;
+        report
+    }
+
+    /// Runs steps until every seated sequence finishes, returning the
+    /// outputs in admission (`id`) order. Convenience for non-serving
+    /// callers (tests, examples); servers drive [`BatchedEngine::step`]
+    /// themselves to interleave admissions.
+    pub fn drain(&mut self) -> Vec<BatchedOutput> {
+        let mut outputs = Vec::new();
+        while self.occupancy() > 0 {
+            outputs.extend(self.step().finished);
+        }
+        outputs.sort_by_key(|o| o.id);
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee_core::collect::{collect_training_data, train_bank};
+    use specee_core::predictor::PredictorConfig;
+    use specee_model::ModelConfig;
+    use specee_synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
+    use specee_tensor::rng::Pcg;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            n_layers: 12,
+            vocab_size: 512,
+            ..ModelConfig::tiny()
+        }
+    }
+
+    fn build_lm(seed: u64) -> SyntheticLm {
+        SyntheticLmBuilder::new(cfg(), DatasetProfile::qa())
+            .seed(seed)
+            .build()
+    }
+
+    fn build_draft(lm: &SyntheticLm, seed: u64) -> OracleDraft {
+        OracleDraft::new(*lm.language(), 0.9, &cfg(), seed)
+    }
+
+    fn trained_parts(seed: u64) -> (PredictorBank, ScheduleEngine, SpecEeConfig) {
+        let mut lm = build_lm(seed);
+        let mut draft = build_draft(&lm, seed);
+        let prompts: Vec<(Vec<TokenId>, usize)> = (0..12)
+            .map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], 12usize))
+            .collect();
+        let report = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+        let pcfg = PredictorConfig {
+            hidden_dim: 32,
+            ..PredictorConfig::default()
+        };
+        let mut bank = PredictorBank::new(12, &pcfg, &mut Pcg::seed(2));
+        train_bank(
+            &mut bank,
+            &report.samples,
+            1.0,
+            &specee_nn::TrainConfig {
+                epochs: 20,
+                lr: 3e-3,
+                ..Default::default()
+            },
+            3,
+        );
+        let config = SpecEeConfig {
+            predictor: pcfg,
+            ..SpecEeConfig::default()
+        };
+        let schedule = config.build_schedule(12, Some(&report.exit_frequencies));
+        (bank, schedule, config)
+    }
+
+    fn engine(max_batch: usize, seed: u64) -> BatchedEngine<SyntheticLm, OracleDraft> {
+        let (bank, schedule, config) = trained_parts(seed);
+        BatchedEngine::new(max_batch, 16, 12, bank, schedule, config)
+    }
+
+    #[test]
+    fn single_sequence_decodes_and_exits_early() {
+        let mut eng = engine(1, 61);
+        let lm = build_lm(61);
+        let draft = build_draft(&lm, 61);
+        match eng.admit(0, lm, draft, &[4, 2, 9], 16) {
+            Admission::Seated { slot } => assert_eq!(slot, 0),
+            Admission::Done(_) => panic!("should seat"),
+        }
+        let outs = eng.drain();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].tokens.len(), 16);
+        assert_eq!(outs[0].exit_layers.len(), 16);
+        assert!(outs[0].avg_layers() < 12.0, "avg {}", outs[0].avg_layers());
+        assert_eq!(eng.occupancy(), 0);
+        assert_eq!(eng.pool().pages_in_use(), 0, "pages recycled on retire");
+    }
+
+    #[test]
+    fn gen_len_one_finishes_at_prefill() {
+        let mut eng = engine(2, 63);
+        let lm = build_lm(63);
+        let draft = build_draft(&lm, 63);
+        match eng.admit(7, lm, draft, &[1, 2], 1) {
+            Admission::Done(out) => {
+                assert_eq!(out.id, 7);
+                assert_eq!(out.tokens.len(), 1);
+                assert_eq!(out.exit_layers, vec![12]);
+            }
+            Admission::Seated { .. } => panic!("gen_len 1 should finish at prefill"),
+        }
+        assert_eq!(eng.occupancy(), 0);
+    }
+
+    #[test]
+    fn step_measures_rearmost_layer_and_runners() {
+        let mut eng = engine(3, 65);
+        for i in 0..3u64 {
+            let lm = build_lm(65);
+            let draft = build_draft(&lm, 65 ^ i);
+            let _ = eng.admit(i, lm, draft, &[3 + i as TokenId, 8, 1 + i as TokenId], 8);
+        }
+        let step = eng.step();
+        assert_eq!(step.emitted, 3);
+        assert_eq!(step.draft_slots, 3);
+        assert_eq!(step.ctx_lens.len(), 3);
+        // Layer runner counts are monotone non-increasing (exits are
+        // suffix skips) and the rearmost layer bounds every exit.
+        for w in step.layer_runners.windows(2) {
+            assert!(w[0] >= w[1], "runners {:?}", step.layer_runners);
+        }
+        assert_eq!(step.layer_runners[0], 3, "all slots run layer 0");
+        assert!(step.rearmost_layer() >= 1);
+    }
+
+    #[test]
+    fn batch_decode_equals_solo_decode_per_sequence() {
+        // Lock-step batching changes timing, never values: each co-batched
+        // sequence must emit exactly what it emits alone.
+        let prompts: [&[TokenId]; 3] = [&[4, 2, 9], &[1, 5, 3], &[8, 8, 2]];
+        let mut solo_outputs = Vec::new();
+        for (i, p) in prompts.iter().enumerate() {
+            let mut eng = engine(1, 71);
+            let lm = build_lm(71);
+            let draft = build_draft(&lm, 71 ^ i as u64);
+            let _ = eng.admit(i as u64, lm, draft, p, 12);
+            solo_outputs.push(eng.drain().remove(0));
+        }
+        let mut eng = engine(3, 71);
+        for (i, p) in prompts.iter().enumerate() {
+            let lm = build_lm(71);
+            let draft = build_draft(&lm, 71 ^ i as u64);
+            let _ = eng.admit(i as u64, lm, draft, p, 12);
+        }
+        let batched = eng.drain();
+        assert_eq!(batched.len(), 3);
+        for (solo, b) in solo_outputs.iter().zip(&batched) {
+            assert_eq!(solo.tokens, b.tokens, "id {}", b.id);
+            assert_eq!(solo.exit_layers, b.exit_layers, "id {}", b.id);
+        }
+    }
+
+    #[test]
+    fn freed_slots_readmit_and_reuse_pages() {
+        let mut eng = engine(2, 77);
+        let lm = build_lm(77);
+        let d = build_draft(&lm, 77);
+        let _ = eng.admit(0, lm, d, &[1, 2, 3], 4);
+        let outs = eng.drain();
+        assert_eq!(outs.len(), 1);
+        let created = eng.pool().pages_created();
+        // Re-admit: the new sequence's pages come from the free list.
+        let lm = build_lm(77);
+        let d = build_draft(&lm, 78);
+        let _ = eng.admit(1, lm, d, &[5, 1], 4);
+        assert!(eng.pool().pages_created() <= created + 1);
+        let outs = eng.drain();
+        assert_eq!(outs[0].id, 1);
+    }
+
+    #[test]
+    fn empty_step_reports_nothing() {
+        let mut eng = engine(2, 80);
+        let step = eng.step();
+        assert_eq!(step.emitted, 0);
+        assert_eq!(step.rearmost_layer(), 0);
+        assert!(step.finished.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no free slot")]
+    fn admit_requires_free_slot() {
+        let mut eng = engine(1, 81);
+        let lm = build_lm(81);
+        let d = build_draft(&lm, 81);
+        let _ = eng.admit(0, lm, d, &[1, 2], 8);
+        let lm = build_lm(81);
+        let d = build_draft(&lm, 82);
+        let _ = eng.admit(1, lm, d, &[1, 2], 8);
+    }
+}

@@ -77,7 +77,7 @@ fn main() {
             .by_kind
             .iter()
             .find(|(k, _)| *k == OpKind::Predictor)
-            .map_or(false, |(_, c)| c.memory_bound);
+            .is_some_and(|(_, c)| c.memory_bound);
         table.row(vec![
             hw.name.clone(),
             format!("{:.2}", pred.latency_s / n as f64 * 1e6),

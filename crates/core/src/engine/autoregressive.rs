@@ -7,11 +7,10 @@ use specee_model::{prefill, LayeredLm, TokenId};
 use specee_tensor::ops;
 
 use crate::config::SpecEeConfig;
-use crate::features::FeatureTracker;
+use crate::engine::scan::ExitScan;
 use crate::output::GenOutput;
 use crate::predictor::PredictorBank;
 use crate::scheduler::ScheduleEngine;
-use crate::verify::verify_exit;
 
 /// Autoregressive decoding with speculative early exiting (Fig. 3's
 /// dataflow):
@@ -91,8 +90,6 @@ impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
         let mut tokens = Vec::with_capacity(gen_len);
         let mut exit_layers = Vec::with_capacity(gen_len);
         let mut ce_sum = 0.0f64;
-        let mut predictor_calls = 0u64;
-        let mut verify_calls = 0u64;
 
         // First token comes out of the (full-depth) prefill.
         let mut prefill_meter = Meter::new();
@@ -105,30 +102,28 @@ impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
         meter.mark_token();
 
         let mut ctx = prompt.to_vec();
-        let mut tracker = FeatureTracker::new();
+        let mut scan = ExitScan::new();
 
         while tokens.len() < gen_len {
             ctx.push(t);
             let spec = self.draft.propose(&ctx, spec_k, &mut meter);
             let pos = self.model.kv_len();
             let mut h = self.model.begin_token(t, &mut meter);
-            tracker.reset();
+            scan.begin_token();
 
             let mut exit: Option<(TokenId, Vec<f32>)> = None;
             let mut executed = n_layers;
             for layer in 0..n_layers {
                 h = self.model.forward_layer(layer, &h, pos, &mut meter);
-                if layer + 1 >= n_layers || !self.schedule.is_active(layer) {
-                    continue;
-                }
-                let feats = tracker.extract(&mut self.model, &h, &spec, &mut meter);
-                predictor_calls += 1;
-                if !self.bank.layer(layer).should_exit(&feats, &mut meter) {
-                    continue;
-                }
-                verify_calls += 1;
-                let full = self.model.final_logits(&h, &mut meter);
-                if let Some(tok) = verify_exit(&full, &spec) {
+                if let Some((tok, full)) = scan.check(
+                    &mut self.model,
+                    &self.bank,
+                    &self.schedule,
+                    &h,
+                    &spec,
+                    layer,
+                    &mut meter,
+                ) {
                     self.model.fill_skipped_kv(
                         layer + 1,
                         &h,
@@ -163,8 +158,8 @@ impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
             exit_layers,
             ce_sum,
             meter,
-            predictor_calls,
-            verify_calls,
+            predictor_calls: scan.predictor_calls(),
+            verify_calls: scan.verify_calls(),
             rounds: 0,
         }
     }

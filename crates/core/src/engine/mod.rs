@@ -3,8 +3,10 @@
 
 mod autoregressive;
 mod dense;
+pub mod scan;
 mod speculative;
 
 pub use autoregressive::SpecEeEngine;
 pub use dense::DenseEngine;
+pub use scan::ExitScan;
 pub use speculative::SpeculativeEngine;

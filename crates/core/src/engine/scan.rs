@@ -1,0 +1,197 @@
+//! The per-token exit scan shared by the single-stream and batched
+//! autoregressive engines.
+//!
+//! [`ExitScan`] bundles the layer-by-layer decision dataflow of Fig. 3 —
+//! consult the predictor schedule, extract candidate-slice features, score
+//! them, and verify a positive prediction against the full LM head —
+//! behind one `check` call per layer. `SpecEeEngine` drives one scan per
+//! token; the lock-step runtime in `specee-batch` drives one scan per
+//! (slot, token), so a batched sequence takes exactly the exits its
+//! single-stream run would (parity by construction, not by test alone).
+
+use specee_metrics::Meter;
+use specee_model::{LayeredLm, TokenId};
+
+use crate::features::FeatureTracker;
+use crate::predictor::PredictorBank;
+use crate::scheduler::ScheduleEngine;
+use crate::verify::verify_exit;
+
+/// Layer-by-layer early-exit decisions for one token's forward pass.
+///
+/// Call [`ExitScan::begin_token`] at each token boundary, then
+/// [`ExitScan::check`] after every executed layer until it returns a
+/// verified exit (or the stack runs out of layers).
+#[derive(Debug, Clone, Default)]
+pub struct ExitScan {
+    tracker: FeatureTracker,
+    predictor_calls: u64,
+    verify_calls: u64,
+}
+
+impl ExitScan {
+    /// Creates a scan with fresh feature history and zeroed counters.
+    pub fn new() -> Self {
+        ExitScan::default()
+    }
+
+    /// Starts a new token: clears the probability-variation history the
+    /// feature tracker carries between layers.
+    pub fn begin_token(&mut self) {
+        self.tracker.reset();
+    }
+
+    /// Runs the scheduled exit decision after `layer` on hidden state `h`.
+    ///
+    /// Returns `Some((token, full_logits))` when the predictor fired *and*
+    /// the full-LM-head verification of §4.3.3 accepted the exit; `None`
+    /// when decoding must continue to the next layer (inactive schedule
+    /// slot, negative prediction, or failed verification — the failed
+    /// verification's LM-head cost is recorded in `meter` and counted in
+    /// [`ExitScan::verify_calls`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn check<M: LayeredLm + ?Sized>(
+        &mut self,
+        model: &mut M,
+        bank: &PredictorBank,
+        schedule: &ScheduleEngine,
+        h: &[f32],
+        candidates: &[TokenId],
+        layer: usize,
+        meter: &mut Meter,
+    ) -> Option<(TokenId, Vec<f32>)> {
+        if layer + 1 >= model.config().n_layers || !schedule.is_active(layer) {
+            return None;
+        }
+        let feats = self.tracker.extract(model, h, candidates, meter);
+        self.predictor_calls += 1;
+        if !bank.layer(layer).should_exit(&feats, meter) {
+            return None;
+        }
+        self.verify_calls += 1;
+        let full = model.final_logits(h, meter);
+        verify_exit(&full, candidates).map(|tok| (tok, full))
+    }
+
+    /// Predictor forwards executed so far.
+    pub fn predictor_calls(&self) -> u64 {
+        self.predictor_calls
+    }
+
+    /// Full-LM-head verification calls triggered so far (successful or
+    /// not).
+    pub fn verify_calls(&self) -> u64 {
+        self.verify_calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorConfig;
+    use specee_model::{prefill, ModelConfig, Transformer};
+    use specee_tensor::rng::Pcg;
+
+    fn parts() -> (Transformer, PredictorBank, Meter) {
+        let cfg = ModelConfig::tiny();
+        let model = Transformer::random(cfg.clone(), &mut Pcg::seed(11));
+        let bank = PredictorBank::new(
+            cfg.n_layers,
+            &PredictorConfig {
+                hidden_dim: 16,
+                ..PredictorConfig::default()
+            },
+            &mut Pcg::seed(4),
+        );
+        (model, bank, Meter::new())
+    }
+
+    #[test]
+    fn last_layer_never_checks() {
+        let (mut model, bank, mut meter) = parts();
+        let schedule = ScheduleEngine::all_layers(4);
+        let h = prefill(&mut model, &[1, 2], &mut meter);
+        let mut scan = ExitScan::new();
+        scan.begin_token();
+        let out = scan.check(
+            &mut model,
+            &bank,
+            &schedule,
+            &h,
+            &[1, 2, 3, 4],
+            3,
+            &mut meter,
+        );
+        assert!(out.is_none());
+        assert_eq!(scan.predictor_calls(), 0);
+    }
+
+    #[test]
+    fn inactive_schedule_skips_predictor() {
+        let (mut model, bank, mut meter) = parts();
+        // Offline scheduler keeping only layer 2: layer 0 is inactive.
+        let off = crate::scheduler::OfflineScheduler::from_frequencies(&[0.0, 0.0, 1.0, 0.0], 1);
+        let schedule = ScheduleEngine::offline_only(off);
+        let h = prefill(&mut model, &[1], &mut meter);
+        let mut scan = ExitScan::new();
+        scan.begin_token();
+        assert!(scan
+            .check(
+                &mut model,
+                &bank,
+                &schedule,
+                &h,
+                &[1, 2, 3, 4],
+                0,
+                &mut meter
+            )
+            .is_none());
+        assert_eq!(scan.predictor_calls(), 0);
+        let _ = scan.check(
+            &mut model,
+            &bank,
+            &schedule,
+            &h,
+            &[1, 2, 3, 4],
+            2,
+            &mut meter,
+        );
+        assert_eq!(scan.predictor_calls(), 1);
+    }
+
+    #[test]
+    fn verified_exit_returns_global_argmax() {
+        let (mut model, mut bank, mut meter) = parts();
+        // Force the layer-0 predictor to always fire.
+        bank.layer_mut(0).set_threshold(0.0);
+        let schedule = ScheduleEngine::all_layers(4);
+        let h = prefill(&mut model, &[3], &mut meter);
+        let full = model.final_logits(&h, &mut meter);
+        let global = specee_tensor::ops::argmax(&full).unwrap() as TokenId;
+        let mut scan = ExitScan::new();
+        scan.begin_token();
+        // Candidate set containing the global argmax: exit verifies.
+        let cands = [global, global ^ 1, global ^ 2, global ^ 3];
+        let out = scan.check(&mut model, &bank, &schedule, &h, &cands, 0, &mut meter);
+        assert_eq!(out.map(|(t, _)| t), Some(global));
+        assert_eq!(scan.verify_calls(), 1);
+    }
+
+    #[test]
+    fn failed_verification_counts_and_continues() {
+        let (mut model, mut bank, mut meter) = parts();
+        bank.layer_mut(0).set_threshold(0.0);
+        let schedule = ScheduleEngine::all_layers(4);
+        let h = prefill(&mut model, &[3], &mut meter);
+        let full = model.final_logits(&h, &mut meter);
+        let global = specee_tensor::ops::argmax(&full).unwrap() as TokenId;
+        // Candidate set avoiding the global argmax: verification rejects.
+        let wrong: Vec<TokenId> = (0..8).filter(|&t| t != global).take(4).collect();
+        let mut scan = ExitScan::new();
+        scan.begin_token();
+        let out = scan.check(&mut model, &bank, &schedule, &h, &wrong, 0, &mut meter);
+        assert!(out.is_none());
+        assert_eq!(scan.verify_calls(), 1);
+        assert_eq!(scan.predictor_calls(), 1);
+    }
+}

@@ -31,8 +31,8 @@ pub fn hyper_tokens(parents: &[Option<usize>]) -> Vec<HyperToken> {
         }
     }
     let mut out = Vec::new();
-    for i in 0..parents.len() {
-        if has_child[i] {
+    for (i, &interior) in has_child.iter().enumerate() {
+        if interior {
             continue;
         }
         let mut path = Vec::new();

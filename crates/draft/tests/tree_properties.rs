@@ -67,7 +67,7 @@ proptest! {
     fn prune_is_valid_subtree(tree in arb_tree(), budget in 1usize..24) {
         let pruned = tree.prune_to_budget(budget);
         prop_assert!(pruned.len() <= tree.len());
-        prop_assert!(pruned.len() >= 1);
+        prop_assert!(!pruned.is_empty());
         // Budget can only be exceeded by ancestor closure on ties; the
         // closure of the top-k by joint probability is itself within k for
         // strictly positive probabilities, so assert <= budget here.

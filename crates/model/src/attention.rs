@@ -146,7 +146,7 @@ pub fn attention_forward_tree(
 
     let mut outputs = Vec::with_capacity(xs.len());
     let mut kv_lens = Vec::with_capacity(xs.len());
-    for i in 0..xs.len() {
+    for (i, q) in qs.iter().enumerate() {
         // Gather ancestor chain (committed context + path to this node).
         let mut chain = Vec::new();
         let mut cur = Some(i);
@@ -166,7 +166,7 @@ pub fn attention_forward_tree(
         }
         let mut merged = vec![0.0f32; cfg.hidden_dim];
         for h in 0..heads {
-            let q_head = &qs[i][h * head_dim..(h + 1) * head_dim];
+            let q_head = &q[h * head_dim..(h + 1) * head_dim];
             attend_one_head(
                 q_head,
                 &keys,

@@ -1,0 +1,462 @@
+//! The batched forward path: per-slot sequences swept through a shared
+//! layer loop.
+//!
+//! A served batch runs N independent sequences in lock-step: one shared
+//! sweep over the decoder layers in which each sequence participates only
+//! while it still needs the layer (its *active mask*). Every slot keeps
+//! its own KV state — the per-layer [`crate::KvCache`]s of its
+//! [`LayeredLm`] instance — while page occupancy across slots is tracked
+//! by a vllm-style [`SlotPool`] whose freed blocks are recycled when a
+//! sequence retires.
+//!
+//! [`BatchedStack`] is the substrate the `specee-batch` engine drives: it
+//! owns the slot models, leases KV pages on their behalf, and exposes the
+//! masked layer sweep ([`BatchedStack::sweep_layer`]) whose per-layer
+//! runner counts are exactly the quantity batched pricing needs (a layer's
+//! weights stream once for the whole batch if *any* slot runs it — the
+//! Cannikin effect measured live by the batched engine).
+
+use specee_metrics::Meter;
+
+use crate::traits::LayeredLm;
+
+/// A pool of fixed-size KV pages shared by every slot of a batch.
+///
+/// Pages are identified by index; freed pages go to a free list and are
+/// handed out again before the pool grows (the block-allocator recycling
+/// of vllm's PagedAttention). One page holds `page_size` token positions
+/// of per-layer K/V for the whole decoder stack.
+///
+/// # Examples
+///
+/// ```
+/// use specee_model::batch::SlotPool;
+///
+/// let mut pool = SlotPool::new(16);
+/// let a = pool.alloc_page();
+/// let b = pool.alloc_page();
+/// pool.free_page(a);
+/// assert_eq!(pool.alloc_page(), a); // recycled, not grown
+/// assert_eq!(pool.pages_created(), 2);
+/// let _ = b;
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPool {
+    page_size: usize,
+    free: Vec<usize>,
+    next_page: usize,
+    in_use: usize,
+    peak: usize,
+}
+
+impl SlotPool {
+    /// Creates an empty pool of `page_size`-token pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page_size must be positive");
+        SlotPool {
+            page_size,
+            free: Vec::new(),
+            next_page: 0,
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Tokens per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Hands out a page id, preferring recycled pages over growth.
+    pub fn alloc_page(&mut self) -> usize {
+        let page = self.free.pop().unwrap_or_else(|| {
+            let p = self.next_page;
+            self.next_page += 1;
+            p
+        });
+        self.in_use += 1;
+        self.peak = self.peak.max(self.in_use);
+        page
+    }
+
+    /// Returns a page to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never allocated or is already free.
+    pub fn free_page(&mut self, page: usize) {
+        assert!(page < self.next_page, "page {page} was never allocated");
+        assert!(!self.free.contains(&page), "page {page} double-freed");
+        self.free.push(page);
+        self.in_use -= 1;
+    }
+
+    /// Pages currently leased to slots.
+    pub fn pages_in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Distinct pages ever created (the pool's backing-store size).
+    pub fn pages_created(&self) -> usize {
+        self.next_page
+    }
+
+    /// Peak simultaneous lease count (the memory high-water mark).
+    pub fn pages_peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Token capacity currently leased (`pages_in_use × page_size`).
+    pub fn tokens_in_use(&self) -> usize {
+        self.in_use * self.page_size
+    }
+}
+
+/// The pages one slot currently leases from the pool.
+#[derive(Debug, Clone, Default)]
+struct SlotLease {
+    pages: Vec<usize>,
+    tokens: usize,
+}
+
+impl SlotLease {
+    /// Grows the lease until it covers `tokens` positions.
+    fn grow(&mut self, pool: &mut SlotPool, tokens: usize) {
+        self.tokens = self.tokens.max(tokens);
+        while self.pages.len() * pool.page_size() < self.tokens {
+            self.pages.push(pool.alloc_page());
+        }
+    }
+
+    /// Returns every leased page to the pool.
+    fn release(&mut self, pool: &mut SlotPool) {
+        for page in self.pages.drain(..) {
+            pool.free_page(page);
+        }
+        self.tokens = 0;
+    }
+}
+
+struct Slot<M> {
+    model: M,
+    lease: SlotLease,
+}
+
+/// A fixed number of sequence slots stepped through a shared layer sweep.
+///
+/// Each occupied slot holds one [`LayeredLm`] instance — its own KV cache,
+/// its own committed context — admitted by [`BatchedStack::admit`] and
+/// recycled by [`BatchedStack::retire`]. The slot's KV footprint is leased
+/// from the shared [`SlotPool`] and returned on retirement, so a
+/// long-running server reuses freed blocks instead of growing without
+/// bound.
+///
+/// # Examples
+///
+/// ```
+/// use specee_metrics::Meter;
+/// use specee_model::batch::BatchedStack;
+/// use specee_model::{prefill, LayeredLm, ModelConfig, Transformer};
+/// use specee_tensor::rng::Pcg;
+///
+/// let cfg = ModelConfig::tiny();
+/// let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 16);
+/// let mut meter = Meter::new();
+/// let mut m = Transformer::random(cfg.clone(), &mut Pcg::seed(1));
+/// prefill(&mut m, &[1, 2, 3], &mut meter);
+/// let slot = stack.admit(m);
+/// assert_eq!(stack.occupancy(), 1);
+/// assert!(stack.pool().pages_in_use() > 0);
+/// let _ = stack.retire(slot);
+/// assert_eq!(stack.pool().pages_in_use(), 0);
+/// ```
+pub struct BatchedStack<M> {
+    slots: Vec<Option<Slot<M>>>,
+    pool: SlotPool,
+}
+
+impl<M: LayeredLm> BatchedStack<M> {
+    /// Creates `max_batch` empty slots over a fresh page pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero (page-size validation is
+    /// [`SlotPool::new`]'s).
+    pub fn new(max_batch: usize, page_size: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        BatchedStack {
+            slots: (0..max_batch).map(|_| None).collect(),
+            pool: SlotPool::new(page_size),
+        }
+    }
+
+    /// Number of slots (the batch cap).
+    pub fn max_batch(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The lowest free slot index, if any.
+    pub fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| s.is_none())
+    }
+
+    /// Whether `slot` currently holds a sequence.
+    pub fn is_occupied(&self, slot: usize) -> bool {
+        self.slots.get(slot).is_some_and(|s| s.is_some())
+    }
+
+    /// Indices of every occupied slot, ascending.
+    pub fn occupied_slots(&self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| self.is_occupied(i))
+            .collect()
+    }
+
+    /// Seats `model` in the lowest free slot, leasing pages for its
+    /// already-committed KV (the prefilled prompt), and returns the slot
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every slot is occupied — check [`BatchedStack::free_slot`]
+    /// first.
+    pub fn admit(&mut self, model: M) -> usize {
+        let slot = self.free_slot().expect("no free slot");
+        let mut lease = SlotLease::default();
+        lease.grow(&mut self.pool, model.kv_len());
+        self.slots[slot] = Some(Slot { model, lease });
+        slot
+    }
+
+    /// Empties `slot`, returning its pages to the pool and its model to
+    /// the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn retire(&mut self, slot: usize) -> M {
+        let mut s = self.slots[slot].take().expect("slot is vacant");
+        s.lease.release(&mut self.pool);
+        s.model
+    }
+
+    /// Borrows the model seated in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn model(&self, slot: usize) -> &M {
+        &self.slots[slot].as_ref().expect("slot is vacant").model
+    }
+
+    /// Mutably borrows the model seated in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn model_mut(&mut self, slot: usize) -> &mut M {
+        &mut self.slots[slot].as_mut().expect("slot is vacant").model
+    }
+
+    /// The shared layer sweep: runs decoder layer `layer` on every slot
+    /// whose `active` bit is set, replacing `hidden[slot]` in place, and
+    /// returns the number of runners. `positions[slot]` is the KV position
+    /// the slot's pending token occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask or state slices don't cover every slot, or an
+    /// active slot is vacant or missing its hidden state.
+    pub fn sweep_layer(
+        &mut self,
+        layer: usize,
+        hidden: &mut [Option<Vec<f32>>],
+        active: &[bool],
+        positions: &[usize],
+        meter: &mut Meter,
+    ) -> usize {
+        assert_eq!(hidden.len(), self.slots.len(), "one hidden state per slot");
+        assert_eq!(active.len(), self.slots.len(), "one mask bit per slot");
+        assert_eq!(positions.len(), self.slots.len(), "one position per slot");
+        let mut runners = 0;
+        for (slot, seat) in self.slots.iter_mut().enumerate() {
+            if !active[slot] {
+                continue;
+            }
+            let seat = seat.as_mut().expect("active slot is vacant");
+            let h = hidden[slot].as_ref().expect("active slot has no state");
+            hidden[slot] = Some(seat.model.forward_layer(layer, h, positions[slot], meter));
+            runners += 1;
+        }
+        runners
+    }
+
+    /// Re-syncs every lease with its model's committed KV length, leasing
+    /// new pages as sequences grow. Call once per decode step after KV
+    /// commits.
+    pub fn sync_leases(&mut self) {
+        for seat in self.slots.iter_mut().flatten() {
+            let needed = seat.model.kv_len();
+            seat.lease.grow(&mut self.pool, needed);
+        }
+    }
+
+    /// The shared page pool (occupancy, recycling and peak statistics).
+    pub fn pool(&self) -> &SlotPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::transformer::{prefill, Transformer};
+    use specee_tensor::rng::Pcg;
+
+    fn model(seed: u64) -> Transformer {
+        Transformer::random(ModelConfig::tiny(), &mut Pcg::seed(seed))
+    }
+
+    #[test]
+    fn pool_recycles_freed_pages() {
+        let mut pool = SlotPool::new(4);
+        let a = pool.alloc_page();
+        let b = pool.alloc_page();
+        assert_eq!((a, b), (0, 1));
+        pool.free_page(a);
+        assert_eq!(pool.pages_in_use(), 1);
+        assert_eq!(pool.alloc_page(), 0, "freed page is reused");
+        assert_eq!(pool.pages_created(), 2);
+        assert_eq!(pool.pages_peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-freed")]
+    fn pool_rejects_double_free() {
+        let mut pool = SlotPool::new(4);
+        let a = pool.alloc_page();
+        pool.free_page(a);
+        pool.free_page(a);
+    }
+
+    #[test]
+    fn admit_leases_pages_for_prefilled_kv() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 2);
+        let mut meter = Meter::new();
+        let mut m = model(1);
+        prefill(&mut m, &[1, 2, 3], &mut meter);
+        stack.admit(m);
+        // 3 committed positions at page size 2 → 2 pages.
+        assert_eq!(stack.pool().pages_in_use(), 2);
+        assert_eq!(stack.pool().tokens_in_use(), 4);
+    }
+
+    #[test]
+    fn retire_returns_pages_and_next_admit_reuses_them() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 2);
+        let mut meter = Meter::new();
+        let mut m = model(2);
+        prefill(&mut m, &[1, 2, 3, 4], &mut meter);
+        let slot = stack.admit(m);
+        let created = stack.pool().pages_created();
+        let _ = stack.retire(slot);
+        assert_eq!(stack.pool().pages_in_use(), 0);
+        let mut m2 = model(3);
+        prefill(&mut m2, &[5, 6], &mut meter);
+        stack.admit(m2);
+        // The second admission fits entirely in recycled pages.
+        assert_eq!(stack.pool().pages_created(), created);
+    }
+
+    #[test]
+    fn masked_sweep_matches_single_stream() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 16);
+        let mut meter = Meter::new();
+        let mut a = model(7);
+        let mut b = model(7);
+        prefill(&mut a, &[1, 2], &mut meter);
+        prefill(&mut b, &[3], &mut meter);
+        let sa = stack.admit(a);
+        let sb = stack.admit(b);
+
+        // Reference: the same models stepped individually.
+        let mut ra = model(7);
+        let mut rb = model(7);
+        prefill(&mut ra, &[1, 2], &mut meter);
+        prefill(&mut rb, &[3], &mut meter);
+        let mut ha = ra.begin_token(5, &mut meter);
+        let mut hb = rb.begin_token(6, &mut meter);
+
+        let mut hidden = vec![None, None];
+        hidden[sa] = Some(stack.model_mut(sa).begin_token(5, &mut meter));
+        hidden[sb] = Some(stack.model_mut(sb).begin_token(6, &mut meter));
+        let positions = [2, 1];
+        let active = [true, true];
+        for layer in 0..4 {
+            let runners = stack.sweep_layer(layer, &mut hidden, &active, &positions, &mut meter);
+            assert_eq!(runners, 2);
+            ha = ra.forward_layer(layer, &ha, 2, &mut meter);
+            hb = rb.forward_layer(layer, &hb, 1, &mut meter);
+        }
+        assert_eq!(hidden[sa].as_deref(), Some(ha.as_slice()));
+        assert_eq!(hidden[sb].as_deref(), Some(hb.as_slice()));
+    }
+
+    #[test]
+    fn inactive_slots_do_not_run() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 16);
+        let mut meter = Meter::new();
+        let mut a = model(9);
+        let mut b = model(9);
+        prefill(&mut a, &[1], &mut meter);
+        prefill(&mut b, &[1], &mut meter);
+        let sa = stack.admit(a);
+        let sb = stack.admit(b);
+        let mut hidden = vec![None, None];
+        hidden[sa] = Some(stack.model_mut(sa).begin_token(2, &mut meter));
+        hidden[sb] = Some(stack.model_mut(sb).begin_token(2, &mut meter));
+        let frozen = hidden[sb].clone();
+        let runners = stack.sweep_layer(0, &mut hidden, &[true, false], &[1, 1], &mut meter);
+        assert_eq!(runners, 1);
+        assert_eq!(hidden[sb], frozen, "masked-off slot keeps its state");
+        assert_ne!(hidden[sa], frozen);
+    }
+
+    #[test]
+    fn sync_leases_tracks_growth() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(1, 2);
+        let mut meter = Meter::new();
+        let mut m = model(4);
+        prefill(&mut m, &[1, 2], &mut meter);
+        let slot = stack.admit(m);
+        assert_eq!(stack.pool().pages_in_use(), 1);
+        // Decode one token through all layers, then sync.
+        let pos = stack.model(slot).kv_len();
+        let mut h = stack.model_mut(slot).begin_token(3, &mut meter);
+        for layer in 0..4 {
+            h = stack
+                .model_mut(slot)
+                .forward_layer(layer, &h, pos, &mut meter);
+        }
+        stack.sync_leases();
+        assert_eq!(stack.pool().pages_in_use(), 2, "third token needs page 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "no free slot")]
+    fn admit_checks_capacity() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(1, 16);
+        stack.admit(model(1));
+        stack.admit(model(2));
+    }
+}

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub mod attention;
+pub mod batch;
 pub mod calibration;
 pub mod config;
 pub mod ffn;
@@ -41,6 +42,7 @@ pub mod transformer;
 pub mod weights;
 
 pub use attention::TreeKv;
+pub use batch::{BatchedStack, SlotPool};
 pub use calibration::{collect_awq_tap, quantize_awq, ActivationTap};
 pub use config::{CostDims, ModelConfig, TokenId};
 pub use ffn::{FfnMode, FfnRouter};

@@ -157,8 +157,8 @@ mod tests {
         }
         // weight gradient of sum(y) wrt w[r][c] is x[c]
         for r in 0..2 {
-            for c in 0..3 {
-                assert!((grad.dw.get(r, c) - x[c]).abs() < 1e-6);
+            for (c, &xc) in x.iter().enumerate() {
+                assert!((grad.dw.get(r, c) - xc).abs() < 1e-6);
             }
         }
     }

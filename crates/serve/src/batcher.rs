@@ -71,9 +71,27 @@ impl ServeReport {
 /// steps in which every active slot emits one token.
 #[derive(Debug, Clone)]
 pub struct ContinuousBatcher {
-    config: BatcherConfig,
-    model: StepCostModel,
+    pub(crate) config: BatcherConfig,
+    pub(crate) model: StepCostModel,
+    pub(crate) policy: AdmissionPolicy,
+}
+
+/// Picks the index *within `pending`* of the next request to admit under
+/// `policy` (shared by the replay and live loops).
+pub(crate) fn pick_pending(
     policy: AdmissionPolicy,
+    pending: &[usize],
+    requests: &[ServeRequest],
+) -> usize {
+    match policy {
+        AdmissionPolicy::Fcfs => 0,
+        AdmissionPolicy::ShortestJobFirst => pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &r)| (requests[r].gen_len, r))
+            .map(|(i, _)| i)
+            .expect("pending non-empty"),
+    }
 }
 
 impl ContinuousBatcher {
@@ -155,15 +173,7 @@ impl ContinuousBatcher {
             }
             let mut admitted: Vec<usize> = Vec::new();
             while !pending.is_empty() && active.len() + admitted.len() < self.config.max_batch {
-                let pick = match self.policy {
-                    AdmissionPolicy::Fcfs => 0,
-                    AdmissionPolicy::ShortestJobFirst => pending
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, &r)| (requests[r].gen_len, r))
-                        .map(|(i, _)| i)
-                        .expect("pending non-empty"),
-                };
+                let pick = pick_pending(self.policy, &pending, requests);
                 admitted.push(pending.remove(pick));
             }
             if !admitted.is_empty() {

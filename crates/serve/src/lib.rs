@@ -13,15 +13,32 @@
 //! speedup at batch 1 toward the compute-only savings at large batches.
 //! The `ablation_batch_serving` bench quantifies the decay curve.
 //!
-//! # Design: replay-based simulation
+//! # Two execution modes: replay and live
 //!
-//! Under greedy decoding a sequence's tokens and exit layers do not depend
-//! on what else shares the batch — batching changes *timing*, not values.
-//! The simulator therefore records each request's trace (tokens, per-token
-//! exit layers, predictor/verify call counts) by running the real engines
-//! once per request ([`trace`]), then replays the traces through the
-//! admission/batching/pricing loop ([`batcher`]). Every token in a served
-//! run is a genuinely computed token; only the clock is modelled.
+//! **Replay** ([`batcher`], [`ContinuousBatcher::run`]): under greedy
+//! decoding a sequence's tokens and exit layers do not depend on what else
+//! shares the batch — batching changes *timing*, not values. The simulator
+//! records each request's trace (tokens, per-token exit layers,
+//! predictor/verify call counts) by running the real engines once per
+//! request ([`trace`]), then replays the traces through the
+//! admission/batching/pricing loop. Every token in a served run is a
+//! genuinely computed token; only the clock is modelled. Replay is cheap
+//! (one engine pass per request, then arbitrarily many batch-cap sweeps)
+//! and exact *as long as* the replayed per-token overhead averages stand
+//! in faithfully for what a real batch would execute per step.
+//!
+//! **Live** ([`live`], [`ContinuousBatcher::run_live`]): requests are
+//! admitted into the slots of a `specee_batch::BatchedEngine` and decoded
+//! for real — N sequences in lock-step through the layer stack, scheduled
+//! predictors evaluated per sequence, the step ending at the rearmost
+//! layer any sequence still needs. The step cost is priced from *measured*
+//! per-layer runner counts and call totals, not per-request averages.
+//! Live is the trustworthy mode whenever batch composition matters: it
+//! measures the Cannikin batch-size decay instead of assuming trace
+//! independence, at the price of re-decoding the workload for every
+//! configuration swept. Use replay for broad sweeps, live to validate the
+//! points that matter; both share [`ServeReport`]/[`ServeStats`], so the
+//! curves overlay directly (`ablation_live_batch` does exactly that).
 //!
 //! # Examples
 //!
@@ -53,12 +70,14 @@
 
 pub mod batcher;
 pub mod cost;
+pub mod live;
 pub mod request;
 pub mod stats;
 pub mod trace;
 
 pub use batcher::{AdmissionPolicy, BatcherConfig, ContinuousBatcher, ServeReport};
 pub use cost::StepCostModel;
+pub use live::LiveOutcome;
 pub use request::{Completion, PoissonArrivals, ServeRequest};
 pub use stats::ServeStats;
 pub use trace::RequestTrace;

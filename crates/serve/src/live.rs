@@ -1,0 +1,422 @@
+//! The live execution mode: genuine lock-step batched decoding behind the
+//! same admission loop, clock and reporting as the replay simulator.
+//!
+//! Where [`crate::batcher::ContinuousBatcher::run`] replays recorded
+//! traces, [`ContinuousBatcher::run_live`] admits each request into a
+//! [`BatchedEngine`] slot and *generates* its tokens: every decode step
+//! sweeps the real layer stack once for the whole batch, every sequence
+//! runs its own scheduled predictors, and the step's
+//! [`specee_batch::BatchStep`]
+//! measurements — per-layer runner counts, context lengths, draft /
+//! predictor / LM-head calls — are priced with the same
+//! [`crate::cost::StepCostModel`] the replay path uses. Both modes
+//! produce a [`ServeReport`], so their speedup curves are directly
+//! comparable.
+
+use specee_batch::{Admission, BatchedEngine, BatchedOutput};
+use specee_draft::SpeculativeSource;
+use specee_model::LayeredLm;
+
+use crate::batcher::{pick_pending, ContinuousBatcher, ServeReport};
+use crate::cost::StepSpec;
+use crate::request::{Completion, ServeRequest};
+
+/// Result of a live served run: the shared timing report plus the
+/// genuinely decoded per-request outputs (in request order).
+#[derive(Debug, Clone)]
+pub struct LiveOutcome {
+    /// Timing/occupancy report, same shape as the replay simulator's.
+    pub report: ServeReport,
+    /// Decoded token streams, exit layers and call counts, one entry per
+    /// request in request order (empty streams for `gen_len == 0`
+    /// requests, which complete at admission without decoding).
+    pub outputs: Vec<BatchedOutput>,
+}
+
+impl ContinuousBatcher {
+    /// Serves `requests` by live batched decoding on `engine`.
+    ///
+    /// `make_seq` builds the per-sequence model and draft for a request at
+    /// admission time (each engine slot owns its sequence's KV state).
+    /// Admission follows the batcher's policy exactly as in replay mode;
+    /// prefill is priced as one batched forward at admission, decode steps
+    /// are priced from the engine's measured [`specee_batch::BatchStep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's batch cap or layer depth disagrees with the
+    /// batcher configuration, the engine is not empty, or arrivals are not
+    /// sorted.
+    pub fn run_live<M, D, F>(
+        &self,
+        requests: &[ServeRequest],
+        engine: &mut BatchedEngine<M, D>,
+        mut make_seq: F,
+    ) -> LiveOutcome
+    where
+        M: LayeredLm,
+        D: SpeculativeSource,
+        F: FnMut(&ServeRequest) -> (M, D),
+    {
+        assert_eq!(
+            engine.max_batch(),
+            self.config.max_batch,
+            "engine batch cap must match the batcher's"
+        );
+        assert_eq!(
+            engine.n_layers(),
+            self.config.cost.n_layers,
+            "engine depth must match the priced dims"
+        );
+        assert_eq!(engine.occupancy(), 0, "engine must start empty");
+        assert!(
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "requests must be sorted by arrival"
+        );
+
+        let mut now = 0.0f64;
+        let mut next_arrival = 0usize;
+        let mut pending: Vec<usize> = Vec::new();
+        let mut completions: Vec<Completion> = Vec::with_capacity(requests.len());
+        let mut outputs: Vec<BatchedOutput> = Vec::with_capacity(requests.len());
+        let mut first_token_s = vec![0.0f64; requests.len()];
+        let mut steps = 0u64;
+        let mut occupancy_sum = 0.0f64;
+        let mut layer_sum = 0.0f64;
+        let mut token_sum = 0u64;
+
+        while completions.len() < requests.len() {
+            while next_arrival < requests.len() && requests[next_arrival].arrival_s <= now {
+                pending.push(next_arrival);
+                next_arrival += 1;
+            }
+            let mut admitted: Vec<usize> = Vec::new();
+            while !pending.is_empty() && engine.occupancy() + admitted.len() < self.config.max_batch
+            {
+                let pick = pick_pending(self.policy, &pending, requests);
+                admitted.push(pending.remove(pick));
+            }
+            if !admitted.is_empty() {
+                let lens: Vec<usize> = admitted.iter().map(|&i| requests[i].prompt.len()).collect();
+                now += self.model.prefill_latency(&lens);
+                for &i in &admitted {
+                    let req = &requests[i];
+                    first_token_s[i] = now;
+                    if req.gen_len == 0 {
+                        completions.push(Completion {
+                            id: req.id,
+                            arrival_s: req.arrival_s,
+                            first_token_s: now,
+                            finish_s: now,
+                            tokens: 0,
+                        });
+                        // Keep one output per request so callers can zip
+                        // outputs with requests positionally.
+                        outputs.push(BatchedOutput {
+                            id: i as u64,
+                            tokens: Vec::new(),
+                            exit_layers: Vec::new(),
+                            ce_sum: 0.0,
+                            predictor_calls: 0,
+                            verify_calls: 0,
+                        });
+                        continue;
+                    }
+                    let (model, draft) = make_seq(req);
+                    match engine.admit(i as u64, model, draft, &req.prompt, req.gen_len) {
+                        Admission::Done(out) => {
+                            completions.push(Completion {
+                                id: req.id,
+                                arrival_s: req.arrival_s,
+                                first_token_s: now,
+                                finish_s: now,
+                                tokens: out.tokens.len(),
+                            });
+                            outputs.push(out);
+                        }
+                        Admission::Seated { .. } => {}
+                    }
+                }
+                continue;
+            }
+
+            if engine.occupancy() == 0 {
+                if next_arrival < requests.len() {
+                    now = now.max(requests[next_arrival].arrival_s);
+                    continue;
+                }
+                break;
+            }
+
+            // One genuinely executed, synchronized decode step.
+            let step = engine.step();
+            now += self.model.decode_step_latency(&StepSpec {
+                layer_runners: step.layer_runners.clone(),
+                ctx_lens: step.ctx_lens.clone(),
+                lm_head_evals: step.lm_head_evals as f64,
+                draft_slots: step.draft_slots,
+                predictor_calls: step.predictor_calls as f64,
+            });
+            steps += 1;
+            occupancy_sum += step.ctx_lens.len() as f64;
+            layer_sum += step.layer_runners.iter().sum::<usize>() as f64;
+            token_sum += step.emitted as u64;
+            for out in step.finished {
+                let req = &requests[out.id as usize];
+                completions.push(Completion {
+                    id: req.id,
+                    arrival_s: req.arrival_s,
+                    first_token_s: first_token_s[out.id as usize],
+                    finish_s: now,
+                    tokens: out.tokens.len(),
+                });
+                outputs.push(out);
+            }
+        }
+
+        completions.sort_by_key(|c| c.id);
+        outputs.sort_by_key(|o| o.id);
+        LiveOutcome {
+            report: ServeReport {
+                completions,
+                makespan_s: now,
+                steps,
+                avg_occupancy: if steps > 0 {
+                    occupancy_sum / steps as f64
+                } else {
+                    0.0
+                },
+                avg_layers: if token_sum > 0 {
+                    layer_sum / token_sum as f64
+                } else {
+                    0.0
+                },
+            },
+            outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatcherConfig;
+    use crate::request::PoissonArrivals;
+    use crate::trace::RequestTrace;
+    use specee_core::collect::{collect_training_data, train_bank};
+    use specee_core::engine::SpecEeEngine;
+    use specee_core::predictor::{PredictorBank, PredictorConfig};
+    use specee_core::{ScheduleEngine, SpecEeConfig};
+    use specee_metrics::{FrameworkProfile, HardwareProfile};
+    use specee_model::{CostDims, ModelConfig, TokenId};
+    use specee_nn::TrainConfig;
+    use specee_synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
+    use specee_tensor::rng::Pcg;
+
+    const N_LAYERS: usize = 8;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            n_layers: N_LAYERS,
+            vocab_size: 256,
+            ..ModelConfig::tiny()
+        }
+    }
+
+    /// Cost dims matching the executed depth so live layer_runners line up.
+    fn cost_dims() -> CostDims {
+        CostDims {
+            n_layers: N_LAYERS,
+            ..CostDims::llama2_7b()
+        }
+    }
+
+    fn batcher(max_batch: usize) -> ContinuousBatcher {
+        ContinuousBatcher::new(BatcherConfig {
+            max_batch,
+            hardware: HardwareProfile::a100_80g(),
+            framework: FrameworkProfile::vllm(),
+            cost: cost_dims(),
+        })
+    }
+
+    fn build_lm(seed: u64) -> SyntheticLm {
+        SyntheticLmBuilder::new(cfg(), DatasetProfile::qa())
+            .seed(seed)
+            .build()
+    }
+
+    fn trained(seed: u64) -> (PredictorBank, ScheduleEngine, SpecEeConfig) {
+        let mut lm = build_lm(seed);
+        let mut draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed);
+        let prompts: Vec<(Vec<TokenId>, usize)> =
+            (0..8u32).map(|i| (vec![1 + i, 2 + i], 8usize)).collect();
+        let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+        let pcfg = PredictorConfig {
+            hidden_dim: 16,
+            ..PredictorConfig::default()
+        };
+        let mut bank = PredictorBank::new(N_LAYERS, &pcfg, &mut Pcg::seed(seed));
+        train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), seed);
+        let config = SpecEeConfig {
+            predictor: pcfg,
+            ..SpecEeConfig::default()
+        };
+        let schedule = config.build_schedule(N_LAYERS, Some(&data.exit_frequencies));
+        (bank, schedule, config)
+    }
+
+    fn live_engine(
+        max_batch: usize,
+        parts: &(PredictorBank, ScheduleEngine, SpecEeConfig),
+    ) -> BatchedEngine<SyntheticLm, OracleDraft> {
+        BatchedEngine::new(
+            max_batch,
+            16,
+            N_LAYERS,
+            parts.0.clone(),
+            parts.1.clone(),
+            parts.2.clone(),
+        )
+    }
+
+    fn specs(n: usize, gen: usize) -> Vec<(Vec<TokenId>, usize)> {
+        (0..n as u32)
+            .map(|i| (vec![2 + i, 5 + i, 1 + i], gen))
+            .collect()
+    }
+
+    #[test]
+    fn live_run_completes_every_request_with_ordered_milestones() {
+        let seed = 41;
+        let parts = trained(seed);
+        let requests = PoissonArrivals::new(20.0, 7).requests(&specs(6, 8));
+        let b = batcher(3);
+        let mut engine = live_engine(3, &parts);
+        let outcome = b.run_live(&requests, &mut engine, |r| {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+            (lm, draft)
+        });
+        assert_eq!(outcome.report.completions.len(), 6);
+        assert_eq!(outcome.outputs.len(), 6);
+        for (c, r) in outcome.report.completions.iter().zip(&requests) {
+            assert_eq!(c.id, r.id);
+            assert!(c.first_token_s >= r.arrival_s);
+            assert!(c.finish_s >= c.first_token_s);
+            assert_eq!(c.tokens, 8);
+        }
+        for (o, r) in outcome.outputs.iter().zip(&requests) {
+            assert_eq!(o.id, r.id);
+            assert_eq!(o.tokens.len(), 8);
+        }
+        let stats = outcome.report.stats();
+        assert!(stats.throughput_tok_s > 0.0);
+        assert!(outcome.report.avg_layers <= N_LAYERS as f64);
+        assert_eq!(engine.occupancy(), 0);
+        assert_eq!(engine.pool().pages_in_use(), 0);
+    }
+
+    #[test]
+    fn live_tokens_match_replayed_traces_and_timing_is_close() {
+        // Record single-stream runs with per-request fresh engines, replay
+        // them, and serve the same requests live with identically seeded
+        // sequences: greedy decoding is batch-invariant, so the token
+        // streams must be identical and the priced curves close (the only
+        // differences are per-step vs per-token-average overhead charges).
+        let seed = 43;
+        let parts = trained(seed);
+        let specs = specs(5, 8);
+        let mut traces = Vec::new();
+        for (i, (p, g)) in specs.iter().enumerate() {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ i as u64);
+            let mut engine =
+                SpecEeEngine::new(lm, draft, parts.0.clone(), parts.1.clone(), parts.2.clone());
+            traces.push(RequestTrace::from_output(&engine.generate(p, *g), true));
+        }
+        let requests = PoissonArrivals::new(30.0, 5).requests(&specs);
+        let b = batcher(2);
+        let replay = b.run(&requests, &traces);
+        let mut engine = live_engine(2, &parts);
+        let live = b.run_live(&requests, &mut engine, |r| {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+            (lm, draft)
+        });
+        for (out, trace) in live.outputs.iter().zip(&traces) {
+            assert_eq!(out.tokens, trace.tokens, "request {}", out.id);
+            assert_eq!(out.exit_layers, trace.exit_layers, "request {}", out.id);
+        }
+        let rel = (live.report.makespan_s - replay.makespan_s).abs() / replay.makespan_s;
+        assert!(
+            rel < 0.15,
+            "live {} vs replay {} ({}%)",
+            live.report.makespan_s,
+            replay.makespan_s,
+            rel * 100.0
+        );
+        assert!((live.report.avg_layers - replay.avg_layers).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_gen_len_one_finishes_at_prefill() {
+        let seed = 47;
+        let parts = trained(seed);
+        let requests = PoissonArrivals::new(10.0, 3).requests(&[(vec![1, 2, 3], 1)]);
+        let b = batcher(2);
+        let mut engine = live_engine(2, &parts);
+        let outcome = b.run_live(&requests, &mut engine, |r| {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+            (lm, draft)
+        });
+        assert_eq!(outcome.report.completions.len(), 1);
+        assert_eq!(outcome.report.steps, 0);
+        assert_eq!(
+            outcome.report.completions[0].finish_s,
+            outcome.report.completions[0].first_token_s
+        );
+        assert_eq!(outcome.outputs[0].tokens.len(), 1);
+    }
+
+    #[test]
+    fn live_zero_gen_len_keeps_output_alignment() {
+        // A zero-length request in the middle of the burst must still get
+        // an (empty) outputs entry so positional zips stay aligned.
+        let seed = 53;
+        let parts = trained(seed);
+        let mut requests = PoissonArrivals::new(10.0, 3).requests(&specs(3, 6));
+        requests[1].gen_len = 0;
+        let b = batcher(2);
+        let mut engine = live_engine(2, &parts);
+        let outcome = b.run_live(&requests, &mut engine, |r| {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+            (lm, draft)
+        });
+        assert_eq!(outcome.report.completions.len(), 3);
+        assert_eq!(outcome.outputs.len(), 3);
+        for (k, out) in outcome.outputs.iter().enumerate() {
+            assert_eq!(out.id, k as u64);
+        }
+        assert!(outcome.outputs[1].tokens.is_empty());
+        assert_eq!(outcome.outputs[0].tokens.len(), 6);
+        assert_eq!(outcome.report.completions[1].tokens, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine batch cap")]
+    fn live_validates_batch_cap() {
+        let parts = trained(49);
+        let requests = PoissonArrivals::new(10.0, 3).requests(&specs(1, 4));
+        let mut engine = live_engine(3, &parts);
+        let _ = batcher(2).run_live(&requests, &mut engine, |_| {
+            let lm = build_lm(49);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), 49);
+            (lm, draft)
+        });
+    }
+}

@@ -169,7 +169,7 @@ impl AwqMatrix {
             let alpha = step as f32 / 8.0;
             let cand = Self::quantize_with_alpha(w, calib, bits, group_size, alpha)?;
             let mse = output_mse(w, &cand, samples);
-            if best.as_ref().map_or(true, |(m, _)| mse < *m) {
+            if best.as_ref().is_none_or(|(m, _)| mse < *m) {
                 best = Some((mse, cand));
             }
         }

@@ -344,8 +344,8 @@ mod tests {
         for col in 0..2 {
             let bcol: Vec<f32> = (0..5).map(|r| b.get(r, col)).collect();
             let expect = a.matvec(&bcol);
-            for r in 0..3 {
-                assert!((c.get(r, col) - expect[r]).abs() < 1e-5);
+            for (r, &e) in expect.iter().enumerate() {
+                assert!((c.get(r, col) - e).abs() < 1e-5);
             }
         }
     }

@@ -290,6 +290,6 @@ mod tests {
     fn zero_matrix_quantizes_to_zero() {
         let m = Matrix::zeros(3, 16);
         let q = QuantizedMatrix::quantize(&m, QuantBits::Int4, 16).unwrap();
-        assert!(q.matvec(&vec![1.0; 16]).iter().all(|&v| v == 0.0));
+        assert!(q.matvec(&[1.0; 16]).iter().all(|&v| v == 0.0));
     }
 }

@@ -85,7 +85,7 @@ impl Tokenizer {
             let mut best: Option<(usize, usize, TokenId)> = None; // (rank, pos, result)
             for pos in 0..ids.len().saturating_sub(1) {
                 if let Some(&(rank, result)) = self.ranks.get(&(ids[pos], ids[pos + 1])) {
-                    if best.map_or(true, |(r, _, _)| rank < r) {
+                    if best.is_none_or(|(r, _, _)| rank < r) {
                         best = Some((rank, pos, result));
                     }
                 }

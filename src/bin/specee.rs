@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use specee::batch::BatchedEngine;
 use specee::core::collect::{collect_training_data, train_bank};
 use specee::core::engine::{DenseEngine, SpecEeEngine};
 use specee::core::predictor::PredictorBank;
@@ -64,7 +65,9 @@ fn print_help() {
            train      offline predictor pipeline; prints per-layer accuracy\n             \
                       (--model, --dataset, --seed as above)\n  \
            tokenize   train a byte-level BPE vocabulary and encode TEXT (--vocab N)\n  \
-           serve      continuous-batching simulation (--batch N --requests N --rate R)\n  \
+           serve      continuous batching (--batch N --requests N --rate R\n             \
+                      --mode replay|live: replay prices recorded traces, live runs\n             \
+                      the lock-step batched engine and prices measured steps)\n  \
            help       this message"
     );
 }
@@ -232,6 +235,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let pipe = Pipeline::from_opts(&opts)?;
     let tokens: usize = parse_num(&opts, "tokens", 24)?;
     let engine_name = opts.get("engine").map_or("specee", String::as_str);
+    if !matches!(engine_name, "dense" | "specee" | "calm") {
+        return Err(format!(
+            "unknown engine `{engine_name}` (dense, specee, calm)"
+        ));
+    }
+    if tokens == 0 {
+        // The engines require a positive decode length; zero tokens is a
+        // valid request with an empty completion.
+        println!("engine        : {engine_name} on {}", pipe.cfg.name);
+        println!("dataset       : {}", pipe.profile.name);
+        println!("tokens        : [] (0 requested)");
+        println!("exit layers   : []");
+        return Ok(());
+    }
 
     let lm = pipe.lm();
     let prompt = lm.language().sample_sequence(5, 12, pipe.seed ^ 0x9e);
@@ -250,7 +267,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             let thr = calibrate_calm_threshold(&mut calib, &prompts);
             CalmEngine::new(pipe.lm(), thr).generate(&prompt, tokens)
         }
-        other => return Err(format!("unknown engine `{other}` (dense, specee, calm)")),
+        _ => unreachable!("engine name validated above"),
     };
 
     let dense = DenseEngine::new(pipe.lm()).generate(&prompt, tokens);
@@ -356,31 +373,37 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let batch: usize = parse_num(&opts, "batch", 8)?;
     let n_requests: usize = parse_num(&opts, "requests", 12)?;
     let rate: f64 = parse_num(&opts, "rate", 6.0)?;
+    let mode = opts.get("mode").map_or("replay", String::as_str);
+    if !matches!(mode, "replay" | "live") {
+        return Err(format!("unknown mode `{mode}` (replay, live)"));
+    }
     let gen = 16usize;
 
-    // Record per-request traces with the real engines.
+    println!(
+        "{} requests, Poisson {rate}/s, batch cap {batch}, {} on A100/vllm ({mode} mode)",
+        n_requests, pipe.cfg.name
+    );
+    if n_requests == 0 {
+        // Nothing arrives, nothing decodes: report an explicit empty
+        // summary instead of 0/0 ratios.
+        println!("dense  : 0 tokens served");
+        println!("SpecEE : 0 tokens served (speedup n/a)");
+        return Ok(());
+    }
+
     let (bank, freqs) = pipe.trained_bank();
     let config = SpecEeConfig::default();
     let schedule = config.build_schedule(pipe.cfg.n_layers, Some(&freqs));
-    let lm = pipe.lm();
-    let draft = pipe.draft(&lm);
-    let mut spec_engine = SpecEeEngine::new(lm, draft, bank, schedule, config);
     let mut dense_engine = DenseEngine::new(pipe.lm());
+    let specs: Vec<(Vec<TokenId>, usize)> = pipe.prompts(dense_engine.model(), n_requests, gen);
 
-    let specs: Vec<(Vec<TokenId>, usize)> = pipe
-        .prompts(&spec_engine.model(), n_requests, gen)
-        .into_iter()
-        .collect();
+    // The dense reference is always replayed from recorded traces (dense
+    // decode is batch-invariant in both values and per-step shape).
     let mut dense_traces = Vec::new();
-    let mut spec_traces = Vec::new();
     for (prompt, g) in &specs {
         dense_traces.push(RequestTrace::from_output(
             &dense_engine.generate(prompt, *g),
             false,
-        ));
-        spec_traces.push(RequestTrace::from_output(
-            &spec_engine.generate(prompt, *g),
-            true,
         ));
     }
     let requests = PoissonArrivals::new(rate, pipe.seed ^ 0x11).requests(&specs);
@@ -391,11 +414,39 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cost: pipe.cfg.cost.ok_or("model has no cost twin")?,
     });
     let d = batcher.run(&requests, &dense_traces).stats();
-    let s = batcher.run(&requests, &spec_traces).stats();
-    println!(
-        "{} requests, Poisson {rate}/s, batch cap {batch}, {} on A100/vllm",
-        n_requests, pipe.cfg.name
-    );
+
+    let s = match mode {
+        "replay" => {
+            // Record per-request SpecEE traces, then replay their timing.
+            // A fresh engine per request keeps every trace's schedule and
+            // model state independent — exactly how the live engine seats
+            // each sequence — so the two modes decode the same workload.
+            let mut spec_traces = Vec::new();
+            for (prompt, g) in &specs {
+                let lm = pipe.lm();
+                let draft = pipe.draft(&lm);
+                let mut spec_engine =
+                    SpecEeEngine::new(lm, draft, bank.clone(), schedule.clone(), config.clone());
+                spec_traces.push(RequestTrace::from_output(
+                    &spec_engine.generate(prompt, *g),
+                    true,
+                ));
+            }
+            batcher.run(&requests, &spec_traces).stats()
+        }
+        _ => {
+            // Live: admit requests into batched-engine slots and price the
+            // measured lock-step decode.
+            let mut engine =
+                BatchedEngine::new(batch, 16, pipe.cfg.n_layers, bank, schedule, config);
+            let outcome = batcher.run_live(&requests, &mut engine, |_req| {
+                let lm = pipe.lm();
+                let draft = pipe.draft(&lm);
+                (lm, draft)
+            });
+            outcome.report.stats()
+        }
+    };
     println!(
         "dense  : {:>8.2} tok/s | TTFT {:>6.0} ms | p95 latency {:>7.0} ms",
         d.throughput_tok_s,
@@ -403,7 +454,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         d.p95_latency_s * 1e3
     );
     println!(
-        "SpecEE : {:>8.2} tok/s | TTFT {:>6.0} ms | p95 latency {:>7.0} ms  ({:.2}x)",
+        "SpecEE : {:>8.2} tok/s | TTFT {:>6.0} ms | p95 latency {:>7.0} ms  ({:.2}x, {mode})",
         s.throughput_tok_s,
         s.mean_ttft_s * 1e3,
         s.p95_latency_s * 1e3,

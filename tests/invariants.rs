@@ -126,6 +126,6 @@ proptest! {
         prop_assert_eq!(&a.tokens, &b.tokens);
         prop_assert_eq!(&a.exit_layers, &b.exit_layers);
         prop_assert_eq!(a.tokens.len(), 10);
-        prop_assert!(a.exit_layers.iter().all(|&l| l >= 1 && l <= 8));
+        prop_assert!(a.exit_layers.iter().all(|&l| (1..=8).contains(&l)));
     }
 }

@@ -25,6 +25,7 @@ fn batcher(max_batch: usize) -> ContinuousBatcher {
 }
 
 /// Records dense + SpecEE traces for a small real workload.
+#[allow(clippy::type_complexity)]
 fn real_traces(
     seed: u64,
     n: usize,
@@ -148,7 +149,7 @@ proptest! {
     /// batched prefill, independent of the arrival gap.
     #[test]
     fn idle_server_ttft_is_prefill_only(gap in 0.5f64..10.0) {
-        let specs = vec![(vec![1u32, 2, 3], 4usize), (vec![4u32, 5, 6], 4)];
+        let specs = [(vec![1u32, 2, 3], 4usize), (vec![4u32, 5, 6], 4)];
         let traces: Vec<RequestTrace> =
             (0..2).map(|i| RequestTrace::dense(vec![i as u32; 4], 32)).collect();
         // Second request arrives long after the first finishes.

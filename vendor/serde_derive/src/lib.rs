@@ -92,8 +92,8 @@ fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
 fn skip_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
     let mut angle = 0i32;
     while i < tokens.len() {
-        match &tokens[i] {
-            TokenTree::Punct(p) => match p.as_char() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
                 '<' => angle += 1,
                 // A `->` return-type arrow (e.g. `fn(f32) -> f32`) is not a
                 // closing angle bracket; skip the pair as one unit.
@@ -107,8 +107,7 @@ fn skip_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
                 '>' if angle > 0 => angle -= 1,
                 ',' if angle == 0 => return i,
                 _ => {}
-            },
-            _ => {}
+            }
         }
         i += 1;
     }
