@@ -375,6 +375,23 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         report
     }
 
+    /// Cancels the seated sequence with the given id, retiring its slot
+    /// immediately and returning the partial output decoded so far (the
+    /// prefill token plus every step it participated in). Returns `None`
+    /// when no seated sequence carries the id — already finished,
+    /// never admitted, or finished at admission — leaving the engine
+    /// untouched. The freed slot and its KV pages are recycled exactly as
+    /// on normal retirement.
+    pub fn cancel(&mut self, id: u64) -> Option<BatchedOutput> {
+        let slot = self
+            .seqs
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|seq| seq.id == id))?;
+        let seq = self.seqs[slot].take().expect("seated sequence");
+        let _ = self.stack.retire(slot);
+        Some(seq.into_output())
+    }
+
     /// Runs steps until every seated sequence finishes, returning the
     /// outputs in admission (`id`) order. Convenience for non-serving
     /// callers (tests, examples); servers drive [`BatchedEngine::step`]
@@ -550,6 +567,25 @@ mod tests {
         assert!(eng.pool().pages_created() <= created + 1);
         let outs = eng.drain();
         assert_eq!(outs[0].id, 1);
+    }
+
+    #[test]
+    fn cancel_retires_slot_and_returns_partial_output() {
+        let mut eng = engine(2, 83);
+        let lm = build_lm(83);
+        let d = build_draft(&lm, 83);
+        let _ = eng.admit(4, lm, d, &[1, 2, 3], 16);
+        let _ = eng.step();
+        let _ = eng.step();
+        assert!(eng.cancel(9).is_none(), "unknown id leaves engine alone");
+        assert_eq!(eng.occupancy(), 1);
+        let out = eng.cancel(4).expect("seated sequence");
+        assert_eq!(out.id, 4);
+        assert_eq!(out.tokens.len(), 3, "prefill token + two steps");
+        assert_eq!(out.exit_layers.len(), 3);
+        assert_eq!(eng.occupancy(), 0);
+        assert_eq!(eng.pool().pages_in_use(), 0, "pages recycled on cancel");
+        assert!(eng.cancel(4).is_none(), "cancel is idempotent");
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! The cluster coordinator: spawn, route, cancel, drain.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use specee_batch::BatchedEngine;
+use specee_core::predictor::PredictorBank;
+use specee_core::{ScheduleEngine, SpecEeConfig};
+use specee_draft::SpeculativeSource;
+use specee_model::LayeredLm;
+use specee_serve::batcher::ServeReport;
+use specee_serve::cost::StepCostModel;
+use specee_serve::{AdmissionPolicy, BatcherConfig};
+
+use crate::report::ClusterReport;
+use crate::request::ClusterRequest;
+use crate::router::{Router, WorkerSnapshot};
+use crate::worker::{SeqFactory, Worker, WorkerMsg, WorkerReply, WorkerReport};
+
+/// Cluster-wide configuration: how many workers, and the per-worker
+/// engine/pricing setup (every worker is a full live-serving instance
+/// with the [`BatcherConfig`] capacity, hardware and cost dims).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of data-parallel workers (one OS thread + engine each).
+    pub workers: usize,
+    /// KV page size for each worker's slot pool.
+    pub page_size: usize,
+    /// Per-worker admission policy (applied to each worker's own queue).
+    pub admission: AdmissionPolicy,
+    /// Per-worker capacity and pricing (`max_batch` is *per worker*).
+    pub batcher: BatcherConfig,
+}
+
+struct WorkerHandle {
+    tx: Sender<WorkerMsg>,
+    rx: Receiver<WorkerReply>,
+    join: JoinHandle<()>,
+    /// Ids routed to this worker (for failure accounting if the thread
+    /// dies without reporting).
+    assigned: Vec<u64>,
+    dead: bool,
+}
+
+/// A running multi-worker serving cluster.
+///
+/// `submit` requests in nondecreasing arrival order, optionally `cancel`
+/// some, then `drain` for the merged [`ClusterReport`]. Workers decode
+/// concurrently on their own OS threads; determinism comes from the
+/// **arrival-frontier protocol**: before a request is routed, every
+/// worker is synchronized to the request's arrival time and snapshotted,
+/// so the router's view — and hence every routing decision, admission
+/// boundary and priced step — is a pure function of the workload, never
+/// of thread scheduling. See the crate docs for the full protocol.
+pub struct Cluster<M: LayeredLm, D: SpeculativeSource> {
+    workers: Vec<WorkerHandle>,
+    router: Box<dyn Router>,
+    snapshots: Vec<WorkerSnapshot>,
+    last_arrival: f64,
+    unroutable: Vec<u64>,
+    _seq: std::marker::PhantomData<(M, D)>,
+}
+
+impl<M, D> Cluster<M, D>
+where
+    M: LayeredLm + Send + 'static,
+    D: SpeculativeSource + Send + 'static,
+{
+    /// Spawns the worker threads.
+    ///
+    /// Every worker gets its own [`BatchedEngine`] built from clones of
+    /// `bank`/`schedule`/`spec_config`, and prices its steps with a
+    /// [`StepCostModel`] built from the shared [`BatcherConfig`].
+    /// `make_seq` constructs each admitted request's per-sequence model
+    /// and draft, on the worker's thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero (engine/capacity validation is the
+    /// per-worker [`BatchedEngine::new`]'s).
+    pub fn spawn(
+        config: &ClusterConfig,
+        router: Box<dyn Router>,
+        bank: &PredictorBank,
+        schedule: &ScheduleEngine,
+        spec_config: &SpecEeConfig,
+        make_seq: SeqFactory<M, D>,
+    ) -> Self {
+        assert!(config.workers > 0, "cluster needs at least one worker");
+        let n_layers = config.batcher.cost.n_layers;
+        let mut workers = Vec::with_capacity(config.workers);
+        let mut snapshots = Vec::with_capacity(config.workers);
+        for id in 0..config.workers {
+            let engine: BatchedEngine<M, D> = BatchedEngine::new(
+                config.batcher.max_batch,
+                config.page_size,
+                n_layers,
+                bank.clone(),
+                schedule.clone(),
+                spec_config.clone(),
+            );
+            let cost = StepCostModel::new(
+                config.batcher.cost,
+                config.batcher.hardware.clone(),
+                config.batcher.framework.clone(),
+            );
+            let worker = Worker::new(id, engine, cost, config.admission, make_seq.clone());
+            snapshots.push(worker.snapshot());
+            let (tx, worker_rx) = channel();
+            let (worker_tx, rx) = channel();
+            let join = std::thread::Builder::new()
+                .name(format!("specee-cluster-worker-{id}"))
+                .spawn(move || worker.run(worker_rx, worker_tx))
+                .expect("spawn worker thread");
+            workers.push(WorkerHandle {
+                tx,
+                rx,
+                join,
+                assigned: Vec::new(),
+                dead: false,
+            });
+        }
+        Cluster {
+            workers,
+            router,
+            snapshots,
+            last_arrival: f64::NEG_INFINITY,
+            unroutable: Vec::new(),
+            _seq: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of workers (failed ones included).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The last synchronized snapshots, one per worker.
+    pub fn snapshots(&self) -> &[WorkerSnapshot] {
+        &self.snapshots
+    }
+
+    /// Routes one request into the cluster and returns the worker index
+    /// it was dispatched to (`None` if every worker has failed; the id is
+    /// then recorded as unroutable in the final report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are submitted out of order.
+    pub fn submit(&mut self, req: ClusterRequest) -> Option<usize> {
+        assert!(
+            req.request.arrival_s >= self.last_arrival,
+            "requests must be submitted in arrival order"
+        );
+        self.last_arrival = req.request.arrival_s;
+        self.sync_to(req.request.arrival_s);
+        if self.snapshots.iter().all(|s| s.failed) {
+            self.unroutable.push(req.request.id);
+            return None;
+        }
+        let mut w = self.router.route(&req, &self.snapshots);
+        if self.snapshots[w].failed {
+            // Defensive: a router returning a failed worker falls back to
+            // the first live one instead of losing the request.
+            w = self
+                .snapshots
+                .iter()
+                .position(|s| !s.failed)
+                .expect("checked above");
+        }
+        let id = req.request.id;
+        if self.workers[w].tx.send(WorkerMsg::Submit(req)).is_err() {
+            self.mark_dead(w);
+            self.unroutable.push(id);
+            return None;
+        }
+        self.workers[w].assigned.push(id);
+        Some(w)
+    }
+
+    /// Best-effort cancellation of a previously submitted request:
+    /// queued requests are dropped, a mid-decode sequence is retired with
+    /// its partial output. Returns whether the id was known (already
+    /// finished requests are unaffected either way).
+    pub fn cancel(&mut self, id: u64) -> bool {
+        for w in &mut self.workers {
+            if w.assigned.contains(&id) {
+                if !w.dead {
+                    let _ = w.tx.send(WorkerMsg::Cancel(id));
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Synchronizes every live worker to the arrival frontier `t` and
+    /// refreshes the routing snapshots. All workers advance their
+    /// simulated clocks concurrently (this is where the data-parallel
+    /// decoding actually happens).
+    fn sync_to(&mut self, t: f64) {
+        for w in 0..self.workers.len() {
+            if self.workers[w].dead {
+                continue;
+            }
+            if self.workers[w].tx.send(WorkerMsg::SyncTo(t)).is_err() {
+                self.mark_dead(w);
+            }
+        }
+        for w in 0..self.workers.len() {
+            if self.workers[w].dead {
+                continue;
+            }
+            match self.workers[w].rx.recv() {
+                Ok(WorkerReply::Synced(snapshot)) => self.snapshots[w] = snapshot,
+                _ => self.mark_dead(w),
+            }
+        }
+    }
+
+    fn mark_dead(&mut self, w: usize) {
+        self.workers[w].dead = true;
+        self.snapshots[w].failed = true;
+    }
+
+    /// Graceful shutdown: every worker finishes its outstanding requests
+    /// (no new admissions are possible once called), reports, and its
+    /// thread is joined. Returns the merged per-worker and aggregate
+    /// report.
+    pub fn drain(self) -> ClusterReport {
+        let router = self.router.name().to_string();
+        let mut reports: Vec<WorkerReport> = Vec::with_capacity(self.workers.len());
+        for (w, handle) in self.workers.into_iter().enumerate() {
+            let report = if handle.dead || handle.tx.send(WorkerMsg::Drain).is_err() {
+                None
+            } else {
+                loop {
+                    match handle.rx.recv() {
+                        Ok(WorkerReply::Done(report)) => break Some(report),
+                        Ok(WorkerReply::Synced(_)) => continue,
+                        Err(_) => break None,
+                    }
+                }
+            };
+            let report = report.unwrap_or_else(|| dead_worker_report(w, &handle.assigned));
+            let _ = handle.join.join();
+            reports.push(report);
+        }
+        ClusterReport::new(router, reports, self.unroutable)
+    }
+}
+
+/// Synthesized report for a worker whose thread died without reporting
+/// (catch-unwind containment normally prevents this).
+fn dead_worker_report(worker: usize, assigned: &[u64]) -> WorkerReport {
+    WorkerReport {
+        worker,
+        report: ServeReport {
+            completions: Vec::new(),
+            makespan_s: 0.0,
+            steps: 0,
+            avg_occupancy: 0.0,
+            avg_layers: 0.0,
+        },
+        outputs: Vec::new(),
+        assigned: assigned.len(),
+        layer_sum: 0.0,
+        decode_tokens: 0,
+        occupancy_sum: 0.0,
+        observed_depth: None,
+        timed_out: Vec::new(),
+        cancelled: Vec::new(),
+        failed: assigned.to_vec(),
+        panic: Some("worker thread died without reporting".to_string()),
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-worker and aggregate cluster reporting.
+
+use specee_batch::BatchedOutput;
+use specee_serve::batcher::ServeReport;
+use specee_serve::ServeStats;
+
+use crate::worker::WorkerReport;
+
+/// Everything a served cluster run produced: one [`WorkerReport`] per
+/// worker plus the merged aggregate view.
+///
+/// The aggregate [`ServeReport`] merges every worker's completions and
+/// takes the rearmost worker's makespan (all simulated clocks start at
+/// zero), so [`ClusterReport::stats`] yields the same [`ServeStats`]
+/// shape as single-engine replay/live runs — cluster curves overlay
+/// directly on theirs.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Routing policy that produced the run.
+    pub router: String,
+    /// Per-worker reports, in worker-index order.
+    pub workers: Vec<WorkerReport>,
+    /// Ids that could not be routed at all (every worker had failed).
+    pub unroutable: Vec<u64>,
+}
+
+impl ClusterReport {
+    pub(crate) fn new(router: String, workers: Vec<WorkerReport>, unroutable: Vec<u64>) -> Self {
+        ClusterReport {
+            router,
+            workers,
+            unroutable,
+        }
+    }
+
+    /// The merged aggregate report: all completions in id order, the
+    /// rearmost worker's makespan, summed steps, and exactly-weighted
+    /// occupancy / executed-layer means.
+    pub fn aggregate(&self) -> ServeReport {
+        let mut completions: Vec<_> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.report.completions.iter().cloned())
+            .collect();
+        completions.sort_by_key(|c| c.id);
+        let makespan_s = self
+            .workers
+            .iter()
+            .map(|w| w.report.makespan_s)
+            .fold(0.0f64, f64::max);
+        let steps: u64 = self.workers.iter().map(|w| w.report.steps).sum();
+        let occupancy_sum: f64 = self.workers.iter().map(|w| w.occupancy_sum).sum();
+        let layer_sum: f64 = self.workers.iter().map(|w| w.layer_sum).sum();
+        let decode_tokens: u64 = self.workers.iter().map(|w| w.decode_tokens).sum();
+        ServeReport {
+            completions,
+            makespan_s,
+            steps,
+            avg_occupancy: if steps > 0 {
+                occupancy_sum / steps as f64
+            } else {
+                0.0
+            },
+            avg_layers: if decode_tokens > 0 {
+                layer_sum / decode_tokens as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Aggregate latency/throughput statistics (the existing
+    /// [`ServeStats`] shape).
+    pub fn stats(&self) -> ServeStats {
+        self.aggregate().stats()
+    }
+
+    /// Every decoded output across workers, in id order (completed
+    /// requests plus cancelled partials).
+    pub fn outputs(&self) -> Vec<&BatchedOutput> {
+        let mut outs: Vec<&BatchedOutput> =
+            self.workers.iter().flat_map(|w| w.outputs.iter()).collect();
+        outs.sort_by_key(|o| o.id);
+        outs
+    }
+
+    /// Completed requests across all workers.
+    pub fn completed(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.report.completions.len())
+            .sum()
+    }
+
+    /// Ids that timed out, were cancelled, or failed, plus the
+    /// unroutable, across all workers — everything that did *not*
+    /// complete, each id exactly once.
+    pub fn not_completed(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.unroutable.clone();
+        for w in &self.workers {
+            ids.extend(&w.timed_out);
+            ids.extend(&w.cancelled);
+            ids.extend(&w.failed);
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Mean observed exit depth (executed layers per decode token)
+    /// across everything the cluster decoded.
+    pub fn observed_depth(&self) -> Option<f64> {
+        let layer_sum: f64 = self.workers.iter().map(|w| w.layer_sum).sum();
+        let tokens: u64 = self.workers.iter().map(|w| w.decode_tokens).sum();
+        (tokens > 0).then(|| layer_sum / tokens as f64)
+    }
+
+    /// Workers that failed, with their panic messages.
+    pub fn failures(&self) -> Vec<(usize, &str)> {
+        self.workers
+            .iter()
+            .filter_map(|w| w.panic.as_deref().map(|msg| (w.worker, msg)))
+            .collect()
+    }
+}

@@ -1,0 +1,51 @@
+//! Cluster-level requests: a serving request plus routing metadata.
+
+use specee_serve::ServeRequest;
+
+/// One request entering the cluster's shared admission queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRequest {
+    /// The underlying serving request (id, prompt, decode length,
+    /// arrival time). Ids must be unique across a run; submissions must
+    /// be ordered by arrival time.
+    pub request: ServeRequest,
+    /// Predicted mean exit depth in layers, when the caller has one —
+    /// e.g. the expected exit of the trained predictor schedule on this
+    /// request's traffic class. Consumed by the exit-aware router;
+    /// `None` is treated as full depth.
+    pub exit_hint: Option<f64>,
+    /// Absolute simulated-time admission deadline, seconds. A request
+    /// still queued when its worker's clock passes the deadline is
+    /// cancelled instead of decoded and reported in
+    /// [`crate::WorkerReport::timed_out`]. `None` waits forever.
+    pub deadline_s: Option<f64>,
+}
+
+impl ClusterRequest {
+    /// Wraps a serving request with no hint and no deadline.
+    pub fn new(request: ServeRequest) -> Self {
+        ClusterRequest {
+            request,
+            exit_hint: None,
+            deadline_s: None,
+        }
+    }
+
+    /// Sets the predicted exit depth, layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is not finite — a NaN hint (e.g. from a `0/0`
+    /// calibration) would otherwise poison every router score comparison.
+    pub fn with_exit_hint(mut self, layers: f64) -> Self {
+        assert!(layers.is_finite(), "exit hint must be finite");
+        self.exit_hint = Some(layers);
+        self
+    }
+
+    /// Sets the absolute admission deadline, seconds.
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+}

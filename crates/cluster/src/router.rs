@@ -1,0 +1,333 @@
+//! Routing policies: which worker a request is dispatched to.
+//!
+//! The coordinator synchronizes every worker to each request's arrival
+//! time before routing it (see [`crate::Cluster`]), so the
+//! [`WorkerSnapshot`]s a [`Router`] sees are deterministic functions of
+//! the workload and earlier routing decisions — never of OS thread
+//! scheduling. Policies are therefore reproducible bit-for-bit and safe
+//! to assert against in benches.
+
+use crate::request::ClusterRequest;
+
+/// A worker's state at a synchronization point, as the router sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSnapshot {
+    /// Worker index.
+    pub worker: usize,
+    /// The worker's simulated clock, seconds.
+    pub sim_now: f64,
+    /// Decoder depth the worker's engine drives (all workers agree).
+    pub n_layers: usize,
+    /// Sequences currently seated in engine slots.
+    pub occupancy: usize,
+    /// Requests routed to the worker but not yet seated.
+    pub queued: usize,
+    /// Remaining decode tokens across seated and queued requests.
+    pub backlog_tokens: usize,
+    /// Depth-weighted remaining work across seated and queued requests,
+    /// in token×layer units (each request's remaining tokens times its
+    /// predicted exit depth, defaulting to full depth without a hint).
+    pub backlog_work: f64,
+    /// Mean predicted exit depth over seated + queued requests, layers.
+    /// `None` when the worker has no outstanding work.
+    pub active_depth: Option<f64>,
+    /// Deepest predicted exit depth over seated + queued requests,
+    /// layers — the worker's Cannikin position: every step it runs pays
+    /// for layers down to (about) this depth. `None` when idle.
+    pub max_depth: Option<f64>,
+    /// Mean observed exit depth over every token the worker has finished,
+    /// layers. `None` before its first completion.
+    pub observed_depth: Option<f64>,
+    /// Requests the worker has completed.
+    pub completed: usize,
+    /// Whether the worker has failed (a request panicked on it); failed
+    /// workers must not be routed to.
+    pub failed: bool,
+}
+
+/// Picks a worker for each submitted request.
+///
+/// `route` is called with one snapshot per worker, at least one of which
+/// is not failed; implementations must return the index of a non-failed
+/// worker. Policies may keep internal state (e.g. a round-robin cursor) —
+/// the coordinator owns exactly one router per cluster.
+pub trait Router: Send {
+    /// Short policy name for reports and CLI selection.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the worker index for `req`.
+    fn route(&mut self, req: &ClusterRequest, workers: &[WorkerSnapshot]) -> usize;
+}
+
+/// The built-in routing policies, selectable by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Cycle through workers in index order, skipping failed ones.
+    RoundRobin,
+    /// Join the shortest queue: least depth-weighted outstanding work.
+    ShortestQueue,
+    /// Exit-aware: shortest queue *plus* a penalty for mixing a request
+    /// into a worker whose residents exit at a different depth, so
+    /// shallow-exiting traffic packs together and a deep request does not
+    /// straggle a whole shallow batch (the Cannikin effect the cluster
+    /// exists to counter).
+    ExitAware,
+}
+
+impl RouterPolicy {
+    /// All built-in policies, in CLI listing order.
+    pub fn all() -> [RouterPolicy; 3] {
+        [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::ShortestQueue,
+            RouterPolicy::ExitAware,
+        ]
+    }
+
+    /// The policy's canonical CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::ShortestQueue => "shortest-queue",
+            RouterPolicy::ExitAware => "exit-aware",
+        }
+    }
+
+    /// Parses a CLI name (`round-robin`, `shortest-queue`/`jsq`,
+    /// `exit-aware`).
+    pub fn parse(name: &str) -> Option<RouterPolicy> {
+        match name {
+            "round-robin" | "rr" => Some(RouterPolicy::RoundRobin),
+            "shortest-queue" | "jsq" => Some(RouterPolicy::ShortestQueue),
+            "exit-aware" | "ea" => Some(RouterPolicy::ExitAware),
+            _ => None,
+        }
+    }
+
+    /// Builds the router implementing this policy.
+    pub fn build(&self) -> Box<dyn Router> {
+        match self {
+            RouterPolicy::RoundRobin => Box::new(RoundRobin::new()),
+            RouterPolicy::ShortestQueue => Box::new(ShortestQueue),
+            RouterPolicy::ExitAware => Box::new(ExitAware::default()),
+        }
+    }
+}
+
+/// Indices of routable workers.
+fn eligible(workers: &[WorkerSnapshot]) -> impl Iterator<Item = &WorkerSnapshot> {
+    workers.iter().filter(|w| !w.failed)
+}
+
+/// Round-robin dispatch: worker `i`, then `i+1`, wrapping, skipping
+/// failed workers.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a cursor starting at worker 0.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _req: &ClusterRequest, workers: &[WorkerSnapshot]) -> usize {
+        for step in 0..workers.len() {
+            let w = (self.next + step) % workers.len();
+            if !workers[w].failed {
+                self.next = (w + 1) % workers.len();
+                return w;
+            }
+        }
+        unreachable!("route called with at least one eligible worker");
+    }
+}
+
+/// Join-shortest-queue dispatch: the worker with the least depth-weighted
+/// outstanding work, ties toward the lower index.
+#[derive(Debug, Default)]
+pub struct ShortestQueue;
+
+impl Router for ShortestQueue {
+    fn name(&self) -> &'static str {
+        "shortest-queue"
+    }
+
+    fn route(&mut self, _req: &ClusterRequest, workers: &[WorkerSnapshot]) -> usize {
+        eligible(workers)
+            .min_by(|a, b| {
+                (a.backlog_work, a.worker)
+                    .partial_cmp(&(b.backlog_work, b.worker))
+                    .expect("finite backlog")
+            })
+            .map(|w| w.worker)
+            .expect("route called with at least one eligible worker")
+    }
+}
+
+/// Exit-aware dispatch: greedy minimization of total *Cannikin-priced*
+/// work.
+///
+/// A lock-step batch streams layer weights down to its rearmost
+/// still-needed layer, so a worker's outstanding work is effectively
+/// `max_depth × backlog_tokens` — every queued token pays the deepest
+/// resident's depth, not its own. The score of placing a request on a
+/// worker is the *increase* in that quantity:
+///
+/// ```text
+/// marginal = max(max_depth_w, depth_req) × (backlog_tokens_w + gen_req)
+///          − max_depth_w × backlog_tokens_w           (0-depth when idle)
+/// score    = marginal + load_weight × backlog_work
+/// ```
+///
+/// The marginal term prices both straggler directions at once: a deep
+/// request joining a shallow worker raises every resident token to its
+/// depth (the Cannikin straggler), while a shallow request joining a
+/// deep worker pays the residents' depth for its whole generation
+/// instead of its own. Like-depth placements cost only `depth × gen` —
+/// the work the request costs anywhere — so packing by depth is the
+/// greedy optimum, and the small `load_weight` times the depth-weighted
+/// queue breaks ties toward idle workers and keeps sustained one-class
+/// traffic from piling onto a single worker.
+#[derive(Debug)]
+pub struct ExitAware {
+    /// Weight of the depth-weighted queue term relative to the marginal
+    /// Cannikin cost. Small by design: load only arbitrates between
+    /// placements of comparable marginal cost.
+    pub load_weight: f64,
+}
+
+impl Default for ExitAware {
+    fn default() -> Self {
+        ExitAware { load_weight: 0.1 }
+    }
+}
+
+impl Router for ExitAware {
+    fn name(&self) -> &'static str {
+        "exit-aware"
+    }
+
+    fn route(&mut self, req: &ClusterRequest, workers: &[WorkerSnapshot]) -> usize {
+        eligible(workers)
+            .min_by(|a, b| {
+                (self.score(req, a), a.worker)
+                    .partial_cmp(&(self.score(req, b), b.worker))
+                    .expect("finite score")
+            })
+            .map(|w| w.worker)
+            .expect("route called with at least one eligible worker")
+    }
+}
+
+impl ExitAware {
+    fn score(&self, req: &ClusterRequest, w: &WorkerSnapshot) -> f64 {
+        let depth = req.exit_hint.unwrap_or(w.n_layers as f64);
+        let gen = req.request.gen_len as f64;
+        let tokens = w.backlog_tokens as f64;
+        let current = w.max_depth.unwrap_or(0.0);
+        let marginal = current.max(depth) * (tokens + gen) - current * tokens;
+        marginal + self.load_weight * w.backlog_work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee_serve::ServeRequest;
+
+    fn snap(worker: usize, backlog_work: f64, depth: Option<f64>) -> WorkerSnapshot {
+        WorkerSnapshot {
+            worker,
+            sim_now: 0.0,
+            n_layers: 32,
+            occupancy: 0,
+            queued: 0,
+            backlog_tokens: depth.map_or(0, |d| (backlog_work / d) as usize),
+            backlog_work,
+            active_depth: depth,
+            max_depth: depth,
+            observed_depth: None,
+            completed: 0,
+            failed: false,
+        }
+    }
+
+    fn req(id: u64, gen_len: usize, hint: Option<f64>) -> ClusterRequest {
+        ClusterRequest {
+            request: ServeRequest {
+                id,
+                prompt: vec![1, 2, 3],
+                gen_len,
+                arrival_s: 0.0,
+            },
+            exit_hint: hint,
+            deadline_s: None,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_failed() {
+        let mut rr = RoundRobin::new();
+        let mut workers = vec![snap(0, 0.0, None), snap(1, 0.0, None), snap(2, 0.0, None)];
+        let r = req(0, 4, None);
+        assert_eq!(rr.route(&r, &workers), 0);
+        assert_eq!(rr.route(&r, &workers), 1);
+        workers[2].failed = true;
+        assert_eq!(rr.route(&r, &workers), 0, "failed worker 2 skipped");
+        assert_eq!(rr.route(&r, &workers), 1);
+    }
+
+    #[test]
+    fn shortest_queue_prefers_least_work_then_lowest_index() {
+        let mut jsq = ShortestQueue;
+        let workers = vec![
+            snap(0, 64.0, None),
+            snap(1, 16.0, None),
+            snap(2, 16.0, None),
+        ];
+        assert_eq!(jsq.route(&req(0, 4, None), &workers), 1);
+    }
+
+    #[test]
+    fn exit_aware_packs_by_depth_and_balances_load() {
+        let mut ea = ExitAware::default();
+        // Two settled workers: one shallow (depth 4), one deep (depth 30),
+        // equal depth-weighted load (the shallow worker holds more tokens).
+        let workers = vec![snap(0, 240.0, Some(4.0)), snap(1, 240.0, Some(30.0))];
+        // A shallow request on the deep worker would pay 26 extra layers
+        // for its whole generation → packs with the shallow worker.
+        assert_eq!(ea.route(&req(0, 8, Some(4.0)), &workers), 0);
+        // A deep request on the shallow worker would drag 60 resident
+        // tokens 26 layers deeper → packs with the deep worker.
+        assert_eq!(ea.route(&req(1, 8, Some(30.0)), &workers), 1);
+        // A hint-less request counts as full depth → joins the deep worker.
+        assert_eq!(ea.route(&req(2, 8, None), &workers), 1);
+        // Load eventually outweighs affinity.
+        let lopsided = vec![snap(0, 10_000.0, Some(4.0)), snap(1, 0.0, Some(30.0))];
+        assert_eq!(ea.route(&req(3, 8, Some(4.0)), &lopsided), 1);
+        // An idle worker has no residents to straggle: zero penalty.
+        let fresh = vec![snap(0, 64.0, Some(4.0)), snap(1, 0.0, None)];
+        assert_eq!(ea.route(&req(4, 8, Some(4.0)), &fresh), 1);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in RouterPolicy::all() {
+            assert_eq!(RouterPolicy::parse(p.name()), Some(p));
+            assert_eq!(p.build().name(), p.name());
+        }
+        assert_eq!(
+            RouterPolicy::parse("jsq"),
+            Some(RouterPolicy::ShortestQueue)
+        );
+        assert_eq!(RouterPolicy::parse("nope"), None);
+    }
+}

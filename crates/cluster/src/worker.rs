@@ -1,0 +1,511 @@
+//! The per-worker serving loop: one OS thread, one batched engine, one
+//! simulated clock.
+//!
+//! Each worker replicates the admission/step loop of
+//! `ContinuousBatcher::run_live` *incrementally*: requests stream in over
+//! an mpsc channel instead of being known upfront, and the loop advances
+//! only to the coordinator's current **arrival frontier** (see
+//! [`crate::Cluster`]). Two rules keep a one-worker cluster
+//! boundary-for-boundary identical to `run_live`:
+//!
+//! 1. a routed request becomes admissible only once the frontier has
+//!    passed its arrival time (so same-instant arrivals are admitted in
+//!    one batched prefill, exactly as a loop that knows the full request
+//!    list would admit them), and
+//! 2. the worker pauses stepping at the first loop boundary at or beyond
+//!    the frontier (so an arrival routed next can never land *between*
+//!    boundaries the reference loop would have checked).
+//!
+//! Every decode step is genuinely executed by the worker's
+//! [`BatchedEngine`] and priced with the shared
+//! [`specee_serve::StepCostModel`]; prefill is priced as one batched
+//! forward per admission boundary. A panic anywhere in the worker's
+//! serving loop (a poisoned request's model, a factory bug) is caught at
+//! the message boundary: the worker marks itself failed, reports the
+//! requests it can no longer serve, and keeps answering the coordinator
+//! so the rest of the cluster drains normally.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use specee_batch::{Admission, BatchedEngine, BatchedOutput};
+use specee_draft::SpeculativeSource;
+use specee_model::LayeredLm;
+use specee_serve::batcher::ServeReport;
+use specee_serve::cost::{StepCostModel, StepSpec};
+use specee_serve::request::Completion;
+use specee_serve::AdmissionPolicy;
+
+use crate::request::ClusterRequest;
+use crate::router::WorkerSnapshot;
+
+/// Builds the per-sequence model and draft for a request at admission
+/// time (each engine slot owns its sequence's KV state). Shared by every
+/// worker thread, hence `Send + Sync`.
+pub type SeqFactory<M, D> = Arc<dyn Fn(&ClusterRequest) -> (M, D) + Send + Sync>;
+
+/// Coordinator → worker messages.
+pub(crate) enum WorkerMsg {
+    /// A routed request (arrival times nondecreasing per worker).
+    Submit(ClusterRequest),
+    /// Advance the simulated clock to the arrival frontier and snapshot.
+    SyncTo(f64),
+    /// Best-effort cancellation of a routed request by id.
+    Cancel(u64),
+    /// No more requests: run to completion and report.
+    Drain,
+}
+
+/// Worker → coordinator replies.
+pub(crate) enum WorkerReply {
+    /// Response to [`WorkerMsg::SyncTo`].
+    Synced(WorkerSnapshot),
+    /// Response to [`WorkerMsg::Drain`]; the worker thread exits after.
+    Done(WorkerReport),
+}
+
+/// Everything one worker did over a served run.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// The worker's serving report: completions in id order, its local
+    /// makespan, steps and occupancy — same shape as a single-engine run.
+    pub report: ServeReport,
+    /// Decoded outputs (finished and cancelled-partial), in id order.
+    pub outputs: Vec<BatchedOutput>,
+    /// Requests routed to this worker.
+    pub assigned: usize,
+    /// Sum of executed layers over decode steps (for exact cross-worker
+    /// averaging).
+    pub layer_sum: f64,
+    /// Decode tokens emitted in steps (excludes prefill tokens).
+    pub decode_tokens: u64,
+    /// Sum of batch occupancy over decode steps.
+    pub occupancy_sum: f64,
+    /// Mean observed exit depth over every emitted token, layers.
+    pub observed_depth: Option<f64>,
+    /// Ids dropped because their deadline passed while queued.
+    pub timed_out: Vec<u64>,
+    /// Ids cancelled by the coordinator (queued or mid-decode).
+    pub cancelled: Vec<u64>,
+    /// Ids this worker could not serve because it failed.
+    pub failed: Vec<u64>,
+    /// The panic message that failed the worker, if any.
+    pub panic: Option<String>,
+}
+
+struct ActiveSeq {
+    id: u64,
+    gen_len: usize,
+    tokens_done: usize,
+    depth_est: f64,
+}
+
+pub(crate) struct Worker<M: LayeredLm, D: SpeculativeSource> {
+    id: usize,
+    engine: BatchedEngine<M, D>,
+    cost: StepCostModel,
+    policy: AdmissionPolicy,
+    make_seq: SeqFactory<M, D>,
+    n_layers: usize,
+    sim_now: f64,
+    /// Routed requests not yet past the arrival frontier, arrival order.
+    inbox: VecDeque<ClusterRequest>,
+    /// Arrived requests waiting for a slot.
+    pending: Vec<ClusterRequest>,
+    /// Requests picked for the current admission boundary (a struct field
+    /// so a panic mid-admission cannot drop them unaccounted).
+    admitting: Vec<ClusterRequest>,
+    /// The id being admitted right now, for panic accounting.
+    current_admission: Option<u64>,
+    /// Seated sequences (routing metadata; the engine owns the state).
+    active: Vec<ActiveSeq>,
+    /// `(id, arrival_s, first_token_s)` recorded at admission.
+    admitted_meta: Vec<(u64, f64, f64)>,
+    completions: Vec<Completion>,
+    outputs: Vec<BatchedOutput>,
+    assigned: usize,
+    steps: u64,
+    occupancy_sum: f64,
+    layer_sum: f64,
+    token_sum: u64,
+    timed_out: Vec<u64>,
+    cancelled: Vec<u64>,
+    lost: Vec<u64>,
+    panic: Option<String>,
+}
+
+impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
+    pub(crate) fn new(
+        id: usize,
+        engine: BatchedEngine<M, D>,
+        cost: StepCostModel,
+        policy: AdmissionPolicy,
+        make_seq: SeqFactory<M, D>,
+    ) -> Self {
+        let n_layers = engine.n_layers();
+        Worker {
+            id,
+            engine,
+            cost,
+            policy,
+            make_seq,
+            n_layers,
+            sim_now: 0.0,
+            inbox: VecDeque::new(),
+            pending: Vec::new(),
+            admitting: Vec::new(),
+            current_admission: None,
+            active: Vec::new(),
+            admitted_meta: Vec::new(),
+            completions: Vec::new(),
+            outputs: Vec::new(),
+            assigned: 0,
+            steps: 0,
+            occupancy_sum: 0.0,
+            layer_sum: 0.0,
+            token_sum: 0,
+            timed_out: Vec::new(),
+            cancelled: Vec::new(),
+            lost: Vec::new(),
+            panic: None,
+        }
+    }
+
+    /// The worker thread's message loop.
+    pub(crate) fn run(mut self, rx: Receiver<WorkerMsg>, tx: Sender<WorkerReply>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                WorkerMsg::Submit(req) => {
+                    if self.panic.is_some() {
+                        self.lost.push(req.request.id);
+                    } else {
+                        self.assigned += 1;
+                        self.inbox.push_back(req);
+                    }
+                }
+                WorkerMsg::SyncTo(frontier) => {
+                    self.advance_contained(frontier);
+                    if tx.send(WorkerReply::Synced(self.snapshot())).is_err() {
+                        return;
+                    }
+                }
+                WorkerMsg::Cancel(id) => self.cancel(id),
+                WorkerMsg::Drain => {
+                    self.advance_contained(f64::INFINITY);
+                    let _ = tx.send(WorkerReply::Done(self.into_report()));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs the serving loop with panic containment: a panic fails this
+    /// worker's outstanding requests, never the cluster.
+    fn advance_contained(&mut self, frontier: f64) {
+        if self.panic.is_some() {
+            self.fail_outstanding();
+            return;
+        }
+        let caught = catch_unwind(AssertUnwindSafe(|| self.advance(frontier)));
+        if let Err(payload) = caught {
+            self.panic = Some(panic_message(payload.as_ref()));
+            self.fail_outstanding();
+        }
+    }
+
+    /// The incremental `run_live` loop, advanced to `frontier`.
+    fn advance(&mut self, frontier: f64) {
+        loop {
+            // A boundary at clock `s` may only be processed once the
+            // frontier has passed it: only then is the set of arrivals
+            // with `arrival ≤ s` final, so admission groups exactly the
+            // requests a loop that knew the full list would group.
+            if self.sim_now >= frontier {
+                return; // paused; the next sync resumes at this boundary
+            }
+
+            // Arrivals the clock has passed (all final, per the above).
+            while self
+                .inbox
+                .front()
+                .is_some_and(|r| r.request.arrival_s <= self.sim_now)
+            {
+                self.pending
+                    .push(self.inbox.pop_front().expect("front exists"));
+            }
+            self.drop_expired();
+
+            // Admission, one batched prefill per boundary. The picks land
+            // in `self.admitting` (not a local) so a panic mid-admission
+            // still accounts for every request.
+            while !self.pending.is_empty()
+                && self.engine.occupancy() + self.admitting.len() < self.engine.max_batch()
+            {
+                let keys: Vec<(usize, u64)> = self
+                    .pending
+                    .iter()
+                    .map(|r| (r.request.gen_len, r.request.id))
+                    .collect();
+                let pick = self.policy.pick_by_key(&keys);
+                let req = self.pending.remove(pick);
+                self.admitting.push(req);
+            }
+            if !self.admitting.is_empty() {
+                let lens: Vec<usize> = self
+                    .admitting
+                    .iter()
+                    .map(|r| r.request.prompt.len())
+                    .collect();
+                self.sim_now += self.cost.prefill_latency(&lens);
+                while !self.admitting.is_empty() {
+                    let req = self.admitting.remove(0);
+                    self.admit(req);
+                }
+                continue;
+            }
+
+            if self.engine.occupancy() == 0 {
+                // Idle: jump to the next arrival (the loop top defers the
+                // boundary if the frontier has not released it yet).
+                if let Some(front) = self.inbox.front() {
+                    self.sim_now = self.sim_now.max(front.request.arrival_s);
+                    continue;
+                }
+                return;
+            }
+
+            self.step();
+        }
+    }
+
+    /// Drops queued requests whose deadline the clock has passed.
+    fn drop_expired(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].deadline_s.is_some_and(|d| d < self.sim_now) {
+                let req = self.pending.remove(i);
+                self.timed_out.push(req.request.id);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Seats one admitted request (prefill already priced by the caller).
+    fn admit(&mut self, req: ClusterRequest) {
+        let id = req.request.id;
+        self.current_admission = Some(id);
+        self.admitted_meta
+            .push((id, req.request.arrival_s, self.sim_now));
+        if req.request.gen_len == 0 {
+            self.completions.push(Completion {
+                id,
+                arrival_s: req.request.arrival_s,
+                first_token_s: self.sim_now,
+                finish_s: self.sim_now,
+                tokens: 0,
+            });
+            // Keep one output per request so callers can zip by id.
+            self.outputs.push(BatchedOutput {
+                id,
+                tokens: Vec::new(),
+                exit_layers: Vec::new(),
+                ce_sum: 0.0,
+                predictor_calls: 0,
+                verify_calls: 0,
+            });
+            self.current_admission = None;
+            return;
+        }
+        let (model, draft) = (self.make_seq)(&req);
+        match self
+            .engine
+            .admit(id, model, draft, &req.request.prompt, req.request.gen_len)
+        {
+            Admission::Done(out) => {
+                self.completions.push(Completion {
+                    id,
+                    arrival_s: req.request.arrival_s,
+                    first_token_s: self.sim_now,
+                    finish_s: self.sim_now,
+                    tokens: out.tokens.len(),
+                });
+                self.outputs.push(out);
+            }
+            Admission::Seated { .. } => {
+                self.active.push(ActiveSeq {
+                    id,
+                    gen_len: req.request.gen_len,
+                    tokens_done: 1,
+                    depth_est: req.exit_hint.unwrap_or(self.n_layers as f64),
+                });
+            }
+        }
+        self.current_admission = None;
+    }
+
+    /// One genuinely executed, priced decode step.
+    fn step(&mut self) {
+        let step = self.engine.step();
+        self.sim_now += self.cost.decode_step_latency(&StepSpec {
+            layer_runners: step.layer_runners.clone(),
+            ctx_lens: step.ctx_lens.clone(),
+            lm_head_evals: step.lm_head_evals as f64,
+            draft_slots: step.draft_slots,
+            predictor_calls: step.predictor_calls as f64,
+        });
+        self.steps += 1;
+        self.occupancy_sum += step.ctx_lens.len() as f64;
+        self.layer_sum += step.layer_runners.iter().sum::<usize>() as f64;
+        self.token_sum += step.emitted as u64;
+        for seq in &mut self.active {
+            seq.tokens_done += 1;
+        }
+        for out in step.finished {
+            self.active.retain(|s| s.id != out.id);
+            let (arrival_s, first_token_s) = self.milestones(out.id);
+            self.completions.push(Completion {
+                id: out.id,
+                arrival_s,
+                first_token_s,
+                finish_s: self.sim_now,
+                tokens: out.tokens.len(),
+            });
+            self.outputs.push(out);
+        }
+    }
+
+    /// The `(arrival_s, first_token_s)` milestones recorded at admission.
+    fn milestones(&self, id: u64) -> (f64, f64) {
+        self.admitted_meta
+            .iter()
+            .find(|(i, _, _)| *i == id)
+            .map(|(_, a, f)| (*a, *f))
+            .expect("milestones recorded at admission")
+    }
+
+    /// Best-effort cancellation: queued requests vanish, a seated
+    /// sequence is retired with its partial output.
+    fn cancel(&mut self, id: u64) {
+        if let Some(pos) = self.inbox.iter().position(|r| r.request.id == id) {
+            self.inbox.remove(pos);
+            self.cancelled.push(id);
+            return;
+        }
+        if let Some(pos) = self.pending.iter().position(|r| r.request.id == id) {
+            self.pending.remove(pos);
+            self.cancelled.push(id);
+            return;
+        }
+        if let Some(out) = self.engine.cancel(id) {
+            self.active.retain(|s| s.id != id);
+            self.outputs.push(out);
+            self.cancelled.push(id);
+        }
+    }
+
+    /// Moves every outstanding request into the failed list (the worker
+    /// can no longer serve them).
+    fn fail_outstanding(&mut self) {
+        if let Some(id) = self.current_admission.take() {
+            self.lost.push(id);
+        }
+        self.lost
+            .extend(self.admitting.drain(..).map(|r| r.request.id));
+        self.lost.extend(self.inbox.drain(..).map(|r| r.request.id));
+        self.lost
+            .extend(self.pending.drain(..).map(|r| r.request.id));
+        self.lost.extend(self.active.drain(..).map(|s| s.id));
+    }
+
+    fn depth_of(&self, req: &ClusterRequest) -> f64 {
+        req.exit_hint.unwrap_or(self.n_layers as f64)
+    }
+
+    pub(crate) fn snapshot(&self) -> WorkerSnapshot {
+        let queued_iter = self.pending.iter().chain(self.inbox.iter());
+        let mut backlog_tokens = 0usize;
+        let mut backlog_work = 0.0f64;
+        let mut depth_sum = 0.0f64;
+        let mut max_depth = f64::NEG_INFINITY;
+        let mut residents = 0usize;
+        for req in queued_iter {
+            let depth = self.depth_of(req);
+            backlog_tokens += req.request.gen_len;
+            backlog_work += req.request.gen_len as f64 * depth;
+            depth_sum += depth;
+            max_depth = max_depth.max(depth);
+            residents += 1;
+        }
+        for seq in &self.active {
+            let remaining = seq.gen_len.saturating_sub(seq.tokens_done);
+            backlog_tokens += remaining;
+            backlog_work += remaining as f64 * seq.depth_est;
+            depth_sum += seq.depth_est;
+            max_depth = max_depth.max(seq.depth_est);
+            residents += 1;
+        }
+        WorkerSnapshot {
+            worker: self.id,
+            sim_now: self.sim_now,
+            n_layers: self.n_layers,
+            occupancy: self.engine.occupancy(),
+            queued: self.pending.len() + self.inbox.len(),
+            backlog_tokens,
+            backlog_work,
+            active_depth: (residents > 0).then(|| depth_sum / residents as f64),
+            max_depth: (residents > 0).then_some(max_depth),
+            observed_depth: (self.token_sum > 0).then(|| self.layer_sum / self.token_sum as f64),
+            completed: self.completions.len(),
+            failed: self.panic.is_some(),
+        }
+    }
+
+    fn into_report(mut self) -> WorkerReport {
+        self.completions.sort_by_key(|c| c.id);
+        self.outputs.sort_by_key(|o| o.id);
+        WorkerReport {
+            worker: self.id,
+            report: ServeReport {
+                completions: self.completions,
+                makespan_s: self.sim_now,
+                steps: self.steps,
+                avg_occupancy: if self.steps > 0 {
+                    self.occupancy_sum / self.steps as f64
+                } else {
+                    0.0
+                },
+                avg_layers: if self.token_sum > 0 {
+                    self.layer_sum / self.token_sum as f64
+                } else {
+                    0.0
+                },
+            },
+            outputs: self.outputs,
+            assigned: self.assigned,
+            layer_sum: self.layer_sum,
+            decode_tokens: self.token_sum,
+            occupancy_sum: self.occupancy_sum,
+            observed_depth: (self.token_sum > 0).then(|| self.layer_sum / self.token_sum as f64),
+            timed_out: self.timed_out,
+            cancelled: self.cancelled,
+            failed: self.lost,
+            panic: self.panic,
+        }
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}

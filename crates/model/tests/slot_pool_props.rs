@@ -1,0 +1,75 @@
+//! Property tests for the vllm-style KV page allocator: arbitrary
+//! allocate/free churn never leaks or double-leases a page, and the
+//! occupancy/peak statistics stay consistent with a reference model at
+//! every step.
+
+use proptest::prelude::*;
+use specee_model::SlotPool;
+
+proptest! {
+    /// Drive the pool with a random op sequence against a reference set
+    /// of live pages. Invariants checked after every op:
+    ///
+    /// * an allocated page is never handed out twice while leased,
+    /// * `pages_in_use`/`tokens_in_use` track the live set exactly,
+    /// * `pages_peak` is the true high-water mark,
+    /// * `pages_created` never exceeds the peak (recycling before growth)
+    ///   and always covers the live set.
+    #[test]
+    fn churn_never_leaks_or_double_frees(
+        ops in prop::collection::vec((0u8..4, 0u8..255), 1..240),
+        page_size in 1usize..32,
+    ) {
+        let mut pool = SlotPool::new(page_size);
+        let mut live: Vec<usize> = Vec::new();
+        let mut peak = 0usize;
+        for (op, sel) in ops {
+            // op 0..3 → allocate (alloc-biased so pools grow), 3 → free.
+            if op < 3 || live.is_empty() {
+                let page = pool.alloc_page();
+                prop_assert!(
+                    !live.contains(&page),
+                    "page {} double-leased (live: {:?})", page, live
+                );
+                prop_assert!(
+                    page < pool.pages_created(),
+                    "page id {} out of range {}", page, pool.pages_created()
+                );
+                live.push(page);
+            } else {
+                let idx = sel as usize % live.len();
+                let page = live.swap_remove(idx);
+                pool.free_page(page);
+            }
+            peak = peak.max(live.len());
+            prop_assert_eq!(pool.pages_in_use(), live.len());
+            prop_assert_eq!(pool.tokens_in_use(), live.len() * page_size);
+            prop_assert_eq!(pool.pages_peak(), peak);
+            prop_assert!(pool.pages_created() >= live.len());
+            prop_assert!(
+                pool.pages_created() <= peak,
+                "pool grew to {} pages but only {} were ever simultaneously live",
+                pool.pages_created(), peak
+            );
+        }
+
+        // Full teardown: every live page frees exactly once, and the pool
+        // ends empty with its statistics intact.
+        for page in live.drain(..) {
+            pool.free_page(page);
+        }
+        prop_assert_eq!(pool.pages_in_use(), 0);
+        prop_assert_eq!(pool.tokens_in_use(), 0);
+        prop_assert_eq!(pool.pages_peak(), peak);
+
+        // Draining left every created page on the free list: re-leasing
+        // the whole backing store recycles ids without growing the pool.
+        let created = pool.pages_created();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..created {
+            prop_assert!(seen.insert(pool.alloc_page()), "recycled id repeated");
+        }
+        prop_assert_eq!(pool.pages_created(), created, "no growth while recycling");
+        prop_assert_eq!(pool.pages_in_use(), created);
+    }
+}

@@ -33,6 +33,32 @@ pub enum AdmissionPolicy {
     ShortestJobFirst,
 }
 
+impl AdmissionPolicy {
+    /// Picks the index of the next pending request to admit.
+    ///
+    /// `keys[i]` is `(gen_len, id)` for the `i`-th pending request, listed
+    /// in arrival order; ties under shortest-job-first break toward the
+    /// lower id. Shared by the replay/live loops here and the per-worker
+    /// admission loop in `specee-cluster`, so every execution mode admits
+    /// identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty.
+    pub fn pick_by_key(self, keys: &[(usize, u64)]) -> usize {
+        assert!(!keys.is_empty(), "pending non-empty");
+        match self {
+            AdmissionPolicy::Fcfs => 0,
+            AdmissionPolicy::ShortestJobFirst => keys
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &k)| k)
+                .map(|(i, _)| i)
+                .expect("pending non-empty"),
+        }
+    }
+}
+
 /// One in-flight sequence.
 #[derive(Debug, Clone)]
 struct Slot {
@@ -83,15 +109,11 @@ pub(crate) fn pick_pending(
     pending: &[usize],
     requests: &[ServeRequest],
 ) -> usize {
-    match policy {
-        AdmissionPolicy::Fcfs => 0,
-        AdmissionPolicy::ShortestJobFirst => pending
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &r)| (requests[r].gen_len, r))
-            .map(|(i, _)| i)
-            .expect("pending non-empty"),
-    }
+    let keys: Vec<(usize, u64)> = pending
+        .iter()
+        .map(|&r| (requests[r].gen_len, r as u64))
+        .collect();
+    policy.pick_by_key(&keys)
 }
 
 impl ContinuousBatcher {

@@ -13,7 +13,7 @@
 //! speedup at batch 1 toward the compute-only savings at large batches.
 //! The `ablation_batch_serving` bench quantifies the decay curve.
 //!
-//! # Two execution modes: replay and live
+//! # Three execution modes: replay, live and cluster
 //!
 //! **Replay** ([`batcher`], [`ContinuousBatcher::run`]): under greedy
 //! decoding a sequence's tokens and exit layers do not depend on what else
@@ -39,6 +39,22 @@
 //! configuration swept. Use replay for broad sweeps, live to validate the
 //! points that matter; both share [`ServeReport`]/[`ServeStats`], so the
 //! curves overlay directly (`ablation_live_batch` does exactly that).
+//!
+//! **Cluster** (the `specee-cluster` crate, `specee serve --mode
+//! cluster`): N live workers — one OS thread and one batched engine each
+//! — behind a shared admission queue and a routing policy. Each worker
+//! prices its measured steps with the same [`StepCostModel`] and reports
+//! the same [`ServeReport`] shape, merged across workers into one
+//! aggregate. Cluster numbers are trustworthy exactly where live numbers
+//! are (every step is genuinely executed and priced), *plus* they are the
+//! only mode in which routing-policy effects — queue-wait tails, the
+//! many-small-batches counter to the Cannikin decay — are real rather
+//! than extrapolated. A one-worker round-robin cluster reproduces
+//! [`ContinuousBatcher::run_live`] token-for-token and
+//! completion-for-completion (asserted in `specee-cluster`'s parity
+//! tests), so cluster sweeps can be anchored against single-engine runs.
+//! Simulated worker clocks all start at zero; aggregate throughput is
+//! total tokens over the rearmost worker's makespan.
 //!
 //! # Examples
 //!

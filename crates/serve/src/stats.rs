@@ -5,6 +5,13 @@ use serde::{Deserialize, Serialize};
 use crate::batcher::ServeReport;
 
 /// Latency/throughput summary of a served run.
+///
+/// The time-to-first-token (TTFT) family measures *queue wait*: the gap
+/// from a request's arrival to its first available token (queueing plus
+/// prefill). Tail behaviour is reported at p50/p95/p99 for both queue
+/// wait and end-to-end latency, because mean figures hide exactly the
+/// stragglers that batched early exit (the Cannikin effect) and routing
+/// policies act on.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Requests completed.
@@ -13,16 +20,24 @@ pub struct ServeStats {
     pub tokens: usize,
     /// Decode throughput over the makespan, tokens per second.
     pub throughput_tok_s: f64,
-    /// Mean time to first token, seconds.
+    /// Mean time to first token (queue wait + prefill), seconds.
     pub mean_ttft_s: f64,
+    /// Median time to first token, seconds.
+    pub p50_ttft_s: f64,
     /// 95th-percentile time to first token, seconds.
     pub p95_ttft_s: f64,
+    /// 99th-percentile time to first token, seconds.
+    pub p99_ttft_s: f64,
     /// Mean time per output token, seconds.
     pub mean_tpot_s: f64,
     /// Mean end-to-end request latency, seconds.
     pub mean_latency_s: f64,
+    /// Median end-to-end latency, seconds.
+    pub p50_latency_s: f64,
     /// 95th-percentile end-to-end latency, seconds.
     pub p95_latency_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub p99_latency_s: f64,
     /// Mean batch occupancy over decode steps.
     pub avg_occupancy: f64,
 }
@@ -35,12 +50,24 @@ pub struct ServeStats {
 ///
 /// Panics if `q` is outside `[0, 1]`.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile out of range");
-    if values.is_empty() {
-        return 0.0;
-    }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN latencies"));
+    percentile_sorted(&sorted, q)
+}
+
+/// Nearest-rank percentile of an already ascending-sorted sample (so one
+/// sort serves a whole p50/p95/p99 ladder).
+///
+/// Returns zero for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -50,8 +77,8 @@ impl ServeStats {
     pub fn from_report(report: &ServeReport) -> Self {
         let n = report.completions.len();
         let tokens: usize = report.completions.iter().map(|c| c.tokens).sum();
-        let ttfts: Vec<f64> = report.completions.iter().map(|c| c.ttft_s()).collect();
-        let latencies: Vec<f64> = report.completions.iter().map(|c| c.latency_s()).collect();
+        let mut ttfts: Vec<f64> = report.completions.iter().map(|c| c.ttft_s()).collect();
+        let mut latencies: Vec<f64> = report.completions.iter().map(|c| c.latency_s()).collect();
         let tpots: Vec<f64> = report.completions.iter().map(|c| c.tpot_s()).collect();
         let mean = |v: &[f64]| {
             if v.is_empty() {
@@ -60,6 +87,10 @@ impl ServeStats {
                 v.iter().sum::<f64>() / v.len() as f64
             }
         };
+        let (mean_ttft_s, mean_latency_s) = (mean(&ttfts), mean(&latencies));
+        // One sort per metric serves its whole percentile ladder.
+        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN latencies"));
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN latencies"));
         ServeStats {
             requests: n,
             tokens,
@@ -68,11 +99,15 @@ impl ServeStats {
             } else {
                 0.0
             },
-            mean_ttft_s: mean(&ttfts),
-            p95_ttft_s: percentile(&ttfts, 0.95),
+            mean_ttft_s,
+            p50_ttft_s: percentile_sorted(&ttfts, 0.50),
+            p95_ttft_s: percentile_sorted(&ttfts, 0.95),
+            p99_ttft_s: percentile_sorted(&ttfts, 0.99),
             mean_tpot_s: mean(&tpots),
-            mean_latency_s: mean(&latencies),
-            p95_latency_s: percentile(&latencies, 0.95),
+            mean_latency_s,
+            p50_latency_s: percentile_sorted(&latencies, 0.50),
+            p95_latency_s: percentile_sorted(&latencies, 0.95),
+            p99_latency_s: percentile_sorted(&latencies, 0.99),
             avg_occupancy: report.avg_occupancy,
         }
     }
@@ -131,5 +166,13 @@ mod tests {
         assert!((s.mean_tpot_s - 0.1).abs() < 1e-12);
         assert!((s.mean_latency_s - ((1.1 + 1.2) / 2.0)).abs() < 1e-12);
         assert_eq!(s.avg_occupancy, 1.6);
+        // Tails on a two-sample report: p50 is the lower rank, p95/p99 the
+        // upper, and the ladder is monotone.
+        assert!((s.p50_ttft_s - 0.1).abs() < 1e-12);
+        assert!((s.p99_ttft_s - 0.2).abs() < 1e-12);
+        assert!((s.p50_latency_s - 1.1).abs() < 1e-12);
+        assert!((s.p99_latency_s - 1.2).abs() < 1e-12);
+        assert!(s.p50_latency_s <= s.p95_latency_s);
+        assert!(s.p95_latency_s <= s.p99_latency_s);
     }
 }

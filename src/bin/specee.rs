@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use specee::batch::BatchedEngine;
+use specee::cluster::{Cluster, ClusterConfig, ClusterRequest, RouterPolicy};
 use specee::core::collect::{collect_training_data, train_bank};
 use specee::core::engine::{DenseEngine, SpecEeEngine};
 use specee::core::predictor::PredictorBank;
@@ -66,8 +67,10 @@ fn print_help() {
                       (--model, --dataset, --seed as above)\n  \
            tokenize   train a byte-level BPE vocabulary and encode TEXT (--vocab N)\n  \
            serve      continuous batching (--batch N --requests N --rate R\n             \
-                      --mode replay|live: replay prices recorded traces, live runs\n             \
-                      the lock-step batched engine and prices measured steps)\n  \
+                      --mode replay|live|cluster: replay prices recorded traces,\n             \
+                      live runs the lock-step batched engine and prices measured\n             \
+                      steps, cluster shards live decoding over --workers N threads\n             \
+                      routed by --router round-robin|shortest-queue|exit-aware)\n  \
            help       this message"
     );
 }
@@ -373,16 +376,33 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let batch: usize = parse_num(&opts, "batch", 8)?;
     let n_requests: usize = parse_num(&opts, "requests", 12)?;
     let rate: f64 = parse_num(&opts, "rate", 6.0)?;
+    let workers: usize = parse_num(&opts, "workers", 2)?;
+    let router_name = opts.get("router").map_or("round-robin", String::as_str);
+    let router = RouterPolicy::parse(router_name).ok_or_else(|| {
+        format!("unknown router `{router_name}` (round-robin, shortest-queue, exit-aware)")
+    })?;
     let mode = opts.get("mode").map_or("replay", String::as_str);
-    if !matches!(mode, "replay" | "live") {
-        return Err(format!("unknown mode `{mode}` (replay, live)"));
+    if !matches!(mode, "replay" | "live" | "cluster") {
+        return Err(format!("unknown mode `{mode}` (replay, live, cluster)"));
+    }
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_string());
     }
     let gen = 16usize;
 
-    println!(
-        "{} requests, Poisson {rate}/s, batch cap {batch}, {} on A100/vllm ({mode} mode)",
-        n_requests, pipe.cfg.name
-    );
+    match mode {
+        "cluster" => println!(
+            "{} requests, Poisson {rate}/s, {workers} workers x batch cap {batch}, {} on \
+             A100/vllm (cluster mode, {} routing)",
+            n_requests,
+            pipe.cfg.name,
+            router.name()
+        ),
+        _ => println!(
+            "{} requests, Poisson {rate}/s, batch cap {batch}, {} on A100/vllm ({mode} mode)",
+            n_requests, pipe.cfg.name
+        ),
+    }
     if n_requests == 0 {
         // Nothing arrives, nothing decodes: report an explicit empty
         // summary instead of 0/0 ratios.
@@ -407,13 +427,26 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         ));
     }
     let requests = PoissonArrivals::new(rate, pipe.seed ^ 0x11).requests(&specs);
-    let batcher = ContinuousBatcher::new(BatcherConfig {
-        max_batch: batch,
-        hardware: HardwareProfile::a100_80g(),
-        framework: FrameworkProfile::vllm(),
-        cost: pipe.cfg.cost.ok_or("model has no cost twin")?,
-    });
-    let d = batcher.run(&requests, &dense_traces).stats();
+    // The dense reference replays at the deployment's total slot budget:
+    // the monolithic alternative to a sharded cluster is one big batch.
+    let dense_cap = if mode == "cluster" {
+        batch * workers
+    } else {
+        batch
+    };
+    let cost = pipe.cfg.cost.ok_or("model has no cost twin")?;
+    let make_batcher = |max_batch: usize| {
+        ContinuousBatcher::new(BatcherConfig {
+            max_batch,
+            hardware: HardwareProfile::a100_80g(),
+            framework: FrameworkProfile::vllm(),
+            cost,
+        })
+    };
+    let batcher = make_batcher(batch);
+    let d = make_batcher(dense_cap)
+        .run(&requests, &dense_traces)
+        .stats();
 
     let s = match mode {
         "replay" => {
@@ -434,6 +467,72 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             batcher.run(&requests, &spec_traces).stats()
         }
+        "cluster" => {
+            // Cluster: shard live decoding over worker threads behind the
+            // chosen routing policy. The workload is homogeneous, so every
+            // request carries the same offline expected-exit hint (the
+            // exit-aware policy then degrades gracefully to load-aware
+            // routing; heterogeneous deployments pass per-class hints).
+            let mass: f64 = freqs.iter().sum();
+            let expected_depth = if mass > 0.0 {
+                freqs
+                    .iter()
+                    .enumerate()
+                    .map(|(l, f)| (l + 1) as f64 * f)
+                    .sum::<f64>()
+                    / mass
+            } else {
+                pipe.cfg.n_layers as f64
+            };
+            let seq_pipe = Pipeline {
+                cfg: pipe.cfg.clone(),
+                profile: pipe.profile.clone(),
+                seed: pipe.seed,
+            };
+            let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+                &ClusterConfig {
+                    workers,
+                    page_size: 16,
+                    admission: specee::serve::AdmissionPolicy::Fcfs,
+                    batcher: BatcherConfig {
+                        max_batch: batch,
+                        hardware: HardwareProfile::a100_80g(),
+                        framework: FrameworkProfile::vllm(),
+                        cost,
+                    },
+                },
+                router.build(),
+                &bank,
+                &schedule,
+                &config,
+                std::sync::Arc::new(move |_req: &ClusterRequest| {
+                    let lm = seq_pipe.lm();
+                    let draft = seq_pipe.draft(&lm);
+                    (lm, draft)
+                }),
+            );
+            for req in &requests {
+                cluster.submit(ClusterRequest::new(req.clone()).with_exit_hint(expected_depth));
+            }
+            let report = cluster.drain();
+            for w in &report.workers {
+                println!(
+                    "worker {} : {:>3} requests | {:>6} steps | makespan {:>6.0} ms | \
+                     observed depth {:>4.1}/{}{}",
+                    w.worker,
+                    w.report.completions.len(),
+                    w.report.steps,
+                    w.report.makespan_s * 1e3,
+                    w.observed_depth.unwrap_or(0.0),
+                    pipe.cfg.n_layers,
+                    w.panic
+                        .as_deref()
+                        .map(|m| format!(" | FAILED: {m}"))
+                        .unwrap_or_default()
+                );
+            }
+            report.stats()
+        }
         _ => {
             // Live: admit requests into batched-engine slots and price the
             // measured lock-step decode.
@@ -447,17 +546,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             outcome.report.stats()
         }
     };
+    let dense_label = if mode == "cluster" {
+        format!("dense 1x{dense_cap}")
+    } else {
+        "dense  ".to_string()
+    };
     println!(
-        "dense  : {:>8.2} tok/s | TTFT {:>6.0} ms | p95 latency {:>7.0} ms",
+        "{dense_label}: {:>8.2} tok/s | TTFT {:>6.0} ms | latency p50/p95/p99 \
+         {:>5.0}/{:>5.0}/{:>5.0} ms",
         d.throughput_tok_s,
         d.mean_ttft_s * 1e3,
-        d.p95_latency_s * 1e3
+        d.p50_latency_s * 1e3,
+        d.p95_latency_s * 1e3,
+        d.p99_latency_s * 1e3
     );
     println!(
-        "SpecEE : {:>8.2} tok/s | TTFT {:>6.0} ms | p95 latency {:>7.0} ms  ({:.2}x, {mode})",
+        "SpecEE : {:>8.2} tok/s | TTFT {:>6.0} ms | latency p50/p95/p99 \
+         {:>5.0}/{:>5.0}/{:>5.0} ms  ({:.2}x, {mode})",
         s.throughput_tok_s,
         s.mean_ttft_s * 1e3,
+        s.p50_latency_s * 1e3,
         s.p95_latency_s * 1e3,
+        s.p99_latency_s * 1e3,
         s.throughput_tok_s / d.throughput_tok_s
     );
     Ok(())
