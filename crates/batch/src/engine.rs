@@ -1,6 +1,7 @@
 //! The lock-step batched decoding engine.
 
-use specee_core::engine::scan::ExitScan;
+use specee_control::{Controller, ControllerSummary};
+use specee_core::engine::scan::{ExitFeedback, ExitScan};
 use specee_core::predictor::PredictorBank;
 use specee_core::scheduler::ScheduleEngine;
 use specee_core::SpecEeConfig;
@@ -70,6 +71,10 @@ pub struct BatchStep {
     pub emitted: usize,
     /// Sequences that finished this step (retired from their slots).
     pub finished: Vec<BatchedOutput>,
+    /// The verifier accept/reject stream this step produced, in slot
+    /// order (one event per predictor fire — the raw material of
+    /// closed-loop threshold control).
+    pub feedback: Vec<ExitFeedback>,
 }
 
 impl BatchStep {
@@ -118,6 +123,43 @@ impl<D> SeqState<D> {
 /// The per-step [`BatchStep`] report carries the measured layer-runner
 /// counts, so batched pricing reflects exits that actually happened
 /// rather than replayed traces.
+///
+/// # Examples
+///
+/// ```
+/// use specee_batch::{Admission, BatchedEngine};
+/// use specee_control::ControllerPolicy;
+/// use specee_core::predictor::{PredictorBank, PredictorConfig};
+/// use specee_core::{ScheduleEngine, SpecEeConfig};
+/// use specee_model::ModelConfig;
+/// use specee_synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder};
+/// use specee_tensor::rng::Pcg;
+///
+/// let cfg = ModelConfig { n_layers: 8, ..ModelConfig::tiny() };
+/// let pcfg = PredictorConfig { hidden_dim: 16, ..PredictorConfig::default() };
+/// let bank = PredictorBank::new(8, &pcfg, &mut Pcg::seed(1));
+/// let config = SpecEeConfig { predictor: pcfg, ..SpecEeConfig::default() };
+/// let mut engine =
+///     BatchedEngine::new(2, 16, 8, bank, ScheduleEngine::all_layers(8), config);
+/// // Optional: close the threshold loop with an online controller.
+/// engine.set_controller(ControllerPolicy::pid().build(7, 0.5));
+///
+/// for id in 0..2u64 {
+///     let lm = SyntheticLmBuilder::new(cfg.clone(), DatasetProfile::qa())
+///         .seed(3)
+///         .build();
+///     let draft = OracleDraft::new(*lm.language(), 0.9, &cfg, id);
+///     assert!(matches!(
+///         engine.admit(id, lm, draft, &[1, 2, 3], 5),
+///         Admission::Seated { .. }
+///     ));
+/// }
+/// let outputs = engine.drain(); // lock-step decode to completion
+/// assert_eq!(outputs.len(), 2);
+/// assert!(outputs.iter().all(|o| o.tokens.len() == 5));
+/// let summary = engine.controller_summary().expect("controller attached");
+/// assert_eq!(summary.tokens, 8, "4 decode-step tokens per sequence");
+/// ```
 pub struct BatchedEngine<M, D> {
     stack: BatchedStack<M>,
     seqs: Vec<Option<SeqState<D>>>,
@@ -127,6 +169,7 @@ pub struct BatchedEngine<M, D> {
     n_layers: usize,
     meter: Meter,
     steps: u64,
+    controller: Option<Box<dyn Controller>>,
 }
 
 impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
@@ -162,7 +205,30 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             n_layers,
             meter: Meter::new(),
             steps: 0,
+            controller: None,
         }
+    }
+
+    /// Attaches a closed-loop threshold controller. After every decode
+    /// step the engine feeds it each seated sequence's verifier
+    /// accept/reject events and emitted-token depths (in slot order, so
+    /// the trajectory is deterministic) and re-applies its thresholds to
+    /// the shared predictor bank — threshold changes take effect at the
+    /// next step boundary, never mid-scan. Attaching the `static` policy
+    /// is bit-identical to attaching none.
+    pub fn set_controller(&mut self, controller: Box<dyn Controller>) {
+        self.controller = Some(controller);
+    }
+
+    /// The attached controller's state, if one is attached.
+    pub fn controller_summary(&self) -> Option<ControllerSummary> {
+        self.controller.as_ref().map(|c| c.summary())
+    }
+
+    /// The predictor bank the engine currently decodes with (thresholds
+    /// reflect any attached controller's latest operating point).
+    pub fn bank(&self) -> &PredictorBank {
+        &self.bank
     }
 
     /// The batch cap.
@@ -271,6 +337,7 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             predictor_calls: 0,
             emitted: 0,
             finished: Vec::new(),
+            feedback: Vec::new(),
         };
         let spec_k = self.config.predictor.spec_k;
 
@@ -363,11 +430,25 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             let (p0, v0) = scan_base[slot];
             report.predictor_calls += seq.scan.predictor_calls() - p0;
             report.lm_head_evals += seq.scan.verify_calls() - v0;
+            // Drain this sequence's verifier outcomes and feed the
+            // controller in slot order, closing the loop before the next
+            // step's scans run.
+            let feedback = seq.scan.take_feedback();
+            if let Some(ctl) = self.controller.as_mut() {
+                for event in &feedback {
+                    ctl.observe(event);
+                }
+                ctl.note_token(executed, self.n_layers);
+            }
+            report.feedback.extend(feedback);
             if seq.tokens.len() >= seq.gen_len {
                 let seq = self.seqs[slot].take().expect("seated sequence");
                 let _ = self.stack.retire(slot);
                 report.finished.push(seq.into_output());
             }
+        }
+        if let Some(ctl) = self.controller.as_ref() {
+            ctl.apply(&mut self.bank);
         }
         self.stack.sync_leases();
         self.meter.mark_host_step();
@@ -586,6 +667,99 @@ mod tests {
         assert_eq!(eng.occupancy(), 0);
         assert_eq!(eng.pool().pages_in_use(), 0, "pages recycled on cancel");
         assert!(eng.cancel(4).is_none(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn static_controller_is_bit_identical_to_none() {
+        // The acceptance bar for `--controller static`: same tokens, same
+        // exit layers, same call counts as an uncontrolled run.
+        let run = |controlled: bool| {
+            let mut eng = engine(2, 91);
+            if controlled {
+                let base = eng.bank().layer(0).threshold();
+                let n = eng.bank().len();
+                eng.set_controller(specee_control::ControllerPolicy::Static.build(n, base));
+            }
+            for i in 0..2u64 {
+                let lm = build_lm(91);
+                let draft = build_draft(&lm, 91 ^ i);
+                let _ = eng.admit(i, lm, draft, &[4 + i as TokenId, 2, 9], 12);
+            }
+            eng.drain()
+        };
+        let (plain, controlled) = (run(false), run(true));
+        assert_eq!(plain.len(), controlled.len());
+        for (a, b) in plain.iter().zip(&controlled) {
+            assert_eq!(a.tokens, b.tokens, "id {}", a.id);
+            assert_eq!(a.exit_layers, b.exit_layers, "id {}", a.id);
+            assert_eq!(a.predictor_calls, b.predictor_calls, "id {}", a.id);
+            assert_eq!(a.verify_calls, b.verify_calls, "id {}", a.id);
+        }
+    }
+
+    #[test]
+    fn step_feedback_accounts_for_fires() {
+        // Engine-level accounting: over a drained run, the feedback
+        // stream carries exactly one event per verify call, and accepted
+        // events equal the early exits actually taken.
+        let mut eng = engine(2, 93);
+        let base = eng.bank().layer(0).threshold();
+        let n = eng.bank().len();
+        eng.set_controller(specee_control::ControllerPolicy::Static.build(n, base));
+        for i in 0..2u64 {
+            let lm = build_lm(93);
+            let draft = build_draft(&lm, 93 ^ i);
+            let _ = eng.admit(i, lm, draft, &[3 + i as TokenId, 7, 1], 10);
+        }
+        let mut accepts = 0u64;
+        let mut rejects = 0u64;
+        let mut early_exits = 0u64;
+        let mut outputs = Vec::new();
+        while eng.occupancy() > 0 {
+            let step = eng.step();
+            accepts += step.feedback.iter().filter(|f| f.accepted).count() as u64;
+            rejects += step.feedback.iter().filter(|f| !f.accepted).count() as u64;
+            outputs.extend(step.finished);
+        }
+        let verify_calls: u64 = outputs.iter().map(|o| o.verify_calls).sum();
+        for out in &outputs {
+            early_exits += out
+                .exit_layers
+                .iter()
+                .skip(1) // the prefill token never scans
+                .filter(|&&l| l < eng.n_layers())
+                .count() as u64;
+        }
+        assert!(verify_calls > 0, "workload must exercise the verifier");
+        assert_eq!(accepts + rejects, verify_calls, "one event per fire");
+        assert_eq!(accepts, early_exits, "accepted fires are taken exits");
+        let summary = eng.controller_summary().expect("controller attached");
+        assert_eq!(summary.accepts + summary.rejects, verify_calls);
+    }
+
+    #[test]
+    fn pid_controller_moves_thresholds_between_steps() {
+        let mut eng = engine(1, 95);
+        let n = eng.bank().len();
+        // Start absurdly strict: the PID loop's idle decay plus feedback
+        // must walk thresholds down, changing the bank between steps.
+        eng.set_controller(specee_control::ControllerPolicy::pid().build(n, 0.95));
+        let lm = build_lm(95);
+        let draft = build_draft(&lm, 95);
+        let _ = eng.admit(0, lm, draft, &[4, 2, 9], 24);
+        let outs = eng.drain();
+        let after: Vec<f32> = (0..n).map(|l| eng.bank().layer(l).threshold()).collect();
+        assert_eq!(outs[0].tokens.len(), 24);
+        // The controller's operating point (not the bank's trained 0.5)
+        // governs the run, and feedback walked some layers off it.
+        assert!(after.iter().all(|&a| a > 0.5), "applied: {after:?}");
+        assert!(
+            after.iter().any(|&a| a < 0.95),
+            "thresholds should move off the 0.95 start: {after:?}"
+        );
+        let summary = eng.controller_summary().expect("controller");
+        assert_eq!(summary.policy, "pid");
+        assert_eq!(summary.tokens, 23, "every decode-step token observed");
     }
 
     #[test]

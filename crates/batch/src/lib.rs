@@ -21,6 +21,13 @@
 //! cost model the replay simulator uses, which is what makes the two
 //! modes' speedup curves directly comparable.
 //!
+//! The engine also closes the control loop: every step's verifier
+//! accept/reject events ride in [`BatchStep::feedback`], and an attached
+//! [`specee_control::Controller`] ([`BatchedEngine::set_controller`])
+//! consumes them — per sequence, in slot order — to adapt the shared
+//! predictor bank's exit thresholds online. The `static` policy is a
+//! bit-identical no-op (asserted in `tests/parity.rs`).
+//!
 //! # Examples
 //!
 //! ```

@@ -162,3 +162,41 @@ fn co_batched_sequences_each_match_their_single_stream_run() {
         assert_eq!(out.exit_layers, exits, "slot {i}");
     }
 }
+
+#[test]
+fn static_controller_batch_one_matches_single_stream() {
+    // `specee generate --controller static` routes through a batch-1
+    // BatchedEngine with a static controller attached; its output must
+    // be bit-identical to today's uncontrolled single-stream run.
+    let seed = 107;
+    let parts = trained(seed);
+    for (i, prompt) in prompts().iter().enumerate() {
+        let draft_seed = seed ^ (i as u64);
+        let (tokens, exits, pcalls, vcalls) = single_stream(seed, draft_seed, &parts, prompt);
+
+        let mut engine: BatchedEngine<SyntheticLm, OracleDraft> = BatchedEngine::new(
+            1,
+            16,
+            N_LAYERS,
+            parts.0.clone(),
+            parts.1.clone(),
+            parts.2.clone(),
+        );
+        engine.set_controller(
+            specee_control::ControllerPolicy::Static
+                .build(parts.0.len(), parts.2.predictor.threshold),
+        );
+        let lm = build_lm(seed);
+        let draft = build_draft(&lm, draft_seed);
+        let _ = engine.admit(i as u64, lm, draft, prompt, GEN);
+        let out = engine.drain().remove(0);
+
+        assert_eq!(out.tokens, tokens, "prompt {i}: token stream diverged");
+        assert_eq!(out.exit_layers, exits, "prompt {i}: exit layers diverged");
+        assert_eq!(out.predictor_calls, pcalls, "prompt {i}: predictor calls");
+        assert_eq!(out.verify_calls, vcalls, "prompt {i}: verify calls");
+        let summary = engine.controller_summary().expect("controller attached");
+        assert_eq!(summary.policy, "static");
+        assert_eq!(summary.accepts + summary.rejects, vcalls, "event per fire");
+    }
+}

@@ -167,6 +167,7 @@ impl Harness {
                 page_size: 16,
                 admission: AdmissionPolicy::Fcfs,
                 batcher: self.batcher_config(max_batch),
+                controller: specee_control::ControllerPolicy::Static,
             },
             policy.build(),
             &bank,

@@ -4,6 +4,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use specee_batch::BatchedEngine;
+use specee_control::ControllerPolicy;
 use specee_core::predictor::PredictorBank;
 use specee_core::{ScheduleEngine, SpecEeConfig};
 use specee_draft::SpeculativeSource;
@@ -30,6 +31,13 @@ pub struct ClusterConfig {
     pub admission: AdmissionPolicy,
     /// Per-worker capacity and pricing (`max_batch` is *per worker*).
     pub batcher: BatcherConfig,
+    /// Exit-threshold control policy. Every worker builds its *own*
+    /// controller from this ([`ControllerPolicy::build_for_worker`]) and
+    /// adapts it from its local engine's verifier feedback inside the
+    /// deterministic serving loop — controller state therefore rides the
+    /// arrival-frontier protocol and runs stay reproducible.
+    /// [`ControllerPolicy::Static`] is today's fixed-threshold behavior.
+    pub controller: ControllerPolicy,
 }
 
 struct WorkerHandle {
@@ -52,6 +60,67 @@ struct WorkerHandle {
 /// so the router's view — and hence every routing decision, admission
 /// boundary and priced step — is a pure function of the workload, never
 /// of thread scheduling. See the crate docs for the full protocol.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// use specee_cluster::{Cluster, ClusterConfig, ClusterRequest, RouterPolicy};
+/// use specee_control::ControllerPolicy;
+/// use specee_core::predictor::{PredictorBank, PredictorConfig};
+/// use specee_core::{ScheduleEngine, SpecEeConfig};
+/// use specee_metrics::{FrameworkProfile, HardwareProfile};
+/// use specee_model::{CostDims, ModelConfig};
+/// use specee_serve::{AdmissionPolicy, BatcherConfig, ServeRequest};
+/// use specee_synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
+/// use specee_tensor::rng::Pcg;
+///
+/// let n_layers = 8;
+/// let cfg = ModelConfig { n_layers, vocab_size: 256, ..ModelConfig::tiny() };
+/// let pcfg = PredictorConfig { hidden_dim: 16, ..PredictorConfig::default() };
+/// let bank = PredictorBank::new(n_layers, &pcfg, &mut Pcg::seed(1));
+/// let spec = SpecEeConfig { predictor: pcfg, ..SpecEeConfig::default() };
+/// let config = ClusterConfig {
+///     workers: 2,
+///     page_size: 16,
+///     admission: AdmissionPolicy::Fcfs,
+///     batcher: BatcherConfig {
+///         max_batch: 2,
+///         hardware: HardwareProfile::a100_80g(),
+///         framework: FrameworkProfile::vllm(),
+///         cost: CostDims { n_layers, ..CostDims::llama2_7b() },
+///     },
+///     controller: ControllerPolicy::pid(), // per-worker adaptive thresholds
+/// };
+/// let model_cfg = cfg.clone();
+/// let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+///     &config,
+///     RouterPolicy::ExitAware.build(),
+///     &bank,
+///     &ScheduleEngine::all_layers(n_layers),
+///     &spec,
+///     Arc::new(move |req| {
+///         let lm = SyntheticLmBuilder::new(model_cfg.clone(), DatasetProfile::qa())
+///             .seed(5)
+///             .build();
+///         let draft = OracleDraft::new(*lm.language(), 0.9, &model_cfg, req.request.id);
+///         (lm, draft)
+///     }),
+/// );
+/// for id in 0..4u64 {
+///     let request = ServeRequest {
+///         id,
+///         prompt: vec![1, 2 + id as u32],
+///         gen_len: 4,
+///         arrival_s: id as f64 * 0.01,
+///     };
+///     cluster.submit(ClusterRequest::new(request).with_exit_hint(5.0));
+/// }
+/// let report = cluster.drain();
+/// assert_eq!(report.completed(), 4);
+/// assert!(report.workers.iter().all(|w| w.controller.is_some()));
+/// ```
 pub struct Cluster<M: LayeredLm, D: SpeculativeSource> {
     workers: Vec<WorkerHandle>,
     router: Box<dyn Router>,
@@ -91,7 +160,7 @@ where
         let mut workers = Vec::with_capacity(config.workers);
         let mut snapshots = Vec::with_capacity(config.workers);
         for id in 0..config.workers {
-            let engine: BatchedEngine<M, D> = BatchedEngine::new(
+            let mut engine: BatchedEngine<M, D> = BatchedEngine::new(
                 config.batcher.max_batch,
                 config.page_size,
                 n_layers,
@@ -99,6 +168,11 @@ where
                 schedule.clone(),
                 spec_config.clone(),
             );
+            engine.set_controller(config.controller.build_for_worker(
+                bank.len(),
+                spec_config.predictor.threshold,
+                id,
+            ));
             let cost = StepCostModel::new(
                 config.batcher.cost,
                 config.batcher.hardware.clone(),
@@ -272,5 +346,6 @@ fn dead_worker_report(worker: usize, assigned: &[u64]) -> WorkerReport {
         cancelled: Vec::new(),
         failed: assigned.to_vec(),
         panic: Some("worker thread died without reporting".to_string()),
+        controller: None,
     }
 }

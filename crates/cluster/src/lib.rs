@@ -28,6 +28,14 @@
 //! completion-for-completion identical to
 //! `ContinuousBatcher::run_live` (asserted in `tests/parity.rs`).
 //!
+//! Adaptation rides the same protocol: when [`ClusterConfig`] selects an
+//! adaptive [`specee_control::ControllerPolicy`], every worker's engine
+//! carries its own exit-threshold controller, fed from that worker's
+//! verifier accept/reject stream strictly inside the deterministic
+//! serving loop. Worker snapshots expose the controller's current mean
+//! threshold and the final [`WorkerReport::controller`] summary records
+//! where each worker's operating point converged.
+//!
 //! Requests carry optional absolute deadlines (expired ones are dropped
 //! while queued and reported as timed out), can be cancelled mid-decode
 //! ([`Cluster::cancel`] retires the sequence with its partial output),
@@ -41,6 +49,7 @@
 //! use std::sync::Arc;
 //!
 //! use specee_cluster::{Cluster, ClusterConfig, ClusterRequest, RouterPolicy};
+//! use specee_control::ControllerPolicy;
 //! use specee_core::predictor::{PredictorBank, PredictorConfig};
 //! use specee_core::{ScheduleEngine, SpecEeConfig};
 //! use specee_metrics::{FrameworkProfile, HardwareProfile};
@@ -64,6 +73,7 @@
 //!         framework: FrameworkProfile::vllm(),
 //!         cost: CostDims { n_layers, ..CostDims::llama2_7b() },
 //!     },
+//!     controller: ControllerPolicy::Static,
 //! };
 //! let model_cfg = cfg.clone();
 //! let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(

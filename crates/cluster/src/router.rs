@@ -38,6 +38,11 @@ pub struct WorkerSnapshot {
     /// Mean observed exit depth over every token the worker has finished,
     /// layers. `None` before its first completion.
     pub observed_depth: Option<f64>,
+    /// Mean exit threshold of the worker's controller at this sync point
+    /// (`None` when no controller is attached). Routers may treat a
+    /// tightening threshold as a congestion/accuracy signal; reports use
+    /// it to watch per-worker adaptation.
+    pub mean_threshold: Option<f64>,
     /// Requests the worker has completed.
     pub completed: usize,
     /// Whether the worker has failed (a request panicked on it); failed
@@ -255,6 +260,7 @@ mod tests {
             active_depth: depth,
             max_depth: depth,
             observed_depth: None,
+            mean_threshold: None,
             completed: 0,
             failed: false,
         }

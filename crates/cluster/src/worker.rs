@@ -31,6 +31,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 use specee_batch::{Admission, BatchedEngine, BatchedOutput};
+use specee_control::ControllerSummary;
 use specee_draft::SpeculativeSource;
 use specee_model::LayeredLm;
 use specee_serve::batcher::ServeReport;
@@ -95,6 +96,9 @@ pub struct WorkerReport {
     pub failed: Vec<u64>,
     /// The panic message that failed the worker, if any.
     pub panic: Option<String>,
+    /// Final state of the worker's exit-threshold controller (operating
+    /// point plus its observed accept/reject stream).
+    pub controller: Option<ControllerSummary>,
 }
 
 struct ActiveSeq {
@@ -460,6 +464,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             active_depth: (residents > 0).then(|| depth_sum / residents as f64),
             max_depth: (residents > 0).then_some(max_depth),
             observed_depth: (self.token_sum > 0).then(|| self.layer_sum / self.token_sum as f64),
+            mean_threshold: self.engine.controller_summary().map(|s| s.mean_threshold),
             completed: self.completions.len(),
             failed: self.panic.is_some(),
         }
@@ -468,6 +473,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
     fn into_report(mut self) -> WorkerReport {
         self.completions.sort_by_key(|c| c.id);
         self.outputs.sort_by_key(|o| o.id);
+        let controller = self.engine.controller_summary();
         WorkerReport {
             worker: self.id,
             report: ServeReport {
@@ -495,6 +501,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             cancelled: self.cancelled,
             failed: self.lost,
             panic: self.panic,
+            controller,
         }
     }
 }

@@ -50,6 +50,7 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
         page_size: 16,
         admission: AdmissionPolicy::Fcfs,
         batcher: batcher_config(max_batch),
+        controller: specee_control::ControllerPolicy::Static,
     }
 }
 
@@ -519,4 +520,67 @@ fn exit_aware_routing_segregates_skewed_traffic() {
     // Determinism: re-routing the same workload reproduces the decisions.
     let (_, again) = route_all(RouterPolicy::ExitAware);
     assert_eq!(again, ea_assignments);
+}
+
+/// Adaptive controller state rides the arrival-frontier protocol: a
+/// cluster run with per-worker PID (or bandit) controllers is a pure
+/// function of the workload — two identical runs produce identical
+/// completions, outputs, and controller operating points, despite real
+/// worker threads adapting thresholds mid-flight.
+#[test]
+fn adaptive_controllers_stay_deterministic_across_runs() {
+    let seed = 53;
+    let parts = trained(seed);
+    let requests = PoissonArrivals::new(18.0, 9).requests(&specs(8, 8));
+    let run = |policy: specee_control::ControllerPolicy| {
+        let config = ClusterConfig {
+            controller: policy,
+            ..cluster_config(2, 2)
+        };
+        let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+            &config,
+            RouterPolicy::RoundRobin.build(),
+            &parts.0,
+            &parts.1,
+            &parts.2,
+            factory(seed),
+        );
+        for req in &requests {
+            cluster.submit(ClusterRequest::new(req.clone()));
+        }
+        cluster.drain()
+    };
+    for policy in [
+        specee_control::ControllerPolicy::pid(),
+        specee_control::ControllerPolicy::bandit(),
+    ] {
+        let a = run(policy.clone());
+        let b = run(policy.clone());
+        assert_eq!(a.completed(), requests.len(), "{}", policy.name());
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(
+                wa.report.completions,
+                wb.report.completions,
+                "{}: completions must be identical across runs",
+                policy.name()
+            );
+            assert_eq!(
+                wa.outputs,
+                wb.outputs,
+                "{}: decoded outputs must be identical across runs",
+                policy.name()
+            );
+            let (ca, cb) = (
+                wa.controller.as_ref().expect("controller attached"),
+                wb.controller.as_ref().expect("controller attached"),
+            );
+            assert_eq!(ca, cb, "{}: controller trajectories", policy.name());
+            assert_eq!(ca.policy, policy.name());
+            assert!(
+                ca.accepts + ca.rejects > 0,
+                "{}: the run should exercise the verifier",
+                policy.name()
+            );
+        }
+    }
 }

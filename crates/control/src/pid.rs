@@ -1,0 +1,225 @@
+//! PI control of per-layer thresholds toward a target false-exit rate.
+
+use specee_core::ExitFeedback;
+
+use crate::controller::{mean_threshold, Controller, ControllerSummary, FeedbackCounters};
+
+/// Gains and target for [`PidController`].
+///
+/// The controlled variable is the per-layer **false-exit rate** — the
+/// fraction of predictor fires the full-LM-head verifier rejects,
+/// tracked as an exponentially weighted moving average. Rejections above
+/// the target raise that layer's threshold (the predictor is firing too
+/// eagerly and wasting LM-head forwards); rejections below it lower the
+/// threshold to harvest exit opportunities the current operating point
+/// leaves on the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PidConfig {
+    /// Target false-exit rate per layer (fraction of fires rejected).
+    pub target_false_exit: f64,
+    /// Proportional gain on the error *change* (incremental form).
+    pub kp: f64,
+    /// Integral gain on the error itself, applied per observation.
+    pub ki: f64,
+    /// EWMA weight of the newest accept/reject outcome.
+    pub ewma_alpha: f64,
+    /// Downward threshold drift applied to every layer when a token runs
+    /// the full stack without a single predictor fire — the exploration
+    /// term that un-sticks thresholds parked above the score
+    /// distribution (no fires means no feedback, so the loop would
+    /// otherwise stay open forever).
+    pub idle_decay: f32,
+    /// Lower threshold clamp.
+    pub min_threshold: f32,
+    /// Upper threshold clamp.
+    pub max_threshold: f32,
+}
+
+impl Default for PidConfig {
+    fn default() -> Self {
+        PidConfig {
+            target_false_exit: 0.2,
+            kp: 0.5,
+            ki: 0.06,
+            ewma_alpha: 0.2,
+            idle_decay: 0.02,
+            min_threshold: 0.05,
+            max_threshold: 0.95,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LayerLoop {
+    threshold: f32,
+    /// EWMA of the reject indicator, initialized at the target so the
+    /// loop starts with zero error.
+    reject_rate: f64,
+    prev_err: f64,
+}
+
+/// Per-layer PI threshold control over the verifier's accept/reject
+/// stream (the `pid` policy; the derivative term is zero — the EWMA
+/// already smooths the measurement).
+#[derive(Debug, Clone)]
+pub struct PidController {
+    config: PidConfig,
+    loops: Vec<LayerLoop>,
+    counters: FeedbackCounters,
+    fires_since_token: u64,
+}
+
+impl PidController {
+    /// Creates one control loop per predictor layer, all starting at
+    /// `base_threshold`.
+    pub fn new(n_predictors: usize, base_threshold: f32, config: PidConfig) -> Self {
+        let base = base_threshold.clamp(config.min_threshold, config.max_threshold);
+        PidController {
+            loops: (0..n_predictors)
+                .map(|_| LayerLoop {
+                    threshold: base,
+                    reject_rate: config.target_false_exit,
+                    prev_err: 0.0,
+                })
+                .collect(),
+            config,
+            counters: FeedbackCounters::default(),
+            fires_since_token: 0,
+        }
+    }
+}
+
+impl Controller for PidController {
+    fn name(&self) -> &'static str {
+        "pid"
+    }
+
+    fn observe(&mut self, feedback: &ExitFeedback) {
+        self.counters.observe(feedback);
+        self.fires_since_token += 1;
+        let Some(lp) = self.loops.get_mut(feedback.layer) else {
+            return;
+        };
+        let c = &self.config;
+        let x = if feedback.accepted { 0.0 } else { 1.0 };
+        lp.reject_rate = (1.0 - c.ewma_alpha) * lp.reject_rate + c.ewma_alpha * x;
+        let err = lp.reject_rate - c.target_false_exit;
+        let delta = c.kp * (err - lp.prev_err) + c.ki * err;
+        lp.prev_err = err;
+        lp.threshold = (lp.threshold + delta as f32).clamp(c.min_threshold, c.max_threshold);
+    }
+
+    fn note_token(&mut self, executed_layers: usize, n_layers: usize) {
+        self.counters.tokens += 1;
+        let fired = std::mem::take(&mut self.fires_since_token);
+        if fired == 0 && executed_layers >= n_layers {
+            // Full depth, zero fires: the loop is open. Drift every
+            // threshold down until some predictor speaks again.
+            for lp in &mut self.loops {
+                lp.threshold =
+                    (lp.threshold - self.config.idle_decay).max(self.config.min_threshold);
+            }
+        }
+    }
+
+    fn threshold(&self, layer: usize) -> f32 {
+        self.loops[layer].threshold
+    }
+
+    fn summary(&self) -> ControllerSummary {
+        let thresholds: Vec<f32> = self.loops.iter().map(|l| l.threshold).collect();
+        ControllerSummary {
+            policy: self.name(),
+            mean_threshold: mean_threshold(&thresholds),
+            accepts: self.counters.accepts,
+            rejects: self.counters.rejects,
+            tokens: self.counters.tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(layer: usize, accepted: bool) -> ExitFeedback {
+        ExitFeedback {
+            layer,
+            score: 0.7,
+            threshold: 0.5,
+            accepted,
+        }
+    }
+
+    #[test]
+    fn rejects_raise_the_fired_layers_threshold() {
+        let mut ctl = PidController::new(8, 0.5, PidConfig::default());
+        for _ in 0..20 {
+            ctl.observe(&fb(2, false));
+        }
+        assert!(ctl.threshold(2) > 0.5, "thr {}", ctl.threshold(2));
+        assert_eq!(ctl.threshold(5), 0.5, "other layers untouched");
+    }
+
+    #[test]
+    fn accepts_lower_the_fired_layers_threshold() {
+        // A clean accept stream sits below the target false-exit rate:
+        // the controller harvests by loosening the threshold.
+        let mut ctl = PidController::new(8, 0.5, PidConfig::default());
+        for _ in 0..20 {
+            ctl.observe(&fb(4, true));
+        }
+        assert!(ctl.threshold(4) < 0.5, "thr {}", ctl.threshold(4));
+    }
+
+    #[test]
+    fn converges_near_target_reject_rate() {
+        // Feed a stream whose reject probability is a step function of
+        // the threshold (reject iff threshold below 0.6): the loop should
+        // settle around the boundary instead of railing.
+        let mut ctl = PidController::new(4, 0.2, PidConfig::default());
+        for i in 0..400 {
+            let rejected = ctl.threshold(0) < 0.6 && i % 5 != 0;
+            ctl.observe(&fb(0, !rejected));
+        }
+        let thr = ctl.threshold(0);
+        assert!((0.4..=0.8).contains(&thr), "thr {thr}");
+    }
+
+    #[test]
+    fn idle_full_depth_tokens_decay_thresholds() {
+        let mut ctl = PidController::new(4, 0.9, PidConfig::default());
+        for _ in 0..40 {
+            ctl.note_token(12, 12);
+        }
+        assert!(ctl.threshold(0) < 0.8, "thr {}", ctl.threshold(0));
+        // A token with a fire in it does not decay.
+        let before = ctl.threshold(1);
+        ctl.observe(&fb(1, true));
+        let after_fire = ctl.threshold(1);
+        ctl.note_token(12, 12);
+        assert_eq!(ctl.threshold(1), after_fire);
+        assert!(after_fire <= before);
+    }
+
+    #[test]
+    fn thresholds_stay_clamped() {
+        let cfg = PidConfig::default();
+        let mut ctl = PidController::new(2, 0.5, cfg.clone());
+        for _ in 0..2000 {
+            ctl.observe(&fb(0, false));
+        }
+        assert!(ctl.threshold(0) <= cfg.max_threshold);
+        for _ in 0..2000 {
+            ctl.observe(&fb(1, true));
+        }
+        assert!(ctl.threshold(1) >= cfg.min_threshold);
+    }
+
+    #[test]
+    fn out_of_range_layer_is_ignored() {
+        let mut ctl = PidController::new(2, 0.5, PidConfig::default());
+        ctl.observe(&fb(7, false));
+        assert_eq!(ctl.summary().rejects, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! CLI/config-level controller selection.
+
+use crate::bandit::{BanditConfig, BanditController};
+use crate::controller::{Controller, StaticController};
+use crate::pid::{PidConfig, PidController};
+
+/// A buildable controller choice: what rides in configuration structs
+/// (e.g. `ClusterConfig`) and what `--controller <policy>` parses into.
+///
+/// Each worker/engine builds its *own* controller from the policy
+/// ([`ControllerPolicy::build`] / [`ControllerPolicy::build_for_worker`])
+/// so controller state is never shared across threads — determinism
+/// comes from each instance consuming its own engine's feedback stream
+/// in program order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerPolicy {
+    /// Fixed thresholds — today's behavior, the baseline.
+    Static,
+    /// Per-layer PI control toward a target false-exit rate.
+    Pid(PidConfig),
+    /// Thompson sampling over a threshold grid.
+    Bandit(BanditConfig),
+}
+
+impl ControllerPolicy {
+    /// The PID policy with default gains.
+    pub fn pid() -> Self {
+        ControllerPolicy::Pid(PidConfig::default())
+    }
+
+    /// The bandit policy with the default grid and seed.
+    pub fn bandit() -> Self {
+        ControllerPolicy::Bandit(BanditConfig::default())
+    }
+
+    /// All built-in policies with default configurations, in CLI listing
+    /// order.
+    pub fn all() -> [ControllerPolicy; 3] {
+        [
+            ControllerPolicy::Static,
+            ControllerPolicy::pid(),
+            ControllerPolicy::bandit(),
+        ]
+    }
+
+    /// The policy's canonical CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControllerPolicy::Static => "static",
+            ControllerPolicy::Pid(_) => "pid",
+            ControllerPolicy::Bandit(_) => "bandit",
+        }
+    }
+
+    /// Parses a CLI name (`static`, `pid`, `bandit`) into the policy
+    /// with default configuration.
+    pub fn parse(name: &str) -> Option<ControllerPolicy> {
+        match name {
+            "static" => Some(ControllerPolicy::Static),
+            "pid" => Some(ControllerPolicy::pid()),
+            "bandit" => Some(ControllerPolicy::bandit()),
+            _ => None,
+        }
+    }
+
+    /// Builds the controller for an engine with `n_predictors` predictor
+    /// layers whose bank currently operates at `base_threshold`.
+    pub fn build(&self, n_predictors: usize, base_threshold: f32) -> Box<dyn Controller> {
+        match self {
+            ControllerPolicy::Static => {
+                Box::new(StaticController::new(n_predictors, base_threshold))
+            }
+            ControllerPolicy::Pid(config) => Box::new(PidController::new(
+                n_predictors,
+                base_threshold,
+                config.clone(),
+            )),
+            ControllerPolicy::Bandit(config) => {
+                Box::new(BanditController::new(base_threshold, config.clone()))
+            }
+        }
+    }
+
+    /// [`ControllerPolicy::build`] with a per-worker seed derivation, so
+    /// the workers of a cluster run decorrelated (but each individually
+    /// deterministic) exploration streams.
+    pub fn build_for_worker(
+        &self,
+        n_predictors: usize,
+        base_threshold: f32,
+        worker: usize,
+    ) -> Box<dyn Controller> {
+        match self {
+            ControllerPolicy::Bandit(config) => {
+                let mut config = config.clone();
+                config.seed = config
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(worker as u64);
+                Box::new(BanditController::new(base_threshold, config))
+            }
+            _ => self.build(n_predictors, base_threshold),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for policy in ControllerPolicy::all() {
+            assert_eq!(
+                ControllerPolicy::parse(policy.name())
+                    .as_ref()
+                    .map(|p| p.name()),
+                Some(policy.name())
+            );
+        }
+        assert_eq!(ControllerPolicy::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn build_matches_policy_name() {
+        for policy in ControllerPolicy::all() {
+            assert_eq!(policy.build(8, 0.5).name(), policy.name());
+        }
+    }
+
+    #[test]
+    fn worker_seeds_diverge_for_bandit_only() {
+        let bandit = ControllerPolicy::bandit();
+        let mut a = bandit.build_for_worker(8, 0.5, 0);
+        let mut b = bandit.build_for_worker(8, 0.5, 1);
+        // Same start...
+        assert_eq!(a.threshold(0), b.threshold(0));
+        // ...but genuinely different exploration streams once epochs
+        // begin: drive both through identical mid-reward feedback (so
+        // only the Thompson draws differ) and record their trajectories.
+        let mut diverged = false;
+        for i in 0..400u64 {
+            for ctl in [&mut a, &mut b] {
+                ctl.note_token(if i % 2 == 0 { 4 } else { 12 }, 12);
+            }
+            diverged |= a.threshold(0) != b.threshold(0);
+        }
+        assert!(diverged, "worker seeds must decorrelate bandit arms");
+        let pid = ControllerPolicy::pid();
+        assert_eq!(pid.build_for_worker(8, 0.5, 3).threshold(2), 0.5);
+    }
+}

@@ -75,6 +75,36 @@ impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
 
     /// Generates `gen_len` tokens with speculative early exiting.
     ///
+    /// The first token comes out of the full-depth prefill; every later
+    /// token runs the per-layer exit scan (draft → schedule gate →
+    /// predictor → full-LM-head verification) and records the layer it
+    /// actually executed to in [`GenOutput::exit_layers`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use specee_core::engine::SpecEeEngine;
+    /// use specee_core::predictor::{PredictorBank, PredictorConfig};
+    /// use specee_core::{ScheduleEngine, SpecEeConfig};
+    /// use specee_model::ModelConfig;
+    /// use specee_synth::{DatasetProfile, OracleDraft, SyntheticLmBuilder};
+    /// use specee_tensor::rng::Pcg;
+    ///
+    /// let cfg = ModelConfig { n_layers: 8, ..ModelConfig::tiny() };
+    /// let lm = SyntheticLmBuilder::new(cfg.clone(), DatasetProfile::qa()).seed(1).build();
+    /// let draft = OracleDraft::new(*lm.language(), 0.9, &cfg, 2);
+    /// let pcfg = PredictorConfig { hidden_dim: 16, ..PredictorConfig::default() };
+    /// let bank = PredictorBank::new(8, &pcfg, &mut Pcg::seed(3));
+    /// let config = SpecEeConfig { predictor: pcfg, ..SpecEeConfig::default() };
+    /// let mut engine =
+    ///     SpecEeEngine::new(lm, draft, bank, ScheduleEngine::all_layers(8), config);
+    ///
+    /// let out = engine.generate(&[1, 2, 3], 6);
+    /// assert_eq!(out.tokens.len(), 6);
+    /// assert_eq!(out.exit_layers.len(), 6);
+    /// assert!(out.exit_layers.iter().all(|&l| (1..=8).contains(&l)));
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `prompt` is empty or `gen_len` is zero.

@@ -8,5 +8,5 @@ mod speculative;
 
 pub use autoregressive::SpecEeEngine;
 pub use dense::DenseEngine;
-pub use scan::ExitScan;
+pub use scan::{ExitFeedback, ExitScan};
 pub use speculative::SpeculativeEngine;

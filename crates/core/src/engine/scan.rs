@@ -17,16 +17,42 @@ use crate::predictor::PredictorBank;
 use crate::scheduler::ScheduleEngine;
 use crate::verify::verify_exit;
 
+/// One verifier outcome for one predictor *fire*: the raw accept/reject
+/// stream closed-loop threshold controllers feed on.
+///
+/// A feedback event is emitted exactly when a scheduled predictor's score
+/// crosses its layer threshold — i.e. once per [`ExitScan::verify_calls`]
+/// increment — so over any window `accepts + rejects` equals the number
+/// of predictor fires. Negative predictions (score at or below the
+/// threshold) emit nothing: the verifier never ran, so there is no
+/// outcome to learn from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExitFeedback {
+    /// Decoder layer whose predictor fired (0-based; the exit, if taken,
+    /// executes `layer + 1` layers).
+    pub layer: usize,
+    /// The predictor's sigmoid score for this fire.
+    pub score: f32,
+    /// The threshold the score was compared against when it fired.
+    pub threshold: f32,
+    /// Whether the full-LM-head verification of §4.3.3 accepted the exit
+    /// (`false` = a *false exit*: the fire wasted one LM-head forward).
+    pub accepted: bool,
+}
+
 /// Layer-by-layer early-exit decisions for one token's forward pass.
 ///
 /// Call [`ExitScan::begin_token`] at each token boundary, then
 /// [`ExitScan::check`] after every executed layer until it returns a
-/// verified exit (or the stack runs out of layers).
+/// verified exit (or the stack runs out of layers). Every predictor fire
+/// additionally records an [`ExitFeedback`] event; runtimes that adapt
+/// thresholds online drain them with [`ExitScan::take_feedback`].
 #[derive(Debug, Clone, Default)]
 pub struct ExitScan {
     tracker: FeatureTracker,
     predictor_calls: u64,
     verify_calls: u64,
+    feedback: Vec<ExitFeedback>,
 }
 
 impl ExitScan {
@@ -36,9 +62,13 @@ impl ExitScan {
     }
 
     /// Starts a new token: clears the probability-variation history the
-    /// feature tracker carries between layers.
+    /// feature tracker carries between layers, and discards any feedback
+    /// events the previous token's consumer left undrained — so a run
+    /// with no controller attached never accumulates more than one
+    /// token's worth of events.
     pub fn begin_token(&mut self) {
         self.tracker.reset();
+        self.feedback.clear();
     }
 
     /// Runs the scheduled exit decision after `layer` on hidden state `h`.
@@ -65,12 +95,21 @@ impl ExitScan {
         }
         let feats = self.tracker.extract(model, h, candidates, meter);
         self.predictor_calls += 1;
-        if !bank.layer(layer).should_exit(&feats, meter) {
+        let predictor = bank.layer(layer);
+        let (score, threshold) = (predictor.score(&feats, meter), predictor.threshold());
+        if !predictor.fires(score) {
             return None;
         }
         self.verify_calls += 1;
         let full = model.final_logits(h, meter);
-        verify_exit(&full, candidates).map(|tok| (tok, full))
+        let exit = verify_exit(&full, candidates).map(|tok| (tok, full));
+        self.feedback.push(ExitFeedback {
+            layer,
+            score,
+            threshold,
+            accepted: exit.is_some(),
+        });
+        exit
     }
 
     /// Predictor forwards executed so far.
@@ -82,6 +121,19 @@ impl ExitScan {
     /// not).
     pub fn verify_calls(&self) -> u64 {
         self.verify_calls
+    }
+
+    /// Feedback events recorded since the last [`ExitScan::take_feedback`]
+    /// (one per predictor fire, in fire order).
+    pub fn feedback(&self) -> &[ExitFeedback] {
+        &self.feedback
+    }
+
+    /// Drains the recorded feedback events, leaving the buffer empty.
+    /// Controllers consume the stream through this call so no event is
+    /// observed twice.
+    pub fn take_feedback(&mut self) -> Vec<ExitFeedback> {
+        std::mem::take(&mut self.feedback)
     }
 }
 
@@ -175,6 +227,98 @@ mod tests {
         let out = scan.check(&mut model, &bank, &schedule, &h, &cands, 0, &mut meter);
         assert_eq!(out.map(|(t, _)| t), Some(global));
         assert_eq!(scan.verify_calls(), 1);
+    }
+
+    #[test]
+    fn feedback_accounts_for_every_fire() {
+        // accepts + rejects == predictor fires (== verify calls), with one
+        // event per fire carrying the score/threshold pair that fired.
+        let (mut model, mut bank, mut meter) = parts();
+        bank.layer_mut(0).set_threshold(0.0);
+        bank.layer_mut(1).set_threshold(0.0);
+        let schedule = ScheduleEngine::all_layers(4);
+        let h = prefill(&mut model, &[3], &mut meter);
+        let full = model.final_logits(&h, &mut meter);
+        let global = specee_tensor::ops::argmax(&full).unwrap() as TokenId;
+        let wrong: Vec<TokenId> = (0..8).filter(|&t| t != global).take(4).collect();
+        let good = [global, global ^ 1, global ^ 2, global ^ 3];
+
+        let mut scan = ExitScan::new();
+        scan.begin_token();
+        // Layer 0 fires and rejects (candidates miss the argmax), layer 1
+        // fires and accepts.
+        assert!(scan
+            .check(&mut model, &bank, &schedule, &h, &wrong, 0, &mut meter)
+            .is_none());
+        assert!(scan
+            .check(&mut model, &bank, &schedule, &h, &good, 1, &mut meter)
+            .is_some());
+
+        let fb = scan.feedback().to_vec();
+        let accepts = fb.iter().filter(|f| f.accepted).count() as u64;
+        let rejects = fb.iter().filter(|f| !f.accepted).count() as u64;
+        assert_eq!(accepts + rejects, scan.verify_calls());
+        assert_eq!((accepts, rejects), (1, 1));
+        assert_eq!(fb[0].layer, 0);
+        assert!(!fb[0].accepted);
+        assert_eq!(fb[1].layer, 1);
+        assert!(fb[1].accepted);
+        for f in &fb {
+            assert!(f.score > f.threshold, "events only exist for fires");
+        }
+        // Draining consumes the stream exactly once.
+        assert_eq!(scan.take_feedback().len(), 2);
+        assert!(scan.feedback().is_empty());
+        assert!(scan.take_feedback().is_empty());
+    }
+
+    #[test]
+    fn begin_token_discards_undrained_feedback() {
+        // No consumer attached: the buffer must stay bounded by one
+        // token's fires, not grow for the whole generation.
+        let (mut model, mut bank, mut meter) = parts();
+        bank.layer_mut(0).set_threshold(0.0);
+        let schedule = ScheduleEngine::all_layers(4);
+        let h = prefill(&mut model, &[3], &mut meter);
+        let mut scan = ExitScan::new();
+        for _ in 0..3 {
+            scan.begin_token();
+            let _ = scan.check(
+                &mut model,
+                &bank,
+                &schedule,
+                &h,
+                &[1, 2, 3, 4],
+                0,
+                &mut meter,
+            );
+            assert!(scan.feedback().len() <= 1, "buffer bounded per token");
+        }
+        assert_eq!(scan.verify_calls(), 3, "counters still accumulate");
+    }
+
+    #[test]
+    fn negative_prediction_emits_no_feedback() {
+        let (mut model, mut bank, mut meter) = parts();
+        bank.layer_mut(0).set_threshold(1.0); // sigmoid never exceeds 1
+        let schedule = ScheduleEngine::all_layers(4);
+        let h = prefill(&mut model, &[2], &mut meter);
+        let mut scan = ExitScan::new();
+        scan.begin_token();
+        assert!(scan
+            .check(
+                &mut model,
+                &bank,
+                &schedule,
+                &h,
+                &[1, 2, 3, 4],
+                0,
+                &mut meter
+            )
+            .is_none());
+        assert_eq!(scan.predictor_calls(), 1);
+        assert_eq!(scan.verify_calls(), 0);
+        assert!(scan.feedback().is_empty());
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod skip_layer;
 pub mod verify;
 
 pub use config::{SchedulingMode, SpecEeConfig};
-pub use engine::{DenseEngine, ExitScan, SpecEeEngine, SpeculativeEngine};
+pub use engine::{DenseEngine, ExitFeedback, ExitScan, SpecEeEngine, SpeculativeEngine};
 pub use features::{ExitFeatures, FeatureTracker};
 pub use mapping::{hyper_tokens, HyperToken, TreeExitState};
 pub use output::{agreement, GenOutput, RunStats};

@@ -129,9 +129,51 @@ mod tests {
     }
 
     #[test]
+    fn percentile_empty_is_zero_at_every_quantile() {
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[], q), 0.0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn percentile_single_element_is_that_element() {
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&[7.5], q), 7.5, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn percentile_extreme_quantiles_are_min_and_max() {
+        // q = 0 clamps to rank 1 (the minimum); q = 1 is the maximum —
+        // on any input ordering.
+        let v = [9.0, 2.0, 7.0, 2.0, 11.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 2.0);
+        assert_eq!(percentile(&v, 1.0), 11.0);
+    }
+
+    #[test]
+    fn percentile_sorts_unsorted_input() {
+        // Reversed, shuffled and sorted inputs must agree everywhere.
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let reversed = [7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        let shuffled = [4.0, 7.0, 1.0, 6.0, 3.0, 5.0, 2.0];
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let expect = percentile(&sorted, q);
+            assert_eq!(percentile(&reversed, q), expect, "reversed, q = {q}");
+            assert_eq!(percentile(&shuffled, q), expect, "shuffled, q = {q}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "quantile out of range")]
-    fn percentile_validates_q() {
+    fn percentile_validates_q_above_one() {
         let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_validates_negative_q() {
+        let _ = percentile(&[1.0], -0.01);
     }
 
     #[test]

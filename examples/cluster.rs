@@ -76,6 +76,7 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
             framework: FrameworkProfile::vllm(),
             cost: model_cfg().cost.expect("cost twin"),
         },
+        controller: specee::control::ControllerPolicy::Static,
     }
 }
 

@@ -13,8 +13,9 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use specee::batch::BatchedEngine;
+use specee::batch::{Admission, BatchedEngine};
 use specee::cluster::{Cluster, ClusterConfig, ClusterRequest, RouterPolicy};
+use specee::control::{ControllerPolicy, ControllerSummary};
 use specee::core::collect::{collect_training_data, train_bank};
 use specee::core::engine::{DenseEngine, SpecEeEngine};
 use specee::core::predictor::PredictorBank;
@@ -62,7 +63,9 @@ fn print_help() {
          COMMANDS:\n  \
            info       list model presets, dataset profiles and hardware targets\n  \
            generate   decode a prompt (--model 7b|13b|70b --dataset NAME --tokens N\n             \
-                      --engine dense|specee|calm --seed N)\n  \
+                      --engine dense|specee|calm --seed N\n             \
+                      --controller static|pid|bandit: run the specee engine at\n             \
+                      batch 1 with online exit-threshold control)\n  \
            train      offline predictor pipeline; prints per-layer accuracy\n             \
                       (--model, --dataset, --seed as above)\n  \
            tokenize   train a byte-level BPE vocabulary and encode TEXT (--vocab N)\n  \
@@ -70,7 +73,9 @@ fn print_help() {
                       --mode replay|live|cluster: replay prices recorded traces,\n             \
                       live runs the lock-step batched engine and prices measured\n             \
                       steps, cluster shards live decoding over --workers N threads\n             \
-                      routed by --router round-robin|shortest-queue|exit-aware)\n  \
+                      routed by --router round-robin|shortest-queue|exit-aware;\n             \
+                      --controller static|pid|bandit adapts exit thresholds\n             \
+                      online in live and cluster modes)\n  \
            help       this message"
     );
 }
@@ -243,6 +248,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             "unknown engine `{engine_name}` (dense, specee, calm)"
         ));
     }
+    let controller = parse_controller(&opts)?;
+    if controller.is_some() && engine_name != "specee" {
+        return Err("--controller requires --engine specee".to_string());
+    }
     if tokens == 0 {
         // The engines require a positive decode length; zero tokens is a
         // valid request with an empty completion.
@@ -255,6 +264,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
     let lm = pipe.lm();
     let prompt = lm.language().sample_sequence(5, 12, pipe.seed ^ 0x9e);
+    let mut controller_summary: Option<ControllerSummary> = None;
     let out: GenOutput = match engine_name {
         "dense" => DenseEngine::new(pipe.lm()).generate(&prompt, tokens),
         "specee" => {
@@ -262,7 +272,35 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             let config = SpecEeConfig::default();
             let schedule = config.build_schedule(pipe.cfg.n_layers, Some(&freqs));
             let draft = pipe.draft(&lm);
-            SpecEeEngine::new(pipe.lm(), draft, bank, schedule, config).generate(&prompt, tokens)
+            match controller {
+                None => SpecEeEngine::new(pipe.lm(), draft, bank, schedule, config)
+                    .generate(&prompt, tokens),
+                Some(policy) => {
+                    // Controlled decoding runs the same ExitScan dataflow
+                    // through a batch-1 BatchedEngine (structurally
+                    // parity-identical to the single-stream engine), which
+                    // closes the threshold loop after every token.
+                    let n_predictors = bank.len();
+                    let base = config.predictor.threshold;
+                    let mut engine =
+                        BatchedEngine::new(1, 16, pipe.cfg.n_layers, bank, schedule, config);
+                    engine.set_controller(policy.build(n_predictors, base));
+                    let out = match engine.admit(0, pipe.lm(), draft, &prompt, tokens) {
+                        Admission::Done(out) => out,
+                        Admission::Seated { .. } => engine.drain().remove(0),
+                    };
+                    controller_summary = engine.controller_summary();
+                    GenOutput {
+                        tokens: out.tokens,
+                        exit_layers: out.exit_layers,
+                        ce_sum: out.ce_sum,
+                        meter: engine.meter().clone(),
+                        predictor_calls: out.predictor_calls,
+                        verify_calls: out.verify_calls,
+                        rounds: 0,
+                    }
+                }
+            }
         }
         "calm" => {
             let mut calib = pipe.lm();
@@ -296,7 +334,36 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         "modelled tok/s: {:.2} @ A100/HuggingFace",
         cost.tokens_per_s()
     );
+    if let Some(summary) = &controller_summary {
+        println!("controller    : {}", controller_line(summary));
+    }
     Ok(())
+}
+
+/// Parses `--controller <policy>` (absent means no controller).
+fn parse_controller(opts: &HashMap<String, String>) -> Result<Option<ControllerPolicy>, String> {
+    match opts.get("controller") {
+        None => Ok(None),
+        Some(name) => ControllerPolicy::parse(name)
+            .map(Some)
+            .ok_or_else(|| format!("unknown controller `{name}` (static, pid, bandit)")),
+    }
+}
+
+/// One-line controller summary for CLI output.
+fn controller_line(summary: &ControllerSummary) -> String {
+    let false_exit = summary
+        .false_exit_rate()
+        .map(|r| format!(", false-exit {:.0}%", r * 100.0))
+        .unwrap_or_default();
+    format!(
+        "{} | mean threshold {:.3} | {} fires ({} accept / {} reject{false_exit})",
+        summary.policy,
+        summary.mean_threshold,
+        summary.accepts + summary.rejects,
+        summary.accepts,
+        summary.rejects,
+    )
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
@@ -387,6 +454,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if workers == 0 {
         return Err("--workers must be at least 1".to_string());
+    }
+    let controller = parse_controller(&opts)?.unwrap_or(ControllerPolicy::Static);
+    if mode == "replay" && controller != ControllerPolicy::Static {
+        return Err(
+            "--controller pid|bandit adapts thresholds from live verify outcomes; \
+             replay mode prices prerecorded traces (use --mode live or cluster)"
+                .to_string(),
+        );
     }
     let gen = 16usize;
 
@@ -500,6 +575,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                         framework: FrameworkProfile::vllm(),
                         cost,
                     },
+                    controller: controller.clone(),
                 },
                 router.build(),
                 &bank,
@@ -516,33 +592,59 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             let report = cluster.drain();
             for w in &report.workers {
+                let threshold = w
+                    .controller
+                    .as_ref()
+                    .map(|c| format!(" | thr {:.2}", c.mean_threshold))
+                    .unwrap_or_default();
                 println!(
                     "worker {} : {:>3} requests | {:>6} steps | makespan {:>6.0} ms | \
-                     observed depth {:>4.1}/{}{}",
+                     observed depth {:>4.1}/{}{}{}",
                     w.worker,
                     w.report.completions.len(),
                     w.report.steps,
                     w.report.makespan_s * 1e3,
                     w.observed_depth.unwrap_or(0.0),
                     pipe.cfg.n_layers,
+                    threshold,
                     w.panic
                         .as_deref()
                         .map(|m| format!(" | FAILED: {m}"))
                         .unwrap_or_default()
                 );
             }
+            if controller != ControllerPolicy::Static {
+                for w in &report.workers {
+                    if let Some(summary) = &w.controller {
+                        println!(
+                            "worker {} controller: {}",
+                            w.worker,
+                            controller_line(summary)
+                        );
+                    }
+                }
+            }
             report.stats()
         }
         _ => {
             // Live: admit requests into batched-engine slots and price the
-            // measured lock-step decode.
+            // measured lock-step decode, with the chosen controller
+            // closing the threshold loop after every step.
+            let n_predictors = bank.len();
+            let base = config.predictor.threshold;
             let mut engine =
                 BatchedEngine::new(batch, 16, pipe.cfg.n_layers, bank, schedule, config);
+            engine.set_controller(controller.build(n_predictors, base));
             let outcome = batcher.run_live(&requests, &mut engine, |_req| {
                 let lm = pipe.lm();
                 let draft = pipe.draft(&lm);
                 (lm, draft)
             });
+            if controller != ControllerPolicy::Static {
+                if let Some(summary) = engine.controller_summary() {
+                    println!("controller: {}", controller_line(&summary));
+                }
+            }
             outcome.report.stats()
         }
     };

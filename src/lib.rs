@@ -15,6 +15,7 @@
 
 pub use specee_batch as batch;
 pub use specee_cluster as cluster;
+pub use specee_control as control;
 pub use specee_core as core;
 pub use specee_draft as draft;
 pub use specee_metrics as metrics;
