@@ -1,9 +1,10 @@
 //! The lock-step batched decoding engine.
 
-use specee_control::{Controller, ControllerSummary};
+use specee_control::{ClassEvidence, ClassedController, ControllerSummary};
 use specee_core::engine::scan::{ExitFeedback, ExitScan};
 use specee_core::predictor::PredictorBank;
 use specee_core::scheduler::ScheduleEngine;
+use specee_core::traffic::{ClassMap, TrafficClass};
 use specee_core::SpecEeConfig;
 use specee_draft::SpeculativeSource;
 use specee_metrics::Meter;
@@ -15,6 +16,9 @@ use specee_tensor::ops;
 pub struct BatchedOutput {
     /// Caller-chosen sequence id (e.g. the serving request index).
     pub id: u64,
+    /// Traffic class the sequence was admitted under
+    /// ([`TrafficClass::DEFAULT`] for untagged traffic).
+    pub class: TrafficClass,
     /// Emitted tokens (the prefill token first).
     pub tokens: Vec<TokenId>,
     /// Decoder layers executed per emitted token.
@@ -90,6 +94,7 @@ impl BatchStep {
 
 struct SeqState<D> {
     id: u64,
+    class: TrafficClass,
     draft: D,
     schedule: ScheduleEngine,
     scan: ExitScan,
@@ -105,6 +110,7 @@ impl<D> SeqState<D> {
     fn into_output(self) -> BatchedOutput {
         BatchedOutput {
             id: self.id,
+            class: self.class,
             tokens: self.tokens,
             exit_layers: self.exit_layers,
             ce_sum: self.ce_sum,
@@ -141,8 +147,10 @@ impl<D> SeqState<D> {
 /// let config = SpecEeConfig { predictor: pcfg, ..SpecEeConfig::default() };
 /// let mut engine =
 ///     BatchedEngine::new(2, 16, 8, bank, ScheduleEngine::all_layers(8), config);
-/// // Optional: close the threshold loop with an online controller.
-/// engine.set_controller(ControllerPolicy::pid().build(7, 0.5));
+/// // Optional: close the threshold loop with an online controller
+/// // (state keyed by traffic class; untagged traffic uses the default
+/// // class).
+/// engine.set_controller(ControllerPolicy::pid().build_classed(7, 0.5));
 ///
 /// for id in 0..2u64 {
 ///     let lm = SyntheticLmBuilder::new(cfg.clone(), DatasetProfile::qa())
@@ -163,13 +171,22 @@ impl<D> SeqState<D> {
 pub struct BatchedEngine<M, D> {
     stack: BatchedStack<M>,
     seqs: Vec<Option<SeqState<D>>>,
+    /// The default class's predictor bank (the only bank untagged runs
+    /// ever touch — parity with the pre-class runtime is structural).
     bank: PredictorBank,
+    /// The bank's per-layer thresholds at construction: the pristine
+    /// base every new class bank starts from.
+    base_thresholds: Vec<f32>,
+    /// One bank per non-default traffic class, lazily cloned at the
+    /// first admission of the class so each class decodes under its own
+    /// operating point.
+    class_banks: ClassMap<PredictorBank>,
     schedule_template: ScheduleEngine,
     config: SpecEeConfig,
     n_layers: usize,
     meter: Meter,
     steps: u64,
-    controller: Option<Box<dyn Controller>>,
+    controller: Option<ClassedController>,
 }
 
 impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
@@ -196,10 +213,13 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             n_layers - 1,
             "one predictor per non-final layer"
         );
+        let base_thresholds = (0..bank.len()).map(|l| bank.layer(l).threshold()).collect();
         BatchedEngine {
             stack: BatchedStack::new(max_batch, page_size),
             seqs: (0..max_batch).map(|_| None).collect(),
             bank,
+            base_thresholds,
+            class_banks: ClassMap::new(),
             schedule_template: schedule,
             config,
             n_layers,
@@ -209,26 +229,73 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         }
     }
 
-    /// Attaches a closed-loop threshold controller. After every decode
-    /// step the engine feeds it each seated sequence's verifier
-    /// accept/reject events and emitted-token depths (in slot order, so
-    /// the trajectory is deterministic) and re-applies its thresholds to
-    /// the shared predictor bank — threshold changes take effect at the
-    /// next step boundary, never mid-scan. Attaching the `static` policy
-    /// is bit-identical to attaching none.
-    pub fn set_controller(&mut self, controller: Box<dyn Controller>) {
+    /// Attaches a traffic-class-keyed closed-loop threshold controller.
+    /// After every decode step the engine drains each seated sequence's
+    /// verifier accept/reject events and emitted-token depths **per
+    /// class in slot order** (classes ascend, slots ascend within a
+    /// class — a deterministic trajectory) and re-applies each class's
+    /// thresholds to that class's predictor bank — threshold changes
+    /// take effect at the next step boundary, never mid-scan. Attaching
+    /// the `static` policy is bit-identical to attaching none.
+    pub fn set_controller(&mut self, controller: ClassedController) {
         self.controller = Some(controller);
     }
 
-    /// The attached controller's state, if one is attached.
+    /// The attached controller's merged state, if one is attached.
     pub fn controller_summary(&self) -> Option<ControllerSummary> {
         self.controller.as_ref().map(|c| c.summary())
     }
 
-    /// The predictor bank the engine currently decodes with (thresholds
-    /// reflect any attached controller's latest operating point).
+    /// Per-class controller summaries (ascending class order), if a
+    /// controller is attached.
+    pub fn controller_class_summaries(&self) -> Option<Vec<(TrafficClass, ControllerSummary)>> {
+        self.controller.as_ref().map(|c| c.class_summaries())
+    }
+
+    /// The base threshold the attached controller's classes start from.
+    pub fn controller_base_threshold(&self) -> Option<f32> {
+        self.controller.as_ref().map(|c| c.base_threshold())
+    }
+
+    /// Drains the per-class evidence deltas the controller accumulated
+    /// since the last drain — the payload a cluster coordinator gossips
+    /// to sibling workers. Empty when no controller is attached.
+    pub fn take_gossip_evidence(&mut self) -> Vec<ClassEvidence> {
+        self.controller
+            .as_mut()
+            .map(ClassedController::drain_evidence)
+            .unwrap_or_default()
+    }
+
+    /// Absorbs merged remote evidence (cross-worker gossip) into the
+    /// controller and immediately re-applies every class's operating
+    /// point to its bank, so the update lands at this step boundary
+    /// instead of one step late. A no-op without a controller; the
+    /// static policy ignores evidence, so parity runs are untouched.
+    pub fn absorb_gossip(&mut self, evidence: &[ClassEvidence]) {
+        let Some(ctl) = self.controller.as_mut() else {
+            return;
+        };
+        for delta in evidence {
+            ctl.absorb(delta);
+        }
+        ctl.apply(TrafficClass::DEFAULT, &mut self.bank);
+        for (class, bank) in self.class_banks.iter_mut() {
+            ctl.apply(class, bank);
+        }
+    }
+
+    /// The predictor bank untagged (default-class) sequences decode with
+    /// (thresholds reflect any attached controller's latest operating
+    /// point).
     pub fn bank(&self) -> &PredictorBank {
         &self.bank
+    }
+
+    /// The predictor bank sequences of `class` decode with — the default
+    /// bank until the class's first admission clones its own.
+    pub fn class_bank(&self, class: TrafficClass) -> &PredictorBank {
+        self.class_banks.get(class).unwrap_or(&self.bank)
     }
 
     /// The batch cap.
@@ -267,19 +334,40 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         self.stack.pool()
     }
 
-    /// Admits a sequence: resets the model and draft, prefills the prompt
-    /// (producing the first token at full depth, as the single-stream
-    /// engines do), and seats it in a free slot. A `gen_len` of one
-    /// finishes immediately without occupying a slot.
+    /// Admits an untagged (default-class) sequence — see
+    /// [`BatchedEngine::admit_classed`].
+    pub fn admit(
+        &mut self,
+        id: u64,
+        model: M,
+        draft: D,
+        prompt: &[TokenId],
+        gen_len: usize,
+    ) -> Admission {
+        self.admit_classed(id, TrafficClass::DEFAULT, model, draft, prompt, gen_len)
+    }
+
+    /// Admits a sequence tagged with a traffic class: resets the model
+    /// and draft, prefills the prompt (producing the first token at full
+    /// depth, as the single-stream engines do), and seats it in a free
+    /// slot. A `gen_len` of one finishes immediately without occupying a
+    /// slot.
+    ///
+    /// The class keys the feedback plane: the sequence's exit scans run
+    /// against the class's own predictor bank (lazily cloned from the
+    /// base thresholds at the class's first admission), its feedback
+    /// events carry the class, and an attached controller steers the
+    /// class's thresholds independently of every other class's.
     ///
     /// # Panics
     ///
     /// Panics if no slot is free (check [`BatchedEngine::has_free_slot`]),
     /// `prompt` is empty, `gen_len` is zero, or the model's depth does not
     /// match the engine's.
-    pub fn admit(
+    pub fn admit_classed(
         &mut self,
         id: u64,
+        class: TrafficClass,
         mut model: M,
         mut draft: D,
         prompt: &[TokenId],
@@ -289,6 +377,7 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
         assert!(gen_len > 0, "gen_len must be positive");
         assert_eq!(model.config().n_layers, self.n_layers, "model depth");
+        self.ensure_class_bank(class);
         model.reset();
         draft.reset();
         let mut prefill_meter = Meter::new();
@@ -298,11 +387,14 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         let ce = f64::from(-ops::log_softmax(&logits)[t as usize]);
         self.meter.mark_token();
 
+        let mut scan = ExitScan::new();
+        scan.set_class(class);
         let seq = SeqState {
             id,
+            class,
             draft,
             schedule: self.schedule_template.clone(),
-            scan: ExitScan::new(),
+            scan,
             ctx: prompt.to_vec(),
             last: t,
             gen_len,
@@ -316,6 +408,28 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         let slot = self.stack.admit(model);
         self.seqs[slot] = Some(seq);
         Admission::Seated { slot }
+    }
+
+    /// Creates `class`'s predictor bank on first sight: a clone of the
+    /// default bank reset to the engine's base thresholds (the default
+    /// bank may already carry controller-moved values), then initialized
+    /// by the controller — a pinned base lands here, and an adaptive
+    /// policy (possibly gossip-warmed before any local traffic) applies
+    /// its current operating point. The default class keeps using the
+    /// primary bank, untouched at admission, so un-classed runs are
+    /// bit-identical to the pre-class runtime.
+    fn ensure_class_bank(&mut self, class: TrafficClass) {
+        if class.is_default() || self.class_banks.get(class).is_some() {
+            return;
+        }
+        let mut bank = self.bank.clone();
+        for (layer, &t) in self.base_thresholds.iter().enumerate() {
+            bank.layer_mut(layer).set_threshold(t);
+        }
+        if let Some(ctl) = self.controller.as_mut() {
+            ctl.init_class_bank(class, &mut bank);
+        }
+        self.class_banks.get_or_insert_with(class, || bank);
     }
 
     /// Runs one synchronized decode step: every seated sequence proposes
@@ -383,9 +497,12 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
                 let seq = self.seqs[slot].as_mut().expect("seated sequence");
                 let model = self.stack.model_mut(slot);
                 let h = hidden[slot].as_ref().expect("swept state");
+                // Thresholds resolve per sequence: each scan runs against
+                // its class's bank (the default bank for untagged slots).
+                let bank = self.class_banks.get(seq.class).unwrap_or(&self.bank);
                 if let Some((tok, full)) = seq.scan.check(
                     model,
-                    &self.bank,
+                    bank,
                     &seq.schedule,
                     h,
                     &cands[slot],
@@ -405,7 +522,10 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             }
         }
 
-        // Emit one token per sequence; retire the finished.
+        // Emit one token per sequence; retire the finished. Feedback is
+        // collected here in slot order and handed to the controller
+        // afterwards, grouped by class.
+        let mut drained: Vec<(TrafficClass, Vec<ExitFeedback>, usize)> = Vec::new();
         for slot in 0..max_batch {
             let Some(seq) = self.seqs[slot].as_mut() else {
                 continue;
@@ -430,25 +550,40 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             let (p0, v0) = scan_base[slot];
             report.predictor_calls += seq.scan.predictor_calls() - p0;
             report.lm_head_evals += seq.scan.verify_calls() - v0;
-            // Drain this sequence's verifier outcomes and feed the
-            // controller in slot order, closing the loop before the next
-            // step's scans run.
+            // Drain this sequence's verifier outcomes. The step report
+            // carries them in slot order; with a controller attached the
+            // events are additionally retained for the per-class feed
+            // below (without one, they move straight into the report).
             let feedback = seq.scan.take_feedback();
-            if let Some(ctl) = self.controller.as_mut() {
-                for event in &feedback {
-                    ctl.observe(event);
-                }
-                ctl.note_token(executed, self.n_layers);
+            if self.controller.is_some() {
+                report.feedback.extend(feedback.iter().copied());
+                drained.push((seq.class, feedback, executed));
+            } else {
+                report.feedback.extend(feedback);
             }
-            report.feedback.extend(feedback);
             if seq.tokens.len() >= seq.gen_len {
                 let seq = self.seqs[slot].take().expect("seated sequence");
                 let _ = self.stack.retire(slot);
                 report.finished.push(seq.into_output());
             }
         }
-        if let Some(ctl) = self.controller.as_ref() {
-            ctl.apply(&mut self.bank);
+        // Close the loop: feed the controller per class in slot order
+        // (classes ascend; the stable sort keeps slot order within each
+        // class), then push every class's operating point into its bank
+        // so threshold changes land at the step boundary, never
+        // mid-scan.
+        if let Some(ctl) = self.controller.as_mut() {
+            drained.sort_by_key(|(class, _, _)| *class);
+            for (class, feedback, executed) in &drained {
+                for event in feedback {
+                    ctl.observe(event);
+                }
+                ctl.note_token(*class, *executed, self.n_layers);
+            }
+            ctl.apply(TrafficClass::DEFAULT, &mut self.bank);
+            for (class, bank) in self.class_banks.iter_mut() {
+                ctl.apply(class, bank);
+            }
         }
         self.stack.sync_leases();
         self.meter.mark_host_step();
@@ -678,7 +813,7 @@ mod tests {
             if controlled {
                 let base = eng.bank().layer(0).threshold();
                 let n = eng.bank().len();
-                eng.set_controller(specee_control::ControllerPolicy::Static.build(n, base));
+                eng.set_controller(specee_control::ControllerPolicy::Static.build_classed(n, base));
             }
             for i in 0..2u64 {
                 let lm = build_lm(91);
@@ -705,7 +840,7 @@ mod tests {
         let mut eng = engine(2, 93);
         let base = eng.bank().layer(0).threshold();
         let n = eng.bank().len();
-        eng.set_controller(specee_control::ControllerPolicy::Static.build(n, base));
+        eng.set_controller(specee_control::ControllerPolicy::Static.build_classed(n, base));
         for i in 0..2u64 {
             let lm = build_lm(93);
             let draft = build_draft(&lm, 93 ^ i);
@@ -743,7 +878,7 @@ mod tests {
         let n = eng.bank().len();
         // Start absurdly strict: the PID loop's idle decay plus feedback
         // must walk thresholds down, changing the bank between steps.
-        eng.set_controller(specee_control::ControllerPolicy::pid().build(n, 0.95));
+        eng.set_controller(specee_control::ControllerPolicy::pid().build_classed(n, 0.95));
         let lm = build_lm(95);
         let draft = build_draft(&lm, 95);
         let _ = eng.admit(0, lm, draft, &[4, 2, 9], 24);
@@ -760,6 +895,117 @@ mod tests {
         let summary = eng.controller_summary().expect("controller");
         assert_eq!(summary.policy, "pid");
         assert_eq!(summary.tokens, 23, "every decode-step token observed");
+    }
+
+    #[test]
+    fn classed_admission_without_controller_matches_untagged() {
+        // A class tag alone changes keys, never values: with no
+        // controller attached, the class bank is a clone at base
+        // thresholds, so a tagged run decodes exactly like an untagged
+        // one.
+        let run = |class: Option<TrafficClass>| {
+            let mut eng = engine(2, 97);
+            for i in 0..2u64 {
+                let lm = build_lm(97);
+                let draft = build_draft(&lm, 97 ^ i);
+                match class {
+                    Some(c) => {
+                        let _ = eng.admit_classed(i, c, lm, draft, &[4 + i as TokenId, 2, 9], 12);
+                    }
+                    None => {
+                        let _ = eng.admit(i, lm, draft, &[4 + i as TokenId, 2, 9], 12);
+                    }
+                }
+            }
+            eng.drain()
+        };
+        let (untagged, tagged) = (run(None), run(Some(TrafficClass::new(3))));
+        for (a, b) in untagged.iter().zip(&tagged) {
+            assert_eq!(a.tokens, b.tokens, "id {}", a.id);
+            assert_eq!(a.exit_layers, b.exit_layers, "id {}", a.id);
+            assert_eq!(a.predictor_calls, b.predictor_calls, "id {}", a.id);
+        }
+        assert!(untagged.iter().all(|o| o.class.is_default()));
+        assert!(tagged.iter().all(|o| o.class == TrafficClass::new(3)));
+    }
+
+    #[test]
+    fn per_class_banks_isolate_operating_points() {
+        // Pin one class's static operating point to "exits off" while the
+        // other keeps the trained base: co-batched sequences of the two
+        // classes must decode under different thresholds in the same
+        // engine, and feedback events must carry their class.
+        let mut eng = engine(2, 99);
+        let n = eng.bank().len();
+        let base = eng.bank().layer(0).threshold();
+        let (off, open) = (TrafficClass::new(1), TrafficClass::new(2));
+        let mut ctl = specee_control::ControllerPolicy::Static.build_classed(n, base);
+        ctl.pin_class_base(off, 1.0); // no sigmoid score exceeds 1.0
+        eng.set_controller(ctl);
+        for (i, class) in [(0u64, off), (1u64, open)] {
+            let lm = build_lm(99);
+            let draft = build_draft(&lm, 99 ^ i);
+            let _ = eng.admit_classed(i, class, lm, draft, &[4 + i as TokenId, 2, 9], 12);
+        }
+        assert_eq!(eng.class_bank(off).layer(0).threshold(), 1.0);
+        assert_eq!(eng.class_bank(open).layer(0).threshold(), base);
+        let mut feedback = Vec::new();
+        let mut outputs = Vec::new();
+        while eng.occupancy() > 0 {
+            let step = eng.step();
+            feedback.extend(step.feedback);
+            outputs.extend(step.finished);
+        }
+        outputs.sort_by_key(|o| o.id);
+        assert!(
+            outputs[0].exit_layers.iter().all(|&l| l == 12),
+            "exits-off class must run full depth: {:?}",
+            outputs[0].exit_layers
+        );
+        assert!(
+            outputs[1].exit_layers.iter().any(|&l| l < 12),
+            "open class must still exit early"
+        );
+        assert!(!feedback.is_empty());
+        assert!(
+            feedback.iter().all(|f| f.class == open),
+            "only the open class fires"
+        );
+        let summaries = eng.controller_class_summaries().expect("controller");
+        assert_eq!(
+            summaries.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![off, open]
+        );
+    }
+
+    #[test]
+    fn absorbed_gossip_moves_class_thresholds_at_the_boundary() {
+        // Remote rejection-heavy evidence for a class this engine never
+        // served must warm the class: the bank created at its first
+        // admission starts from the gossip-tightened operating point.
+        let mut eng = engine(2, 95);
+        let n = eng.bank().len();
+        eng.set_controller(specee_control::ControllerPolicy::pid().build_classed(n, 0.5));
+        let c = TrafficClass::new(2);
+        let mut evidence = specee_control::ClassEvidence::empty(c, n, 12);
+        evidence.layer_rejects[3] = 12;
+        evidence.tokens = 12;
+        evidence.executed_layers = 12 * 5;
+        evidence.mean_threshold = 0.5;
+        for _ in 0..6 {
+            eng.absorb_gossip(&[evidence.clone()]);
+        }
+        let lm = build_lm(95);
+        let draft = build_draft(&lm, 95);
+        let _ = eng.admit_classed(0, c, lm, draft, &[4, 2, 9], 4);
+        assert!(
+            eng.class_bank(c).layer(3).threshold() > 0.5,
+            "gossip-warmed class bank starts tightened: {}",
+            eng.class_bank(c).layer(3).threshold()
+        );
+        // The default bank's layer-3 loop was not touched by class-2
+        // evidence.
+        assert_eq!(eng.bank().layer(3).threshold(), 0.5);
     }
 
     #[test]

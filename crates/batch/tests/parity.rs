@@ -184,7 +184,7 @@ fn static_controller_batch_one_matches_single_stream() {
         );
         engine.set_controller(
             specee_control::ControllerPolicy::Static
-                .build(parts.0.len(), parts.2.predictor.threshold),
+                .build_classed(parts.0.len(), parts.2.predictor.threshold),
         );
         let lm = build_lm(seed);
         let draft = build_draft(&lm, draft_seed);

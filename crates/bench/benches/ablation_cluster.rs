@@ -168,6 +168,7 @@ impl Harness {
                 admission: AdmissionPolicy::Fcfs,
                 batcher: self.batcher_config(max_batch),
                 controller: specee_control::ControllerPolicy::Static,
+                gossip: true,
             },
             policy.build(),
             &bank,

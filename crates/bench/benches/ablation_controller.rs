@@ -213,7 +213,7 @@ fn run_stream(
         h.config.clone(),
     );
     if let Some(p) = policy {
-        engine.set_controller(p.build(n_predictors, base));
+        engine.set_controller(p.build_classed(n_predictors, base));
     }
     let debug = std::env::var("SPECEE_CONTROLLER_DEBUG").is_ok();
     let (mut agr_num, mut agr_den) = (0.0f64, 0.0f64);

@@ -4,7 +4,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use specee_batch::BatchedEngine;
-use specee_control::ControllerPolicy;
+use specee_control::{ClassEvidence, ControllerPolicy};
 use specee_core::predictor::PredictorBank;
 use specee_core::{ScheduleEngine, SpecEeConfig};
 use specee_draft::SpeculativeSource;
@@ -32,12 +32,26 @@ pub struct ClusterConfig {
     /// Per-worker capacity and pricing (`max_batch` is *per worker*).
     pub batcher: BatcherConfig,
     /// Exit-threshold control policy. Every worker builds its *own*
-    /// controller from this ([`ControllerPolicy::build_for_worker`]) and
-    /// adapts it from its local engine's verifier feedback inside the
+    /// traffic-class-keyed controller from this
+    /// ([`ControllerPolicy::build_classed_for_worker`], with
+    /// `(worker, class)`-decorrelated bandit seeds) and adapts it from
+    /// its local engine's per-class verifier feedback inside the
     /// deterministic serving loop — controller state therefore rides the
     /// arrival-frontier protocol and runs stay reproducible.
     /// [`ControllerPolicy::Static`] is today's fixed-threshold behavior.
     pub controller: ControllerPolicy,
+    /// Cross-worker controller gossip. When `true`, every arrival
+    /// frontier the coordinator collects each worker's matured per-class
+    /// evidence deltas with its snapshot and broadcasts to each worker
+    /// the *other* workers' deltas, per reporter in worker-index order
+    /// (deltas are deliberately not averaged across reporters — see
+    /// the broadcast path's docs) — so drift observed by worker 0 warms
+    /// worker 3's controller before its first request of that class,
+    /// instead of being re-learned from scratch. Gossip rides the
+    /// arrival-frontier protocol (collection and broadcast happen only
+    /// at sync points), so adaptive runs stay bit-identical across
+    /// executions; the static policy ignores evidence entirely.
+    pub gossip: bool,
 }
 
 struct WorkerHandle {
@@ -92,6 +106,7 @@ struct WorkerHandle {
 ///         cost: CostDims { n_layers, ..CostDims::llama2_7b() },
 ///     },
 ///     controller: ControllerPolicy::pid(), // per-worker adaptive thresholds
+///     gossip: true,                        // share per-class drift across workers
 /// };
 /// let model_cfg = cfg.clone();
 /// let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
@@ -125,6 +140,7 @@ pub struct Cluster<M: LayeredLm, D: SpeculativeSource> {
     workers: Vec<WorkerHandle>,
     router: Box<dyn Router>,
     snapshots: Vec<WorkerSnapshot>,
+    gossip: bool,
     last_arrival: f64,
     unroutable: Vec<u64>,
     _seq: std::marker::PhantomData<(M, D)>,
@@ -168,7 +184,7 @@ where
                 schedule.clone(),
                 spec_config.clone(),
             );
-            engine.set_controller(config.controller.build_for_worker(
+            engine.set_controller(config.controller.build_classed_for_worker(
                 bank.len(),
                 spec_config.predictor.threshold,
                 id,
@@ -198,6 +214,7 @@ where
             workers,
             router,
             snapshots,
+            gossip: config.gossip,
             last_arrival: f64::NEG_INFINITY,
             unroutable: Vec::new(),
             _seq: std::marker::PhantomData,
@@ -268,10 +285,14 @@ where
         false
     }
 
-    /// Synchronizes every live worker to the arrival frontier `t` and
-    /// refreshes the routing snapshots. All workers advance their
-    /// simulated clocks concurrently (this is where the data-parallel
-    /// decoding actually happens).
+    /// Synchronizes every live worker to the arrival frontier `t`,
+    /// refreshes the routing snapshots, and — when gossip is enabled —
+    /// broadcasts each worker the other workers' per-class evidence
+    /// deltas. All workers advance their simulated clocks concurrently
+    /// (this is where the data-parallel decoding actually happens); the
+    /// broadcast walks reporters in worker-index order (each reporter's
+    /// deltas already ascend by class), so the payload is a pure
+    /// function of the workload.
     fn sync_to(&mut self, t: f64) {
         for w in 0..self.workers.len() {
             if self.workers[w].dead {
@@ -281,13 +302,55 @@ where
                 self.mark_dead(w);
             }
         }
-        for w in 0..self.workers.len() {
+        let mut evidence: Vec<Vec<ClassEvidence>> = vec![Vec::new(); self.workers.len()];
+        for (w, slot) in evidence.iter_mut().enumerate() {
             if self.workers[w].dead {
                 continue;
             }
             match self.workers[w].rx.recv() {
-                Ok(WorkerReply::Synced(snapshot)) => self.snapshots[w] = snapshot,
-                _ => self.mark_dead(w),
+                Ok(WorkerReply::Synced(snapshot, deltas)) => {
+                    self.snapshots[w] = snapshot;
+                    *slot = deltas;
+                }
+                _ => {
+                    self.workers[w].dead = true;
+                    self.snapshots[w].failed = true;
+                }
+            }
+        }
+        if self.gossip && self.workers.len() > 1 {
+            self.broadcast_gossip(&evidence);
+        }
+    }
+
+    /// Sends each live worker the evidence of every *other* worker (its
+    /// own observations are excluded — it has already consumed them
+    /// locally), as per-reporter deltas in worker-index order. Deltas
+    /// are deliberately **not** averaged across reporters: a delta's
+    /// reward was earned under its reporter's operating point, and a
+    /// bandit credits the arm nearest that point — averaging two
+    /// reporters' thresholds (say one parked on the 1.0 off-arm and one
+    /// exploring 0.5) would attribute both workers' outcomes to an arm
+    /// neither played. Per-class aggregation happens where it is sound:
+    /// inside each reporter's window ([`ClassEvidence`] counters) and in
+    /// the receiving controller's posterior. Skips workers with nothing
+    /// to learn.
+    fn broadcast_gossip(&mut self, evidence: &[Vec<ClassEvidence>]) {
+        for w in 0..evidence.len() {
+            if self.workers[w].dead {
+                continue;
+            }
+            let payload: Vec<ClassEvidence> = evidence
+                .iter()
+                .enumerate()
+                .filter(|(v, _)| *v != w)
+                .flat_map(|(_, deltas)| deltas.iter().cloned())
+                .collect();
+            if payload.is_empty() {
+                continue;
+            }
+            if self.workers[w].tx.send(WorkerMsg::Gossip(payload)).is_err() {
+                self.mark_dead(w);
             }
         }
     }
@@ -311,7 +374,7 @@ where
                 loop {
                     match handle.rx.recv() {
                         Ok(WorkerReply::Done(report)) => break Some(report),
-                        Ok(WorkerReply::Synced(_)) => continue,
+                        Ok(WorkerReply::Synced(..)) => continue,
                         Err(_) => break None,
                     }
                 }
@@ -347,5 +410,6 @@ fn dead_worker_report(worker: usize, assigned: &[u64]) -> WorkerReport {
         failed: assigned.to_vec(),
         panic: Some("worker thread died without reporting".to_string()),
         controller: None,
+        classes: Vec::new(),
     }
 }

@@ -74,6 +74,7 @@
 //!         cost: CostDims { n_layers, ..CostDims::llama2_7b() },
 //!     },
 //!     controller: ControllerPolicy::Static,
+//!     gossip: true,
 //! };
 //! let model_cfg = cfg.clone();
 //! let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(

@@ -1,8 +1,9 @@
 //! Per-worker and aggregate cluster reporting.
 
 use specee_batch::BatchedOutput;
+use specee_core::traffic::ClassMap;
 use specee_serve::batcher::ServeReport;
-use specee_serve::ServeStats;
+use specee_serve::{ClassStats, ServeStats};
 
 use crate::worker::WorkerReport;
 
@@ -104,6 +105,22 @@ impl ClusterReport {
         }
         ids.sort_unstable();
         ids
+    }
+
+    /// Cluster-wide per-traffic-class breakdown (ascending class order):
+    /// each worker's [`ClassStats`] rows merged exactly — counts and
+    /// layer sums add, controller operating points merge token-weighted.
+    /// Empty when no request carried a class and no controller ran.
+    pub fn class_breakdown(&self) -> Vec<ClassStats> {
+        let mut merged: ClassMap<ClassStats> = ClassMap::new();
+        for worker in &self.workers {
+            for row in &worker.classes {
+                merged
+                    .get_or_insert_with(row.class, || ClassStats::empty(row.class))
+                    .merge(row);
+            }
+        }
+        merged.iter().map(|(_, row)| row.clone()).collect()
     }
 
     /// Mean observed exit depth (executed layers per decode token)

@@ -1,5 +1,6 @@
 //! Cluster-level requests: a serving request plus routing metadata.
 
+use specee_core::TrafficClass;
 use specee_serve::ServeRequest;
 
 /// One request entering the cluster's shared admission queue.
@@ -9,6 +10,11 @@ pub struct ClusterRequest {
     /// arrival time). Ids must be unique across a run; submissions must
     /// be ordered by arrival time.
     pub request: ServeRequest,
+    /// Explicit traffic class, when the caller tags one (tenant, prompt
+    /// domain, …). When absent, the class is derived from `exit_hint` at
+    /// admission ([`ClusterRequest::traffic_class`]); hint-less,
+    /// class-less requests land in [`TrafficClass::DEFAULT`].
+    pub class: Option<TrafficClass>,
     /// Predicted mean exit depth in layers, when the caller has one —
     /// e.g. the expected exit of the trained predictor schedule on this
     /// request's traffic class. Consumed by the exit-aware router;
@@ -22,12 +28,35 @@ pub struct ClusterRequest {
 }
 
 impl ClusterRequest {
-    /// Wraps a serving request with no hint and no deadline.
+    /// Wraps a serving request with no class, no hint and no deadline.
     pub fn new(request: ServeRequest) -> Self {
         ClusterRequest {
             request,
+            class: None,
             exit_hint: None,
             deadline_s: None,
+        }
+    }
+
+    /// Sets an explicit traffic class (overrides hint derivation).
+    pub fn with_class(mut self, class: TrafficClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// The traffic class this request is admitted under on an
+    /// `n_layers`-deep deployment: the explicit class when tagged,
+    /// otherwise the exit hint's depth band
+    /// ([`TrafficClass::from_exit_depth`]), otherwise the default class.
+    /// Workers and routers call this with the same `n_layers`, so both
+    /// ends of the feedback plane agree on the key.
+    pub fn traffic_class(&self, n_layers: usize) -> TrafficClass {
+        if let Some(class) = self.class {
+            return class;
+        }
+        match self.exit_hint {
+            Some(hint) => TrafficClass::from_exit_depth(hint, n_layers),
+            None => TrafficClass::DEFAULT,
         }
     }
 
@@ -47,5 +76,31 @@ impl ClusterRequest {
     pub fn with_deadline(mut self, deadline_s: f64) -> Self {
         self.deadline_s = Some(deadline_s);
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> ClusterRequest {
+        ClusterRequest::new(ServeRequest {
+            id: 0,
+            prompt: vec![1, 2],
+            gen_len: 4,
+            arrival_s: 0.0,
+        })
+    }
+
+    #[test]
+    fn class_resolution_prefers_explicit_then_hint_then_default() {
+        assert!(req().traffic_class(32).is_default(), "no hint, no class");
+        let hinted = req().with_exit_hint(3.0);
+        assert_eq!(
+            hinted.traffic_class(32),
+            TrafficClass::from_exit_depth(3.0, 32)
+        );
+        let tagged = req().with_exit_hint(3.0).with_class(TrafficClass::new(9));
+        assert_eq!(tagged.traffic_class(32), TrafficClass::new(9));
     }
 }

@@ -7,6 +7,8 @@
 //! scheduling. Policies are therefore reproducible bit-for-bit and safe
 //! to assert against in benches.
 
+use specee_core::TrafficClass;
+
 use crate::request::ClusterRequest;
 
 /// A worker's state at a synchronization point, as the router sees it.
@@ -43,11 +45,32 @@ pub struct WorkerSnapshot {
     /// tightening threshold as a congestion/accuracy signal; reports use
     /// it to watch per-worker adaptation.
     pub mean_threshold: Option<f64>,
+    /// Base threshold the worker's controller classes start from
+    /// (`None` without a controller) — the reference point against which
+    /// a per-class threshold reads as "tightened".
+    pub base_threshold: Option<f64>,
+    /// Per-traffic-class mean thresholds of the worker's controller,
+    /// ascending class order (empty without a controller or before any
+    /// class has state). A class the controller has tightened toward 1.0
+    /// effectively decodes at full depth on this worker — the
+    /// [`ExitAware`] router prices that in.
+    pub class_thresholds: Vec<(TrafficClass, f64)>,
     /// Requests the worker has completed.
     pub completed: usize,
     /// Whether the worker has failed (a request panicked on it); failed
     /// workers must not be routed to.
     pub failed: bool,
+}
+
+impl WorkerSnapshot {
+    /// The worker controller's mean threshold for `class`, if that class
+    /// has state on this worker.
+    pub fn class_threshold(&self, class: TrafficClass) -> Option<f64> {
+        self.class_thresholds
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, t)| *t)
+    }
 }
 
 /// Picks a worker for each submitted request.
@@ -201,6 +224,16 @@ impl Router for ShortestQueue {
 /// greedy optimum, and the small `load_weight` times the depth-weighted
 /// queue breaks ties toward idle workers and keeps sustained one-class
 /// traffic from piling onto a single worker.
+///
+/// The score is **controller-aware**: `depth_req` is the request's exit
+/// hint *as this worker would actually decode it*. A worker whose
+/// controller has tightened the request's traffic class above the base
+/// threshold exits less, so the hint is interpolated toward full depth
+/// by the tightening fraction `(thr − base) / (1 − base)` — a fully
+/// tightened class (threshold at 1.0, exits off) is costed at
+/// `n_layers` on that worker no matter how shallow the hint. Workers
+/// whose controllers have loosened, or that carry no state for the
+/// class, price the hint as-is.
 #[derive(Debug)]
 pub struct ExitAware {
     /// Weight of the depth-weighted queue term relative to the marginal
@@ -233,8 +266,24 @@ impl Router for ExitAware {
 }
 
 impl ExitAware {
-    fn score(&self, req: &ClusterRequest, w: &WorkerSnapshot) -> f64 {
+    /// The depth the request would *actually* decode at on this worker:
+    /// the exit hint, pushed toward full depth by however much the
+    /// worker's controller has tightened the request's class.
+    fn effective_depth(&self, req: &ClusterRequest, w: &WorkerSnapshot) -> f64 {
         let depth = req.exit_hint.unwrap_or(w.n_layers as f64);
+        let class = req.traffic_class(w.n_layers);
+        let (Some(thr), Some(base)) = (w.class_threshold(class), w.base_threshold) else {
+            return depth;
+        };
+        if thr <= base || base >= 1.0 {
+            return depth;
+        }
+        let tightened = ((thr - base) / (1.0 - base)).clamp(0.0, 1.0);
+        depth + tightened * (w.n_layers as f64 - depth)
+    }
+
+    fn score(&self, req: &ClusterRequest, w: &WorkerSnapshot) -> f64 {
+        let depth = self.effective_depth(req, w);
         let gen = req.request.gen_len as f64;
         let tokens = w.backlog_tokens as f64;
         let current = w.max_depth.unwrap_or(0.0);
@@ -261,6 +310,8 @@ mod tests {
             max_depth: depth,
             observed_depth: None,
             mean_threshold: None,
+            base_threshold: None,
+            class_thresholds: Vec::new(),
             completed: 0,
             failed: false,
         }
@@ -274,6 +325,7 @@ mod tests {
                 gen_len,
                 arrival_s: 0.0,
             },
+            class: None,
             exit_hint: hint,
             deadline_s: None,
         }
@@ -322,6 +374,41 @@ mod tests {
         // An idle worker has no residents to straggle: zero penalty.
         let fresh = vec![snap(0, 64.0, Some(4.0)), snap(1, 0.0, None)];
         assert_eq!(ea.route(&req(4, 8, Some(4.0)), &fresh), 1);
+    }
+
+    #[test]
+    fn exit_aware_costs_controller_tightened_workers_as_deep() {
+        let mut ea = ExitAware::default();
+        // Two otherwise identical shallow workers (depth 4, equal load),
+        // but worker 0's controller has tightened the request's class
+        // (threshold 0.95 over a 0.5 base): the request would decode at
+        // nearly full depth there, so exit-aware must pick worker 1 even
+        // though plain depth affinity ties.
+        let shallow = req(0, 8, Some(4.0));
+        let class = shallow.traffic_class(32);
+        let mut tightened = snap(0, 240.0, Some(4.0));
+        tightened.base_threshold = Some(0.5);
+        tightened.class_thresholds = vec![(class, 0.95)];
+        let mut open = snap(1, 240.0, Some(4.0));
+        open.base_threshold = Some(0.5);
+        open.class_thresholds = vec![(class, 0.5)];
+        let workers = vec![tightened.clone(), open.clone()];
+        assert_eq!(ea.route(&shallow, &workers), 1);
+
+        // Effective depth interpolates: fully tightened (1.0) is costed
+        // at full depth, the base threshold leaves the hint alone, and a
+        // class without state on the worker is also left alone.
+        let mut off = tightened.clone();
+        off.class_thresholds = vec![(class, 1.0)];
+        assert_eq!(ea.effective_depth(&shallow, &off), 32.0);
+        assert_eq!(ea.effective_depth(&shallow, &open), 4.0);
+        let mut stateless = tightened.clone();
+        stateless.class_thresholds = vec![(TrafficClass::new(99), 0.95)];
+        assert_eq!(ea.effective_depth(&shallow, &stateless), 4.0);
+        // A loosened controller never shrinks the hint below itself.
+        let mut loosened = tightened.clone();
+        loosened.class_thresholds = vec![(class, 0.2)];
+        assert_eq!(ea.effective_depth(&shallow, &loosened), 4.0);
     }
 
     #[test]

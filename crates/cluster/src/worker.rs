@@ -31,13 +31,14 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 use specee_batch::{Admission, BatchedEngine, BatchedOutput};
-use specee_control::ControllerSummary;
+use specee_control::{ClassEvidence, ControllerSummary};
+use specee_core::traffic::ClassMap;
 use specee_draft::SpeculativeSource;
 use specee_model::LayeredLm;
 use specee_serve::batcher::ServeReport;
 use specee_serve::cost::{StepCostModel, StepSpec};
 use specee_serve::request::Completion;
-use specee_serve::AdmissionPolicy;
+use specee_serve::{AdmissionPolicy, ClassStats};
 
 use crate::request::ClusterRequest;
 use crate::router::WorkerSnapshot;
@@ -53,6 +54,10 @@ pub(crate) enum WorkerMsg {
     Submit(ClusterRequest),
     /// Advance the simulated clock to the arrival frontier and snapshot.
     SyncTo(f64),
+    /// The *other* workers' per-class evidence deltas (cross-worker
+    /// controller gossip; one delta per reporter and class, in
+    /// worker-index order), to absorb at the current loop boundary.
+    Gossip(Vec<ClassEvidence>),
     /// Best-effort cancellation of a routed request by id.
     Cancel(u64),
     /// No more requests: run to completion and report.
@@ -61,8 +66,11 @@ pub(crate) enum WorkerMsg {
 
 /// Worker → coordinator replies.
 pub(crate) enum WorkerReply {
-    /// Response to [`WorkerMsg::SyncTo`].
-    Synced(WorkerSnapshot),
+    /// Response to [`WorkerMsg::SyncTo`]: the routing snapshot plus the
+    /// per-class evidence deltas this worker's controller accumulated
+    /// since the previous sync (raw material of the coordinator's
+    /// gossip merge).
+    Synced(WorkerSnapshot, Vec<ClassEvidence>),
     /// Response to [`WorkerMsg::Drain`]; the worker thread exits after.
     Done(WorkerReport),
 }
@@ -97,8 +105,13 @@ pub struct WorkerReport {
     /// The panic message that failed the worker, if any.
     pub panic: Option<String>,
     /// Final state of the worker's exit-threshold controller (operating
-    /// point plus its observed accept/reject stream).
+    /// point plus its observed accept/reject stream), merged across
+    /// classes.
     pub controller: Option<ControllerSummary>,
+    /// Per-traffic-class breakdown (ascending class order): requests,
+    /// decode tokens, executed-layer sums and the class's controller
+    /// operating point.
+    pub classes: Vec<ClassStats>,
 }
 
 struct ActiveSeq {
@@ -193,8 +206,30 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                 }
                 WorkerMsg::SyncTo(frontier) => {
                     self.advance_contained(frontier);
-                    if tx.send(WorkerReply::Synced(self.snapshot())).is_err() {
+                    // Drain the evidence window at the boundary the loop
+                    // is paused on — a deterministic point — so the
+                    // coordinator's merge is a pure function of the
+                    // workload. A failed worker gossips nothing.
+                    let evidence = if self.panic.is_none() {
+                        self.engine.take_gossip_evidence()
+                    } else {
+                        Vec::new()
+                    };
+                    if tx
+                        .send(WorkerReply::Synced(self.snapshot(), evidence))
+                        .is_err()
+                    {
                         return;
+                    }
+                }
+                WorkerMsg::Gossip(evidence) => {
+                    if self.panic.is_none() {
+                        let caught =
+                            catch_unwind(AssertUnwindSafe(|| self.engine.absorb_gossip(&evidence)));
+                        if let Err(payload) = caught {
+                            self.panic = Some(panic_message(payload.as_ref()));
+                            self.fail_outstanding();
+                        }
                     }
                 }
                 WorkerMsg::Cancel(id) => self.cancel(id),
@@ -305,6 +340,10 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
         self.current_admission = Some(id);
         self.admitted_meta
             .push((id, req.request.arrival_s, self.sim_now));
+        // The class is resolved once, here at admission — explicit tag,
+        // else exit-hint depth band — and keys the engine's feedback
+        // plane for the sequence's whole lifetime.
+        let class = req.traffic_class(self.n_layers);
         if req.request.gen_len == 0 {
             self.completions.push(Completion {
                 id,
@@ -316,6 +355,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             // Keep one output per request so callers can zip by id.
             self.outputs.push(BatchedOutput {
                 id,
+                class,
                 tokens: Vec::new(),
                 exit_layers: Vec::new(),
                 ce_sum: 0.0,
@@ -326,10 +366,14 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             return;
         }
         let (model, draft) = (self.make_seq)(&req);
-        match self
-            .engine
-            .admit(id, model, draft, &req.request.prompt, req.request.gen_len)
-        {
+        match self.engine.admit_classed(
+            id,
+            class,
+            model,
+            draft,
+            &req.request.prompt,
+            req.request.gen_len,
+        ) {
             Admission::Done(out) => {
                 self.completions.push(Completion {
                     id,
@@ -465,15 +509,49 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             max_depth: (residents > 0).then_some(max_depth),
             observed_depth: (self.token_sum > 0).then(|| self.layer_sum / self.token_sum as f64),
             mean_threshold: self.engine.controller_summary().map(|s| s.mean_threshold),
+            base_threshold: self.engine.controller_base_threshold().map(f64::from),
+            class_thresholds: self
+                .engine
+                .controller_class_summaries()
+                .map(|summaries| {
+                    summaries
+                        .into_iter()
+                        .map(|(class, s)| (class, s.mean_threshold))
+                        .collect()
+                })
+                .unwrap_or_default(),
             completed: self.completions.len(),
             failed: self.panic.is_some(),
         }
+    }
+
+    /// Per-class rows of everything this worker decoded: one row per
+    /// class seen in outputs or controller state, counts and layer sums
+    /// exact, the operating point from the class's controller.
+    fn class_rows(&self) -> Vec<ClassStats> {
+        let mut rows: ClassMap<ClassStats> = ClassMap::new();
+        for out in &self.outputs {
+            let row = rows.get_or_insert_with(out.class, || ClassStats::empty(out.class));
+            row.requests += 1;
+            row.tokens += out.exit_layers.len().saturating_sub(1) as u64;
+            // The prefill token always runs full depth and is excluded
+            // from decode-token depth, matching `observed_depth`.
+            row.layer_sum += out.exit_layers.iter().skip(1).sum::<usize>() as f64;
+        }
+        if let Some(summaries) = self.engine.controller_class_summaries() {
+            for (class, summary) in summaries {
+                let row = rows.get_or_insert_with(class, || ClassStats::empty(class));
+                row.mean_threshold = Some(summary.mean_threshold);
+            }
+        }
+        rows.iter().map(|(_, row)| row.clone()).collect()
     }
 
     fn into_report(mut self) -> WorkerReport {
         self.completions.sort_by_key(|c| c.id);
         self.outputs.sort_by_key(|o| o.id);
         let controller = self.engine.controller_summary();
+        let classes = self.class_rows();
         WorkerReport {
             worker: self.id,
             report: ServeReport {
@@ -502,6 +580,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             failed: self.lost,
             panic: self.panic,
             controller,
+            classes,
         }
     }
 }

@@ -51,6 +51,7 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
         admission: AdmissionPolicy::Fcfs,
         batcher: batcher_config(max_batch),
         controller: specee_control::ControllerPolicy::Static,
+        gossip: true,
     }
 }
 
@@ -520,6 +521,163 @@ fn exit_aware_routing_segregates_skewed_traffic() {
     // Determinism: re-routing the same workload reproduces the decisions.
     let (_, again) = route_all(RouterPolicy::ExitAware);
     assert_eq!(again, ea_assignments);
+}
+
+/// Cross-worker gossip actually transfers per-class controller state:
+/// with round-robin splitting two tagged classes across two workers,
+/// each worker ends the run with state for the class it never decoded —
+/// warmed purely by the coordinator's evidence broadcasts — while a
+/// gossip-off run leaves each worker knowing only its own class.
+#[test]
+fn gossip_warms_classes_a_worker_never_served() {
+    use specee_core::TrafficClass;
+    let seed = 89;
+    let parts = trained(seed);
+    // Slow arrivals so workers decode (and accumulate evidence) between
+    // sync points.
+    let requests = PoissonArrivals::new(12.0, 9).requests(&specs(8, 8));
+    let (class_a, class_b) = (TrafficClass::new(1), TrafficClass::new(2));
+    let run = |gossip: bool| {
+        let config = ClusterConfig {
+            controller: specee_control::ControllerPolicy::pid(),
+            gossip,
+            ..cluster_config(2, 2)
+        };
+        let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+            &config,
+            RouterPolicy::RoundRobin.build(),
+            &parts.0,
+            &parts.1,
+            &parts.2,
+            factory(seed),
+        );
+        for (i, req) in requests.iter().enumerate() {
+            // Round-robin: even indices land on worker 0 (class A), odd
+            // on worker 1 (class B).
+            let class = if i % 2 == 0 { class_a } else { class_b };
+            cluster.submit(ClusterRequest::new(req.clone()).with_class(class));
+        }
+        cluster.drain()
+    };
+    let with = run(true);
+    let without = run(false);
+    for report in [&with, &without] {
+        assert_eq!(report.completed(), requests.len());
+    }
+    let classes_of = |report: &specee_cluster::ClusterReport, w: usize| -> Vec<TrafficClass> {
+        report.workers[w].classes.iter().map(|c| c.class).collect()
+    };
+    // Without gossip each worker knows only the class it decoded...
+    assert_eq!(classes_of(&without, 0), vec![class_a]);
+    assert_eq!(classes_of(&without, 1), vec![class_b]);
+    // ...with gossip both workers carry both classes' controller state.
+    assert_eq!(classes_of(&with, 0), vec![class_a, class_b]);
+    assert_eq!(classes_of(&with, 1), vec![class_a, class_b]);
+    // The warmed class has an operating point but no locally decoded
+    // requests on the worker that never served it.
+    let warmed = with.workers[0]
+        .classes
+        .iter()
+        .find(|c| c.class == class_b)
+        .expect("warmed class");
+    assert_eq!(warmed.requests, 0);
+    assert!(warmed.mean_threshold.is_some());
+    // Cluster-wide breakdown merges both workers' rows exactly.
+    let breakdown = with.class_breakdown();
+    assert_eq!(
+        breakdown.iter().map(|c| c.class).collect::<Vec<_>>(),
+        vec![class_a, class_b]
+    );
+    assert_eq!(breakdown.iter().map(|c| c.requests).sum::<usize>(), 8);
+    // Token values never move with gossip (thresholds steer *future*
+    // scans; greedy decode per sequence is threshold-independent).
+    for (a, b) in with.outputs().iter().zip(without.outputs()) {
+        assert_eq!(a.tokens, b.tokens);
+    }
+}
+
+/// Gossip with the static policy is inert: evidence flows but absorb is
+/// a no-op, so a gossip-on static run is bit-identical to gossip-off.
+#[test]
+fn static_gossip_is_bit_identical_to_no_gossip() {
+    let seed = 97;
+    let parts = trained(seed);
+    let requests = PoissonArrivals::new(40.0, 11).requests(&specs(8, 6));
+    let run = |gossip: bool| {
+        let config = ClusterConfig {
+            gossip,
+            ..cluster_config(2, 2)
+        };
+        let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+            &config,
+            RouterPolicy::RoundRobin.build(),
+            &parts.0,
+            &parts.1,
+            &parts.2,
+            factory(seed),
+        );
+        for req in &requests {
+            cluster.submit(ClusterRequest::new(req.clone()).with_exit_hint(4.0));
+        }
+        cluster.drain()
+    };
+    let (on, off) = (run(true), run(false));
+    assert_eq!(on.aggregate(), off.aggregate());
+    for (a, b) in on.workers.iter().zip(&off.workers) {
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.classes, b.classes);
+    }
+}
+
+/// The gossip determinism bar: merged posteriors (and everything else a
+/// gossiping adaptive cluster produces) are bit-identical across two
+/// executions — per-class controller summaries included.
+#[test]
+fn gossiped_posteriors_are_bit_identical_across_executions() {
+    use specee_core::TrafficClass;
+    let seed = 59;
+    let parts = trained(seed);
+    let requests = PoissonArrivals::new(15.0, 13).requests(&specs(8, 8));
+    let run = |policy: specee_control::ControllerPolicy| {
+        let config = ClusterConfig {
+            controller: policy,
+            gossip: true,
+            ..cluster_config(2, 2)
+        };
+        let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+            &config,
+            RouterPolicy::RoundRobin.build(),
+            &parts.0,
+            &parts.1,
+            &parts.2,
+            factory(seed),
+        );
+        for (i, req) in requests.iter().enumerate() {
+            let class = TrafficClass::new(1 + (i % 2) as u16);
+            cluster.submit(ClusterRequest::new(req.clone()).with_class(class));
+        }
+        cluster.drain()
+    };
+    for policy in [
+        specee_control::ControllerPolicy::pid(),
+        specee_control::ControllerPolicy::bandit(),
+    ] {
+        let a = run(policy.clone());
+        let b = run(policy.clone());
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(wa.outputs, wb.outputs, "{}", policy.name());
+            assert_eq!(wa.report.completions, wb.report.completions);
+            assert_eq!(
+                wa.classes,
+                wb.classes,
+                "{}: per-class state (gossip-merged posteriors included) \
+                 must be bit-identical across executions",
+                policy.name()
+            );
+            // Gossip genuinely ran: every worker carries both classes.
+            assert_eq!(wa.classes.len(), 2, "{}", policy.name());
+        }
+    }
 }
 
 /// Adaptive controller state rides the arrival-frontier protocol: a

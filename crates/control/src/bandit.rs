@@ -5,6 +5,7 @@
 use specee_core::ExitFeedback;
 use specee_tensor::rng::Pcg;
 
+use crate::classed::ClassEvidence;
 use crate::controller::{Controller, ControllerSummary, FeedbackCounters};
 
 /// Arms, epoch length, reward shaping and seed for [`BanditController`].
@@ -40,6 +41,16 @@ pub struct BanditConfig {
     /// single coin flip would leave Thompson sampling churning on noise
     /// long after the rewards have separated.
     pub epoch_evidence: f64,
+    /// Pseudo-observations one *full epoch worth* of absorbed remote
+    /// evidence (cross-worker gossip) contributes to the posterior of
+    /// the arm nearest the reporting worker's operating point. Windows
+    /// shorter than an epoch contribute proportionally less — gossip
+    /// arrives at every arrival frontier, so a flat per-window weight
+    /// would let dozens of 1–2-token windows (whose rewards are mostly
+    /// uninformative ~0.5 noise) swamp the well-measured local epochs.
+    /// Below `epoch_evidence` by default: remote traffic informs, local
+    /// traffic decides.
+    pub gossip_evidence: f64,
     /// Seed of the controller's private deterministic RNG.
     pub seed: u64,
 }
@@ -56,9 +67,24 @@ impl Default for BanditConfig {
             reject_cost_layers: 2.0,
             discount: 0.95,
             epoch_evidence: 5.0,
+            gossip_evidence: 2.0,
             seed: 0x5eed,
         }
     }
+}
+
+/// Index of the grid arm nearest `threshold`, ties toward the lower arm.
+fn nearest_arm(grid: &[f32], threshold: f32) -> usize {
+    grid.iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (*a - threshold)
+                .abs()
+                .partial_cmp(&(*b - threshold).abs())
+                .expect("finite grid")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty grid")
 }
 
 /// One arm's Beta posterior over the (Bernoulli-ized) epoch reward.
@@ -110,18 +136,7 @@ impl BanditController {
             config.epoch_tokens > 0,
             "epoch must cover at least one token"
         );
-        let current = config
-            .grid
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (*a - base_threshold)
-                    .abs()
-                    .partial_cmp(&(*b - base_threshold).abs())
-                    .expect("finite grid")
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty grid");
+        let current = nearest_arm(&config.grid, base_threshold);
         let rng = Pcg::seed_stream(config.seed, 0xc047_0151);
         BanditController {
             arms: vec![
@@ -153,28 +168,44 @@ impl BanditController {
         self.current
     }
 
-    fn finish_epoch(&mut self, n_layers: usize) {
-        let tokens = self.epoch_tokens as f64;
-        let full_work = tokens * n_layers as f64;
-        let spent =
-            self.epoch_layers as f64 + self.config.reject_cost_layers * self.epoch_rejects as f64;
-        // Signed work saving, centered at the no-exit baseline: an epoch
-        // that spends exactly full depth scores 0.5, harvested savings
-        // push toward 1, and rejected fires can push *below* 0.5 — so
-        // "exits off" (an always-1.0 threshold arm) beats a bleeding arm
-        // instead of tying with it at zero.
+    /// The `[0, 1]` reward of a window of `tokens` emitted tokens: the
+    /// signed work saving centered at the no-exit baseline — a window
+    /// that spends exactly full depth scores 0.5, harvested savings push
+    /// toward 1, and rejected fires can push *below* 0.5 (so "exits off"
+    /// beats a bleeding arm instead of tying with it at zero) — zeroed
+    /// outright when the verifier accept rate undercuts the floor.
+    fn window_reward(
+        &self,
+        tokens: u64,
+        executed_layers: u64,
+        accepts: u64,
+        rejects: u64,
+        n_layers: usize,
+    ) -> f64 {
+        let full_work = tokens as f64 * n_layers as f64;
+        let spent = executed_layers as f64 + self.config.reject_cost_layers * rejects as f64;
         let saved = 1.0 - spent / full_work;
-        let fires = self.epoch_accepts + self.epoch_rejects;
+        let fires = accepts + rejects;
         let accept_rate = if fires > 0 {
-            self.epoch_accepts as f64 / fires as f64
+            accepts as f64 / fires as f64
         } else {
             1.0 // no fires, no accuracy risk
         };
-        let reward = if accept_rate < self.config.accuracy_floor {
+        if accept_rate < self.config.accuracy_floor {
             0.0
         } else {
             (0.5 * (1.0 + saved)).clamp(0.0, 1.0)
-        };
+        }
+    }
+
+    fn finish_epoch(&mut self, n_layers: usize) {
+        let reward = self.window_reward(
+            self.epoch_tokens,
+            self.epoch_layers,
+            self.epoch_accepts,
+            self.epoch_rejects,
+            n_layers,
+        );
         // Forget before learning: decay every posterior toward the
         // uniform prior so drifted traffic re-ranks the arms.
         let d = self.config.discount.clamp(0.0, 1.0);
@@ -232,6 +263,33 @@ impl Controller for BanditController {
         self.config.grid[self.current]
     }
 
+    fn absorb(&mut self, evidence: &ClassEvidence) {
+        // A remote window is a borrowed epoch: score it with the same
+        // reward shaping and credit the arm nearest the *reporting*
+        // worker's operating point (that is the arm whose quality the
+        // evidence speaks to), at the reduced gossip evidence weight.
+        // No posterior discount and no Thompson redraw happen here —
+        // forgetting and arm switches stay paced by local epochs — and
+        // nothing touches the RNG, so absorbing evidence never perturbs
+        // the local exploration stream.
+        if evidence.tokens == 0 || evidence.n_layers == 0 {
+            return;
+        }
+        let reward = self.window_reward(
+            evidence.tokens,
+            evidence.executed_layers,
+            evidence.accepts(),
+            evidence.rejects(),
+            evidence.n_layers,
+        );
+        let arm_idx = nearest_arm(&self.config.grid, evidence.mean_threshold as f32);
+        let window = (evidence.tokens as f64 / self.config.epoch_tokens.max(1) as f64).min(1.0);
+        let e = self.config.gossip_evidence.max(0.0) * window;
+        let arm = &mut self.arms[arm_idx];
+        arm.alpha += e * reward;
+        arm.beta += e * (1.0 - reward);
+    }
+
     fn summary(&self) -> ControllerSummary {
         ControllerSummary {
             policy: self.name(),
@@ -282,6 +340,7 @@ mod tests {
 
     fn fb(accepted: bool) -> ExitFeedback {
         ExitFeedback {
+            class: specee_core::TrafficClass::DEFAULT,
             layer: 0,
             score: 0.7,
             threshold: 0.5,
@@ -377,6 +436,38 @@ mod tests {
             }
         }
         assert!(plays_clean > 200, "played the clean arm {plays_clean}/400");
+    }
+
+    #[test]
+    fn absorb_credits_the_reporters_arm_without_touching_the_rng() {
+        use crate::classed::ClassEvidence;
+        use specee_core::TrafficClass;
+        // Two identical controllers; one absorbs glowing remote evidence
+        // for the 0.2 arm. Its 0.2 posterior mean must rise, and the
+        // local trajectory (arm play sequence under identical local
+        // feedback) must stay in lock-step until the posteriors actually
+        // diverge a Thompson draw — never because the RNG was consumed.
+        let build = || BanditController::new(0.8, BanditConfig::default());
+        let (plain, mut gossiped) = (build(), build());
+        let mut evidence = ClassEvidence::empty(TrafficClass::new(1), 4, 12);
+        evidence.layer_accepts[0] = 8;
+        evidence.tokens = 8;
+        evidence.executed_layers = 3 * 8; // deep saving
+        evidence.mean_threshold = 0.2;
+        for _ in 0..10 {
+            gossiped.absorb(&evidence);
+        }
+        // Posterior mean of the 0.2 arm: alpha grew by gossip reward.
+        assert!(gossiped.arms[0].alpha > plain.arms[0].alpha);
+        assert_eq!(
+            gossiped.current_arm(),
+            plain.current_arm(),
+            "absorb alone never switches arms"
+        );
+        // Rewardless dimensions: empty evidence is a no-op.
+        let before = gossiped.arms[0].alpha;
+        gossiped.absorb(&ClassEvidence::empty(TrafficClass::new(1), 4, 12));
+        assert_eq!(gossiped.arms[0].alpha, before);
     }
 
     #[test]

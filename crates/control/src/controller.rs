@@ -3,6 +3,8 @@
 use specee_core::predictor::PredictorBank;
 use specee_core::ExitFeedback;
 
+use crate::classed::ClassEvidence;
+
 /// Closed-loop exit-threshold control.
 ///
 /// A controller watches two deterministic event streams produced by the
@@ -32,7 +34,13 @@ use specee_core::ExitFeedback;
 /// // A burst of rejected fires at layer 3: the false-exit rate is above
 /// // target, so the controller raises that layer's threshold.
 /// for _ in 0..16 {
-///     ctl.observe(&ExitFeedback { layer: 3, score: 0.6, threshold: before, accepted: false });
+///     ctl.observe(&ExitFeedback {
+///         class: specee_core::TrafficClass::DEFAULT,
+///         layer: 3,
+///         score: 0.6,
+///         threshold: before,
+///         accepted: false,
+///     });
 /// }
 /// assert!(ctl.threshold(3) > before);
 /// let summary = ctl.summary();
@@ -63,6 +71,17 @@ pub trait Controller: Send {
         for layer in 0..bank.len() {
             bank.layer_mut(layer).set_threshold(self.threshold(layer));
         }
+    }
+
+    /// Absorbs summarized *remote* evidence — the cross-worker gossip a
+    /// cluster coordinator merges and broadcasts at arrival frontiers.
+    /// Remote evidence moves the operating point but never the local
+    /// observation counters ([`Controller::summary`] keeps reporting
+    /// what *this* engine saw). The default ignores it, which keeps the
+    /// static policy — and thus every parity baseline — untouched by
+    /// gossip.
+    fn absorb(&mut self, evidence: &ClassEvidence) {
+        let _ = evidence;
     }
 
     /// Counters and the current operating point, for reports.
@@ -182,6 +201,7 @@ mod tests {
 
     fn fb(layer: usize, accepted: bool) -> ExitFeedback {
         ExitFeedback {
+            class: specee_core::TrafficClass::DEFAULT,
             layer,
             score: 0.7,
             threshold: 0.5,

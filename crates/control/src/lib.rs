@@ -29,13 +29,26 @@
 //!   rate undercuts an accuracy floor — the EESD-style control
 //!   mechanism.
 //!
+//! Controller state is keyed by **traffic class**: runtimes attach a
+//! [`ClassedController`] ([`ControllerPolicy::build_classed`]) holding
+//! one full policy instance per observed [`specee_core::TrafficClass`]
+//! behind a shared `ClassMap` — untagged traffic lands in the lazily
+//! created default class and behaves exactly like a single instance,
+//! while mixed traffic gets per-class PID loops / bandit posteriors
+//! instead of one blurred operating point. Per-class evidence deltas
+//! ([`ClassEvidence`]) drain out of the same structure for cross-worker
+//! gossip, and remote deltas merge back in via [`Controller::absorb`].
+//!
 //! Runtimes consume controllers per engine: `specee-batch`'s
 //! `BatchedEngine` drains each seated sequence's feedback after every
-//! lock-step decode step and re-applies thresholds at the step boundary;
-//! `specee-cluster` builds one controller per worker
-//! ([`ControllerPolicy::build_for_worker`]) whose state advances inside
-//! the worker's deterministic serving loop, so adaptation rides the
-//! arrival-frontier protocol unchanged. The CLI exposes everything as
+//! lock-step decode step (per class, in slot order) and re-applies each
+//! class's thresholds at the step boundary; `specee-cluster` builds one
+//! classed controller per worker
+//! ([`ControllerPolicy::build_classed_for_worker`], with
+//! `(worker, class)`-decorrelated bandit seeds) whose state advances
+//! inside the worker's deterministic serving loop, so adaptation — and
+//! the coordinator's evidence gossip — rides the arrival-frontier
+//! protocol unchanged. The CLI exposes everything as
 //! `specee generate/serve --controller <policy>`.
 //!
 //! # Examples
@@ -43,7 +56,7 @@
 //! ```
 //! use specee_control::{Controller, ControllerPolicy};
 //! use specee_core::predictor::{PredictorBank, PredictorConfig};
-//! use specee_core::ExitFeedback;
+//! use specee_core::{ExitFeedback, TrafficClass};
 //! use specee_tensor::rng::Pcg;
 //!
 //! let pcfg = PredictorConfig::default();
@@ -53,7 +66,13 @@
 //! // The serving loop feeds verify outcomes; a rejection-heavy stream
 //! // at layer 2 tightens that layer's threshold.
 //! for _ in 0..12 {
-//!     ctl.observe(&ExitFeedback { layer: 2, score: 0.6, threshold: 0.5, accepted: false });
+//!     ctl.observe(&ExitFeedback {
+//!         class: TrafficClass::DEFAULT,
+//!         layer: 2,
+//!         score: 0.6,
+//!         threshold: 0.5,
+//!         accepted: false,
+//!     });
 //!     ctl.note_token(3, 8);
 //! }
 //! ctl.apply(&mut bank);
@@ -64,11 +83,13 @@
 #![deny(missing_docs)]
 
 mod bandit;
+mod classed;
 mod controller;
 mod pid;
 mod policy;
 
 pub use bandit::{BanditConfig, BanditController};
+pub use classed::{ClassEvidence, ClassedController};
 pub use controller::{Controller, ControllerSummary, StaticController};
 pub use pid::{PidConfig, PidController};
 pub use policy::ControllerPolicy;

@@ -2,6 +2,7 @@
 
 use specee_core::ExitFeedback;
 
+use crate::classed::ClassEvidence;
 use crate::controller::{mean_threshold, Controller, ControllerSummary, FeedbackCounters};
 
 /// Gains and target for [`PidController`].
@@ -126,6 +127,37 @@ impl Controller for PidController {
         self.loops[layer].threshold
     }
 
+    fn absorb(&mut self, evidence: &ClassEvidence) {
+        // A whole remote window lands at once, so each layer takes one
+        // *batched* EWMA step — `n` outcomes at the window's observed
+        // reject fraction — followed by one PI correction. Exponent
+        // semantics match feeding the same outcomes one at a time when
+        // they all agree, and the update is a pure function of the
+        // evidence, so gossip preserves bit-level determinism.
+        let c = self.config.clone();
+        for (layer, lp) in self.loops.iter_mut().enumerate() {
+            let a = evidence.layer_accepts.get(layer).copied().unwrap_or(0);
+            let r = evidence.layer_rejects.get(layer).copied().unwrap_or(0);
+            let n = a + r;
+            if n == 0 {
+                continue;
+            }
+            let keep = (1.0 - c.ewma_alpha).powi(n.min(1_000) as i32);
+            lp.reject_rate = keep * lp.reject_rate + (1.0 - keep) * (r as f64 / n as f64);
+            let err = lp.reject_rate - c.target_false_exit;
+            let delta = c.kp * (err - lp.prev_err) + c.ki * err;
+            lp.prev_err = err;
+            lp.threshold = (lp.threshold + delta as f32).clamp(c.min_threshold, c.max_threshold);
+        }
+        if evidence.fires() == 0 && evidence.idle_tokens > 0 {
+            // The remote window was all full-depth silence: one idle
+            // decay step, exactly as a local idle token would apply.
+            for lp in &mut self.loops {
+                lp.threshold = (lp.threshold - c.idle_decay).max(c.min_threshold);
+            }
+        }
+    }
+
     fn summary(&self) -> ControllerSummary {
         let thresholds: Vec<f32> = self.loops.iter().map(|l| l.threshold).collect();
         ControllerSummary {
@@ -144,6 +176,7 @@ mod tests {
 
     fn fb(layer: usize, accepted: bool) -> ExitFeedback {
         ExitFeedback {
+            class: specee_core::TrafficClass::DEFAULT,
             layer,
             score: 0.7,
             threshold: 0.5,
@@ -221,5 +254,32 @@ mod tests {
         let mut ctl = PidController::new(2, 0.5, PidConfig::default());
         ctl.observe(&fb(7, false));
         assert_eq!(ctl.summary().rejects, 1);
+    }
+
+    #[test]
+    fn absorbed_rejects_tighten_like_local_ones() {
+        use crate::classed::ClassEvidence;
+        use specee_core::TrafficClass;
+        let mut ctl = PidController::new(4, 0.5, PidConfig::default());
+        let mut evidence = ClassEvidence::empty(TrafficClass::new(1), 4, 12);
+        evidence.layer_rejects[2] = 10;
+        evidence.tokens = 10;
+        evidence.executed_layers = 100;
+        for _ in 0..6 {
+            ctl.absorb(&evidence);
+        }
+        assert!(ctl.threshold(2) > 0.5, "thr {}", ctl.threshold(2));
+        assert_eq!(ctl.threshold(0), 0.5, "silent layers untouched");
+        assert_eq!(ctl.summary().rejects, 0, "remote evidence is not local");
+
+        // A remote all-idle window decays every loop once.
+        let mut ctl = PidController::new(4, 0.9, PidConfig::default());
+        let mut idle = ClassEvidence::empty(TrafficClass::new(1), 4, 12);
+        idle.tokens = 8;
+        idle.executed_layers = 96;
+        idle.idle_tokens = 8;
+        ctl.absorb(&idle);
+        let expected = 0.9 - PidConfig::default().idle_decay;
+        assert!((ctl.threshold(0) - expected).abs() < 1e-6);
     }
 }

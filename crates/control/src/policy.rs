@@ -1,6 +1,9 @@
 //! CLI/config-level controller selection.
 
+use specee_core::traffic::TrafficClass;
+
 use crate::bandit::{BanditConfig, BanditController};
+use crate::classed::ClassedController;
 use crate::controller::{Controller, StaticController};
 use crate::pid::{PidConfig, PidController};
 
@@ -90,17 +93,69 @@ impl ControllerPolicy {
         base_threshold: f32,
         worker: usize,
     ) -> Box<dyn Controller> {
+        self.build_for_worker_class(n_predictors, base_threshold, worker, TrafficClass::DEFAULT)
+    }
+
+    /// [`ControllerPolicy::build_for_worker`] additionally decorrelated
+    /// per traffic class: the bandit instance serving `(worker, class)`
+    /// draws its own exploration stream — reproducible for the pair,
+    /// distinct across workers *and* across the classes of one worker.
+    /// The default class reproduces [`ControllerPolicy::build_for_worker`]
+    /// exactly, and `(worker 0, default class)` reproduces
+    /// [`ControllerPolicy::build`] — a solo engine and a one-worker
+    /// cluster draw the same exploration stream.
+    pub fn build_for_worker_class(
+        &self,
+        n_predictors: usize,
+        base_threshold: f32,
+        worker: usize,
+        class: TrafficClass,
+    ) -> Box<dyn Controller> {
         match self {
             ControllerPolicy::Bandit(config) => {
                 let mut config = config.clone();
-                config.seed = config
-                    .seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(worker as u64);
+                if worker != 0 {
+                    config.seed = config
+                        .seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(worker as u64);
+                }
+                if !class.is_default() {
+                    // The class id is offset past any plausible worker
+                    // index before mixing, so `(worker 0, class k)` can
+                    // never collide with `(worker k, default class)` —
+                    // both would otherwise reduce to one multiply-add
+                    // of the same small integer.
+                    config.seed = config
+                        .seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((1u64 << 32) | u64::from(class.id()));
+                }
                 Box::new(BanditController::new(base_threshold, config))
             }
             _ => self.build(n_predictors, base_threshold),
         }
+    }
+
+    /// Builds the traffic-class-keyed controller runtimes attach: one
+    /// full policy instance per observed class behind a shared
+    /// `ClassMap`, lazily created (untagged traffic lands in the default
+    /// class and behaves exactly like [`ControllerPolicy::build`]'s
+    /// single instance).
+    pub fn build_classed(&self, n_predictors: usize, base_threshold: f32) -> ClassedController {
+        ClassedController::new(self.clone(), n_predictors, base_threshold)
+    }
+
+    /// [`ControllerPolicy::build_classed`] for cluster worker `worker`:
+    /// class instances draw `(worker, class)`-decorrelated seeds via
+    /// [`ControllerPolicy::build_for_worker_class`].
+    pub fn build_classed_for_worker(
+        &self,
+        n_predictors: usize,
+        base_threshold: f32,
+        worker: usize,
+    ) -> ClassedController {
+        ClassedController::for_worker(self.clone(), n_predictors, base_threshold, worker)
     }
 }
 
@@ -148,5 +203,55 @@ mod tests {
         assert!(diverged, "worker seeds must decorrelate bandit arms");
         let pid = ControllerPolicy::pid();
         assert_eq!(pid.build_for_worker(8, 0.5, 3).threshold(2), 0.5);
+    }
+
+    /// Drives a controller through a fixed mid-reward feedback script and
+    /// records the arm-threshold trajectory (the Thompson draws are the
+    /// only variation source).
+    fn trajectory(ctl: &mut Box<dyn crate::Controller>) -> Vec<f32> {
+        let mut out = Vec::new();
+        for i in 0..400u64 {
+            ctl.note_token(if i % 2 == 0 { 4 } else { 12 }, 12);
+            out.push(ctl.threshold(0));
+        }
+        out
+    }
+
+    #[test]
+    fn same_worker_id_is_reproducible() {
+        let bandit = ControllerPolicy::bandit();
+        for worker in [0usize, 3] {
+            let a = trajectory(&mut bandit.build_for_worker(8, 0.5, worker));
+            let b = trajectory(&mut bandit.build_for_worker(8, 0.5, worker));
+            assert_eq!(a, b, "worker {worker} must reproduce its own stream");
+        }
+    }
+
+    #[test]
+    fn classes_of_one_worker_decorrelate_and_reproduce() {
+        use specee_core::TrafficClass;
+        let bandit = ControllerPolicy::bandit();
+        let run =
+            |class: TrafficClass| trajectory(&mut bandit.build_for_worker_class(8, 0.5, 2, class));
+        // Reproducible per (worker, class)...
+        assert_eq!(run(TrafficClass::new(1)), run(TrafficClass::new(1)));
+        // ...default class identical to the class-less worker build...
+        assert_eq!(
+            run(TrafficClass::DEFAULT),
+            trajectory(&mut bandit.build_for_worker(8, 0.5, 2))
+        );
+        // ...and distinct classes explore distinctly.
+        assert_ne!(
+            run(TrafficClass::new(1)),
+            run(TrafficClass::new(2)),
+            "class seeds must decorrelate bandit arms"
+        );
+        // (worker 0, class k) must not alias (worker k, default class):
+        // both reduce to one multiply-add of k without the class offset.
+        assert_ne!(
+            trajectory(&mut bandit.build_for_worker_class(8, 0.5, 0, TrafficClass::new(3))),
+            trajectory(&mut bandit.build_for_worker(8, 0.5, 3)),
+            "class and worker mixes must not collide"
+        );
     }
 }

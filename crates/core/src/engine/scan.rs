@@ -15,6 +15,7 @@ use specee_model::{LayeredLm, TokenId};
 use crate::features::FeatureTracker;
 use crate::predictor::PredictorBank;
 use crate::scheduler::ScheduleEngine;
+use crate::traffic::TrafficClass;
 use crate::verify::verify_exit;
 
 /// One verifier outcome for one predictor *fire*: the raw accept/reject
@@ -28,6 +29,10 @@ use crate::verify::verify_exit;
 /// outcome to learn from.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExitFeedback {
+    /// Traffic class of the sequence whose scan fired (the key of the
+    /// per-class feedback plane; [`TrafficClass::DEFAULT`] for untagged
+    /// traffic).
+    pub class: TrafficClass,
     /// Decoder layer whose predictor fired (0-based; the exit, if taken,
     /// executes `layer + 1` layers).
     pub layer: usize,
@@ -50,15 +55,29 @@ pub struct ExitFeedback {
 #[derive(Debug, Clone, Default)]
 pub struct ExitScan {
     tracker: FeatureTracker,
+    class: TrafficClass,
     predictor_calls: u64,
     verify_calls: u64,
     feedback: Vec<ExitFeedback>,
 }
 
 impl ExitScan {
-    /// Creates a scan with fresh feature history and zeroed counters.
+    /// Creates a scan with fresh feature history and zeroed counters,
+    /// tagged with the default traffic class.
     pub fn new() -> Self {
         ExitScan::default()
+    }
+
+    /// Tags the scan with the sequence's traffic class: every subsequent
+    /// [`ExitFeedback`] event carries it, so per-class consumers can key
+    /// controller state without re-deriving the class downstream.
+    pub fn set_class(&mut self, class: TrafficClass) {
+        self.class = class;
+    }
+
+    /// The traffic class this scan stamps on its feedback events.
+    pub fn class(&self) -> TrafficClass {
+        self.class
     }
 
     /// Starts a new token: clears the probability-variation history the
@@ -104,6 +123,7 @@ impl ExitScan {
         let full = model.final_logits(h, meter);
         let exit = verify_exit(&full, candidates).map(|tok| (tok, full));
         self.feedback.push(ExitFeedback {
+            class: self.class,
             layer,
             score,
             threshold,
@@ -295,6 +315,29 @@ mod tests {
             assert!(scan.feedback().len() <= 1, "buffer bounded per token");
         }
         assert_eq!(scan.verify_calls(), 3, "counters still accumulate");
+    }
+
+    #[test]
+    fn feedback_carries_the_scans_traffic_class() {
+        let (mut model, mut bank, mut meter) = parts();
+        bank.layer_mut(0).set_threshold(0.0);
+        let schedule = ScheduleEngine::all_layers(4);
+        let h = prefill(&mut model, &[3], &mut meter);
+        let mut scan = ExitScan::new();
+        assert!(scan.class().is_default());
+        scan.set_class(TrafficClass::new(3));
+        scan.begin_token();
+        let _ = scan.check(
+            &mut model,
+            &bank,
+            &schedule,
+            &h,
+            &[1, 2, 3, 4],
+            0,
+            &mut meter,
+        );
+        assert_eq!(scan.feedback().len(), 1);
+        assert_eq!(scan.feedback()[0].class, TrafficClass::new(3));
     }
 
     #[test]

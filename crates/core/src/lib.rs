@@ -60,6 +60,7 @@ pub mod output;
 pub mod predictor;
 pub mod scheduler;
 pub mod skip_layer;
+pub mod traffic;
 pub mod verify;
 
 pub use config::{SchedulingMode, SpecEeConfig};
@@ -70,4 +71,5 @@ pub use output::{agreement, GenOutput, RunStats};
 pub use predictor::{ExitPredictor, PredictorBank, PredictorConfig};
 pub use scheduler::{OfflineScheduler, OnlineScheduler, ScheduleEngine};
 pub use skip_layer::{CalmEngine, DLlmEngine, MoDEngine};
+pub use traffic::TrafficClass;
 pub use verify::verify_exit;

@@ -1,0 +1,248 @@
+//! Traffic-class identifiers: the key of the per-class feedback plane.
+//!
+//! SpecEE's exit profile is workload-dependent — chat traffic settles in
+//! the first few layers while reasoning-heavy traffic saturates near the
+//! end of the stack — so one blurred controller operating point per
+//! engine wastes most of what the feedback stream knows. A
+//! [`TrafficClass`] tags a request (and therefore every
+//! [`crate::ExitFeedback`] event its decoding produces) with the
+//! workload family it belongs to, letting controllers keep per-class
+//! state, coordinators merge per-class evidence across workers, and
+//! routers price a worker's per-class operating point.
+//!
+//! Class `0` is the **default class**: untagged traffic lands there and
+//! behaves exactly as the pre-class runtime did. Classes derived from a
+//! predicted exit depth ([`TrafficClass::from_exit_depth`]) use ids
+//! `1..=4`, so hint-derived classes never collide with explicit default
+//! traffic.
+
+use std::fmt;
+
+/// Number of depth bands [`TrafficClass::from_exit_depth`] buckets into.
+pub const DEPTH_BANDS: u16 = 4;
+
+/// A traffic-class identifier carried by requests and exit feedback.
+///
+/// Semantically opaque: the runtime only ever compares, sorts and hashes
+/// it. Callers mint ids however they like (tenant, prompt domain,
+/// depth band) — the one reserved value is `0`, the default class for
+/// untagged traffic.
+///
+/// # Examples
+///
+/// ```
+/// use specee_core::TrafficClass;
+///
+/// assert!(TrafficClass::DEFAULT.is_default());
+/// assert_eq!(TrafficClass::new(3).id(), 3);
+/// // Depth-derived classes partition [0, n_layers] into bands 1..=4.
+/// let shallow = TrafficClass::from_exit_depth(3.0, 32);
+/// let deep = TrafficClass::from_exit_depth(30.0, 32);
+/// assert_ne!(shallow, deep);
+/// assert!(!shallow.is_default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TrafficClass(u16);
+
+impl TrafficClass {
+    /// The default class untagged traffic belongs to.
+    pub const DEFAULT: TrafficClass = TrafficClass(0);
+
+    /// A class with an explicit id (`0` is [`TrafficClass::DEFAULT`]).
+    pub const fn new(id: u16) -> Self {
+        TrafficClass(id)
+    }
+
+    /// The raw class id.
+    pub const fn id(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the default (untagged) class.
+    pub const fn is_default(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Buckets a predicted mean exit depth (layers, as carried by e.g. a
+    /// cluster request's `exit_hint`) into one of [`DEPTH_BANDS`] classes
+    /// with ids `1..=DEPTH_BANDS`: band 1 is the shallowest quarter of
+    /// the stack, band `DEPTH_BANDS` the deepest. Non-finite or negative
+    /// depths and a zero-depth stack fall back to the deepest band (the
+    /// conservative full-depth assumption routers already make).
+    pub fn from_exit_depth(depth: f64, n_layers: usize) -> Self {
+        if n_layers == 0 || !depth.is_finite() || depth < 0.0 {
+            return TrafficClass(DEPTH_BANDS);
+        }
+        let frac = (depth / n_layers as f64).clamp(0.0, 1.0);
+        let band = (frac * f64::from(DEPTH_BANDS)).floor() as u16;
+        TrafficClass(1 + band.min(DEPTH_BANDS - 1))
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// A small map keyed by [`TrafficClass`], ordered by class id.
+///
+/// The per-class feedback plane keeps one value per observed class —
+/// controller state, predictor banks, evidence accumulators — and every
+/// consumer must walk them in the *same* order for runs to stay
+/// deterministic. `ClassMap` is a sorted vec: lookups are binary
+/// searches, insertion keeps class order, and iteration is always
+/// ascending by class id. Entries are created lazily via
+/// [`ClassMap::get_or_insert_with`], so a run that never tags traffic
+/// never pays for the plane.
+///
+/// # Examples
+///
+/// ```
+/// use specee_core::traffic::{ClassMap, TrafficClass};
+///
+/// let mut map: ClassMap<u32> = ClassMap::new();
+/// *map.get_or_insert_with(TrafficClass::new(2), || 0) += 5;
+/// *map.get_or_insert_with(TrafficClass::DEFAULT, || 0) += 1;
+/// let order: Vec<u16> = map.iter().map(|(c, _)| c.id()).collect();
+/// assert_eq!(order, [0, 2], "iteration ascends by class id");
+/// assert_eq!(map.get(TrafficClass::new(2)), Some(&5));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassMap<T> {
+    entries: Vec<(TrafficClass, T)>,
+}
+
+impl<T> ClassMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        ClassMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of classes with an entry.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no class has an entry yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for `class`, if one exists.
+    pub fn get(&self, class: TrafficClass) -> Option<&T> {
+        self.entries
+            .binary_search_by_key(&class, |(c, _)| *c)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access to the entry for `class`, if one exists.
+    pub fn get_mut(&mut self, class: TrafficClass) -> Option<&mut T> {
+        self.entries
+            .binary_search_by_key(&class, |(c, _)| *c)
+            .ok()
+            .map(|i| &mut self.entries[i].1)
+    }
+
+    /// The entry for `class`, created with `init` on first touch.
+    pub fn get_or_insert_with(&mut self, class: TrafficClass, init: impl FnOnce() -> T) -> &mut T {
+        let idx = match self.entries.binary_search_by_key(&class, |(c, _)| *c) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (class, init()));
+                i
+            }
+        };
+        &mut self.entries[idx].1
+    }
+
+    /// Iterates entries in ascending class order.
+    pub fn iter(&self) -> impl Iterator<Item = (TrafficClass, &T)> {
+        self.entries.iter().map(|(c, v)| (*c, v))
+    }
+
+    /// Iterates entries mutably, in ascending class order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (TrafficClass, &mut T)> {
+        self.entries.iter_mut().map(|(c, v)| (*c, v))
+    }
+
+    /// The observed classes, ascending.
+    pub fn classes(&self) -> Vec<TrafficClass> {
+        self.entries.iter().map(|(c, _)| *c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_class_zero() {
+        assert_eq!(TrafficClass::default(), TrafficClass::DEFAULT);
+        assert!(TrafficClass::DEFAULT.is_default());
+        assert!(!TrafficClass::new(1).is_default());
+        assert_eq!(format!("{}", TrafficClass::new(2)), "class2");
+    }
+
+    #[test]
+    fn depth_bands_partition_the_stack() {
+        let n = 32;
+        // Band edges: [0, 8) -> 1, [8, 16) -> 2, [16, 24) -> 3, rest 4.
+        assert_eq!(TrafficClass::from_exit_depth(0.0, n).id(), 1);
+        assert_eq!(TrafficClass::from_exit_depth(7.9, n).id(), 1);
+        assert_eq!(TrafficClass::from_exit_depth(8.0, n).id(), 2);
+        assert_eq!(TrafficClass::from_exit_depth(16.0, n).id(), 3);
+        assert_eq!(TrafficClass::from_exit_depth(24.0, n).id(), 4);
+        assert_eq!(TrafficClass::from_exit_depth(32.0, n).id(), 4);
+        // Depth-derived classes never collide with the default class.
+        for d in 0..=n {
+            assert!(!TrafficClass::from_exit_depth(d as f64, n).is_default());
+        }
+    }
+
+    #[test]
+    fn degenerate_depths_fall_back_to_the_deepest_band() {
+        assert_eq!(TrafficClass::from_exit_depth(4.0, 0).id(), DEPTH_BANDS);
+        assert_eq!(
+            TrafficClass::from_exit_depth(f64::NAN, 32).id(),
+            DEPTH_BANDS
+        );
+        assert_eq!(TrafficClass::from_exit_depth(-1.0, 32).id(), DEPTH_BANDS);
+        assert_eq!(TrafficClass::from_exit_depth(1e9, 32).id(), DEPTH_BANDS);
+    }
+
+    #[test]
+    fn ordering_is_by_id() {
+        let mut v = [
+            TrafficClass::new(3),
+            TrafficClass::DEFAULT,
+            TrafficClass::new(1),
+        ];
+        v.sort();
+        assert_eq!(v.map(TrafficClass::id), [0, 1, 3]);
+    }
+
+    #[test]
+    fn class_map_inserts_lazily_and_iterates_sorted() {
+        let mut map: ClassMap<Vec<u32>> = ClassMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.get(TrafficClass::new(7)), None);
+        map.get_or_insert_with(TrafficClass::new(7), Vec::new)
+            .push(1);
+        map.get_or_insert_with(TrafficClass::DEFAULT, Vec::new)
+            .push(2);
+        map.get_or_insert_with(TrafficClass::new(7), Vec::new)
+            .push(3);
+        assert_eq!(map.len(), 2, "second touch reuses the entry");
+        assert_eq!(
+            map.classes().iter().map(|c| c.id()).collect::<Vec<_>>(),
+            [0, 7]
+        );
+        assert_eq!(map.get(TrafficClass::new(7)), Some(&vec![1, 3]));
+        map.get_mut(TrafficClass::DEFAULT).expect("entry").push(4);
+        assert_eq!(map.get(TrafficClass::DEFAULT), Some(&vec![2, 4]));
+    }
+}

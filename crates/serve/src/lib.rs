@@ -95,5 +95,5 @@ pub use batcher::{AdmissionPolicy, BatcherConfig, ContinuousBatcher, ServeReport
 pub use cost::StepCostModel;
 pub use live::LiveOutcome;
 pub use request::{Completion, PoissonArrivals, ServeRequest};
-pub use stats::ServeStats;
+pub use stats::{ClassStats, ServeStats};
 pub use trace::RequestTrace;

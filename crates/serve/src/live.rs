@@ -116,6 +116,7 @@ impl ContinuousBatcher {
                         // outputs with requests positionally.
                         outputs.push(BatchedOutput {
                             id: i as u64,
+                            class: specee_core::TrafficClass::DEFAULT,
                             tokens: Vec::new(),
                             exit_layers: Vec::new(),
                             ce_sum: 0.0,

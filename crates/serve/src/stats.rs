@@ -1,6 +1,7 @@
 //! Aggregate serving statistics.
 
 use serde::{Deserialize, Serialize};
+use specee_core::TrafficClass;
 
 use crate::batcher::ServeReport;
 
@@ -40,6 +41,73 @@ pub struct ServeStats {
     pub p99_latency_s: f64,
     /// Mean batch occupancy over decode steps.
     pub avg_occupancy: f64,
+}
+
+/// One traffic class's slice of a served run — the per-class breakdown
+/// the class-keyed feedback plane reports next to the aggregate
+/// [`ServeStats`].
+///
+/// Rows are produced wherever sequences carry a
+/// [`TrafficClass`] (the cluster runtime derives one per request at
+/// admission) and merge across workers by exact token-weighted sums, so
+/// a cluster-wide breakdown is as trustworthy as a single engine's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The traffic class the row describes.
+    pub class: TrafficClass,
+    /// Requests decoded under the class (completed plus cancelled
+    /// partials that produced output).
+    pub requests: usize,
+    /// Decode tokens emitted for the class (prefill tokens excluded).
+    pub tokens: u64,
+    /// Total decoder layers those tokens executed (the numerator of
+    /// [`ClassStats::mean_layers`], kept so rows merge exactly).
+    pub layer_sum: f64,
+    /// Mean exit threshold the class's controller held at the end of the
+    /// run (`None` without a controller).
+    pub mean_threshold: Option<f64>,
+}
+
+impl ClassStats {
+    /// An empty row for `class`.
+    pub fn empty(class: TrafficClass) -> Self {
+        ClassStats {
+            class,
+            requests: 0,
+            tokens: 0,
+            layer_sum: 0.0,
+            mean_threshold: None,
+        }
+    }
+
+    /// Mean executed layers per decode token (`None` before any token).
+    pub fn mean_layers(&self) -> Option<f64> {
+        (self.tokens > 0).then(|| self.layer_sum / self.tokens as f64)
+    }
+
+    /// Folds `other` (same class) into `self`: counts and layer sums add
+    /// exactly; the controller operating point merges token-weighted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classes differ.
+    pub fn merge(&mut self, other: &ClassStats) {
+        assert_eq!(self.class, other.class, "merge is per class");
+        self.requests += other.requests;
+        self.layer_sum += other.layer_sum;
+        self.mean_threshold = match (self.mean_threshold, other.mean_threshold) {
+            (Some(a), Some(b)) => {
+                let (wa, wb) = (self.tokens as f64, other.tokens as f64);
+                Some(if wa + wb > 0.0 {
+                    (a * wa + b * wb) / (wa + wb)
+                } else {
+                    (a + b) / 2.0
+                })
+            }
+            (a, b) => a.or(b),
+        };
+        self.tokens += other.tokens;
+    }
 }
 
 /// Nearest-rank percentile (`q` in `[0, 1]`) of an unsorted sample.
@@ -174,6 +242,44 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn percentile_validates_negative_q() {
         let _ = percentile(&[1.0], -0.01);
+    }
+
+    #[test]
+    fn class_stats_merge_exactly() {
+        let c = TrafficClass::new(2);
+        let mut a = ClassStats {
+            class: c,
+            requests: 2,
+            tokens: 10,
+            layer_sum: 40.0,
+            mean_threshold: Some(0.4),
+        };
+        let b = ClassStats {
+            class: c,
+            requests: 1,
+            tokens: 30,
+            layer_sum: 60.0,
+            mean_threshold: Some(0.8),
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.tokens, 40);
+        assert!((a.mean_layers().unwrap() - 2.5).abs() < 1e-12);
+        // Token-weighted operating point: (0.4*10 + 0.8*30) / 40 = 0.7.
+        assert!((a.mean_threshold.unwrap() - 0.7).abs() < 1e-12);
+        // Missing thresholds fall back to whichever side has one.
+        let mut x = ClassStats::empty(c);
+        x.merge(&b);
+        assert_eq!(x.mean_threshold, Some(0.8));
+        assert_eq!(x.mean_layers(), Some(2.0));
+        assert_eq!(ClassStats::empty(c).mean_layers(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "per class")]
+    fn class_stats_merge_rejects_cross_class() {
+        let mut a = ClassStats::empty(TrafficClass::new(1));
+        a.merge(&ClassStats::empty(TrafficClass::new(2)));
     }
 
     #[test]

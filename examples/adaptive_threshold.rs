@@ -107,7 +107,7 @@ fn run(
         ScheduleEngine::all_layers(N_LAYERS),
         config.clone(),
     );
-    engine.set_controller(policy.build(bank.len(), config.predictor.threshold));
+    engine.set_controller(policy.build_classed(bank.len(), config.predictor.threshold));
     println!("--- {} controller ---", policy.name());
     println!(
         "{:<22} {:>4} {:>12} {:>12} {:>12}",

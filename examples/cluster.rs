@@ -77,6 +77,7 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
             cost: model_cfg().cost.expect("cost twin"),
         },
         controller: specee::control::ControllerPolicy::Static,
+        gossip: true,
     }
 }
 

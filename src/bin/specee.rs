@@ -65,7 +65,9 @@ fn print_help() {
            generate   decode a prompt (--model 7b|13b|70b --dataset NAME --tokens N\n             \
                       --engine dense|specee|calm --seed N\n             \
                       --controller static|pid|bandit: run the specee engine at\n             \
-                      batch 1 with online exit-threshold control)\n  \
+                      batch 1 with online exit-threshold control; policies take\n             \
+                      inline knobs, e.g. pid:target=0.05,kp=0.3 or\n             \
+                      bandit:floor=0.9,grid=0.2|0.5|1.0)\n  \
            train      offline predictor pipeline; prints per-layer accuracy\n             \
                       (--model, --dataset, --seed as above)\n  \
            tokenize   train a byte-level BPE vocabulary and encode TEXT (--vocab N)\n  \
@@ -284,7 +286,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                     let base = config.predictor.threshold;
                     let mut engine =
                         BatchedEngine::new(1, 16, pipe.cfg.n_layers, bank, schedule, config);
-                    engine.set_controller(policy.build(n_predictors, base));
+                    engine.set_controller(policy.build_classed(n_predictors, base));
                     let out = match engine.admit(0, pipe.lm(), draft, &prompt, tokens) {
                         Admission::Done(out) => out,
                         Admission::Seated { .. } => engine.drain().remove(0),
@@ -340,14 +342,107 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses `--controller <policy>` (absent means no controller).
+/// Parses `--controller <spec>` (absent means no controller).
 fn parse_controller(opts: &HashMap<String, String>) -> Result<Option<ControllerPolicy>, String> {
     match opts.get("controller") {
         None => Ok(None),
-        Some(name) => ControllerPolicy::parse(name)
-            .map(Some)
-            .ok_or_else(|| format!("unknown controller `{name}` (static, pid, bandit)")),
+        Some(spec) => parse_controller_spec(spec).map(Some),
     }
+}
+
+/// Parses a controller spec: a policy name with optional inline knobs,
+/// `<policy>[:key=value[,key=value]*]` — e.g. `pid:target=0.05,kp=0.3`
+/// or `bandit:floor=0.9,epoch=16,grid=0.2|0.5|1.0`. Every malformed
+/// spec yields an error naming the offending fragment and the knobs the
+/// policy accepts.
+fn parse_controller_spec(spec: &str) -> Result<ControllerPolicy, String> {
+    let (name, knobs) = match spec.split_once(':') {
+        Some((name, rest)) => (name, rest),
+        None => (spec, ""),
+    };
+    let mut policy = ControllerPolicy::parse(name)
+        .ok_or_else(|| format!("unknown controller `{name}` (static, pid, bandit)"))?;
+    if knobs.is_empty() {
+        if spec.contains(':') {
+            return Err(format!("controller spec `{spec}` has an empty knob list"));
+        }
+        return Ok(policy);
+    }
+    for knob in knobs.split(',') {
+        let (key, value) = knob
+            .split_once('=')
+            .ok_or_else(|| format!("controller knob `{knob}` is not key=value (in `{spec}`)"))?;
+        let bad = |what: &str| format!("controller knob `{key}`: bad {what} `{value}`");
+        let num = || {
+            value
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| bad("number"))
+        };
+        match &mut policy {
+            ControllerPolicy::Static => {
+                return Err(format!("controller `static` takes no knobs (got `{knob}`)"));
+            }
+            ControllerPolicy::Pid(config) => match key {
+                "target" => config.target_false_exit = num()?,
+                "kp" => config.kp = num()?,
+                "ki" => config.ki = num()?,
+                "alpha" => config.ewma_alpha = num()?,
+                "idle" => config.idle_decay = num()? as f32,
+                "min" => config.min_threshold = num()? as f32,
+                "max" => config.max_threshold = num()? as f32,
+                _ => {
+                    return Err(format!(
+                        "unknown pid knob `{key}` \
+                         (target, kp, ki, alpha, idle, min, max)"
+                    ));
+                }
+            },
+            ControllerPolicy::Bandit(config) => match key {
+                "floor" => config.accuracy_floor = num()?,
+                "epoch" => {
+                    config.epoch_tokens = value.parse().map_err(|_| bad("integer"))?;
+                    if config.epoch_tokens == 0 {
+                        return Err("bandit knob `epoch` must be at least 1".to_string());
+                    }
+                }
+                "discount" => config.discount = num()?,
+                "evidence" => config.epoch_evidence = num()?,
+                "gossip-evidence" => config.gossip_evidence = num()?,
+                "reject-cost" => config.reject_cost_layers = num()?,
+                "seed" => config.seed = value.parse().map_err(|_| bad("integer"))?,
+                "grid" => {
+                    let arms: Result<Vec<f32>, String> = value
+                        .split('|')
+                        .map(|a| a.parse::<f32>().map_err(|_| bad("grid")))
+                        .collect();
+                    let arms = arms?;
+                    if arms.is_empty() || arms.iter().any(|a| !a.is_finite()) {
+                        return Err(bad("grid"));
+                    }
+                    config.grid = arms;
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown bandit knob `{key}` (floor, epoch, discount, \
+                         evidence, gossip-evidence, reject-cost, seed, grid)"
+                    ));
+                }
+            },
+        }
+    }
+    // Cross-knob consistency: an inverted clamp range would otherwise
+    // panic inside `f32::clamp` when the controller is built.
+    if let ControllerPolicy::Pid(config) = &policy {
+        if config.min_threshold > config.max_threshold {
+            return Err(format!(
+                "pid knobs min={} > max={} (the threshold clamp range is empty)",
+                config.min_threshold, config.max_threshold
+            ));
+        }
+    }
+    Ok(policy)
 }
 
 /// One-line controller summary for CLI output.
@@ -576,6 +671,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                         cost,
                     },
                     controller: controller.clone(),
+                    gossip: true,
                 },
                 router.build(),
                 &bank,
@@ -624,6 +720,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     }
                 }
             }
+            // Per-traffic-class breakdown (classes derive from exit
+            // hints at admission; the homogeneous CLI workload maps to
+            // one depth band).
+            let breakdown = report.class_breakdown();
+            if !breakdown.is_empty() {
+                for row in &breakdown {
+                    println!(
+                        "{:<7}: {:>3} requests | {:>5} tokens | avg layers {:>4.1}/{}{}",
+                        row.class.to_string(),
+                        row.requests,
+                        row.tokens,
+                        row.mean_layers().unwrap_or(0.0),
+                        pipe.cfg.n_layers,
+                        row.mean_threshold
+                            .map(|t| format!(" | thr {t:.2}"))
+                            .unwrap_or_default()
+                    );
+                }
+            }
             report.stats()
         }
         _ => {
@@ -634,7 +749,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             let base = config.predictor.threshold;
             let mut engine =
                 BatchedEngine::new(batch, 16, pipe.cfg.n_layers, bank, schedule, config);
-            engine.set_controller(controller.build(n_predictors, base));
+            engine.set_controller(controller.build_classed(n_predictors, base));
             let outcome = batcher.run_live(&requests, &mut engine, |_req| {
                 let lm = pipe.lm();
                 let draft = pipe.draft(&lm);
@@ -673,4 +788,98 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         s.throughput_tok_s / d.throughput_tok_s
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specee::control::{BanditConfig, PidConfig};
+
+    fn parse(spec: &str) -> ControllerPolicy {
+        parse_controller_spec(spec).expect("valid spec")
+    }
+
+    fn err(spec: &str) -> String {
+        parse_controller_spec(spec).expect_err("invalid spec")
+    }
+
+    #[test]
+    fn name_only_specs_use_default_configs() {
+        assert_eq!(parse("static"), ControllerPolicy::Static);
+        assert_eq!(parse("pid"), ControllerPolicy::Pid(PidConfig::default()));
+        assert_eq!(
+            parse("bandit"),
+            ControllerPolicy::Bandit(BanditConfig::default())
+        );
+    }
+
+    #[test]
+    fn pid_knobs_override_defaults() {
+        let ControllerPolicy::Pid(config) =
+            parse("pid:target=0.05,kp=0.3,ki=0.01,alpha=0.5,idle=0.1,min=0.2,max=0.8")
+        else {
+            panic!("expected pid");
+        };
+        assert_eq!(config.target_false_exit, 0.05);
+        assert_eq!(config.kp, 0.3);
+        assert_eq!(config.ki, 0.01);
+        assert_eq!(config.ewma_alpha, 0.5);
+        assert_eq!(config.idle_decay, 0.1);
+        assert_eq!(config.min_threshold, 0.2);
+        assert_eq!(config.max_threshold, 0.8);
+        // Untouched knobs keep their defaults.
+        let ControllerPolicy::Pid(partial) = parse("pid:target=0.05") else {
+            panic!("expected pid");
+        };
+        assert_eq!(partial.target_false_exit, 0.05);
+        assert_eq!(partial.kp, PidConfig::default().kp);
+    }
+
+    #[test]
+    fn bandit_knobs_override_defaults() {
+        let ControllerPolicy::Bandit(config) = parse(
+            "bandit:floor=0.9,epoch=16,discount=0.99,evidence=3,gossip-evidence=1.5,\
+             reject-cost=4,seed=7,grid=0.2|0.5|1.0",
+        ) else {
+            panic!("expected bandit");
+        };
+        assert_eq!(config.accuracy_floor, 0.9);
+        assert_eq!(config.epoch_tokens, 16);
+        assert_eq!(config.discount, 0.99);
+        assert_eq!(config.epoch_evidence, 3.0);
+        assert_eq!(config.gossip_evidence, 1.5);
+        assert_eq!(config.reject_cost_layers, 4.0);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.grid, vec![0.2, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn malformed_specs_name_the_offense() {
+        assert!(err("sgd").contains("unknown controller `sgd`"));
+        assert!(err("pid:").contains("empty knob list"));
+        assert!(err("pid:target").contains("not key=value"));
+        assert!(err("pid:warp=1").contains("unknown pid knob `warp`"));
+        assert!(err("pid:target=fast").contains("bad number `fast`"));
+        assert!(err("bandit:epoch=0").contains("at least 1"));
+        assert!(err("pid:target=nan").contains("bad number `nan`"));
+        assert!(err("pid:min=0.8,max=0.2").contains("clamp range is empty"));
+        assert!(err("bandit:epoch=2.5").contains("bad integer"));
+        assert!(err("bandit:grid=0.2|x").contains("bad grid"));
+        assert!(err("bandit:altitude=9").contains("unknown bandit knob"));
+        assert!(err("static:target=0.1").contains("takes no knobs"));
+    }
+
+    #[test]
+    fn controller_line_formats_the_summary() {
+        let line = controller_line(&ControllerSummary {
+            policy: "pid",
+            mean_threshold: 0.525,
+            accepts: 6,
+            rejects: 2,
+            tokens: 40,
+        });
+        assert!(line.contains("pid"));
+        assert!(line.contains("0.525"));
+        assert!(line.contains("8 fires (6 accept / 2 reject, false-exit 25%)"));
+    }
 }

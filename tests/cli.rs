@@ -1,0 +1,89 @@
+//! CLI contract tests: the `specee` binary's error surfaces that other
+//! tooling (scripts, CI, launch wrappers) may depend on. These run the
+//! real binary so the exact message *and* the exit code are pinned —
+//! an explanatory error that silently became a warning (or moved to
+//! stdout, or changed its exit status) would break callers without any
+//! unit test noticing.
+
+use std::process::Command;
+
+fn specee(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_specee"))
+        .args(args)
+        .output()
+        .expect("spawn specee binary")
+}
+
+/// The replay-mode contract: replay prices prerecorded traces, so the
+/// adaptive controllers (which feed on live verify outcomes) must be
+/// rejected with this exact error on stderr and a failing exit code —
+/// never silently downgraded to static.
+#[test]
+fn replay_mode_rejects_adaptive_controllers_with_exact_error() {
+    const EXPECTED: &str = "error: --controller pid|bandit adapts thresholds from live verify \
+                            outcomes; replay mode prices prerecorded traces (use --mode live \
+                            or cluster)";
+    for controller in ["pid", "bandit", "pid:target=0.05", "bandit:floor=0.9"] {
+        let out = specee(&[
+            "serve",
+            "--mode",
+            "replay",
+            "--requests",
+            "0",
+            "--controller",
+            controller,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "--controller {controller} must fail the process"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            stderr.trim_end(),
+            EXPECTED,
+            "--controller {controller}: the contract error moved"
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "--controller {controller}: rejection must precede any output, got: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+/// The static policy stays legal in replay mode (it is the no-op
+/// baseline), so the rejection above cannot overreach.
+#[test]
+fn replay_mode_accepts_the_static_controller() {
+    let out = specee(&[
+        "serve",
+        "--mode",
+        "replay",
+        "--requests",
+        "0",
+        "--controller",
+        "static",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "static + replay is valid");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 tokens served"), "stdout: {stdout}");
+}
+
+/// Malformed inline controller specs fail fast with a pointed error.
+#[test]
+fn malformed_controller_specs_fail_with_exit_code_one() {
+    for (spec, needle) in [
+        ("warp", "unknown controller `warp`"),
+        ("pid:target", "not key=value"),
+        ("bandit:altitude=9", "unknown bandit knob"),
+    ] {
+        let out = specee(&["serve", "--requests", "0", "--controller", spec]);
+        assert_eq!(out.status.code(), Some(1), "spec `{spec}`");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "spec `{spec}`: stderr `{stderr}` missing `{needle}`"
+        );
+    }
+}
