@@ -187,6 +187,8 @@ pub struct BatchedEngine<M, D> {
     meter: Meter,
     steps: u64,
     controller: Option<ClassedController>,
+    /// Compute backend applied to every model at admission.
+    backend: specee_tensor::BackendKind,
 }
 
 impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
@@ -226,7 +228,16 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             meter: Meter::new(),
             steps: 0,
             controller: None,
+            backend: specee_tensor::BackendKind::default(),
         }
+    }
+
+    /// Selects the compute backend stamped onto every model at admission
+    /// (already-seated sequences keep the backend they were admitted
+    /// with). The reference scalar backend is the default; the blocked
+    /// backend is bit-identical on dense weights.
+    pub fn set_backend(&mut self, backend: specee_tensor::BackendKind) {
+        self.backend = backend;
     }
 
     /// Attaches a traffic-class-keyed closed-loop threshold controller.
@@ -379,6 +390,7 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         assert_eq!(model.config().n_layers, self.n_layers, "model depth");
         self.ensure_class_bank(class);
         model.reset();
+        model.set_backend(self.backend);
         draft.reset();
         let mut prefill_meter = Meter::new();
         let h0 = prefill(&mut model, prompt, &mut prefill_meter);

@@ -2,6 +2,7 @@
 //! attention for speculative-decoding verification.
 
 use specee_metrics::Meter;
+use specee_tensor::BackendKind;
 
 use crate::config::ModelConfig;
 use crate::kv::KvCache;
@@ -61,10 +62,12 @@ fn attend_one_head(
 ///
 /// Panics if `pos` does not equal the cache length (tokens must be
 /// committed strictly in order).
+#[allow(clippy::too_many_arguments)]
 pub fn attention_forward(
     w: &LayerWeights,
     cfg: &ModelConfig,
     scale: &OpScale,
+    backend: BackendKind,
     x: &[f32],
     pos: usize,
     cache: &mut KvCache,
@@ -73,9 +76,9 @@ pub fn attention_forward(
     assert_eq!(pos, cache.len(), "attention positions must be sequential");
     let heads = cfg.n_heads;
     let head_dim = cfg.head_dim();
-    let mut q = w.wq.matvec(x);
-    let mut k = w.wk.matvec(x);
-    let v = w.wv.matvec(x);
+    let mut q = w.wq.matvec_with(backend, x);
+    let mut k = w.wk.matvec_with(backend, x);
+    let v = w.wv.matvec_with(backend, x);
     apply_rope(&mut q, pos, heads, head_dim, cfg.rope_theta);
     apply_rope(&mut k, pos, heads, head_dim, cfg.rope_theta);
     cache.push(&k, &v);
@@ -95,7 +98,7 @@ pub fn attention_forward(
         );
     }
     scale.record_attention(meter, kv_len);
-    w.wo.matvec(&merged)
+    w.wo.matvec_with(backend, &merged)
 }
 
 /// Tree-masked attention over a batch of draft nodes.
@@ -111,10 +114,12 @@ pub fn attention_forward(
 ///
 /// Panics if a parent index is not smaller than its child's index
 /// (nodes must be supplied in topological order).
+#[allow(clippy::too_many_arguments)]
 pub fn attention_forward_tree(
     w: &LayerWeights,
     cfg: &ModelConfig,
     scale: &OpScale,
+    backend: BackendKind,
     xs: &[Vec<f32>],
     parents: &[Option<usize>],
     cache: &KvCache,
@@ -131,9 +136,9 @@ pub fn attention_forward_tree(
     let mut tree_kv = TreeKv::default();
     for (i, x) in xs.iter().enumerate() {
         let pos = base + depths[i];
-        let mut q = w.wq.matvec(x);
-        let mut k = w.wk.matvec(x);
-        let v = w.wv.matvec(x);
+        let mut q = w.wq.matvec_with(backend, x);
+        let mut k = w.wk.matvec_with(backend, x);
+        let v = w.wv.matvec_with(backend, x);
         apply_rope(&mut q, pos, heads, head_dim, cfg.rope_theta);
         apply_rope(&mut k, pos, heads, head_dim, cfg.rope_theta);
         qs.push(q);
@@ -177,7 +182,7 @@ pub fn attention_forward_tree(
             );
         }
         kv_lens.push(keys.len());
-        outputs.push(w.wo.matvec(&merged));
+        outputs.push(w.wo.matvec_with(backend, &merged));
     }
     scale.record_attention_tree(meter, &kv_lens);
     (outputs, tree_kv)
@@ -219,10 +224,28 @@ mod tests {
         let mut cache = KvCache::new(cfg.hidden_dim, KvLayout::Contiguous);
         let mut meter = Meter::new();
         let x = vec![0.1; cfg.hidden_dim];
-        let out = attention_forward(&w, &cfg, &scale, &x, 0, &mut cache, &mut meter);
+        let out = attention_forward(
+            &w,
+            &cfg,
+            &scale,
+            BackendKind::Reference,
+            &x,
+            0,
+            &mut cache,
+            &mut meter,
+        );
         assert_eq!(out.len(), cfg.hidden_dim);
         assert_eq!(cache.len(), 1);
-        let _ = attention_forward(&w, &cfg, &scale, &x, 1, &mut cache, &mut meter);
+        let _ = attention_forward(
+            &w,
+            &cfg,
+            &scale,
+            BackendKind::Reference,
+            &x,
+            1,
+            &mut cache,
+            &mut meter,
+        );
         assert_eq!(cache.len(), 2);
     }
 
@@ -233,7 +256,16 @@ mod tests {
         let mut cache = KvCache::new(cfg.hidden_dim, KvLayout::Contiguous);
         let mut meter = Meter::new();
         let x = vec![0.1; cfg.hidden_dim];
-        attention_forward(&w, &cfg, &scale, &x, 3, &mut cache, &mut meter);
+        attention_forward(
+            &w,
+            &cfg,
+            &scale,
+            BackendKind::Reference,
+            &x,
+            3,
+            &mut cache,
+            &mut meter,
+        );
     }
 
     #[test]
@@ -254,14 +286,40 @@ mod tests {
         for pos in 0..2 {
             let mut x = vec![0.0; cfg.hidden_dim];
             rng.fill_uniform(&mut x, 0.5);
-            attention_forward(&w, &cfg, &scale, &x, pos, &mut cache, &mut meter);
+            attention_forward(
+                &w,
+                &cfg,
+                &scale,
+                BackendKind::Reference,
+                &x,
+                pos,
+                &mut cache,
+                &mut meter,
+            );
         }
         let mut x = vec![0.0; cfg.hidden_dim];
         rng.fill_uniform(&mut x, 0.5);
 
-        let (tree_out, tree_kv) =
-            attention_forward_tree(&w, &cfg, &scale, &[x.clone()], &[None], &cache, &mut meter);
-        let seq_out = attention_forward(&w, &cfg, &scale, &x, 2, &mut cache, &mut meter);
+        let (tree_out, tree_kv) = attention_forward_tree(
+            &w,
+            &cfg,
+            &scale,
+            BackendKind::Reference,
+            &[x.clone()],
+            &[None],
+            &cache,
+            &mut meter,
+        );
+        let seq_out = attention_forward(
+            &w,
+            &cfg,
+            &scale,
+            BackendKind::Reference,
+            &x,
+            2,
+            &mut cache,
+            &mut meter,
+        );
         for (a, b) in tree_out[0].iter().zip(seq_out.iter()) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
@@ -279,7 +337,16 @@ mod tests {
         let mut meter = Meter::new();
         let mut ctx = vec![0.0; cfg.hidden_dim];
         rng.fill_uniform(&mut ctx, 0.5);
-        attention_forward(&w, &cfg, &scale, &ctx, 0, &mut cache, &mut meter);
+        attention_forward(
+            &w,
+            &cfg,
+            &scale,
+            BackendKind::Reference,
+            &ctx,
+            0,
+            &mut cache,
+            &mut meter,
+        );
 
         let mut a = vec![0.0; cfg.hidden_dim];
         let mut b = vec![0.0; cfg.hidden_dim];
@@ -287,12 +354,21 @@ mod tests {
         rng.fill_uniform(&mut b, 0.5);
 
         // Node a alone vs node a next to sibling b: identical outputs.
-        let (alone, _) =
-            attention_forward_tree(&w, &cfg, &scale, &[a.clone()], &[None], &cache, &mut meter);
+        let (alone, _) = attention_forward_tree(
+            &w,
+            &cfg,
+            &scale,
+            BackendKind::Reference,
+            &[a.clone()],
+            &[None],
+            &cache,
+            &mut meter,
+        );
         let (paired, _) = attention_forward_tree(
             &w,
             &cfg,
             &scale,
+            BackendKind::Reference,
             &[a.clone(), b],
             &[None, None],
             &cache,
@@ -322,6 +398,7 @@ mod tests {
             &w,
             &cfg,
             &scale,
+            BackendKind::Reference,
             &[root.clone(), child.clone()],
             &[None, Some(0)],
             &cache,
@@ -331,6 +408,7 @@ mod tests {
             &w,
             &cfg,
             &scale,
+            BackendKind::Reference,
             &[other_root, child.clone()],
             &[None, Some(0)],
             &cache,

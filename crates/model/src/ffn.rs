@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use specee_metrics::Meter;
-use specee_tensor::{ops, rng::Pcg, Matrix};
+use specee_tensor::{ops, rng::Pcg, BackendKind, Matrix};
 
 use crate::linear::LinearOp;
 use crate::metering::OpScale;
@@ -53,21 +53,29 @@ impl FfnRouter {
 }
 
 /// Dense gated FFN without metering (shared by the single-token and
-/// tree-batched paths, which meter differently).
-pub fn ffn_apply(w: &LayerWeights, x: &[f32]) -> Vec<f32> {
-    let gate = w.w_gate.matvec(x);
-    let up = w.w_up.matvec(x);
+/// tree-batched paths, which meter differently). The three mat-vecs run
+/// on `backend`; [`BackendKind::Reference`] reproduces the historical
+/// scalar path bit-for-bit.
+pub fn ffn_apply(w: &LayerWeights, backend: BackendKind, x: &[f32]) -> Vec<f32> {
+    let gate = w.w_gate.matvec_with(backend, x);
+    let up = w.w_up.matvec_with(backend, x);
     let mut act = vec![0.0f32; gate.len()];
     for ((a, &g), &u) in act.iter_mut().zip(gate.iter()).zip(up.iter()) {
         *a = ops::silu(g) * u;
     }
-    w.w_down.matvec(&act)
+    w.w_down.matvec_with(backend, &act)
 }
 
 /// Dense gated FFN: `w_down( silu(w_gate x) ⊙ w_up x )`.
-pub fn ffn_forward(w: &LayerWeights, scale: &OpScale, x: &[f32], meter: &mut Meter) -> Vec<f32> {
+pub fn ffn_forward(
+    w: &LayerWeights,
+    scale: &OpScale,
+    backend: BackendKind,
+    x: &[f32],
+    meter: &mut Meter,
+) -> Vec<f32> {
     scale.record_ffn(meter);
-    ffn_apply(w, x)
+    ffn_apply(w, backend, x)
 }
 
 /// Sparse gated FFN: only the router-selected neurons are computed.
@@ -142,7 +150,13 @@ mod tests {
     fn dense_output_shape() {
         let (cfg, w, scale) = setup();
         let mut meter = Meter::new();
-        let y = ffn_forward(&w, &scale, &vec![0.2; cfg.hidden_dim], &mut meter);
+        let y = ffn_forward(
+            &w,
+            &scale,
+            BackendKind::Reference,
+            &vec![0.2; cfg.hidden_dim],
+            &mut meter,
+        );
         assert_eq!(y.len(), cfg.hidden_dim);
         assert!(meter.total_flops() > 0.0);
     }
@@ -154,7 +168,7 @@ mod tests {
         let router = FfnRouter::random(cfg.hidden_dim, cfg.ffn_dim, 8, &mut rng);
         let x = vec![0.15; cfg.hidden_dim];
         let mut meter = Meter::new();
-        let dense = ffn_forward(&w, &scale, &x, &mut meter);
+        let dense = ffn_forward(&w, &scale, BackendKind::Reference, &x, &mut meter);
         let sparse = ffn_forward_sparse(&w, &router, 1.0, &scale, &x, &mut meter);
         for (a, b) in dense.iter().zip(sparse.iter()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
@@ -168,7 +182,7 @@ mod tests {
         let router = FfnRouter::random(cfg.hidden_dim, cfg.ffn_dim, 16, &mut rng);
         let x = vec![0.15; cfg.hidden_dim];
         let mut meter = Meter::new();
-        let dense = ffn_forward(&w, &scale, &x, &mut meter);
+        let dense = ffn_forward(&w, &scale, BackendKind::Reference, &x, &mut meter);
         let sparse = ffn_forward_sparse(&w, &router, 0.5, &scale, &x, &mut meter);
         // Not exact, but same magnitude: sparse keeps half the mass.
         let dn = ops::l2_norm(&dense);

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use specee_tensor::awq::{AwqCalibration, AwqMatrix};
-use specee_tensor::{Matrix, QuantBits, QuantizedMatrix};
+use specee_tensor::{BackendKind, Matrix, QuantBits, QuantizedMatrix};
 
 /// A weight matrix that is dense f32, plain group-quantized
 /// (round-to-nearest), or AWQ-quantized with activation-aware per-channel
@@ -69,6 +69,17 @@ impl LinearOp {
             LinearOp::Dense(m) => m.matvec(x),
             LinearOp::Quant(q) => q.matvec(x),
             LinearOp::Awq(a) => a.matvec(x),
+        }
+    }
+
+    /// Mat-vec product through a compute backend. With
+    /// [`BackendKind::Reference`] this is bit-identical to
+    /// [`LinearOp::matvec`].
+    pub fn matvec_with(&self, backend: BackendKind, x: &[f32]) -> Vec<f32> {
+        match self {
+            LinearOp::Dense(m) => backend.get().matvec(m, x),
+            LinearOp::Quant(q) => backend.get().matvec_q(q, x),
+            LinearOp::Awq(a) => a.matvec_with(backend.get(), x),
         }
     }
 

@@ -11,6 +11,7 @@
 //! on either substrate.
 
 use specee_metrics::Meter;
+use specee_tensor::BackendKind;
 
 use crate::attention::TreeKv;
 use crate::config::{ModelConfig, TokenId};
@@ -20,6 +21,18 @@ use crate::kv::SkipKvPolicy;
 pub trait LayeredLm {
     /// Model configuration (executed dims + cost twin).
     fn config(&self) -> &ModelConfig;
+
+    /// Selects the compute backend for subsequent forwards. Models whose
+    /// arithmetic is not expressed through `specee-tensor` mat-vecs (e.g.
+    /// the calibrated synthetic model) may ignore the request; callers can
+    /// check [`LayeredLm::backend`] to see what is in effect.
+    fn set_backend(&mut self, _backend: BackendKind) {}
+
+    /// The compute backend in effect ([`BackendKind::Reference`] unless
+    /// the implementation routes mat-vecs through a backend).
+    fn backend(&self) -> BackendKind {
+        BackendKind::Reference
+    }
 
     /// Clears all sequence state (KV caches, context bookkeeping).
     fn reset(&mut self);

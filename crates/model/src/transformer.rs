@@ -1,7 +1,7 @@
 //! The executable decoder-only transformer.
 
 use specee_metrics::Meter;
-use specee_tensor::{ops, rng::Pcg, QuantBits};
+use specee_tensor::{ops, rng::Pcg, BackendKind, QuantBits};
 
 use crate::attention::{attention_forward, attention_forward_tree, TreeKv};
 use crate::calibration::ActivationTap;
@@ -43,6 +43,8 @@ pub struct Transformer {
     ffn_mode: FfnMode,
     routers: Vec<FfnRouter>,
     scale: OpScale,
+    /// Compute backend every projection mat-vec dispatches through.
+    backend: BackendKind,
     /// Armed during AWQ calibration runs; `None` on the hot path.
     tap: Option<ActivationTap>,
 }
@@ -67,6 +69,7 @@ impl Transformer {
             ffn_mode: FfnMode::Dense,
             routers: Vec::new(),
             scale,
+            backend: BackendKind::default(),
             tap: None,
         }
     }
@@ -159,6 +162,18 @@ impl Transformer {
         &self.scale
     }
 
+    /// Selects the compute backend for every subsequent forward.
+    /// [`BackendKind::Reference`] (the default) is the scalar oracle;
+    /// [`BackendKind::Blocked`] is bit-identical on dense weights.
+    pub fn set_backend(&mut self, backend: BackendKind) {
+        self.backend = backend;
+    }
+
+    /// The compute backend in use.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
     fn normed(&self, h: &[f32], gain: &[f32]) -> Vec<f32> {
         ops::rmsnorm(h, gain, 1e-5)
     }
@@ -167,6 +182,14 @@ impl Transformer {
 impl LayeredLm for Transformer {
     fn config(&self) -> &ModelConfig {
         &self.config
+    }
+
+    fn set_backend(&mut self, backend: BackendKind) {
+        Transformer::set_backend(self, backend);
+    }
+
+    fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     fn reset(&mut self) {
@@ -195,11 +218,20 @@ impl LayeredLm for Transformer {
         let w = &self.weights.layers[layer];
         let cache = &mut self.caches[layer];
         let normed = ops::rmsnorm(h, &w.attn_norm, 1e-5);
-        let attn = attention_forward(w, &self.config, &self.scale, &normed, pos, cache, meter);
+        let attn = attention_forward(
+            w,
+            &self.config,
+            &self.scale,
+            self.backend,
+            &normed,
+            pos,
+            cache,
+            meter,
+        );
         let mut mid: Vec<f32> = h.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
         let normed2 = ops::rmsnorm(&mid, &w.ffn_norm, 1e-5);
         let ffn = match self.ffn_mode {
-            FfnMode::Dense => ffn_forward(w, &self.scale, &normed2, meter),
+            FfnMode::Dense => ffn_forward(w, &self.scale, self.backend, &normed2, meter),
             FfnMode::Sparse { active_frac, .. } => ffn_forward_sparse(
                 w,
                 &self.routers[layer],
@@ -250,14 +282,22 @@ impl LayeredLm for Transformer {
             .iter()
             .map(|h| ops::rmsnorm(h, &w.attn_norm, 1e-5))
             .collect();
-        let (attn_outs, tree_kv) =
-            attention_forward_tree(w, &self.config, &self.scale, &normed, parents, cache, meter);
+        let (attn_outs, tree_kv) = attention_forward_tree(
+            w,
+            &self.config,
+            &self.scale,
+            self.backend,
+            &normed,
+            parents,
+            cache,
+            meter,
+        );
         let mut outs = Vec::with_capacity(hs.len());
         for (h, attn) in hs.iter().zip(attn_outs.iter()) {
             let mut mid: Vec<f32> = h.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
             let normed2 = ops::rmsnorm(&mid, &w.ffn_norm, 1e-5);
             let ffn = match self.ffn_mode {
-                FfnMode::Dense => ffn_apply(w, &normed2),
+                FfnMode::Dense => ffn_apply(w, self.backend, &normed2),
                 FfnMode::Sparse { active_frac, .. } => {
                     ffn_apply_sparse(w, &self.routers[layer], active_frac, &normed2)
                 }
@@ -311,9 +351,9 @@ impl LayeredLm for Transformer {
         match policy {
             SkipKvPolicy::ProjectExitHidden => {
                 let normed = ops::rmsnorm(h, &w.attn_norm, 1e-5);
-                let mut k = w.wk.matvec(&normed);
+                let mut k = w.wk.matvec_with(self.backend, &normed);
                 crate::rope::apply_rope(&mut k, pos, heads, head_dim, self.config.rope_theta);
-                let v = w.wv.matvec(&normed);
+                let v = w.wv.matvec_with(self.backend, &normed);
                 cache.push(&k, &v);
                 self.scale.record_skip_kv_fill(meter);
             }
@@ -334,7 +374,7 @@ impl LayeredLm for Transformer {
             tap.record_head(&normed);
         }
         self.scale.record_lm_head_full(meter);
-        self.weights.lm_head.matvec(&normed)
+        self.weights.lm_head.matvec_with(self.backend, &normed)
     }
 
     fn final_logits_batch(&mut self, hs: &[Vec<f32>], meter: &mut Meter) -> Vec<Vec<f32>> {
@@ -342,7 +382,7 @@ impl LayeredLm for Transformer {
         hs.iter()
             .map(|h| {
                 let normed = self.normed(h, &self.weights.final_norm.clone());
-                self.weights.lm_head.matvec(&normed)
+                self.weights.lm_head.matvec_with(self.backend, &normed)
             })
             .collect()
     }

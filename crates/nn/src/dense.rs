@@ -1,7 +1,7 @@
 //! A fully-connected layer with manual gradients.
 
 use serde::{Deserialize, Serialize};
-use specee_tensor::{rng::Pcg, Matrix};
+use specee_tensor::{rng::Pcg, BackendKind, Matrix};
 
 /// A dense affine layer `y = W x + b`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +57,21 @@ impl Dense {
     /// Panics if `x.len() != in_dim()`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         let mut y = self.w.matvec(x);
+        for (v, b) in y.iter_mut().zip(self.b.iter()) {
+            *v += b;
+        }
+        y
+    }
+
+    /// Forward pass through a compute backend. With
+    /// [`BackendKind::Reference`] this is bit-identical to
+    /// [`Dense::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()`.
+    pub fn forward_with(&self, backend: BackendKind, x: &[f32]) -> Vec<f32> {
+        let mut y = backend.get().matvec(&self.w, x);
         for (v, b) in y.iter_mut().zip(self.b.iter()) {
             *v += b;
         }

@@ -1,7 +1,7 @@
 //! Multi-layer perceptron with ReLU hidden activations.
 
 use serde::{Deserialize, Serialize};
-use specee_tensor::{ops, rng::Pcg};
+use specee_tensor::{ops, rng::Pcg, BackendKind};
 
 use crate::dense::{Dense, DenseGrad};
 
@@ -94,6 +94,23 @@ impl Mlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(&h);
+            if i != last {
+                for v in &mut h {
+                    *v = self.activation.apply(*v);
+                }
+            }
+        }
+        h
+    }
+
+    /// Forward pass through a compute backend. With
+    /// [`BackendKind::Reference`] this is bit-identical to
+    /// [`Mlp::forward`].
+    pub fn forward_with(&self, backend: BackendKind, x: &[f32]) -> Vec<f32> {
+        let mut h = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_with(backend, &h);
             if i != last {
                 for v in &mut h {
                     *v = self.activation.apply(*v);

@@ -184,6 +184,14 @@ impl LayeredLm for SyntheticLm {
         self.inner.config()
     }
 
+    fn set_backend(&mut self, backend: specee_tensor::BackendKind) {
+        self.inner.set_backend(backend);
+    }
+
+    fn backend(&self) -> specee_tensor::BackendKind {
+        LayeredLm::backend(&self.inner)
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
         self.context.clear();

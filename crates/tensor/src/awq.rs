@@ -16,6 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::Backend;
 use crate::matrix::Matrix;
 use crate::quant::{QuantBits, QuantError, QuantizedMatrix};
 
@@ -202,6 +203,25 @@ impl AwqMatrix {
         assert_eq!(x.len(), self.cols(), "awq matvec input length");
         let scaled: Vec<f32> = x.iter().zip(&self.inv_scales).map(|(v, s)| v * s).collect();
         self.q.matvec(&scaled)
+    }
+
+    /// [`Self::matvec`] with the inner quantized product routed through a
+    /// compute backend's [`Backend::matvec_q`] kernel. The activation
+    /// pre-scaling is identical to [`Self::matvec`], so with the reference
+    /// backend this is bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_with(&self, backend: &dyn Backend, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols(), "awq matvec input length");
+        let scaled: Vec<f32> = x.iter().zip(&self.inv_scales).map(|(v, s)| v * s).collect();
+        backend.matvec_q(&self.q, &scaled)
+    }
+
+    /// Borrows the underlying group-quantized matrix (scaled weights).
+    pub fn quantized(&self) -> &QuantizedMatrix {
+        &self.q
     }
 
     /// Product against a subset of rows (the speculative LM-head slice).

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::Backend;
 use crate::matrix::{dot, Matrix};
 
 /// Candidate weight-row ids for one group (one token-tree node).
@@ -125,6 +126,18 @@ impl GroupedGemm {
                 idx.iter().map(|&i| dot(self.compact.row(i), x)).collect()
             })
             .collect()
+    }
+
+    /// Runs the plan through a compute backend's batched
+    /// [`Backend::gemm`] kernel instead of the built-in scalar loop.
+    /// With the reference backend this is bit-identical to [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the group count or any input
+    /// has the wrong dimension.
+    pub fn run_with(&self, backend: &dyn Backend, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        backend.gemm(&self.compact, &self.group_indices, inputs)
     }
 
     /// Bytes of weight data read at plan time (the shared-read win: each

@@ -5,7 +5,9 @@
 //! transformer decoder ([`ops`]), group-quantized int8/int4 matrices
 //! ([`quant`]) standing in for AWQ-style weight quantization, the block-wise
 //! grouped GEMM used by SpecEE's hyper-token feature extraction
-//! ([`grouped`]), and a deterministic PRNG ([`rng`]) so every experiment is
+//! ([`grouped`]), a pluggable compute-backend seam ([`backend`]) with a
+//! scalar oracle, a cache-blocked kernel set, and an i8 integer kernel set,
+//! and a deterministic PRNG ([`rng`]) so every experiment is
 //! bit-reproducible.
 //!
 //! # Examples
@@ -22,6 +24,7 @@
 #![deny(missing_docs)]
 
 pub mod awq;
+pub mod backend;
 pub mod grouped;
 pub mod matrix;
 pub mod ops;
@@ -29,6 +32,7 @@ pub mod quant;
 pub mod rng;
 
 pub use awq::{AwqCalibration, AwqMatrix};
+pub use backend::{Backend, BackendKind, Blocked, QuantizedI8, Reference};
 pub use grouped::{grouped_matvec, GroupedGemm, GroupedGemmSpec};
 pub use matrix::Matrix;
 pub use quant::{QuantBits, QuantError, QuantizedMatrix};

@@ -165,6 +165,17 @@ impl QuantizedMatrix {
         self.group_size
     }
 
+    /// The raw integer codes, row-major, one i8 per element (backends read
+    /// these directly for integer inner loops).
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// The per-(row, group) scales, row-major.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
     /// Dequantize-on-the-fly mat-vec `y = Q x`.
     ///
     /// # Panics

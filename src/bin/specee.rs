@@ -22,11 +22,12 @@ use specee::core::predictor::PredictorBank;
 use specee::core::skip_layer::{calibrate_calm_threshold, CalmEngine};
 use specee::core::{agreement, GenOutput, SpecEeConfig};
 use specee::metrics::{FrameworkProfile, HardwareProfile, Roofline};
-use specee::model::{ModelConfig, TokenId};
+use specee::model::{LayeredLm, ModelConfig, TokenId};
 use specee::nn::TrainConfig;
 use specee::serve::{BatcherConfig, ContinuousBatcher, PoissonArrivals, RequestTrace};
 use specee::synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
 use specee::tensor::rng::Pcg;
+use specee::tensor::BackendKind;
 use specee::text::{BpeTrainer, CorpusConfig, SyntheticCorpus};
 
 fn main() -> ExitCode {
@@ -64,6 +65,10 @@ fn print_help() {
            info       list model presets, dataset profiles and hardware targets\n  \
            generate   decode a prompt (--model 7b|13b|70b --dataset NAME --tokens N\n             \
                       --engine dense|specee|calm --seed N\n             \
+                      --backend reference|blocked|quant: CPU compute kernels for\n             \
+                      every projection mat-vec (blocked is bit-identical to the\n             \
+                      reference oracle on dense weights, quant runs an i8\n             \
+                      integer inner loop)\n             \
                       --controller static|pid|bandit: run the specee engine at\n             \
                       batch 1 with online exit-threshold control; policies take\n             \
                       inline knobs, e.g. pid:target=0.05,kp=0.3 or\n             \
@@ -138,6 +143,7 @@ struct Pipeline {
     cfg: ModelConfig,
     profile: DatasetProfile,
     seed: u64,
+    backend: BackendKind,
 }
 
 impl Pipeline {
@@ -145,13 +151,24 @@ impl Pipeline {
         let cfg = model_by_name(opts.get("model").map_or("7b", String::as_str))?;
         let profile = dataset_by_name(opts.get("dataset").map_or("QA", String::as_str))?;
         let seed = parse_num(opts, "seed", 2025u64)?;
-        Ok(Pipeline { cfg, profile, seed })
+        let backend = match opts.get("backend") {
+            None => BackendKind::default(),
+            Some(v) => v.parse().map_err(|e| format!("--backend: {e}"))?,
+        };
+        Ok(Pipeline {
+            cfg,
+            profile,
+            seed,
+            backend,
+        })
     }
 
     fn lm(&self) -> SyntheticLm {
-        SyntheticLmBuilder::new(self.cfg.clone(), self.profile.clone())
+        let mut lm = SyntheticLmBuilder::new(self.cfg.clone(), self.profile.clone())
             .seed(self.seed)
-            .build()
+            .build();
+        lm.set_backend(self.backend);
+        lm
     }
 
     fn draft(&self, lm: &SyntheticLm) -> OracleDraft {
@@ -321,6 +338,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     .cost(&out.meter);
     println!("engine        : {engine_name} on {}", pipe.cfg.name);
     println!("dataset       : {}", pipe.profile.name);
+    println!("backend       : {}", pipe.backend);
     println!("tokens        : {:?}", out.tokens);
     println!("exit layers   : {:?}", out.exit_layers);
     println!(
@@ -658,6 +676,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 cfg: pipe.cfg.clone(),
                 profile: pipe.profile.clone(),
                 seed: pipe.seed,
+                backend: pipe.backend,
             };
             let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
                 &ClusterConfig {

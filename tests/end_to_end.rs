@@ -226,3 +226,45 @@ fn meter_records_full_scale_costs() {
     assert_eq!(out.meter.tokens(), 4);
     assert!(out.meter.host_steps() >= 4);
 }
+
+#[test]
+fn blocked_backend_preserves_tokens_and_exit_layers_exactly() {
+    // The blocked backend keeps the reference f32 summation order on the
+    // matvec paths the engine actually exercises, so retargeting the model
+    // must change nothing observable: identical tokens AND identical
+    // per-token exit layers on the quickstart workload.
+    let prompt = vec![2u32, 9, 4, 7];
+    let run = |backend: specee::tensor::BackendKind| {
+        let p = pipeline(101);
+        let schedule = p
+            .config
+            .build_schedule(test_cfg().n_layers, Some(&p.frequencies));
+        let mut engine = SpecEeEngine::new(
+            build_lm(p.seed, &p.profile),
+            p.draft.clone(),
+            p.trained_bank.clone(),
+            schedule,
+            p.config.clone(),
+        );
+        engine.set_backend(backend);
+        assert_eq!(engine.model().backend(), backend);
+        let out = engine.generate(&prompt, 24);
+        (out.tokens, out.exit_layers)
+    };
+
+    let reference = run(specee::tensor::BackendKind::Reference);
+    let blocked = run(specee::tensor::BackendKind::Blocked);
+    assert_eq!(reference.0, blocked.0, "token streams diverged");
+    assert_eq!(reference.1, blocked.1, "exit layers diverged");
+
+    // Dense full-depth decoding agrees bit-for-bit too.
+    let dense_run = |backend: specee::tensor::BackendKind| {
+        let mut lm = build_lm(101, &DatasetProfile::qa());
+        lm.set_backend(backend);
+        DenseEngine::new(lm).generate(&prompt, 16).tokens
+    };
+    assert_eq!(
+        dense_run(specee::tensor::BackendKind::Reference),
+        dense_run(specee::tensor::BackendKind::Blocked)
+    );
+}
