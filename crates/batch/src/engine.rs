@@ -9,6 +9,7 @@ use specee_core::SpecEeConfig;
 use specee_draft::SpeculativeSource;
 use specee_metrics::Meter;
 use specee_model::{prefill, BatchedStack, LayeredLm, SlotPool, TokenId};
+use specee_obs::{EventKind, Recorder, TraceSink};
 use specee_tensor::ops;
 
 /// The finished record of one batched sequence.
@@ -189,6 +190,11 @@ pub struct BatchedEngine<M, D> {
     controller: Option<ClassedController>,
     /// Compute backend applied to every model at admission.
     backend: specee_tensor::BackendKind,
+    /// Optional trace recorder (None = tracing disabled, zero cost).
+    /// The engine has no clock of its own — whoever owns the simulated
+    /// clock (the live batcher, a cluster worker) sets it via
+    /// [`BatchedEngine::recorder_mut`] before each step.
+    trace: Option<Recorder>,
 }
 
 impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
@@ -229,7 +235,30 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             steps: 0,
             controller: None,
             backend: specee_tensor::BackendKind::default(),
+            trace: None,
         }
+    }
+
+    /// Attaches (or detaches) a trace recorder. Subsequent steps emit
+    /// exit-decision events (per predictor fire, stamped with the
+    /// sequence id), controller-apply events (per class, at each step
+    /// boundary a controller is attached) and gossip events. The
+    /// recorder is write-only — traced and untraced runs decode
+    /// bit-identically — and with `None` (the default) the whole plane
+    /// costs one discriminant test per step.
+    pub fn set_recorder(&mut self, recorder: Option<Recorder>) {
+        self.trace = recorder;
+    }
+
+    /// The attached recorder, for clock/context stamping by the layer
+    /// that owns the simulated clock.
+    pub fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        self.trace.as_mut()
+    }
+
+    /// Takes the recorder (and its events) back out of the engine.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.trace.take()
     }
 
     /// Selects the compute backend stamped onto every model at admission
@@ -293,6 +322,15 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         ctl.apply(TrafficClass::DEFAULT, &mut self.bank);
         for (class, bank) in self.class_banks.iter_mut() {
             ctl.apply(class, bank);
+        }
+        if self.trace.enabled() && !evidence.is_empty() {
+            if let Some(rec) = self.trace.as_mut() {
+                rec.set_seq(None);
+                rec.record(EventKind::Gossip {
+                    classes: evidence.len() as u32,
+                    tokens: evidence.iter().map(|e| e.tokens).sum(),
+                });
+            }
         }
     }
 
@@ -512,7 +550,10 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
                 // Thresholds resolve per sequence: each scan runs against
                 // its class's bank (the default bank for untagged slots).
                 let bank = self.class_banks.get(seq.class).unwrap_or(&self.bank);
-                if let Some((tok, full)) = seq.scan.check(
+                if let Some(rec) = self.trace.as_mut() {
+                    rec.set_seq(Some(seq.id));
+                }
+                if let Some((tok, full)) = seq.scan.check_with_sink(
                     model,
                     bank,
                     &seq.schedule,
@@ -520,6 +561,7 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
                     &cands[slot],
                     layer,
                     &mut self.meter,
+                    &mut self.trace,
                 ) {
                     model.fill_skipped_kv(
                         layer + 1,
@@ -595,6 +637,25 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             ctl.apply(TrafficClass::DEFAULT, &mut self.bank);
             for (class, bank) in self.class_banks.iter_mut() {
                 ctl.apply(class, bank);
+            }
+            // Trace the operating point each apply left in force: one
+            // controller-apply event per class per step boundary, so a
+            // trace shows the threshold trajectory the run decoded under.
+            if self.trace.enabled() {
+                let mean = |bank: &PredictorBank| {
+                    (0..bank.len())
+                        .map(|l| f64::from(bank.layer(l).threshold()))
+                        .sum::<f64>()
+                        / bank.len().max(1) as f64
+                };
+                let mut applies = vec![(TrafficClass::DEFAULT.id(), mean(&self.bank))];
+                applies.extend(self.class_banks.iter().map(|(c, b)| (c.id(), mean(b))));
+                if let Some(rec) = self.trace.as_mut() {
+                    rec.set_seq(None);
+                    for (class, threshold) in applies {
+                        rec.record(EventKind::ControllerApply { class, threshold });
+                    }
+                }
             }
         }
         self.stack.sync_leases();
@@ -842,6 +903,60 @@ mod tests {
             assert_eq!(a.predictor_calls, b.predictor_calls, "id {}", a.id);
             assert_eq!(a.verify_calls, b.verify_calls, "id {}", a.id);
         }
+    }
+
+    #[test]
+    fn traced_batch_run_is_bit_identical_and_records_decisions() {
+        // Tracing on vs off: same tokens, same exit layers, same meter —
+        // and the trace carries one accepted exit instant per early exit
+        // plus controller-apply events at every step boundary.
+        let run = |traced: bool| {
+            let mut eng = engine(2, 91);
+            let base = eng.bank().layer(0).threshold();
+            let n = eng.bank().len();
+            eng.set_controller(specee_control::ControllerPolicy::pid().build_classed(n, base));
+            if traced {
+                eng.set_recorder(Some(Recorder::for_worker(0)));
+            }
+            for i in 0..2u64 {
+                let lm = build_lm(91);
+                let draft = build_draft(&lm, 91 ^ i);
+                let _ = eng.admit(i, lm, draft, &[4 + i as TokenId, 2, 9], 12);
+            }
+            let outs = eng.drain();
+            let events = eng
+                .take_recorder()
+                .map(Recorder::into_events)
+                .unwrap_or_default();
+            let meter = eng.meter().clone();
+            (outs, events, meter)
+        };
+        let (plain, no_events, plain_meter) = run(false);
+        let (traced, events, traced_meter) = run(true);
+        assert!(no_events.is_empty());
+        assert_eq!(plain_meter, traced_meter, "identical op totals");
+        let mut early = 0usize;
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.tokens, b.tokens, "id {}", a.id);
+            assert_eq!(a.exit_layers, b.exit_layers, "id {}", a.id);
+            early += a.exit_layers.iter().skip(1).filter(|&&l| l < 12).count();
+        }
+        let accepts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ExitDecision { accepted: true, .. }))
+            .count();
+        assert_eq!(accepts, early, "one accepted instant per taken exit");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::ControllerApply { .. })),
+            "controller applies are traced"
+        );
+        // Exit decisions carry the sequence id they belong to.
+        assert!(events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ExitDecision { .. }))
+            .all(|e| e.seq.is_some()));
     }
 
     #[test]

@@ -382,6 +382,7 @@ fn run_cluster(
         },
         controller: policy,
         gossip,
+        trace: false,
     };
     // Pre-build each request's parts on the coordinator side so the
     // factory is a pure lookup (deterministic per id).

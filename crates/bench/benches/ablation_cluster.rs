@@ -169,6 +169,7 @@ impl Harness {
                 batcher: self.batcher_config(max_batch),
                 controller: specee_control::ControllerPolicy::Static,
                 gossip: true,
+                trace: false,
             },
             policy.build(),
             &bank,

@@ -9,6 +9,7 @@ use specee_core::predictor::PredictorBank;
 use specee_core::{ScheduleEngine, SpecEeConfig};
 use specee_draft::SpeculativeSource;
 use specee_model::LayeredLm;
+use specee_obs::{EventKind, Recorder, COORDINATOR_LANE};
 use specee_serve::batcher::ServeReport;
 use specee_serve::cost::StepCostModel;
 use specee_serve::{AdmissionPolicy, BatcherConfig};
@@ -40,6 +41,16 @@ pub struct ClusterConfig {
     /// arrival-frontier protocol and runs stay reproducible.
     /// [`ControllerPolicy::Static`] is today's fixed-threshold behavior.
     pub controller: ControllerPolicy,
+    /// Structured tracing. When `true`, every worker's engine carries a
+    /// [`specee_obs::Recorder`] on its own lane (exit decisions, priced
+    /// steps, admissions, completions, controller applies, gossip
+    /// absorbs, all stamped with the worker's simulated clock) and the
+    /// coordinator records routing decisions — with the router's
+    /// per-worker scores — on [`specee_obs::COORDINATOR_LANE`]. The
+    /// merged, time-ordered stream lands in the drained
+    /// [`ClusterReport::events`]; recording never feeds back into the
+    /// simulation, so a traced run is bit-identical to an untraced one.
+    pub trace: bool,
     /// Cross-worker controller gossip. When `true`, every arrival
     /// frontier the coordinator collects each worker's matured per-class
     /// evidence deltas with its snapshot and broadcasts to each worker
@@ -107,6 +118,7 @@ struct WorkerHandle {
 ///     },
 ///     controller: ControllerPolicy::pid(), // per-worker adaptive thresholds
 ///     gossip: true,                        // share per-class drift across workers
+///     trace: false,                        // flip on for a typed event timeline
 /// };
 /// let model_cfg = cfg.clone();
 /// let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
@@ -141,6 +153,9 @@ pub struct Cluster<M: LayeredLm, D: SpeculativeSource> {
     router: Box<dyn Router>,
     snapshots: Vec<WorkerSnapshot>,
     gossip: bool,
+    /// Coordinator-lane recorder for routing decisions (`None` unless the
+    /// cluster was spawned with tracing on).
+    trace: Option<Recorder>,
     last_arrival: f64,
     unroutable: Vec<u64>,
     _seq: std::marker::PhantomData<(M, D)>,
@@ -189,6 +204,9 @@ where
                 spec_config.predictor.threshold,
                 id,
             ));
+            if config.trace {
+                engine.set_recorder(Some(Recorder::for_worker(id as u32)));
+            }
             let cost = StepCostModel::new(
                 config.batcher.cost,
                 config.batcher.hardware.clone(),
@@ -215,6 +233,7 @@ where
             router,
             snapshots,
             gossip: config.gossip,
+            trace: config.trace.then(|| Recorder::for_worker(COORDINATOR_LANE)),
             last_arrival: f64::NEG_INFINITY,
             unroutable: Vec::new(),
             _seq: std::marker::PhantomData,
@@ -260,6 +279,18 @@ where
                 .expect("checked above");
         }
         let id = req.request.id;
+        if let Some(rec) = self.trace.as_mut() {
+            rec.record_at(
+                req.request.arrival_s,
+                Some(id),
+                EventKind::Routing {
+                    request: id,
+                    policy: self.router.name(),
+                    chosen: w as u32,
+                    scores: self.router.scores(&req, &self.snapshots),
+                },
+            );
+        }
         if self.workers[w].tx.send(WorkerMsg::Submit(req)).is_err() {
             self.mark_dead(w);
             self.unroutable.push(id);
@@ -366,6 +397,7 @@ where
     /// report.
     pub fn drain(self) -> ClusterReport {
         let router = self.router.name().to_string();
+        let coordinator_events = self.trace.map(|r| r.into_events()).unwrap_or_default();
         let mut reports: Vec<WorkerReport> = Vec::with_capacity(self.workers.len());
         for (w, handle) in self.workers.into_iter().enumerate() {
             let report = if handle.dead || handle.tx.send(WorkerMsg::Drain).is_err() {
@@ -373,7 +405,7 @@ where
             } else {
                 loop {
                     match handle.rx.recv() {
-                        Ok(WorkerReply::Done(report)) => break Some(report),
+                        Ok(WorkerReply::Done(report)) => break Some(*report),
                         Ok(WorkerReply::Synced(..)) => continue,
                         Err(_) => break None,
                     }
@@ -383,7 +415,7 @@ where
             let _ = handle.join.join();
             reports.push(report);
         }
-        ClusterReport::new(router, reports, self.unroutable)
+        ClusterReport::new(router, reports, self.unroutable, coordinator_events)
     }
 }
 
@@ -411,5 +443,7 @@ fn dead_worker_report(worker: usize, assigned: &[u64]) -> WorkerReport {
         panic: Some("worker thread died without reporting".to_string()),
         controller: None,
         classes: Vec::new(),
+        events: Vec::new(),
+        meter: specee_metrics::Meter::new(),
     }
 }

@@ -75,6 +75,7 @@
 //!     },
 //!     controller: ControllerPolicy::Static,
 //!     gossip: true,
+//!     trace: false,
 //! };
 //! let model_cfg = cfg.clone();
 //! let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(

@@ -2,6 +2,8 @@
 
 use specee_batch::BatchedOutput;
 use specee_core::traffic::ClassMap;
+use specee_metrics::{HardwareProfile, Roofline};
+use specee_obs::{fold_events, fold_meter, fold_roofline, merge_events, Event, MetricsRegistry};
 use specee_serve::batcher::ServeReport;
 use specee_serve::{ClassStats, ServeStats};
 
@@ -23,14 +25,31 @@ pub struct ClusterReport {
     pub workers: Vec<WorkerReport>,
     /// Ids that could not be routed at all (every worker had failed).
     pub unroutable: Vec<u64>,
+    /// The cluster-wide trace timeline: every worker's event stream plus
+    /// the coordinator's routing decisions, stably merged by `(t, lane)`
+    /// — empty unless the cluster ran with
+    /// [`ClusterConfig::trace`](crate::ClusterConfig::trace) on. Feed it
+    /// to [`specee_obs::chrome_trace_json`] for a Perfetto-viewable trace
+    /// (one lane per worker) or to [`ClusterReport::metrics`] for the
+    /// aggregated registry.
+    pub events: Vec<Event>,
 }
 
 impl ClusterReport {
-    pub(crate) fn new(router: String, workers: Vec<WorkerReport>, unroutable: Vec<u64>) -> Self {
+    pub(crate) fn new(
+        router: String,
+        workers: Vec<WorkerReport>,
+        unroutable: Vec<u64>,
+        coordinator_events: Vec<Event>,
+    ) -> Self {
+        let mut streams: Vec<Vec<Event>> = workers.iter().map(|w| w.events.clone()).collect();
+        streams.push(coordinator_events);
+        let events = merge_events(streams);
         ClusterReport {
             router,
             workers,
             unroutable,
+            events,
         }
     }
 
@@ -129,6 +148,29 @@ impl ClusterReport {
         let layer_sum: f64 = self.workers.iter().map(|w| w.layer_sum).sum();
         let tokens: u64 = self.workers.iter().map(|w| w.decode_tokens).sum();
         (tokens > 0).then(|| layer_sum / tokens as f64)
+    }
+
+    /// Snapshots the run into a [`MetricsRegistry`]: the merged event
+    /// stream folds to exit-layer/TTFT/queue-depth histograms and
+    /// per-type counters, and every worker's measured op totals fold in
+    /// as `specee_op_*` counters. With a `hardware` profile, each
+    /// worker's roofline-modelled per-[`specee_metrics::OpKind`] costs
+    /// are folded too (gauges add across workers, so modelled latency
+    /// reads as cluster device-seconds). The merge is exact — counters
+    /// and histogram buckets sum element-wise — so the cluster-wide
+    /// registry equals the sum of its workers'.
+    pub fn metrics(&self, hardware: Option<&HardwareProfile>) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        fold_events(&mut reg, &self.events);
+        for w in &self.workers {
+            fold_meter(&mut reg, &w.meter);
+            if let Some(hw) = hardware {
+                let mut own = MetricsRegistry::new();
+                fold_roofline(&mut own, &Roofline::new(hw.clone()).cost(&w.meter));
+                reg.merge(&own);
+            }
+        }
+        reg
     }
 
     /// Workers that failed, with their panic messages.

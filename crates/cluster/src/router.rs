@@ -85,6 +85,16 @@ pub trait Router: Send {
 
     /// Chooses the worker index for `req`.
     fn route(&mut self, req: &ClusterRequest, workers: &[WorkerSnapshot]) -> usize;
+
+    /// The per-worker placement scores behind a [`route`](Self::route)
+    /// call over the same snapshots (lower is better), for observability:
+    /// the coordinator records them on routing-decision trace events so a
+    /// decision can be audited after the run. Failed workers are skipped.
+    /// Score-free policies (round-robin) return an empty vector; reading
+    /// scores must not mutate routing state.
+    fn scores(&self, _req: &ClusterRequest, _workers: &[WorkerSnapshot]) -> Vec<(u32, f64)> {
+        Vec::new()
+    }
 }
 
 /// The built-in routing policies, selectable by name.
@@ -198,6 +208,12 @@ impl Router for ShortestQueue {
             .map(|w| w.worker)
             .expect("route called with at least one eligible worker")
     }
+
+    fn scores(&self, _req: &ClusterRequest, workers: &[WorkerSnapshot]) -> Vec<(u32, f64)> {
+        eligible(workers)
+            .map(|w| (w.worker as u32, w.backlog_work))
+            .collect()
+    }
 }
 
 /// Exit-aware dispatch: greedy minimization of total *Cannikin-priced*
@@ -262,6 +278,12 @@ impl Router for ExitAware {
             })
             .map(|w| w.worker)
             .expect("route called with at least one eligible worker")
+    }
+
+    fn scores(&self, req: &ClusterRequest, workers: &[WorkerSnapshot]) -> Vec<(u32, f64)> {
+        eligible(workers)
+            .map(|w| (w.worker as u32, self.score(req, w)))
+            .collect()
     }
 }
 
@@ -329,6 +351,25 @@ mod tests {
             exit_hint: hint,
             deadline_s: None,
         }
+    }
+
+    #[test]
+    fn scores_back_the_routing_decision() {
+        let mut ea = ExitAware::default();
+        let workers = vec![snap(0, 64.0, Some(8.0)), snap(1, 0.0, None)];
+        let r = req(0, 4, Some(8.0));
+        let scores = ea.scores(&r, &workers);
+        assert_eq!(scores.len(), 2);
+        let best = scores
+            .iter()
+            .min_by(|a, b| (a.1, a.0).partial_cmp(&(b.1, b.0)).expect("finite"))
+            .expect("non-empty")
+            .0;
+        assert_eq!(ea.route(&r, &workers) as u32, best);
+        assert!(RoundRobin::new().scores(&r, &workers).is_empty());
+        let mut with_failure = workers.clone();
+        with_failure[0].failed = true;
+        assert_eq!(ShortestQueue.scores(&r, &with_failure), vec![(1, 0.0)]);
     }
 
     #[test]

@@ -34,7 +34,9 @@ use specee_batch::{Admission, BatchedEngine, BatchedOutput};
 use specee_control::{ClassEvidence, ControllerSummary};
 use specee_core::traffic::ClassMap;
 use specee_draft::SpeculativeSource;
+use specee_metrics::Meter;
 use specee_model::LayeredLm;
+use specee_obs::{Event, EventKind};
 use specee_serve::batcher::ServeReport;
 use specee_serve::cost::{StepCostModel, StepSpec};
 use specee_serve::request::Completion;
@@ -72,7 +74,9 @@ pub(crate) enum WorkerReply {
     /// gossip merge).
     Synced(WorkerSnapshot, Vec<ClassEvidence>),
     /// Response to [`WorkerMsg::Drain`]; the worker thread exits after.
-    Done(WorkerReport),
+    /// Boxed: the report (event stream, meter, completions) dwarfs the
+    /// sync variant.
+    Done(Box<WorkerReport>),
 }
 
 /// Everything one worker did over a served run.
@@ -112,6 +116,15 @@ pub struct WorkerReport {
     /// decode tokens, executed-layer sums and the class's controller
     /// operating point.
     pub classes: Vec<ClassStats>,
+    /// The worker's trace-event stream, stamped with its simulated clock
+    /// and worker lane (empty unless the cluster was spawned with
+    /// tracing on). Already in clock order for this lane; the
+    /// coordinator merges lanes into the cluster-wide timeline.
+    pub events: Vec<Event>,
+    /// The engine's measured op totals (FLOPs/bytes/kernels per
+    /// [`specee_metrics::OpKind`]), for folding into a cluster-wide
+    /// metrics registry.
+    pub meter: Meter,
 }
 
 struct ActiveSeq {
@@ -224,6 +237,12 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                 }
                 WorkerMsg::Gossip(evidence) => {
                     if self.panic.is_none() {
+                        // Gossip lands at the paused loop boundary: stamp
+                        // the recorder there so the engine's gossip event
+                        // carries this worker's current simulated clock.
+                        if let Some(rec) = self.engine.recorder_mut() {
+                            rec.set_clock(self.sim_now);
+                        }
                         let caught =
                             catch_unwind(AssertUnwindSafe(|| self.engine.absorb_gossip(&evidence)));
                         if let Err(payload) = caught {
@@ -235,7 +254,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                 WorkerMsg::Cancel(id) => self.cancel(id),
                 WorkerMsg::Drain => {
                     self.advance_contained(f64::INFINITY);
-                    let _ = tx.send(WorkerReply::Done(self.into_report()));
+                    let _ = tx.send(WorkerReply::Done(Box::new(self.into_report())));
                     return;
                 }
             }
@@ -294,12 +313,28 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                 self.admitting.push(req);
             }
             if !self.admitting.is_empty() {
+                let depth = self.pending.len() as u32;
+                if let Some(rec) = self.engine.recorder_mut() {
+                    for r in &self.admitting {
+                        rec.record_at(
+                            self.sim_now,
+                            Some(r.request.id),
+                            EventKind::Admission {
+                                request: r.request.id,
+                                queue_depth: depth,
+                            },
+                        );
+                    }
+                }
                 let lens: Vec<usize> = self
                     .admitting
                     .iter()
                     .map(|r| r.request.prompt.len())
                     .collect();
                 self.sim_now += self.cost.prefill_latency(&lens);
+                if let Some(rec) = self.engine.recorder_mut() {
+                    rec.set_clock(self.sim_now);
+                }
                 while !self.admitting.is_empty() {
                     let req = self.admitting.remove(0);
                     self.admit(req);
@@ -352,6 +387,19 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                 finish_s: self.sim_now,
                 tokens: 0,
             });
+            if let Some(rec) = self.engine.recorder_mut() {
+                rec.record_at(
+                    self.sim_now,
+                    Some(id),
+                    EventKind::Request {
+                        request: id,
+                        arrival_s: req.request.arrival_s,
+                        first_token_s: self.sim_now,
+                        finish_s: self.sim_now,
+                        tokens: 0,
+                    },
+                );
+            }
             // Keep one output per request so callers can zip by id.
             self.outputs.push(BatchedOutput {
                 id,
@@ -382,6 +430,19 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                     finish_s: self.sim_now,
                     tokens: out.tokens.len(),
                 });
+                if let Some(rec) = self.engine.recorder_mut() {
+                    rec.record_at(
+                        self.sim_now,
+                        Some(id),
+                        EventKind::Request {
+                            request: id,
+                            arrival_s: req.request.arrival_s,
+                            first_token_s: self.sim_now,
+                            finish_s: self.sim_now,
+                            tokens: out.tokens.len() as u32,
+                        },
+                    );
+                }
                 self.outputs.push(out);
             }
             Admission::Seated { .. } => {
@@ -398,14 +459,30 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
 
     /// One genuinely executed, priced decode step.
     fn step(&mut self) {
+        if let Some(rec) = self.engine.recorder_mut() {
+            rec.set_clock(self.sim_now);
+        }
         let step = self.engine.step();
-        self.sim_now += self.cost.decode_step_latency(&StepSpec {
+        let dur = self.cost.decode_step_latency(&StepSpec {
             layer_runners: step.layer_runners.clone(),
             ctx_lens: step.ctx_lens.clone(),
             lm_head_evals: step.lm_head_evals as f64,
             draft_slots: step.draft_slots,
             predictor_calls: step.predictor_calls as f64,
         });
+        if let Some(rec) = self.engine.recorder_mut() {
+            rec.record_at(
+                self.sim_now,
+                None,
+                EventKind::Step {
+                    step: self.steps,
+                    occupancy: step.ctx_lens.len() as u32,
+                    layers: step.rearmost_layer() as u32,
+                    dur_s: dur,
+                },
+            );
+        }
+        self.sim_now += dur;
         self.steps += 1;
         self.occupancy_sum += step.ctx_lens.len() as f64;
         self.layer_sum += step.layer_runners.iter().sum::<usize>() as f64;
@@ -423,6 +500,19 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                 finish_s: self.sim_now,
                 tokens: out.tokens.len(),
             });
+            if let Some(rec) = self.engine.recorder_mut() {
+                rec.record_at(
+                    self.sim_now,
+                    Some(out.id),
+                    EventKind::Request {
+                        request: out.id,
+                        arrival_s,
+                        first_token_s,
+                        finish_s: self.sim_now,
+                        tokens: out.tokens.len() as u32,
+                    },
+                );
+            }
             self.outputs.push(out);
         }
     }
@@ -552,6 +642,12 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
         self.outputs.sort_by_key(|o| o.id);
         let controller = self.engine.controller_summary();
         let classes = self.class_rows();
+        let meter = self.engine.meter().clone();
+        let events = self
+            .engine
+            .take_recorder()
+            .map(|r| r.into_events())
+            .unwrap_or_default();
         WorkerReport {
             worker: self.id,
             report: ServeReport {
@@ -581,6 +677,8 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             panic: self.panic,
             controller,
             classes,
+            events,
+            meter,
         }
     }
 }

@@ -52,6 +52,7 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
         batcher: batcher_config(max_batch),
         controller: specee_control::ControllerPolicy::Static,
         gossip: true,
+        trace: false,
     }
 }
 
@@ -741,4 +742,117 @@ fn adaptive_controllers_stay_deterministic_across_runs() {
             );
         }
     }
+}
+
+/// Tracing must be a pure observer: a traced 3-worker run is bit-identical
+/// to the untraced run (tokens, exit layers, per-worker reports), and the
+/// captured stream exports to a Chrome trace that re-parses with one lane
+/// per worker plus the coordinator's routing lane.
+#[test]
+fn traced_cluster_run_is_bit_identical_and_exports() {
+    use specee_obs::{EventKind, COORDINATOR_LANE};
+
+    let seed = 61;
+    let parts = trained(seed);
+    let requests = PoissonArrivals::new(25.0, 17).requests(&specs(9, 8));
+    let run = |trace: bool| {
+        let config = ClusterConfig {
+            trace,
+            controller: specee_control::ControllerPolicy::pid(),
+            ..cluster_config(3, 2)
+        };
+        let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+            &config,
+            RouterPolicy::ExitAware.build(),
+            &parts.0,
+            &parts.1,
+            &parts.2,
+            factory(seed),
+        );
+        for req in &requests {
+            cluster.submit(ClusterRequest::new(req.clone()).with_exit_hint(4.0));
+        }
+        cluster.drain()
+    };
+
+    let plain = run(false);
+    let traced = run(true);
+    assert!(plain.failures().is_empty() && traced.failures().is_empty());
+
+    // Bit-identity: recording must never feed back into the simulation.
+    assert!(plain.events.is_empty(), "untraced runs carry no events");
+    assert_eq!(plain.aggregate(), traced.aggregate());
+    for (p, t) in plain.workers.iter().zip(&traced.workers) {
+        assert_eq!(p.report, t.report, "worker {} timing report", p.worker);
+        for (po, to) in p.outputs.iter().zip(&t.outputs) {
+            assert_eq!(po.tokens, to.tokens, "request {}", po.id);
+            assert_eq!(po.exit_layers, to.exit_layers, "request {}", po.id);
+        }
+    }
+
+    // The merged stream is clock-ordered and the coordinator logged one
+    // routing decision per request, scored over every live worker.
+    assert!(traced.events.windows(2).all(|w| w[0].t <= w[1].t));
+    let routes: Vec<_> = traced
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Routing {
+                policy,
+                chosen,
+                scores,
+                ..
+            } => {
+                assert_eq!(e.worker, COORDINATOR_LANE);
+                assert_eq!(*policy, "exit-aware");
+                Some((*chosen, scores.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(routes.len(), requests.len());
+    for (chosen, scores) in &routes {
+        assert_eq!(scores.len(), 3, "one score per live worker");
+        assert!(scores.iter().any(|(w, _)| w == chosen));
+    }
+
+    // Every decode token that exited early shows up as an accepted
+    // exit-decision instant (prompt slot 0 never exits; layer == N_LAYERS
+    // means the token rode the full depth).
+    let early_exits: usize = traced
+        .outputs()
+        .iter()
+        .map(|o| {
+            o.exit_layers
+                .iter()
+                .skip(1)
+                .filter(|&&l| l < N_LAYERS)
+                .count()
+        })
+        .sum();
+    let accepted = traced
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ExitDecision { accepted, .. } if accepted))
+        .count();
+    assert!(early_exits > 0, "the run should exercise early exit");
+    assert_eq!(accepted, early_exits);
+
+    // The Chrome export re-parses with the vendored serde_json and lays
+    // out one lane per worker plus the coordinator lane.
+    let json = specee_obs::chrome_trace_json(&traced.events);
+    let doc: serde::Value = serde_json::from_str(&json).expect("chrome trace re-parses");
+    let lanes = specee_obs::lanes_of(&doc).expect("traceEvents present");
+    assert_eq!(lanes.len(), 4, "3 worker lanes + coordinator");
+
+    // And the metrics snapshot agrees with the report's own counts.
+    let reg = traced.metrics(None);
+    assert_eq!(
+        reg.counter("specee_requests_total") as usize,
+        traced.completed()
+    );
+    assert_eq!(
+        reg.counter("specee_steps_total") as u64,
+        traced.aggregate().steps
+    );
 }

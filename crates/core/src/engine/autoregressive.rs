@@ -4,6 +4,7 @@
 use specee_draft::SpeculativeSource;
 use specee_metrics::Meter;
 use specee_model::{prefill, LayeredLm, TokenId};
+use specee_obs::Recorder;
 use specee_tensor::ops;
 
 use crate::config::SpecEeConfig;
@@ -28,6 +29,7 @@ pub struct SpecEeEngine<M, D> {
     bank: PredictorBank,
     schedule: ScheduleEngine,
     config: SpecEeConfig,
+    trace: Option<Recorder>,
 }
 
 impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
@@ -55,7 +57,22 @@ impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
             bank,
             schedule,
             config,
+            trace: None,
         }
+    }
+
+    /// Attaches (or detaches) a trace recorder. Single-stream decoding
+    /// has no simulated clock, so exit-decision events are stamped with
+    /// the decoded-token ordinal instead. The recorder is write-only:
+    /// traced and untraced runs produce bit-identical tokens and exit
+    /// layers.
+    pub fn set_recorder(&mut self, recorder: Option<Recorder>) {
+        self.trace = recorder;
+    }
+
+    /// Takes the recorder (and its events) back out of the engine.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.trace.take()
     }
 
     /// Borrows the model.
@@ -149,11 +166,16 @@ impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
             let mut h = self.model.begin_token(t, &mut meter);
             scan.begin_token();
 
+            if let Some(rec) = self.trace.as_mut() {
+                // No simulated clock at batch 1: stamp the token ordinal.
+                rec.set_clock(tokens.len() as f64);
+                rec.set_seq(Some(tokens.len() as u64));
+            }
             let mut exit: Option<(TokenId, Vec<f32>)> = None;
             let mut executed = n_layers;
             for layer in 0..n_layers {
                 h = self.model.forward_layer(layer, &h, pos, &mut meter);
-                if let Some((tok, full)) = scan.check(
+                if let Some((tok, full)) = scan.check_with_sink(
                     &mut self.model,
                     &self.bank,
                     &self.schedule,
@@ -161,6 +183,7 @@ impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
                     &spec,
                     layer,
                     &mut meter,
+                    &mut self.trace,
                 ) {
                     self.model.fill_skipped_kv(
                         layer + 1,
@@ -291,6 +314,33 @@ mod tests {
         );
         // exits should not regress catastrophically
         assert!(out_two.avg_layers() <= out_all.avg_layers() + 2.0);
+    }
+
+    #[test]
+    fn traced_generate_is_bit_identical_and_emits_exit_instants() {
+        use specee_obs::{EventKind, Recorder};
+        let prompt = vec![4u32, 2, 9];
+        let base = trained_engine(31, SchedulingMode::AllLayers).generate(&prompt, 16);
+        let mut traced_engine_ = trained_engine(31, SchedulingMode::AllLayers);
+        traced_engine_.set_recorder(Some(Recorder::new()));
+        let traced = traced_engine_.generate(&prompt, 16);
+        // Tracing must not perturb anything observable: tokens, exit
+        // layers, even the metered op totals are bit-identical.
+        assert_eq!(base.tokens, traced.tokens);
+        assert_eq!(base.exit_layers, traced.exit_layers);
+        assert_eq!(base.meter, traced.meter);
+
+        let events = traced_engine_.take_recorder().unwrap().into_events();
+        let accepts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ExitDecision { accepted: true, .. }))
+            .count();
+        let early = traced.exit_layers.iter().filter(|&&l| l < 12).count();
+        assert!(early > 0, "run must actually exit early to test anything");
+        assert_eq!(
+            accepts, early,
+            "one accepted exit-decision instant per early-exited token"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use specee_metrics::Meter;
 use specee_model::{LayeredLm, TokenId};
+use specee_obs::{EventKind, NullSink, TraceSink};
 
 use crate::features::FeatureTracker;
 use crate::predictor::PredictorBank;
@@ -109,6 +110,39 @@ impl ExitScan {
         layer: usize,
         meter: &mut Meter,
     ) -> Option<(TokenId, Vec<f32>)> {
+        self.check_with_sink(
+            model,
+            bank,
+            schedule,
+            h,
+            candidates,
+            layer,
+            meter,
+            &mut NullSink,
+        )
+    }
+
+    /// [`ExitScan::check`] with a [`TraceSink`] attached: every predictor
+    /// fire additionally emits an [`EventKind::ExitDecision`] (same
+    /// layer/score/threshold/accepted payload as the [`ExitFeedback`]
+    /// event, stamped with the sink's ambient clock and sequence id).
+    ///
+    /// The sink is write-only, so a traced scan decides exactly what the
+    /// untraced scan decides; with [`NullSink`] the extra parameter
+    /// monomorphizes away entirely — which is why `check` simply
+    /// delegates here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_with_sink<M: LayeredLm + ?Sized, S: TraceSink>(
+        &mut self,
+        model: &mut M,
+        bank: &PredictorBank,
+        schedule: &ScheduleEngine,
+        h: &[f32],
+        candidates: &[TokenId],
+        layer: usize,
+        meter: &mut Meter,
+        sink: &mut S,
+    ) -> Option<(TokenId, Vec<f32>)> {
         if layer + 1 >= model.config().n_layers || !schedule.is_active(layer) {
             return None;
         }
@@ -122,6 +156,15 @@ impl ExitScan {
         self.verify_calls += 1;
         let full = model.final_logits(h, meter);
         let exit = verify_exit(&full, candidates).map(|tok| (tok, full));
+        if sink.enabled() {
+            sink.record(EventKind::ExitDecision {
+                class: self.class.id(),
+                layer: layer as u32,
+                score: f64::from(score),
+                threshold: f64::from(threshold),
+                accepted: exit.is_some(),
+            });
+        }
         self.feedback.push(ExitFeedback {
             class: self.class,
             layer,
@@ -338,6 +381,69 @@ mod tests {
         );
         assert_eq!(scan.feedback().len(), 1);
         assert_eq!(scan.feedback()[0].class, TrafficClass::new(3));
+    }
+
+    #[test]
+    fn sink_mirrors_feedback_exactly() {
+        use specee_obs::Recorder;
+        // One ExitDecision trace event per predictor fire, carrying the
+        // same payload as the ExitFeedback stream — and the traced scan
+        // returns exactly what the untraced scan returns.
+        let (mut model, mut bank, mut meter) = parts();
+        bank.layer_mut(0).set_threshold(0.0);
+        let schedule = ScheduleEngine::all_layers(4);
+        let h = prefill(&mut model, &[3], &mut meter);
+        let mut scan = ExitScan::new();
+        scan.set_class(TrafficClass::new(2));
+        scan.begin_token();
+        let mut rec = Some(Recorder::for_worker(0));
+        let traced = scan.check_with_sink(
+            &mut model,
+            &bank,
+            &schedule,
+            &h,
+            &[1, 2, 3, 4],
+            0,
+            &mut meter,
+            &mut rec,
+        );
+        let events = rec.unwrap().into_events();
+        assert_eq!(events.len(), 1);
+        let fb = scan.feedback()[0];
+        match events[0].kind {
+            specee_obs::EventKind::ExitDecision {
+                class,
+                layer,
+                score,
+                threshold,
+                accepted,
+            } => {
+                assert_eq!(class, 2);
+                assert_eq!(layer as usize, fb.layer);
+                assert_eq!(score, f64::from(fb.score));
+                assert_eq!(threshold, f64::from(fb.threshold));
+                assert_eq!(accepted, fb.accepted);
+                assert_eq!(accepted, traced.is_some());
+            }
+            ref other => panic!("expected an exit decision, got {other:?}"),
+        }
+
+        // Same inputs through the untraced path: identical outcome.
+        let mut model2 = parts().0;
+        let mut scan2 = ExitScan::new();
+        scan2.set_class(TrafficClass::new(2));
+        scan2.begin_token();
+        let h2 = prefill(&mut model2, &[3], &mut Meter::new());
+        let untraced = scan2.check(
+            &mut model2,
+            &bank,
+            &schedule,
+            &h2,
+            &[1, 2, 3, 4],
+            0,
+            &mut Meter::new(),
+        );
+        assert_eq!(traced.map(|(t, _)| t), untraced.map(|(t, _)| t));
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Typed trace events: the vocabulary of the observability plane.
+//!
+//! One [`Event`] is one thing the runtime did at one simulated instant on
+//! one worker lane. The taxonomy deliberately mirrors the decision points
+//! the SpecEE papers argue about: per-token exit decisions (the predictor
+//! firing and being accepted or rejected by verification), per-step batch
+//! state (the Cannikin rearmost layer), admission and routing (where
+//! queue-wait tails come from), controller applies and gossip deltas (the
+//! feedback plane acting).
+
+/// Lane id used for events emitted by the cluster coordinator rather
+/// than any worker (routing decisions happen before a worker is chosen).
+pub const COORDINATOR_LANE: u32 = u32::MAX;
+
+/// One recorded occurrence: a [`kind`](Event::kind) stamped with the
+/// simulated clock and the lane (worker) it happened on.
+///
+/// `t` is *simulated* seconds — the same deterministic clock the serving
+/// simulators advance — never wall time, so identical runs produce
+/// byte-identical event streams. Single-stream engines, which have no
+/// clock, stamp the decoded-token ordinal instead (documented at the
+/// emit site).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated timestamp, seconds (token ordinal for single-stream).
+    pub t: f64,
+    /// Worker lane (0-based engine/worker index, or [`COORDINATOR_LANE`]).
+    pub worker: u32,
+    /// Sequence/request id the event belongs to, when one applies.
+    pub seq: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The typed payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An exit predictor fired: the speculative LM-head slice scored the
+    /// candidate at `layer` and verification accepted or rejected the
+    /// early exit. Exactly one per predictor fire, so accepted events
+    /// count taken early exits one-for-one.
+    ExitDecision {
+        /// Raw traffic-class id of the sequence (0 is the default class).
+        class: u16,
+        /// Decoder layer whose predictor fired (0-based, matching
+        /// `ExitFeedback::layer`; the exit, if taken, executes
+        /// `layer + 1` layers).
+        layer: u32,
+        /// Predictor confidence score in `[0, 1]`.
+        score: f64,
+        /// Exit threshold the score was compared against.
+        threshold: f64,
+        /// Whether verification accepted the exit.
+        accepted: bool,
+    },
+    /// One lock-step batch decode step completed.
+    Step {
+        /// Engine step ordinal (0-based).
+        step: u64,
+        /// Sequences resident in the batch during the step.
+        occupancy: u32,
+        /// Rearmost decoder layer any sequence needed (the Cannikin
+        /// depth the whole batch paid for).
+        layers: u32,
+        /// Priced duration of the step, simulated seconds.
+        dur_s: f64,
+    },
+    /// A request was admitted into an engine's batch slots.
+    Admission {
+        /// Request id.
+        request: u64,
+        /// Requests still waiting in the queue after this admission.
+        queue_depth: u32,
+    },
+    /// A request completed (span from arrival to finish).
+    Request {
+        /// Request id.
+        request: u64,
+        /// Arrival time, simulated seconds.
+        arrival_s: f64,
+        /// First-token time, simulated seconds.
+        first_token_s: f64,
+        /// Completion time, simulated seconds.
+        finish_s: f64,
+        /// Decode tokens produced.
+        tokens: u32,
+    },
+    /// The coordinator routed a request to a worker.
+    Routing {
+        /// Request id.
+        request: u64,
+        /// Routing policy name (e.g. `"exit-aware"`).
+        policy: &'static str,
+        /// Chosen worker index.
+        chosen: u32,
+        /// Per-worker `(worker, score)` pairs when the policy scores
+        /// candidates (lower is better); empty for score-free policies
+        /// like round-robin.
+        scores: Vec<(u32, f64)>,
+    },
+    /// A controller applied a new exit threshold for a class.
+    ControllerApply {
+        /// Raw traffic-class id.
+        class: u16,
+        /// Threshold now in force.
+        threshold: f64,
+    },
+    /// A gossip delta from peer workers was absorbed.
+    Gossip {
+        /// Number of per-class evidence rows applied.
+        classes: u32,
+        /// Total feedback tokens carried by the delta.
+        tokens: u64,
+    },
+}
+
+impl EventKind {
+    /// Short stable name of the event type (used as the Chrome trace
+    /// event name and in metric names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ExitDecision { accepted: true, .. } => "exit-accept",
+            EventKind::ExitDecision {
+                accepted: false, ..
+            } => "exit-reject",
+            EventKind::Step { .. } => "step",
+            EventKind::Admission { .. } => "admit",
+            EventKind::Request { .. } => "request",
+            EventKind::Routing { .. } => "route",
+            EventKind::ControllerApply { .. } => "controller",
+            EventKind::Gossip { .. } => "gossip",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_names_are_stable() {
+        let exit = EventKind::ExitDecision {
+            class: 0,
+            layer: 3,
+            score: 0.9,
+            threshold: 0.5,
+            accepted: true,
+        };
+        assert_eq!(exit.name(), "exit-accept");
+        let reject = EventKind::ExitDecision {
+            class: 0,
+            layer: 3,
+            score: 0.2,
+            threshold: 0.5,
+            accepted: false,
+        };
+        assert_eq!(reject.name(), "exit-reject");
+        assert_eq!(
+            EventKind::Gossip {
+                classes: 1,
+                tokens: 2
+            }
+            .name(),
+            "gossip"
+        );
+    }
+}

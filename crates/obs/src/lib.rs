@@ -1,0 +1,70 @@
+//! Deterministic tracing and metrics plane for the SpecEE runtime.
+//!
+//! Every other crate in this workspace argues from end-of-run aggregates
+//! (`ServeStats`, `ClusterReport`, `Meter`); this crate records *when*
+//! things happened. It has three layers:
+//!
+//! 1. **Event plane** ([`event`], [`sink`]): a [`TraceSink`] trait plus a
+//!    deterministic [`Recorder`] capturing typed [`Event`]s — exit
+//!    fire/accept/reject with layer, score and threshold; batch steps;
+//!    admissions; routing decisions with per-worker scores; controller
+//!    applies; gossip deltas — stamped with the *simulated* clock the
+//!    engines already advance. Because timestamps come from the
+//!    deterministic simulation (never the wall clock), cluster traces are
+//!    bit-reproducible run to run.
+//! 2. **Metrics registry** ([`registry`]): counters, gauges and
+//!    fixed-bucket histograms (exit layer, TTFT, queue depth) with exact
+//!    merge across workers, plus folds that turn an event stream, a
+//!    [`specee_metrics::Meter`] or a roofline [`specee_metrics::CostReport`]
+//!    into registry entries so one export carries both measured ops and
+//!    modelled latency.
+//! 3. **Exporters** ([`chrome`], [`prom`]): Chrome trace-event JSON (one
+//!    lane per worker; spans for steps and requests, instants for exits
+//!    and gossip; loadable in Perfetto / `chrome://tracing`) and
+//!    Prometheus text exposition, both written via the vendored serde
+//!    stand-ins.
+//!
+//! The disabled path is a no-op: engines thread a generic
+//! `S: TraceSink`, and with [`NullSink`] (or `Option::<Recorder>::None`)
+//! `enabled()` is a constant `false` the optimizer deletes — no
+//! allocation, no branch cost (`sec74_overhead` asserts this).
+//!
+//! # Examples
+//!
+//! ```
+//! use specee_obs::{EventKind, Recorder, TraceSink};
+//!
+//! let mut rec = Recorder::for_worker(0);
+//! rec.set_clock(0.5);
+//! rec.record(EventKind::ExitDecision {
+//!     class: 0,
+//!     layer: 7,
+//!     score: 0.93,
+//!     threshold: 0.5,
+//!     accepted: true,
+//! });
+//! let events = rec.into_events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].t, 0.5);
+//! let trace = specee_obs::chrome::chrome_trace_json(&events);
+//! assert!(trace.contains("traceEvents"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod prom;
+pub mod quantile;
+pub mod registry;
+pub mod sink;
+
+pub use chrome::{chrome_trace, chrome_trace_json, lanes_of};
+pub use event::{Event, EventKind, COORDINATOR_LANE};
+pub use prom::prometheus_text;
+pub use quantile::{percentile, percentile_sorted};
+pub use registry::{
+    fold_events, fold_meter, fold_roofline, Histogram, MetricsRegistry, EXIT_LAYER_BOUNDS,
+    QUEUE_DEPTH_BOUNDS, TTFT_BOUNDS,
+};
+pub use sink::{merge_events, NullSink, Recorder, TraceSink};

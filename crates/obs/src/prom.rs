@@ -1,0 +1,105 @@
+//! Prometheus text exposition of a [`MetricsRegistry`].
+//!
+//! Output follows the text-based exposition format version 0.0.4:
+//! `# TYPE` headers, one sample per line, histograms as cumulative
+//! `_bucket{le="..."}` series plus `_sum`/`_count`. Families are emitted
+//! counters → gauges → histograms, name-sorted within each group, and
+//! numbers use Rust's shortest-round-trip `f64` formatting — so the
+//! exposition of a given registry is byte-stable (the golden-file test
+//! pins it).
+
+use std::fmt::Write;
+
+use crate::registry::MetricsRegistry;
+
+/// Base metric name with any inline `{label="..."}` suffix stripped.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Splices a `le` label into a possibly-labelled metric name, producing
+/// the `_bucket` sample name.
+fn bucket_name(name: &str, le: &str) -> String {
+    match name.split_once('{') {
+        Some((base, rest)) => format!("{base}_bucket{{le=\"{le}\",{rest}"),
+        None => format!("{name}_bucket{{le=\"{le}\"}}"),
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+pub fn prometheus_text(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_type_header: Option<String> = None;
+    let mut type_header = |out: &mut String, name: &str, kind: &str| {
+        let base = base_name(name).to_string();
+        if last_type_header.as_deref() != Some(base.as_str()) {
+            writeln!(out, "# TYPE {base} {kind}").expect("string write");
+            last_type_header = Some(base);
+        }
+    };
+
+    for (name, v) in reg.counters() {
+        type_header(&mut out, name, "counter");
+        writeln!(out, "{name} {v}").expect("string write");
+    }
+    for (name, v) in reg.gauges() {
+        type_header(&mut out, name, "gauge");
+        writeln!(out, "{name} {v}").expect("string write");
+    }
+    for (name, h) in reg.histograms() {
+        type_header(&mut out, name, "histogram");
+        let cumulative = h.cumulative();
+        for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+            writeln!(out, "{} {cum}", bucket_name(name, &bound.to_string())).expect("string write");
+        }
+        writeln!(out, "{} {}", bucket_name(name, "+Inf"), h.count()).expect("string write");
+        writeln!(out, "{name}_sum {}", h.sum()).expect("string write");
+        writeln!(out, "{name}_count {}", h.count()).expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_one_type_header_per_family() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("specee_exits_accepted_total{class=\"0\"}", 3.0);
+        reg.counter_add("specee_exits_accepted_total{class=\"1\"}", 4.0);
+        reg.counter_add("specee_steps_total", 7.0);
+        let text = prometheus_text(&reg);
+        assert_eq!(
+            text.matches("# TYPE specee_exits_accepted_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("specee_exits_accepted_total{class=\"0\"} 3"));
+        assert!(text.contains("specee_steps_total 7"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let mut reg = MetricsRegistry::new();
+        for v in [0.5, 1.5, 9.0] {
+            reg.observe("h", &[1.0, 2.0], v);
+        }
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE h histogram"));
+        assert!(text.contains("h_bucket{le=\"1\"} 1"));
+        assert!(text.contains("h_bucket{le=\"2\"} 2"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("h_sum 11"));
+        assert!(text.contains("h_count 3"));
+    }
+
+    #[test]
+    fn labelled_histogram_splices_le_first() {
+        assert_eq!(
+            bucket_name("h{class=\"2\"}", "0.5"),
+            "h_bucket{le=\"0.5\",class=\"2\"}"
+        );
+        assert_eq!(bucket_name("h", "+Inf"), "h_bucket{le=\"+Inf\"}");
+    }
+}

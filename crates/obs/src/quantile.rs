@@ -1,0 +1,85 @@
+//! The one nearest-rank quantile rule the whole workspace shares.
+//!
+//! `ServeStats` percentile ladders and [`Histogram`](crate::Histogram)
+//! quantiles must agree on what "p95" means, or the metrics export would
+//! disagree with the stats report over the same run. Both route through
+//! [`nearest_rank`]: rank `ceil(q · n)` clamped to `[1, n]`, the
+//! classical nearest-rank method (exact sample values, no
+//! interpolation).
+
+/// Nearest rank (1-based) of quantile `q` in a sample of size `n`.
+///
+/// Returns `0` for an empty sample (no rank exists).
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn nearest_rank(n: usize, q: f64) -> usize {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if n == 0 {
+        return 0;
+    }
+    ((q * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) of an unsorted sample.
+///
+/// Returns zero for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or the sample contains NaN.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+    percentile_sorted(&sorted, q)
+}
+
+/// Nearest-rank percentile of an already ascending-sorted sample (so one
+/// sort serves a whole p50/p95/p99 ladder).
+///
+/// Returns zero for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let rank = nearest_rank(sorted.len(), q);
+    if rank == 0 {
+        return 0.0;
+    }
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_classical_method() {
+        assert_eq!(nearest_rank(0, 0.5), 0);
+        assert_eq!(nearest_rank(5, 0.0), 1);
+        assert_eq!(nearest_rank(5, 0.5), 3);
+        assert_eq!(nearest_rank(5, 0.95), 5);
+        assert_eq!(nearest_rank(5, 1.0), 5);
+        assert_eq!(nearest_rank(100, 0.95), 95);
+        assert_eq!(nearest_rank(100, 0.99), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn nearest_rank_validates_q() {
+        nearest_rank(5, 1.5);
+    }
+
+    #[test]
+    fn percentile_agrees_with_sorted_variant() {
+        let v = [4.0, 1.0, 3.0, 2.0, 5.0];
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&v, q), percentile_sorted(&s, q), "q = {q}");
+        }
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

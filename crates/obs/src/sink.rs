@@ -1,0 +1,291 @@
+//! Sinks: where engines hand events, and the recorder that keeps them.
+//!
+//! Engines thread a generic `S: TraceSink` through their hot loops. The
+//! two implementations bracket the cost spectrum:
+//!
+//! - [`NullSink`] (and `Option::<Recorder>::None`): `enabled()` is a
+//!   constant `false`, so the guard `if sink.enabled() { ... }`
+//!   monomorphizes to nothing — no allocation, no branch. This is the
+//!   default everywhere; tracing is strictly opt-in.
+//! - [`Recorder`]: buffers [`Event`]s in memory, stamping each with the
+//!   ambient simulated clock, worker lane and sequence id that the layer
+//!   *owning* the clock sets before delegating into clock-less layers
+//!   (`BatchedEngine` has only a step counter; the serve loop and the
+//!   cluster workers own `now`/`sim_now`).
+//!
+//! The enabled path never feeds back into the computation — sinks are
+//! write-only — so tracing cannot perturb tokens, exit layers or
+//! timings; the bit-identity tests in `specee-serve`/`specee-cluster`
+//! hold the runtime to that.
+
+use crate::event::{Event, EventKind};
+
+/// Destination for trace events.
+///
+/// `record` takes only the [`EventKind`]; the sink supplies the
+/// timestamp/lane context (see [`Recorder::set_clock`]). Call sites must
+/// guard event *construction* behind [`TraceSink::enabled`] so the
+/// disabled path allocates nothing:
+///
+/// ```
+/// use specee_obs::{EventKind, NullSink, TraceSink};
+///
+/// fn hot_loop<S: TraceSink>(sink: &mut S) {
+///     if sink.enabled() {
+///         sink.record(EventKind::Step {
+///             step: 0,
+///             occupancy: 1,
+///             layers: 32,
+///             dur_s: 0.001,
+///         });
+///     }
+/// }
+/// hot_loop(&mut NullSink);
+/// ```
+pub trait TraceSink {
+    /// Whether events are being kept. Constant `false` for [`NullSink`],
+    /// so guarded recording compiles away.
+    fn enabled(&self) -> bool;
+
+    /// Records one event (stamped with the sink's ambient context).
+    fn record(&mut self, kind: EventKind);
+}
+
+/// The no-op sink: tracing disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _kind: EventKind) {}
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline(always)]
+    fn record(&mut self, kind: EventKind) {
+        (**self).record(kind);
+    }
+}
+
+/// `Option<S>` is a sink: `None` behaves exactly like [`NullSink`].
+///
+/// This is the shape engines store (`Option<Recorder>`): the common
+/// disabled case stays a branch on a discriminant with nothing behind it.
+impl<S: TraceSink> TraceSink for Option<S> {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(|s| s.enabled())
+    }
+
+    #[inline(always)]
+    fn record(&mut self, kind: EventKind) {
+        if let Some(s) = self {
+            s.record(kind);
+        }
+    }
+}
+
+/// Deterministic in-memory event recorder.
+///
+/// Owns ambient context — the simulated clock, the worker lane, the
+/// current sequence id — that the clock-owning layer updates as it
+/// advances, so clock-less inner layers (the exit scan, the batched
+/// engine) emit correctly stamped events without carrying timestamps
+/// themselves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    worker: u32,
+    clock: f64,
+    seq: Option<u64>,
+    events: Vec<Event>,
+}
+
+impl Recorder {
+    /// A recorder for worker lane 0 (single-engine runs).
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// A recorder stamping events onto worker lane `worker`.
+    pub fn for_worker(worker: u32) -> Self {
+        Recorder {
+            worker,
+            ..Recorder::default()
+        }
+    }
+
+    /// Sets the ambient simulated clock for subsequent events.
+    pub fn set_clock(&mut self, t: f64) {
+        self.clock = t;
+    }
+
+    /// The current ambient clock.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The worker lane events are stamped onto.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Sets the ambient sequence id (`None` for engine-level events).
+    pub fn set_seq(&mut self, seq: Option<u64>) {
+        self.seq = seq;
+    }
+
+    /// Records an event at an explicit time instead of the ambient clock
+    /// (e.g. a request span stamped at its arrival time).
+    pub fn record_at(&mut self, t: f64, seq: Option<u64>, kind: EventKind) {
+        self.events.push(Event {
+            t,
+            worker: self.worker,
+            seq,
+            kind,
+        });
+    }
+
+    /// Events recorded so far, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning its events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl TraceSink for Recorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, kind: EventKind) {
+        self.events.push(Event {
+            t: self.clock,
+            worker: self.worker,
+            seq: self.seq,
+            kind,
+        });
+    }
+}
+
+/// Merges per-worker event streams into one deterministic timeline.
+///
+/// Stable sort by `(t, worker)`: simultaneous events order by worker
+/// lane, and each worker's own emission order is preserved — the merged
+/// trace is a pure function of the per-worker traces, so cluster traces
+/// stay bit-reproducible.
+///
+/// # Panics
+///
+/// Panics if any event carries a non-finite timestamp.
+pub fn merge_events(streams: Vec<Vec<Event>>) -> Vec<Event> {
+    let mut all: Vec<Event> = streams.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        (a.t, a.worker)
+            .partial_cmp(&(b.t, b.worker))
+            .expect("finite event timestamps")
+    });
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(step: u64) -> EventKind {
+        EventKind::Step {
+            step,
+            occupancy: 1,
+            layers: 8,
+            dur_s: 0.1,
+        }
+    }
+
+    #[test]
+    fn recorder_stamps_ambient_context() {
+        let mut r = Recorder::for_worker(3);
+        r.set_clock(1.5);
+        r.set_seq(Some(42));
+        r.record(step(0));
+        r.set_clock(2.0);
+        r.set_seq(None);
+        r.record(step(1));
+        let ev = r.into_events();
+        assert_eq!(ev[0].t, 1.5);
+        assert_eq!(ev[0].worker, 3);
+        assert_eq!(ev[0].seq, Some(42));
+        assert_eq!(ev[1].t, 2.0);
+        assert_eq!(ev[1].seq, None);
+    }
+
+    #[test]
+    fn null_sink_and_none_are_disabled() {
+        assert!(!NullSink.enabled());
+        let mut none: Option<Recorder> = None;
+        assert!(!none.enabled());
+        none.record(step(0)); // must be a no-op, not a panic
+        let mut some = Some(Recorder::new());
+        assert!(some.enabled());
+        some.record(step(0));
+        assert_eq!(some.unwrap().events().len(), 1);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_worker_stably() {
+        let mut a = Recorder::for_worker(1);
+        a.set_clock(2.0);
+        a.record(step(10));
+        a.set_clock(2.0);
+        a.record(step(11)); // same instant: emission order must hold
+        let mut b = Recorder::for_worker(0);
+        b.set_clock(2.0);
+        b.record(step(20));
+        b.set_clock(1.0);
+        b.record(step(21));
+        let merged = merge_events(vec![a.into_events(), b.into_events()]);
+        let lanes: Vec<u32> = merged.iter().map(|e| e.worker).collect();
+        assert_eq!(lanes, [0, 0, 1, 1], "time first, then worker lane");
+        // Worker 1's two same-instant events keep emission order.
+        let steps: Vec<u64> = merged
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Step { step, .. } => Some(step),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steps, [21, 20, 10, 11]);
+    }
+
+    #[test]
+    fn record_at_overrides_clock() {
+        let mut r = Recorder::new();
+        r.set_clock(9.0);
+        r.record_at(
+            1.25,
+            Some(7),
+            EventKind::Request {
+                request: 7,
+                arrival_s: 1.25,
+                first_token_s: 1.5,
+                finish_s: 2.0,
+                tokens: 4,
+            },
+        );
+        assert_eq!(r.events()[0].t, 1.25);
+        assert_eq!(r.events()[0].seq, Some(7));
+    }
+}

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use specee_metrics::{FrameworkProfile, HardwareProfile};
 use specee_model::CostDims;
+use specee_obs::{EventKind, Recorder};
 
 use crate::cost::{StepCostModel, StepSpec};
 use crate::request::{Completion, ServeRequest};
@@ -159,6 +160,24 @@ impl ContinuousBatcher {
     /// Panics if the slices disagree in length, a trace is shorter than
     /// its request's `gen_len`, or arrivals are not sorted.
     pub fn run(&self, requests: &[ServeRequest], traces: &[RequestTrace]) -> ServeReport {
+        self.run_recorded(requests, traces, None)
+    }
+
+    /// [`run`](Self::run) with an optional trace [`Recorder`]: when one is
+    /// supplied, every admission, decode step and request completion is
+    /// recorded as a typed event stamped with the simulated clock. The
+    /// event stream never feeds back into the simulation, so a recorded
+    /// run produces a bit-identical [`ServeReport`] to an unrecorded one.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run).
+    pub fn run_recorded(
+        &self,
+        requests: &[ServeRequest],
+        traces: &[RequestTrace],
+        mut rec: Option<&mut Recorder>,
+    ) -> ServeReport {
         assert_eq!(requests.len(), traces.len(), "one trace per request");
         assert!(
             requests
@@ -199,6 +218,19 @@ impl ContinuousBatcher {
                 admitted.push(pending.remove(pick));
             }
             if !admitted.is_empty() {
+                if let Some(r) = rec.as_deref_mut() {
+                    let depth = pending.len() as u32;
+                    for &i in &admitted {
+                        r.record_at(
+                            now,
+                            Some(requests[i].id),
+                            EventKind::Admission {
+                                request: requests[i].id,
+                                queue_depth: depth,
+                            },
+                        );
+                    }
+                }
                 let lens: Vec<usize> = admitted.iter().map(|&i| requests[i].prompt.len()).collect();
                 now += self.model.prefill_latency(&lens);
                 for &i in &admitted {
@@ -213,6 +245,19 @@ impl ContinuousBatcher {
                             finish_s: now,
                             tokens: requests[i].gen_len,
                         });
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.record_at(
+                                now,
+                                Some(requests[i].id),
+                                EventKind::Request {
+                                    request: requests[i].id,
+                                    arrival_s: requests[i].arrival_s,
+                                    first_token_s: now,
+                                    finish_s: now,
+                                    tokens: requests[i].gen_len as u32,
+                                },
+                            );
+                        }
                     } else {
                         active.push(Slot {
                             req: i,
@@ -258,7 +303,21 @@ impl ContinuousBatcher {
                 layer_sum += exit as f64;
                 token_sum += 1;
             }
-            now += self.model.decode_step_latency(&spec);
+            let dur = self.model.decode_step_latency(&spec);
+            if let Some(r) = rec.as_deref_mut() {
+                let layers = spec.layer_runners.iter().rposition(|&c| c > 0);
+                r.record_at(
+                    now,
+                    None,
+                    EventKind::Step {
+                        step: steps,
+                        occupancy: active.len() as u32,
+                        layers: layers.map_or(0, |l| l + 1) as u32,
+                        dur_s: dur,
+                    },
+                );
+            }
+            now += dur;
             steps += 1;
             occupancy_sum += active.len() as f64;
 
@@ -276,6 +335,19 @@ impl ContinuousBatcher {
                         finish_s: now,
                         tokens: req.gen_len,
                     });
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.record_at(
+                            now,
+                            Some(req.id),
+                            EventKind::Request {
+                                request: req.id,
+                                arrival_s: req.arrival_s,
+                                first_token_s: first_token_s[slot.req],
+                                finish_s: now,
+                                tokens: req.gen_len as u32,
+                            },
+                        );
+                    }
                 } else {
                     still_active.push(slot);
                 }
@@ -468,6 +540,34 @@ mod tests {
         finishes.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
         let order: Vec<u64> = finishes.iter().map(|(id, _)| *id).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recorded_replay_is_bit_identical_and_captures_the_run() {
+        let reqs = requests(6, 8);
+        let traces = specee_traces(6, 8, 20);
+        let b = ContinuousBatcher::new(config(2));
+        let plain = b.run(&reqs, &traces);
+        let mut rec = Recorder::new();
+        let recorded = b.run_recorded(&reqs, &traces, Some(&mut rec));
+        assert_eq!(plain, recorded, "recording must not perturb the run");
+        let events = rec.into_events();
+        let count = |f: fn(&EventKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, EventKind::Admission { .. })), 6);
+        assert_eq!(count(|k| matches!(k, EventKind::Request { .. })), 6);
+        assert_eq!(
+            count(|k| matches!(k, EventKind::Step { .. })) as u64,
+            plain.steps
+        );
+        // The batcher records in clock order, so the stream is already a
+        // valid timeline without merging.
+        assert!(events.windows(2).all(|w| w[0].t <= w[1].t));
+        for e in &events {
+            if let EventKind::Step { layers, dur_s, .. } = e.kind {
+                assert_eq!(layers, 20, "every replay trace exits at layer 20");
+                assert!(dur_s > 0.0);
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use specee_batch::{Admission, BatchedEngine, BatchedOutput};
 use specee_draft::SpeculativeSource;
 use specee_model::LayeredLm;
+use specee_obs::EventKind;
 
 use crate::batcher::{pick_pending, ContinuousBatcher, ServeReport};
 use crate::cost::StepSpec;
@@ -41,6 +42,14 @@ impl ContinuousBatcher {
     /// Admission follows the batcher's policy exactly as in replay mode;
     /// prefill is priced as one batched forward at admission, decode steps
     /// are priced from the engine's measured [`specee_batch::BatchStep`].
+    ///
+    /// When a [`specee_obs::Recorder`] is attached to the engine
+    /// (`engine.set_recorder(..)`), the loop keeps its simulated clock
+    /// stamped on it and records admissions, priced decode steps and
+    /// request-completion spans next to the engine's own exit-decision
+    /// events; retrieve the stream afterwards with
+    /// `engine.take_recorder()`. Recording never feeds back into the
+    /// simulation, so a traced run is bit-identical to an untraced one.
     ///
     /// # Panics
     ///
@@ -99,8 +108,27 @@ impl ContinuousBatcher {
                 admitted.push(pending.remove(pick));
             }
             if !admitted.is_empty() {
+                if let Some(rec) = engine.recorder_mut() {
+                    let depth = pending.len() as u32;
+                    for &i in &admitted {
+                        rec.record_at(
+                            now,
+                            Some(requests[i].id),
+                            EventKind::Admission {
+                                request: requests[i].id,
+                                queue_depth: depth,
+                            },
+                        );
+                    }
+                }
                 let lens: Vec<usize> = admitted.iter().map(|&i| requests[i].prompt.len()).collect();
                 now += self.model.prefill_latency(&lens);
+                // Keep the engine's recorder on the simulated clock so the
+                // exit decisions its admissions/steps emit are stamped in
+                // simulated seconds.
+                if let Some(rec) = engine.recorder_mut() {
+                    rec.set_clock(now);
+                }
                 for &i in &admitted {
                     let req = &requests[i];
                     first_token_s[i] = now;
@@ -112,6 +140,19 @@ impl ContinuousBatcher {
                             finish_s: now,
                             tokens: 0,
                         });
+                        if let Some(rec) = engine.recorder_mut() {
+                            rec.record_at(
+                                now,
+                                Some(req.id),
+                                EventKind::Request {
+                                    request: req.id,
+                                    arrival_s: req.arrival_s,
+                                    first_token_s: now,
+                                    finish_s: now,
+                                    tokens: 0,
+                                },
+                            );
+                        }
                         // Keep one output per request so callers can zip
                         // outputs with requests positionally.
                         outputs.push(BatchedOutput {
@@ -135,6 +176,19 @@ impl ContinuousBatcher {
                                 finish_s: now,
                                 tokens: out.tokens.len(),
                             });
+                            if let Some(rec) = engine.recorder_mut() {
+                                rec.record_at(
+                                    now,
+                                    Some(req.id),
+                                    EventKind::Request {
+                                        request: req.id,
+                                        arrival_s: req.arrival_s,
+                                        first_token_s: now,
+                                        finish_s: now,
+                                        tokens: out.tokens.len() as u32,
+                                    },
+                                );
+                            }
                             outputs.push(out);
                         }
                         Admission::Seated { .. } => {}
@@ -152,14 +206,30 @@ impl ContinuousBatcher {
             }
 
             // One genuinely executed, synchronized decode step.
+            if let Some(rec) = engine.recorder_mut() {
+                rec.set_clock(now);
+            }
             let step = engine.step();
-            now += self.model.decode_step_latency(&StepSpec {
+            let dur = self.model.decode_step_latency(&StepSpec {
                 layer_runners: step.layer_runners.clone(),
                 ctx_lens: step.ctx_lens.clone(),
                 lm_head_evals: step.lm_head_evals as f64,
                 draft_slots: step.draft_slots,
                 predictor_calls: step.predictor_calls as f64,
             });
+            if let Some(rec) = engine.recorder_mut() {
+                rec.record_at(
+                    now,
+                    None,
+                    EventKind::Step {
+                        step: steps,
+                        occupancy: step.ctx_lens.len() as u32,
+                        layers: step.rearmost_layer() as u32,
+                        dur_s: dur,
+                    },
+                );
+            }
+            now += dur;
             steps += 1;
             occupancy_sum += step.ctx_lens.len() as f64;
             layer_sum += step.layer_runners.iter().sum::<usize>() as f64;
@@ -173,6 +243,19 @@ impl ContinuousBatcher {
                     finish_s: now,
                     tokens: out.tokens.len(),
                 });
+                if let Some(rec) = engine.recorder_mut() {
+                    rec.record_at(
+                        now,
+                        Some(req.id),
+                        EventKind::Request {
+                            request: req.id,
+                            arrival_s: req.arrival_s,
+                            first_token_s: first_token_s[out.id as usize],
+                            finish_s: now,
+                            tokens: out.tokens.len() as u32,
+                        },
+                    );
+                }
                 outputs.push(out);
             }
         }
@@ -360,6 +443,69 @@ mod tests {
             rel * 100.0
         );
         assert!((live.report.avg_layers - replay.avg_layers).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_live_run_is_bit_identical_and_stamps_simulated_seconds() {
+        let seed = 59;
+        let parts = trained(seed);
+        let requests = PoissonArrivals::new(20.0, 11).requests(&specs(6, 8));
+        let b = batcher(3);
+        let run = |engine: &mut BatchedEngine<SyntheticLm, OracleDraft>| {
+            b.run_live(&requests, engine, |r| {
+                let lm = build_lm(seed);
+                let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+                (lm, draft)
+            })
+        };
+        let mut plain_engine = live_engine(3, &parts);
+        let plain = run(&mut plain_engine);
+        let mut traced_engine = live_engine(3, &parts);
+        traced_engine.set_recorder(Some(specee_obs::Recorder::for_worker(0)));
+        let traced = run(&mut traced_engine);
+
+        // Tracing must not perturb the simulation in any way.
+        assert_eq!(plain.report, traced.report);
+        for (a, t) in plain.outputs.iter().zip(&traced.outputs) {
+            assert_eq!(a.tokens, t.tokens);
+            assert_eq!(a.exit_layers, t.exit_layers);
+        }
+
+        let events = traced_engine
+            .take_recorder()
+            .expect("recorder survives the run")
+            .into_events();
+        let count =
+            |f: fn(&specee_obs::EventKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
+        assert_eq!(count(|k| matches!(k, EventKind::Admission { .. })), 6);
+        assert_eq!(count(|k| matches!(k, EventKind::Request { .. })), 6);
+        assert_eq!(
+            count(|k| matches!(k, EventKind::Step { .. })) as u64,
+            traced.report.steps
+        );
+        // Exit decisions ride the simulated clock the batcher stamps: every
+        // accepted decision matches one decoded early exit (the prefill
+        // token is emitted without a predictor scan).
+        let early: usize = traced
+            .outputs
+            .iter()
+            .map(|o| {
+                o.exit_layers
+                    .iter()
+                    .skip(1)
+                    .filter(|&&l| l < N_LAYERS)
+                    .count()
+            })
+            .sum();
+        assert_eq!(
+            count(|k| matches!(k, EventKind::ExitDecision { accepted: true, .. })),
+            early
+        );
+        assert!(early > 0, "workload must exercise early exits");
+        for e in &events {
+            assert!(e.t >= 0.0 && e.t <= traced.report.makespan_s + 1e-9);
+            assert_eq!(e.worker, 0);
+        }
     }
 
     #[test]

@@ -110,35 +110,11 @@ impl ClassStats {
     }
 }
 
-/// Nearest-rank percentile (`q` in `[0, 1]`) of an unsorted sample.
-///
-/// Returns zero for an empty sample.
-///
-/// # Panics
-///
-/// Panics if `q` is outside `[0, 1]`.
-pub fn percentile(values: &[f64], q: f64) -> f64 {
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN latencies"));
-    percentile_sorted(&sorted, q)
-}
-
-/// Nearest-rank percentile of an already ascending-sorted sample (so one
-/// sort serves a whole p50/p95/p99 ladder).
-///
-/// Returns zero for an empty sample.
-///
-/// # Panics
-///
-/// Panics if `q` is outside `[0, 1]`.
-fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile out of range");
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
+// One nearest-rank quantile rule for the whole workspace: the ladders
+// here and `specee_obs::Histogram::quantile` share `specee_obs`'s
+// implementation, so the stats report and the metrics export can never
+// disagree about what "p95" means.
+pub use specee_obs::{percentile, percentile_sorted};
 
 impl ServeStats {
     /// Summarizes a batcher report.

@@ -78,6 +78,7 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
         },
         controller: specee::control::ControllerPolicy::Static,
         gossip: true,
+        trace: false,
     }
 }
 

@@ -275,6 +275,7 @@ fn main() {
             },
             controller: bandit(),
             gossip: true,
+            trace: false,
         },
         RouterPolicy::RoundRobin.build(),
         &bank,

@@ -1,0 +1,187 @@
+//! Deterministic cluster tracing: the `specee-obs` observability plane.
+//!
+//! Runs the same 3-worker burst twice — once untraced, once with the
+//! event plane on — and shows that recording is a pure observer: the two
+//! runs decode bit-identically. The traced run then exports a Chrome
+//! trace (one lane per worker plus the coordinator's routing lane, open
+//! in Perfetto or `chrome://tracing`) and a Prometheus text snapshot
+//! whose counters are cross-checked against the report's own numbers.
+//!
+//! Because every timestamp comes from the simulated clock, the trace
+//! itself is bit-reproducible run to run — diffing two trace files is a
+//! regression test.
+//!
+//! Run with: `cargo run --release --example trace_cluster`
+
+use std::sync::Arc;
+
+use specee::cluster::{Cluster, ClusterConfig, ClusterRequest, RouterPolicy};
+use specee::core::collect::{collect_training_data, train_bank};
+use specee::core::predictor::{PredictorBank, PredictorConfig};
+use specee::core::{ScheduleEngine, SpecEeConfig};
+use specee::metrics::{FrameworkProfile, HardwareProfile};
+use specee::model::{CostDims, ModelConfig, TokenId};
+use specee::nn::TrainConfig;
+use specee::obs::{chrome_trace, chrome_trace_json, lanes_of, prometheus_text, EventKind};
+use specee::serve::{AdmissionPolicy, BatcherConfig, PoissonArrivals};
+use specee::synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
+use specee::tensor::rng::Pcg;
+
+const N_LAYERS: usize = 12;
+const WORKERS: usize = 3;
+const GEN: usize = 10;
+const SEED: u64 = 2025;
+
+fn model_cfg() -> ModelConfig {
+    ModelConfig {
+        n_layers: N_LAYERS,
+        vocab_size: 512,
+        ..ModelConfig::tiny()
+    }
+    .with_cost(CostDims {
+        n_layers: N_LAYERS,
+        ..CostDims::llama2_7b()
+    })
+}
+
+fn build_lm() -> SyntheticLm {
+    SyntheticLmBuilder::new(model_cfg(), DatasetProfile::qa())
+        .seed(SEED)
+        .build()
+}
+
+fn run(
+    trace: bool,
+    bank: &PredictorBank,
+    schedule: &ScheduleEngine,
+    config: &SpecEeConfig,
+) -> specee::cluster::ClusterReport {
+    let cluster_config = ClusterConfig {
+        workers: WORKERS,
+        page_size: 16,
+        admission: AdmissionPolicy::Fcfs,
+        batcher: BatcherConfig {
+            max_batch: 2,
+            hardware: HardwareProfile::a100_80g(),
+            framework: FrameworkProfile::vllm(),
+            cost: model_cfg().cost.expect("cost twin"),
+        },
+        controller: specee::control::ControllerPolicy::Static,
+        gossip: true,
+        trace,
+    };
+    let mut cluster = Cluster::<SyntheticLm, OracleDraft>::spawn(
+        &cluster_config,
+        RouterPolicy::ExitAware.build(),
+        bank,
+        schedule,
+        config,
+        Arc::new(move |req: &ClusterRequest| {
+            let lm = build_lm();
+            let draft = OracleDraft::new(*lm.language(), 0.9, &model_cfg(), SEED ^ req.request.id);
+            (lm, draft)
+        }),
+    );
+    let specs: Vec<(Vec<TokenId>, usize)> = (0..9u32)
+        .map(|i| (vec![4 + (i % 5), 2 + (i % 3), 9 - (i % 4)], GEN))
+        .collect();
+    for req in PoissonArrivals::new(40.0, SEED ^ 7).requests(&specs) {
+        cluster.submit(ClusterRequest::new(req).with_exit_hint(0.5 * N_LAYERS as f64));
+    }
+    cluster.drain()
+}
+
+fn main() {
+    // Offline phase: train the predictor bank once, share across runs.
+    let pcfg = PredictorConfig {
+        hidden_dim: 32,
+        ..PredictorConfig::default()
+    };
+    let mut lm = build_lm();
+    let mut draft = OracleDraft::new(*lm.language(), 0.9, &model_cfg(), SEED);
+    let prompts: Vec<(Vec<TokenId>, usize)> = (0..8u32)
+        .map(|i| (vec![2 + i, 7 + (i % 5), 1 + i], GEN))
+        .collect();
+    let data = collect_training_data(&mut lm, &mut draft, &prompts, 4);
+    let mut bank = PredictorBank::new(N_LAYERS, &pcfg, &mut Pcg::seed(SEED));
+    train_bank(&mut bank, &data.samples, 1.0, &TrainConfig::default(), SEED);
+    let config = SpecEeConfig {
+        predictor: pcfg,
+        ..SpecEeConfig::default()
+    };
+    let schedule = ScheduleEngine::all_layers(N_LAYERS);
+
+    // ---- Tracing is a pure observer ----
+    let plain = run(false, &bank, &schedule, &config);
+    let traced = run(true, &bank, &schedule, &config);
+    assert!(plain.events.is_empty());
+    assert_eq!(plain.aggregate(), traced.aggregate());
+    for (p, t) in plain.workers.iter().zip(&traced.workers) {
+        assert_eq!(p.report, t.report);
+    }
+    println!(
+        "traced run == untraced run: {} requests, {} steps, makespan {:.0} ms (bit-identical)",
+        traced.completed(),
+        traced.aggregate().steps,
+        traced.aggregate().makespan_s * 1e3
+    );
+
+    // ---- What the event plane captured ----
+    let mut by_kind: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    for e in &traced.events {
+        *by_kind.entry(e.kind.name()).or_insert(0) += 1;
+    }
+    println!(
+        "event stream: {} events ({})",
+        traced.events.len(),
+        by_kind
+            .iter()
+            .map(|(k, n)| format!("{n} {k}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let routes = traced
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Routing { .. }))
+        .count();
+    assert_eq!(routes, 9, "one routing decision per request");
+
+    // ---- Chrome trace export (Perfetto-viewable) ----
+    let json = chrome_trace_json(&traced.events);
+    let doc = chrome_trace(&traced.events);
+    let lanes = lanes_of(&doc).expect("traceEvents present");
+    assert_eq!(lanes.len(), WORKERS + 1, "worker lanes + coordinator");
+    let out_dir = std::env::temp_dir();
+    let trace_path = out_dir.join("specee_trace.json");
+    std::fs::write(&trace_path, &json).expect("write trace");
+    println!(
+        "chrome trace: {} lanes -> {} ({} bytes; open in Perfetto / chrome://tracing)",
+        lanes.len(),
+        trace_path.display(),
+        json.len()
+    );
+
+    // ---- Prometheus snapshot, cross-checked against the report ----
+    let registry = traced.metrics(Some(&HardwareProfile::a100_80g()));
+    assert_eq!(
+        registry.counter("specee_requests_total") as usize,
+        traced.completed()
+    );
+    assert_eq!(
+        registry.counter("specee_steps_total") as u64,
+        traced.aggregate().steps
+    );
+    let text = prometheus_text(&registry);
+    let metrics_path = out_dir.join("specee_metrics.prom");
+    std::fs::write(&metrics_path, &text).expect("write metrics");
+    let exit_hist = registry.histogram("specee_exit_layer").expect("exit hist");
+    println!(
+        "metrics: {} exposition lines -> {} (p50 exit layer {:.0}, {} exits accepted)",
+        text.lines().count(),
+        metrics_path.display(),
+        exit_hist.quantile(0.5),
+        registry.counter("specee_exits_accepted_total{class=\"3\"}")
+    );
+}

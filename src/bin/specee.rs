@@ -24,6 +24,10 @@ use specee::core::{agreement, GenOutput, SpecEeConfig};
 use specee::metrics::{FrameworkProfile, HardwareProfile, Roofline};
 use specee::model::{LayeredLm, ModelConfig, TokenId};
 use specee::nn::TrainConfig;
+use specee::obs::{
+    chrome_trace_json, fold_events, fold_meter, fold_roofline, prometheus_text, Event,
+    MetricsRegistry, Recorder,
+};
 use specee::serve::{BatcherConfig, ContinuousBatcher, PoissonArrivals, RequestTrace};
 use specee::synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
 use specee::tensor::rng::Pcg;
@@ -83,8 +87,52 @@ fn print_help() {
                       routed by --router round-robin|shortest-queue|exit-aware;\n             \
                       --controller static|pid|bandit adapts exit thresholds\n             \
                       online in live and cluster modes)\n  \
-           help       this message"
+           help       this message\n\n\
+         OBSERVABILITY (generate with --engine specee, serve in any mode):\n  \
+           --trace-out FILE    write the run's event timeline as Chrome\n                       \
+                               trace-event JSON (open in Perfetto or\n                       \
+                               chrome://tracing; one lane per worker)\n  \
+           --metrics-out FILE  write counters/gauges/histograms as\n                       \
+                               Prometheus text exposition\n  \
+           Recording is a pure observer: traced runs decode bit-identically\n  \
+           to untraced runs."
     );
+}
+
+/// `--trace-out FILE` / `--metrics-out FILE` export destinations. Either
+/// flag switches the run into recorded mode (which is still bit-identical
+/// to the unrecorded run — recording never feeds back into the
+/// simulation).
+fn export_paths(opts: &HashMap<String, String>) -> (Option<String>, Option<String>) {
+    (
+        opts.get("trace-out").cloned(),
+        opts.get("metrics-out").cloned(),
+    )
+}
+
+/// Writes the requested exports: the event timeline as Chrome trace-event
+/// JSON (open in Perfetto or `chrome://tracing`) and the metrics registry
+/// as Prometheus text exposition.
+fn write_exports(
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+    events: &[Event],
+    registry: &MetricsRegistry,
+) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        std::fs::write(path, chrome_trace_json(events))
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+        println!(
+            "trace  : {} events -> {path} (open in Perfetto / chrome://tracing)",
+            events.len()
+        );
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, prometheus_text(registry))
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        println!("metrics: -> {path} (Prometheus text exposition)");
+    }
+    Ok(())
 }
 
 /// Parses `--key value` options; positional arguments are returned in order.
@@ -271,6 +319,15 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     if controller.is_some() && engine_name != "specee" {
         return Err("--controller requires --engine specee".to_string());
     }
+    let (trace_out, metrics_out) = export_paths(&opts);
+    let observing = trace_out.is_some() || metrics_out.is_some();
+    if observing && engine_name != "specee" {
+        return Err(
+            "--trace-out/--metrics-out record the exit-scan event stream; \
+             they require --engine specee"
+                .to_string(),
+        );
+    }
     if tokens == 0 {
         // The engines require a positive decode length; zero tokens is a
         // valid request with an empty completion.
@@ -284,6 +341,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let lm = pipe.lm();
     let prompt = lm.language().sample_sequence(5, 12, pipe.seed ^ 0x9e);
     let mut controller_summary: Option<ControllerSummary> = None;
+    let mut events: Vec<Event> = Vec::new();
     let out: GenOutput = match engine_name {
         "dense" => DenseEngine::new(pipe.lm()).generate(&prompt, tokens),
         "specee" => {
@@ -292,8 +350,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             let schedule = config.build_schedule(pipe.cfg.n_layers, Some(&freqs));
             let draft = pipe.draft(&lm);
             match controller {
-                None => SpecEeEngine::new(pipe.lm(), draft, bank, schedule, config)
-                    .generate(&prompt, tokens),
+                None => {
+                    let mut engine = SpecEeEngine::new(pipe.lm(), draft, bank, schedule, config);
+                    if observing {
+                        engine.set_recorder(Some(Recorder::new()));
+                    }
+                    let out = engine.generate(&prompt, tokens);
+                    events = engine
+                        .take_recorder()
+                        .map(|r| r.into_events())
+                        .unwrap_or_default();
+                    out
+                }
                 Some(policy) => {
                     // Controlled decoding runs the same ExitScan dataflow
                     // through a batch-1 BatchedEngine (structurally
@@ -304,11 +372,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                     let mut engine =
                         BatchedEngine::new(1, 16, pipe.cfg.n_layers, bank, schedule, config);
                     engine.set_controller(policy.build_classed(n_predictors, base));
+                    if observing {
+                        engine.set_recorder(Some(Recorder::new()));
+                    }
                     let out = match engine.admit(0, pipe.lm(), draft, &prompt, tokens) {
                         Admission::Done(out) => out,
                         Admission::Seated { .. } => engine.drain().remove(0),
                     };
                     controller_summary = engine.controller_summary();
+                    events = engine
+                        .take_recorder()
+                        .map(|r| r.into_events())
+                        .unwrap_or_default();
                     GenOutput {
                         tokens: out.tokens,
                         exit_layers: out.exit_layers,
@@ -356,6 +431,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     );
     if let Some(summary) = &controller_summary {
         println!("controller    : {}", controller_line(summary));
+    }
+    if observing {
+        let mut registry = MetricsRegistry::new();
+        fold_events(&mut registry, &events);
+        fold_meter(&mut registry, &out.meter);
+        fold_roofline(&mut registry, &cost);
+        write_exports(
+            trace_out.as_deref(),
+            metrics_out.as_deref(),
+            &events,
+            &registry,
+        )?;
     }
     Ok(())
 }
@@ -576,6 +663,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     }
+    let (trace_out, metrics_out) = export_paths(&opts);
+    let observing = trace_out.is_some() || metrics_out.is_some();
+    let mut events: Vec<Event> = Vec::new();
+    let mut registry = MetricsRegistry::new();
     let gen = 16usize;
 
     match mode {
@@ -653,7 +744,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     true,
                 ));
             }
-            batcher.run(&requests, &spec_traces).stats()
+            let mut rec = observing.then(Recorder::new);
+            let report = batcher.run_recorded(&requests, &spec_traces, rec.as_mut());
+            if let Some(rec) = rec {
+                events = rec.into_events();
+                fold_events(&mut registry, &events);
+            }
+            report.stats()
         }
         "cluster" => {
             // Cluster: shard live decoding over worker threads behind the
@@ -691,6 +788,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     },
                     controller: controller.clone(),
                     gossip: true,
+                    trace: observing,
                 },
                 router.build(),
                 &bank,
@@ -706,6 +804,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 cluster.submit(ClusterRequest::new(req.clone()).with_exit_hint(expected_depth));
             }
             let report = cluster.drain();
+            if observing {
+                events = report.events.clone();
+                registry = report.metrics(Some(&HardwareProfile::a100_80g()));
+            }
             for w in &report.workers {
                 let threshold = w
                     .controller
@@ -769,6 +871,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             let mut engine =
                 BatchedEngine::new(batch, 16, pipe.cfg.n_layers, bank, schedule, config);
             engine.set_controller(controller.build_classed(n_predictors, base));
+            if observing {
+                engine.set_recorder(Some(Recorder::for_worker(0)));
+            }
             let outcome = batcher.run_live(&requests, &mut engine, |_req| {
                 let lm = pipe.lm();
                 let draft = pipe.draft(&lm);
@@ -778,6 +883,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 if let Some(summary) = engine.controller_summary() {
                     println!("controller: {}", controller_line(&summary));
                 }
+            }
+            if observing {
+                events = engine
+                    .take_recorder()
+                    .map(|r| r.into_events())
+                    .unwrap_or_default();
+                fold_events(&mut registry, &events);
+                fold_meter(&mut registry, engine.meter());
+                fold_roofline(
+                    &mut registry,
+                    &Roofline::with_framework(
+                        HardwareProfile::a100_80g(),
+                        FrameworkProfile::vllm(),
+                    )
+                    .cost(engine.meter()),
+                );
             }
             outcome.report.stats()
         }
@@ -806,6 +927,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         s.p99_latency_s * 1e3,
         s.throughput_tok_s / d.throughput_tok_s
     );
+    if observing {
+        write_exports(
+            trace_out.as_deref(),
+            metrics_out.as_deref(),
+            &events,
+            &registry,
+        )?;
+    }
     Ok(())
 }
 

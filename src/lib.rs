@@ -21,6 +21,7 @@ pub use specee_draft as draft;
 pub use specee_metrics as metrics;
 pub use specee_model as model;
 pub use specee_nn as nn;
+pub use specee_obs as obs;
 pub use specee_serve as serve;
 pub use specee_synth as synth;
 pub use specee_tensor as tensor;
