@@ -281,6 +281,19 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         self.controller = Some(controller);
     }
 
+    /// Forwards the SLO burn-rate pressure signal (computed by the
+    /// serving tier's `specee_obs::slo::SloTracker` at step boundaries)
+    /// to the attached controller's class instances. A no-op without a
+    /// controller, and plain (non-`slo+*`) policies ignore it — so runs
+    /// without an SLO plane are untouched. Like controller applies, the
+    /// bent operating point takes effect at the next step boundary,
+    /// never mid-scan.
+    pub fn set_slo_pressure(&mut self, pressure: f64) {
+        if let Some(ctl) = self.controller.as_mut() {
+            ctl.set_slo_pressure(pressure);
+        }
+    }
+
     /// The attached controller's merged state, if one is attached.
     pub fn controller_summary(&self) -> Option<ControllerSummary> {
         self.controller.as_ref().map(|c| c.summary())

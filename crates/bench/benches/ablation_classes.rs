@@ -383,6 +383,8 @@ fn run_cluster(
         controller: policy,
         gossip,
         trace: false,
+        trace_sample: 1,
+        slo: None,
     };
     // Pre-build each request's parts on the coordinator side so the
     // factory is a pure lookup (deterministic per id).

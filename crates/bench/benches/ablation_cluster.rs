@@ -170,6 +170,8 @@ impl Harness {
                 controller: specee_control::ControllerPolicy::Static,
                 gossip: true,
                 trace: false,
+                trace_sample: 1,
+                slo: None,
             },
             policy.build(),
             &bank,

@@ -1,0 +1,338 @@
+//! Serving extension (ours): the online SLO plane guarding tail latency
+//! (`specee-obs` + `specee-control::SloAdaptive`).
+//!
+//! A bandit controller optimizes the reward it can see — accepted-exit
+//! layer savings gated by an accuracy floor — and nothing in that
+//! reward sees the queue. Here a production-calibrated bandit (only
+//! arms with ≥ 90% verifier accept rate earn reward) honestly parks on
+//! the exits-off arm, because this modestly predicted traffic clears
+//! the floor on no exit arm. That is the right call for accuracy and a
+//! catastrophe for tail latency: when a sustained burst arrives faster
+//! than full-depth decoding can serve, the backlog — and every queued
+//! request's TTFT — grows without bound, and the bandit never notices.
+//!
+//! The SLO plane closes that gap without replacing the policy. A
+//! [`specee_obs::SloTracker`] watches the live run's TTFT stream
+//! through multi-window burn-rate alerting, and the `SloAdaptive`
+//! wrapper bends whatever the wrapped bandit proposes toward an
+//! aggressive exit floor while the objective burns — steps shorten,
+//! the backlog drains, pressure clears, and the bandit is back in
+//! charge (zero pressure is exact pass-through). The tracker alerts on
+//! a deliberately tighter internal objective
+//! ([`TRACKED_P99_TTFT_S`]) than the external SLA
+//! ([`TARGET_P99_TTFT_S`]) — the standard alert-before-you-burn
+//! discipline — so the guard re-engages while the tail still has
+//! budget left.
+//!
+//! Three runs of the identical stream (a warm trickle, then a
+//! sustained burst above exits-off capacity) through `run_live`:
+//!
+//! * **no-exit** — a never-firing bank; the dense reference all
+//!   speedups are measured against,
+//! * **bandit** — plain Thompson sampling over the default grid,
+//! * **slo+bandit** — the same bandit wrapped, tracker armed.
+//!
+//! Asserted: the wrapped bandit holds p99 TTFT within the SLA that the
+//! unwrapped bandit blows through, while retaining ≥ 80% of the
+//! unwrapped bandit's throughput speedup over the no-exit reference.
+
+use specee_batch::BatchedEngine;
+use specee_bench::*;
+use specee_control::{BanditConfig, ControllerPolicy};
+use specee_core::collect::{collect_training_data, train_bank};
+use specee_core::predictor::{PredictorBank, PredictorConfig};
+use specee_core::{ScheduleEngine, SpecEeConfig};
+use specee_metrics::{report::fmt_x, FrameworkProfile, HardwareProfile, Table};
+use specee_model::{ModelConfig, TokenId};
+use specee_nn::TrainConfig;
+use specee_obs::SloSpec;
+use specee_serve::{BatcherConfig, ContinuousBatcher, PoissonArrivals, ServeRequest, ServeStats};
+use specee_synth::{DatasetProfile, OracleDraft, SyntheticLm};
+use specee_tensor::rng::Pcg;
+
+const GEN: usize = 12;
+const MAX_BATCH: usize = 2;
+
+/// The external p99 TTFT SLA, simulated seconds — what the table and
+/// the assertions measure against.
+const TARGET_P99_TTFT_S: f64 = 0.40;
+
+/// The internal objective the tracker alerts on — deliberately tighter
+/// than the SLA, the standard alert-before-you-burn discipline. The
+/// guard oscillates around whatever it tracks (pressure clears, the
+/// bandit re-parks on exits-off, the queue rebuilds until the next
+/// fire), so tracking the SLA itself would let each rebuild cycle graze
+/// past it; tracking 150 ms keeps the whole oscillation envelope under
+/// the 400 ms SLA.
+const TRACKED_P99_TTFT_S: f64 = 0.15;
+
+/// Shallow chat traffic: tokens settle within the first few layers, so
+/// a permissive threshold harvests most of the decode work — the
+/// headroom the SLO plane spends when the tail burns.
+fn shallow_profile() -> DatasetProfile {
+    DatasetProfile {
+        exit_mu: 0.0625,
+        exit_sigma: 0.01,
+        early_frac: 0.0,
+        early_mu: 0.06,
+        ..DatasetProfile::mt_bench()
+    }
+}
+
+struct Harness {
+    cfg: ModelConfig,
+    seed: u64,
+    bank: PredictorBank,
+    schedule: ScheduleEngine,
+    config: SpecEeConfig,
+}
+
+impl Harness {
+    /// Same deliberately modest predictor as `ablation_controller`:
+    /// scores spread across the grid instead of saturating, so the
+    /// threshold genuinely is the operating point being steered.
+    fn build(cfg: &ModelConfig, seed: u64) -> Self {
+        let predictor = PredictorConfig {
+            hidden_dim: 16,
+            ..paper_predictor()
+        };
+        let profile = shallow_profile();
+        let mut lm = build_lm(cfg, &profile, seed, ModelVariant::Dense);
+        let mut draft = build_draft(&lm, cfg, seed);
+        let lang = *lm.language();
+        let prompts: Vec<(Vec<TokenId>, usize)> = (0..TRAIN_PROMPTS)
+            .map(|i| {
+                let start = (seed as u32 + i as u32 * 7) % cfg.vocab_size as u32;
+                (
+                    lang.sample_sequence(start, 12, seed ^ (i as u64)),
+                    TRAIN_GEN,
+                )
+            })
+            .collect();
+        let collection = collect_training_data(&mut lm, &mut draft, &prompts, predictor.spec_k);
+        let mut bank = PredictorBank::new(cfg.n_layers, &predictor, &mut Pcg::seed(seed ^ 0xb4));
+        train_bank(
+            &mut bank,
+            &collection.samples,
+            1.0,
+            &TrainConfig {
+                epochs: 6,
+                lr: 3e-3,
+                ..TrainConfig::default()
+            },
+            seed ^ 0x7e,
+        );
+        Harness {
+            cfg: cfg.clone(),
+            seed,
+            bank,
+            schedule: ScheduleEngine::all_layers(cfg.n_layers),
+            config: SpecEeConfig {
+                predictor,
+                ..SpecEeConfig::default()
+            },
+        }
+    }
+}
+
+/// One pass of the burst through the live lock-step engine.
+/// `threshold` overrides the bank's static operating point (`2.0`
+/// never fires — the no-exit reference); `policy` attaches a
+/// controller; `slo` arms the batcher's burn-rate tracker.
+fn run_serve(
+    h: &Harness,
+    requests: &[ServeRequest],
+    threshold: Option<f32>,
+    policy: Option<&ControllerPolicy>,
+    slo: Option<&SloSpec>,
+) -> ServeStats {
+    let mut bank = h.bank.clone();
+    if let Some(t) = threshold {
+        bank.set_threshold(t);
+    }
+    let base = threshold.unwrap_or(h.config.predictor.threshold);
+    let n_predictors = bank.len();
+    let mut engine: BatchedEngine<SyntheticLm, OracleDraft> = BatchedEngine::new(
+        MAX_BATCH,
+        16,
+        h.cfg.n_layers,
+        bank,
+        h.schedule.clone(),
+        h.config.clone(),
+    );
+    if let Some(p) = policy {
+        engine.set_controller(p.build_classed(n_predictors, base));
+    }
+    let mut batcher = ContinuousBatcher::new(BatcherConfig {
+        max_batch: MAX_BATCH,
+        hardware: HardwareProfile::a100_80g(),
+        framework: FrameworkProfile::vllm(),
+        cost: h.cfg.cost.expect("sim models carry a cost twin"),
+    });
+    if let Some(spec) = slo {
+        batcher = batcher.with_slo(spec.clone());
+    }
+    let debug = std::env::var("SPECEE_SLO_DEBUG").is_ok();
+    if debug {
+        engine.set_recorder(Some(specee_obs::Recorder::for_worker(0)));
+    }
+    let profile = shallow_profile();
+    let outcome = batcher.run_live(requests, &mut engine, |req| {
+        let lm = build_lm(&h.cfg, &profile, h.seed, ModelVariant::Dense);
+        let draft = OracleDraft::new(*lm.language(), profile.hit_rate, &h.cfg, h.seed ^ req.id);
+        (lm, draft)
+    });
+    if debug {
+        let events = engine
+            .take_recorder()
+            .map(|r| r.into_events())
+            .unwrap_or_default();
+        for e in &events {
+            if matches!(
+                e.kind,
+                specee_obs::EventKind::SloFired { .. } | specee_obs::EventKind::SloCleared { .. }
+            ) {
+                eprintln!("[debug] t={:.3}s {:?}", e.t, e.kind);
+            }
+        }
+        eprintln!(
+            "[debug] avg layers {:.1}, makespan {:.3}s",
+            outcome.report.avg_layers, outcome.report.makespan_s
+        );
+    }
+    outcome.report.stats()
+}
+
+fn main() {
+    banner(
+        "ablation_slo",
+        "SLO-aware control holds tail TTFT through a sustained burst (extension)",
+    );
+    let cfg = model_7b();
+    let seed = 41;
+    let h = Harness::build(&cfg, seed);
+
+    // A sustained bursty stream whose arrival rate sits between the two
+    // service rates that matter: above what exits-off sustains (~9
+    // req/s at this batch cap), below what floor-threshold exits
+    // sustain (~12 req/s). The exits-off bandit therefore falls behind
+    // — its queue and every queued request's TTFT grow without bound —
+    // while the guarded run has the capacity headroom to keep the
+    // backlog (and the tail) flat once pressure engages. Only the brief
+    // pre-fire transient violates, which is exactly the 1% the p99
+    // objective's error budget exists to absorb.
+    let n_requests: usize = std::env::var("SPECEE_SLO_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(80);
+    let specs: Vec<(Vec<TokenId>, usize)> = {
+        let lm = build_lm(&cfg, &shallow_profile(), seed, ModelVariant::Dense);
+        (0..n_requests)
+            .map(|i| {
+                let start = (seed as u32 + i as u32 * 11) % cfg.vocab_size as u32;
+                (
+                    lm.language()
+                        .sample_sequence(start, 12, seed ^ ((i as u64) << 3)),
+                    GEN,
+                )
+            })
+            .collect()
+    };
+    // The stream opens with a warm 2 s trickle (4 req/s — well inside
+    // even the exits-off capacity) before the burst hits. The trickle
+    // fills the tracker's windows with healthy TTFTs, so when the burst
+    // starts building a queue the very first grazing violation fires
+    // the alert — without it, the first requests of the burst would
+    // already be stuck behind full-depth decodes before the tracker has
+    // seen `min_events` TTFTs, a breach no alerting policy can undo.
+    let warm = PoissonArrivals::new(4.0, seed ^ 0x51).requests(&specs[..8]);
+    let mut burst = PoissonArrivals::new(10.5, seed ^ 0x52).requests(&specs[8..]);
+    for (k, r) in burst.iter_mut().enumerate() {
+        r.id = (8 + k) as u64;
+        r.arrival_s += 2.0;
+    }
+    let mut requests = warm;
+    requests.extend(burst);
+
+    // A production-calibrated bandit: the accuracy floor only rewards
+    // arms whose verifier accept rate clears 90%, and this modestly
+    // predicted traffic clears it on no exit arm — so the bandit
+    // honestly parks on the exits-off arm. Nothing in its reward sees
+    // the queue that decision starves.
+    let bandit_policy = ControllerPolicy::Bandit(BanditConfig {
+        accuracy_floor: 0.9,
+        ..BanditConfig::default()
+    });
+    let spec = SloSpec::parse(&format!("p99_ttft={TRACKED_P99_TTFT_S}")).expect("valid spec");
+
+    let dense = run_serve(&h, &requests, Some(2.0), None, None);
+    let bandit = run_serve(&h, &requests, None, Some(&bandit_policy), None);
+    let guarded = run_serve(
+        &h,
+        &requests,
+        None,
+        Some(&bandit_policy.clone().slo_adaptive()),
+        Some(&spec),
+    );
+
+    let speedup = |s: &ServeStats| s.throughput_tok_s / dense.throughput_tok_s;
+    let mut table = Table::new(vec![
+        "policy",
+        "tok/s",
+        "speedup vs no-exit",
+        "p99 TTFT (ms)",
+        "within target",
+    ]);
+    for (name, s) in [
+        ("no-exit", &dense),
+        ("bandit", &bandit),
+        ("slo+bandit", &guarded),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", s.throughput_tok_s),
+            fmt_x(speedup(s)),
+            format!("{:.0}", s.p99_ttft_s * 1e3),
+            if s.p99_ttft_s <= TARGET_P99_TTFT_S {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    println!(
+        "{} requests, warm trickle then sustained burst, batch cap {MAX_BATCH}, target p99 TTFT {:.0} ms:",
+        requests.len(),
+        TARGET_P99_TTFT_S * 1e3
+    );
+    println!("{table}");
+
+    // ---- The acceptance bar ----
+    assert!(
+        bandit.p99_ttft_s > TARGET_P99_TTFT_S,
+        "the unwrapped bandit must blow the target (else the scenario \
+         exercises nothing): p99 TTFT {:.0} ms vs {:.0} ms",
+        bandit.p99_ttft_s * 1e3,
+        TARGET_P99_TTFT_S * 1e3
+    );
+    assert!(
+        guarded.p99_ttft_s <= TARGET_P99_TTFT_S,
+        "slo+bandit must hold the target: p99 TTFT {:.0} ms vs {:.0} ms",
+        guarded.p99_ttft_s * 1e3,
+        TARGET_P99_TTFT_S * 1e3
+    );
+    let retention = speedup(&guarded) / speedup(&bandit);
+    assert!(
+        retention >= 0.8,
+        "slo+bandit must retain >= 80% of the bandit's speedup: {:.0}%",
+        retention * 100.0
+    );
+    println!(
+        "slo+bandit holds p99 TTFT at {:.0} ms (bandit: {:.0} ms, target {:.0} ms) \
+         while retaining {:.0}% of its speedup",
+        guarded.p99_ttft_s * 1e3,
+        bandit.p99_ttft_s * 1e3,
+        TARGET_P99_TTFT_S * 1e3,
+        retention * 100.0
+    );
+}

@@ -9,7 +9,7 @@ use specee_core::predictor::PredictorBank;
 use specee_core::{ScheduleEngine, SpecEeConfig};
 use specee_draft::SpeculativeSource;
 use specee_model::LayeredLm;
-use specee_obs::{EventKind, Recorder, COORDINATOR_LANE};
+use specee_obs::{EventKind, Recorder, SloSpec, SloTracker, COORDINATOR_LANE};
 use specee_serve::batcher::ServeReport;
 use specee_serve::cost::StepCostModel;
 use specee_serve::{AdmissionPolicy, BatcherConfig};
@@ -51,6 +51,27 @@ pub struct ClusterConfig {
     /// [`ClusterReport::events`]; recording never feeds back into the
     /// simulation, so a traced run is bit-identical to an untraced one.
     pub trace: bool,
+    /// Trace sampling period: every recorder lane (workers and
+    /// coordinator) keeps a deterministic 1-in-N of each event *kind*
+    /// and counts the rest as dropped ([`WorkerReport::dropped_events`],
+    /// folded into [`ClusterReport::metrics`] as
+    /// `specee_trace_dropped_events_total`). `1` keeps everything;
+    /// ignored unless [`trace`](ClusterConfig::trace) is on. Sampling
+    /// only thins the recorded stream — it never feeds back into the
+    /// simulation.
+    pub trace_sample: u32,
+    /// Online SLO objectives, evaluated per worker. When set, every
+    /// worker drives a [`SloTracker`] on its own simulated clock —
+    /// admission TTFTs and verifier accept/reject outcomes feed its
+    /// rolling windows, burn-rate alerts are evaluated at every clock
+    /// advance, fired/cleared transitions land in the worker's trace
+    /// lane (when tracing is on), and the tracker's pressure signal is
+    /// pushed into the worker's controller via
+    /// `BatchedEngine::set_slo_pressure` (actuation requires an
+    /// `slo+*` [`ControllerPolicy`]). The tracker runs independently of
+    /// tracing, so traced and untraced runs stay bit-identical even
+    /// while an objective burns.
+    pub slo: Option<SloSpec>,
     /// Cross-worker controller gossip. When `true`, every arrival
     /// frontier the coordinator collects each worker's matured per-class
     /// evidence deltas with its snapshot and broadcasts to each worker
@@ -119,6 +140,8 @@ struct WorkerHandle {
 ///     controller: ControllerPolicy::pid(), // per-worker adaptive thresholds
 ///     gossip: true,                        // share per-class drift across workers
 ///     trace: false,                        // flip on for a typed event timeline
+///     trace_sample: 1,                     // keep every event when tracing
+///     slo: None,                           // or SloSpec::parse("p99_ttft=0.25")
 /// };
 /// let model_cfg = cfg.clone();
 /// let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
@@ -205,14 +228,18 @@ where
                 id,
             ));
             if config.trace {
-                engine.set_recorder(Some(Recorder::for_worker(id as u32)));
+                engine.set_recorder(Some(sampled(
+                    Recorder::for_worker(id as u32),
+                    config.trace_sample,
+                )));
             }
             let cost = StepCostModel::new(
                 config.batcher.cost,
                 config.batcher.hardware.clone(),
                 config.batcher.framework.clone(),
             );
-            let worker = Worker::new(id, engine, cost, config.admission, make_seq.clone());
+            let slo = config.slo.clone().map(SloTracker::new);
+            let worker = Worker::new(id, engine, cost, config.admission, slo, make_seq.clone());
             snapshots.push(worker.snapshot());
             let (tx, worker_rx) = channel();
             let (worker_tx, rx) = channel();
@@ -233,7 +260,9 @@ where
             router,
             snapshots,
             gossip: config.gossip,
-            trace: config.trace.then(|| Recorder::for_worker(COORDINATOR_LANE)),
+            trace: config
+                .trace
+                .then(|| sampled(Recorder::for_worker(COORDINATOR_LANE), config.trace_sample)),
             last_arrival: f64::NEG_INFINITY,
             unroutable: Vec::new(),
             _seq: std::marker::PhantomData,
@@ -419,6 +448,16 @@ where
     }
 }
 
+/// Applies the configured 1-in-N trace sampling to a recorder lane
+/// (`n <= 1` keeps everything).
+fn sampled(rec: Recorder, n: u32) -> Recorder {
+    if n > 1 {
+        rec.with_sample_every(n)
+    } else {
+        rec
+    }
+}
+
 /// Synthesized report for a worker whose thread died without reporting
 /// (catch-unwind containment normally prevents this).
 fn dead_worker_report(worker: usize, assigned: &[u64]) -> WorkerReport {
@@ -444,6 +483,7 @@ fn dead_worker_report(worker: usize, assigned: &[u64]) -> WorkerReport {
         controller: None,
         classes: Vec::new(),
         events: Vec::new(),
+        dropped_events: 0,
         meter: specee_metrics::Meter::new(),
     }
 }

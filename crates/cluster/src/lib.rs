@@ -76,6 +76,8 @@
 //!     controller: ControllerPolicy::Static,
 //!     gossip: true,
 //!     trace: false,
+//!     trace_sample: 1,
+//!     slo: None,
 //! };
 //! let model_cfg = cfg.clone();
 //! let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(

@@ -3,7 +3,10 @@
 use specee_batch::BatchedOutput;
 use specee_core::traffic::ClassMap;
 use specee_metrics::{HardwareProfile, Roofline};
-use specee_obs::{fold_events, fold_meter, fold_roofline, merge_events, Event, MetricsRegistry};
+use specee_obs::{
+    fold_dropped_events, fold_events, fold_meter, fold_roofline, merge_events, Event,
+    MetricsRegistry,
+};
 use specee_serve::batcher::ServeReport;
 use specee_serve::{ClassStats, ServeStats};
 
@@ -162,6 +165,10 @@ impl ClusterReport {
     pub fn metrics(&self, hardware: Option<&HardwareProfile>) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new();
         fold_events(&mut reg, &self.events);
+        fold_dropped_events(
+            &mut reg,
+            self.workers.iter().map(|w| w.dropped_events).sum(),
+        );
         for w in &self.workers {
             fold_meter(&mut reg, &w.meter);
             if let Some(hw) = hardware {

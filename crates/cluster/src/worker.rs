@@ -36,7 +36,7 @@ use specee_core::traffic::ClassMap;
 use specee_draft::SpeculativeSource;
 use specee_metrics::Meter;
 use specee_model::LayeredLm;
-use specee_obs::{Event, EventKind};
+use specee_obs::{Event, EventKind, SloTracker};
 use specee_serve::batcher::ServeReport;
 use specee_serve::cost::{StepCostModel, StepSpec};
 use specee_serve::request::Completion;
@@ -121,6 +121,11 @@ pub struct WorkerReport {
     /// tracing on). Already in clock order for this lane; the
     /// coordinator merges lanes into the cluster-wide timeline.
     pub events: Vec<Event>,
+    /// Events the worker's recorder discarded (trace sampling plus any
+    /// budget overflow); `0` when untraced. Folded into
+    /// [`crate::ClusterReport::metrics`] as
+    /// `specee_trace_dropped_events_total`.
+    pub dropped_events: u64,
     /// The engine's measured op totals (FLOPs/bytes/kernels per
     /// [`specee_metrics::OpKind`]), for folding into a cluster-wide
     /// metrics registry.
@@ -166,6 +171,9 @@ pub(crate) struct Worker<M: LayeredLm, D: SpeculativeSource> {
     cancelled: Vec<u64>,
     lost: Vec<u64>,
     panic: Option<String>,
+    /// Online SLO tracker, driven by this worker's simulated clock
+    /// (`None` unless the cluster was spawned with an SLO spec).
+    slo: Option<SloTracker>,
 }
 
 impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
@@ -174,6 +182,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
         engine: BatchedEngine<M, D>,
         cost: StepCostModel,
         policy: AdmissionPolicy,
+        slo: Option<SloTracker>,
         make_seq: SeqFactory<M, D>,
     ) -> Self {
         let n_layers = engine.n_layers();
@@ -202,6 +211,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             cancelled: Vec::new(),
             lost: Vec::new(),
             panic: None,
+            slo,
         }
     }
 
@@ -339,6 +349,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                     let req = self.admitting.remove(0);
                     self.admit(req);
                 }
+                self.slo_tick();
                 continue;
             }
 
@@ -347,6 +358,9 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                 // boundary if the frontier has not released it yet).
                 if let Some(front) = self.inbox.front() {
                     self.sim_now = self.sim_now.max(front.request.arrival_s);
+                    // Idle time drains the rolling windows, so a burn
+                    // can clear between bursts.
+                    self.slo_tick();
                     continue;
                 }
                 return;
@@ -375,6 +389,9 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
         self.current_admission = Some(id);
         self.admitted_meta
             .push((id, req.request.arrival_s, self.sim_now));
+        if let Some(t) = self.slo.as_mut() {
+            t.observe_ttft(self.sim_now, self.sim_now - req.request.arrival_s);
+        }
         // The class is resolved once, here at admission — explicit tag,
         // else exit-hint depth band — and keys the engine's feedback
         // plane for the sequence's whole lifetime.
@@ -487,6 +504,11 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
         self.occupancy_sum += step.ctx_lens.len() as f64;
         self.layer_sum += step.layer_runners.iter().sum::<usize>() as f64;
         self.token_sum += step.emitted as u64;
+        if let Some(t) = self.slo.as_mut() {
+            for fb in &step.feedback {
+                t.observe_exit(self.sim_now, fb.accepted);
+            }
+        }
         for seq in &mut self.active {
             seq.tokens_done += 1;
         }
@@ -515,6 +537,25 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             }
             self.outputs.push(out);
         }
+        self.slo_tick();
+    }
+
+    /// Evaluates the burn-rate alerts at the clock the loop just reached,
+    /// records any fired/cleared transitions on this worker's trace lane,
+    /// and pushes the pressure signal into the engine's controller.
+    /// Measurement is recorder-independent — only the transition
+    /// *instants* touch the recorder — so traced and untraced runs see
+    /// identical pressure.
+    fn slo_tick(&mut self) {
+        let Some(tracker) = self.slo.as_mut() else {
+            return;
+        };
+        for kind in tracker.evaluate(self.sim_now) {
+            if let Some(rec) = self.engine.recorder_mut() {
+                rec.record_at(self.sim_now, None, kind);
+            }
+        }
+        self.engine.set_slo_pressure(tracker.pressure());
     }
 
     /// The `(arrival_s, first_token_s)` milestones recorded at admission.
@@ -643,11 +684,9 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
         let controller = self.engine.controller_summary();
         let classes = self.class_rows();
         let meter = self.engine.meter().clone();
-        let events = self
-            .engine
-            .take_recorder()
-            .map(|r| r.into_events())
-            .unwrap_or_default();
+        let recorder = self.engine.take_recorder();
+        let dropped_events = recorder.as_ref().map_or(0, |r| r.dropped_events());
+        let events = recorder.map(|r| r.into_events()).unwrap_or_default();
         WorkerReport {
             worker: self.id,
             report: ServeReport {
@@ -678,6 +717,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             controller,
             classes,
             events,
+            dropped_events,
             meter,
         }
     }

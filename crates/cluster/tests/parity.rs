@@ -53,6 +53,8 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
         controller: specee_control::ControllerPolicy::Static,
         gossip: true,
         trace: false,
+        trace_sample: 1,
+        slo: None,
     }
 }
 
@@ -845,6 +847,34 @@ fn traced_cluster_run_is_bit_identical_and_exports() {
     let lanes = specee_obs::lanes_of(&doc).expect("traceEvents present");
     assert_eq!(lanes.len(), 4, "3 worker lanes + coordinator");
 
+    // The metadata records name every lane for Perfetto: pid 0 is the
+    // "specee" process, and each tid carries its human-readable name.
+    let serde::Value::Seq(records) = doc.get("traceEvents").expect("traceEvents present") else {
+        panic!("traceEvents must be an array");
+    };
+    let metas: Vec<(String, String)> = records
+        .iter()
+        .filter(|r| matches!(r.get("ph"), Some(serde::Value::Str(ph)) if ph == "M"))
+        .filter_map(|r| {
+            let (Some(serde::Value::Str(name)), Some(serde::Value::Str(value))) =
+                (r.get("name"), r.get("args").and_then(|a| a.get("name")))
+            else {
+                return None;
+            };
+            Some((name.clone(), value.clone()))
+        })
+        .collect();
+    assert!(
+        metas.contains(&("process_name".to_string(), "specee".to_string())),
+        "process_name metadata: {metas:?}"
+    );
+    for lane in ["worker-0", "worker-1", "worker-2", "coordinator"] {
+        assert!(
+            metas.contains(&("thread_name".to_string(), lane.to_string())),
+            "lane {lane} must be named: {metas:?}"
+        );
+    }
+
     // And the metrics snapshot agrees with the report's own counts.
     let reg = traced.metrics(None);
     assert_eq!(
@@ -854,5 +884,77 @@ fn traced_cluster_run_is_bit_identical_and_exports() {
     assert_eq!(
         reg.counter("specee_steps_total") as u64,
         traced.aggregate().steps
+    );
+}
+
+/// Online SLO tracking and trace sampling are pure observers at the
+/// cluster tier too: a run with an (impossibly tight, hence firing) SLO
+/// is bit-identical whether its workers record through sampled recorders
+/// or not at all, the fired transitions land on the worker lanes, and
+/// the sampling drops are counted into the metrics export.
+#[test]
+fn slo_tracked_sampled_cluster_run_is_bit_identical() {
+    use specee_obs::{EventKind, SloSpec};
+    let seed = 101;
+    let parts = trained(seed);
+    let requests = PoissonArrivals::new(60.0, 19).requests(&specs(10, 8));
+    let run = |trace: bool| {
+        let config = ClusterConfig {
+            trace,
+            trace_sample: if trace { 2 } else { 1 },
+            slo: Some(SloSpec::parse("p99_ttft=0.001").expect("valid spec")),
+            controller: specee_control::ControllerPolicy::Static.slo_adaptive(),
+            ..cluster_config(2, 2)
+        };
+        let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+            &config,
+            RouterPolicy::RoundRobin.build(),
+            &parts.0,
+            &parts.1,
+            &parts.2,
+            factory(seed),
+        );
+        for req in &requests {
+            cluster.submit(ClusterRequest::new(req.clone()));
+        }
+        cluster.drain()
+    };
+    let plain = run(false);
+    let traced = run(true);
+    assert!(plain.failures().is_empty() && traced.failures().is_empty());
+    assert_eq!(plain.aggregate(), traced.aggregate());
+    for (p, t) in plain.workers.iter().zip(&traced.workers) {
+        assert_eq!(p.report, t.report, "worker {} timing report", p.worker);
+        assert_eq!(p.outputs, t.outputs, "worker {} outputs", p.worker);
+        assert_eq!(p.controller, t.controller, "worker {} controller", p.worker);
+        assert_eq!(
+            p.controller.as_ref().map(|c| c.policy),
+            Some("slo+static"),
+            "the SLO wrapper must ride the cluster controller"
+        );
+    }
+    // The impossible target fires on the worker lanes, and the burn bent
+    // real behavior: pressure pushed the wrapped static controller off
+    // its base operating point at some step boundary.
+    assert!(
+        traced
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SloFired { .. })),
+        "the impossible target must fire in the trace"
+    );
+    // Sampling genuinely dropped events, only on the traced run, and the
+    // drop count surfaces in the Prometheus-facing registry.
+    let dropped: u64 = traced.workers.iter().map(|w| w.dropped_events).sum();
+    assert!(dropped > 0, "1-in-2 sampling must drop events");
+    assert_eq!(
+        plain.workers.iter().map(|w| w.dropped_events).sum::<u64>(),
+        0,
+        "untraced workers drop nothing"
+    );
+    let reg = traced.metrics(None);
+    assert_eq!(
+        reg.counter("specee_trace_dropped_events_total") as u64,
+        dropped
     );
 }

@@ -145,6 +145,9 @@ pub struct ClassedController {
     /// consulted when the class's instance is first created.
     pinned: ClassMap<f32>,
     classes: ClassMap<ClassState>,
+    /// Last SLO pressure received; replayed onto lazily created class
+    /// instances so a class admitted mid-burn starts bent, not neutral.
+    slo_pressure: f64,
 }
 
 impl ClassedController {
@@ -170,6 +173,7 @@ impl ClassedController {
             worker,
             pinned: ClassMap::new(),
             classes: ClassMap::new(),
+            slo_pressure: 0.0,
         }
     }
 
@@ -212,11 +216,29 @@ impl ClassedController {
     fn ensure(&mut self, class: TrafficClass) -> &mut ClassState {
         let (policy, n_predictors, worker) = (&self.policy, self.n_predictors, self.worker);
         let base = self.class_base(class);
-        self.classes.get_or_insert_with(class, || ClassState {
-            controller: policy.build_for_worker_class(n_predictors, base, worker, class),
-            delta: ClassEvidence::empty(class, n_predictors, 0),
-            fires_since_token: 0,
+        let pressure = self.slo_pressure;
+        self.classes.get_or_insert_with(class, || {
+            let mut controller = policy.build_for_worker_class(n_predictors, base, worker, class);
+            if pressure != 0.0 {
+                controller.set_slo_pressure(pressure);
+            }
+            ClassState {
+                controller,
+                delta: ClassEvidence::empty(class, n_predictors, 0),
+                fires_since_token: 0,
+            }
         })
+    }
+
+    /// Broadcasts the SLO burn-rate pressure signal to every class
+    /// instance (and remembers it for classes created later). Plain
+    /// policies ignore it; `slo+*` wrappers bend their operating points
+    /// at the next step-boundary apply.
+    pub fn set_slo_pressure(&mut self, pressure: f64) {
+        self.slo_pressure = pressure.clamp(-1.0, 1.0);
+        for (_, state) in self.classes.iter_mut() {
+            state.controller.set_slo_pressure(self.slo_pressure);
+        }
     }
 
     /// Routes one verifier outcome to its class's instance (the class
@@ -371,6 +393,36 @@ impl ClassedController {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slo_pressure_reaches_every_class_including_late_ones() {
+        let policy = ControllerPolicy::Static.slo_adaptive();
+        let mut ctl = policy.build_classed(4, 0.6);
+        let early = TrafficClass::new(1);
+        ctl.observe(&ExitFeedback {
+            class: early,
+            layer: 0,
+            score: 0.7,
+            threshold: 0.6,
+            accepted: true,
+        });
+        assert_eq!(ctl.threshold(early, 0), 0.6);
+        ctl.set_slo_pressure(1.0);
+        assert!(
+            (ctl.threshold(early, 0) - 0.2).abs() < 1e-6,
+            "existing class bends to the floor"
+        );
+        // A class first seen *after* the pressure was set starts bent.
+        let late = TrafficClass::new(2);
+        ctl.note_token(late, 4, 4);
+        assert!(
+            (ctl.threshold(late, 0) - 0.2).abs() < 1e-6,
+            "late class inherits the ambient pressure"
+        );
+        ctl.set_slo_pressure(0.0);
+        assert_eq!(ctl.threshold(early, 0), 0.6);
+        assert_eq!(ctl.threshold(late, 0), 0.6);
+    }
 
     fn fb(class: TrafficClass, layer: usize, accepted: bool) -> ExitFeedback {
         ExitFeedback {

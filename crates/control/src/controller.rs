@@ -84,6 +84,17 @@ pub trait Controller: Send {
         let _ = evidence;
     }
 
+    /// Receives the SLO burn-rate pressure signal in `[-1, 1]` from the
+    /// serving tier's `specee_obs::slo::SloTracker` (positive: a latency
+    /// objective is burning, bias toward aggressive exits; negative: a
+    /// false-exit objective is burning, bias toward exits-off; zero:
+    /// healthy). The default ignores it — only the `SloAdaptive` wrapper
+    /// reacts — so plain policies stay bit-identical with or without an
+    /// SLO plane attached.
+    fn set_slo_pressure(&mut self, pressure: f64) {
+        let _ = pressure;
+    }
+
     /// Counters and the current operating point, for reports.
     fn summary(&self) -> ControllerSummary;
 }

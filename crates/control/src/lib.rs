@@ -29,6 +29,16 @@
 //!   rate undercuts an accuracy floor — the EESD-style control
 //!   mechanism.
 //!
+//! Any of the three can additionally be wrapped in [`SloAdaptive`]
+//! (`slo+static`, `slo+pid`, `slo+bandit`; what the CLI's `--slo`
+//! builds): the serving tier's burn-rate tracker
+//! (`specee_obs::slo::SloTracker`) pushes a pressure signal in
+//! `[-1, 1]` down through [`Controller::set_slo_pressure`], and the
+//! wrapper bends the wrapped policy's operating point toward an
+//! aggressive floor while a latency SLO burns (drain the queue) or
+//! toward exits-off while a false-exit SLO burns — and is exact
+//! pass-through at zero pressure.
+//!
 //! Controller state is keyed by **traffic class**: runtimes attach a
 //! [`ClassedController`] ([`ControllerPolicy::build_classed`]) holding
 //! one full policy instance per observed [`specee_core::TrafficClass`]
@@ -87,9 +97,11 @@ mod classed;
 mod controller;
 mod pid;
 mod policy;
+mod slo_adaptive;
 
 pub use bandit::{BanditConfig, BanditController};
 pub use classed::{ClassEvidence, ClassedController};
 pub use controller::{Controller, ControllerSummary, StaticController};
 pub use pid::{PidConfig, PidController};
 pub use policy::ControllerPolicy;
+pub use slo_adaptive::{SloAdaptive, SloAdaptiveConfig};

@@ -6,6 +6,7 @@ use crate::bandit::{BanditConfig, BanditController};
 use crate::classed::ClassedController;
 use crate::controller::{Controller, StaticController};
 use crate::pid::{PidConfig, PidController};
+use crate::slo_adaptive::{SloAdaptive, SloAdaptiveConfig};
 
 /// A buildable controller choice: what rides in configuration structs
 /// (e.g. `ClusterConfig`) and what `--controller <policy>` parses into.
@@ -23,6 +24,14 @@ pub enum ControllerPolicy {
     Pid(PidConfig),
     /// Thompson sampling over a threshold grid.
     Bandit(BanditConfig),
+    /// Any policy wrapped in the SLO burn-rate decorator (what
+    /// `--slo ...` turns the chosen policy into).
+    SloAdaptive {
+        /// The wrapped policy.
+        inner: Box<ControllerPolicy>,
+        /// Bend limits for the wrapper.
+        config: SloAdaptiveConfig,
+    },
 }
 
 impl ControllerPolicy {
@@ -46,18 +55,36 @@ impl ControllerPolicy {
         ]
     }
 
+    /// Wraps this policy in the SLO burn-rate decorator with default
+    /// bend limits.
+    pub fn slo_adaptive(self) -> Self {
+        ControllerPolicy::SloAdaptive {
+            inner: Box::new(self),
+            config: SloAdaptiveConfig::default(),
+        }
+    }
+
     /// The policy's canonical CLI name.
     pub fn name(&self) -> &'static str {
         match self {
             ControllerPolicy::Static => "static",
             ControllerPolicy::Pid(_) => "pid",
             ControllerPolicy::Bandit(_) => "bandit",
+            ControllerPolicy::SloAdaptive { inner, .. } => match inner.name() {
+                "static" => "slo+static",
+                "pid" => "slo+pid",
+                "bandit" => "slo+bandit",
+                _ => "slo-adaptive",
+            },
         }
     }
 
-    /// Parses a CLI name (`static`, `pid`, `bandit`) into the policy
-    /// with default configuration.
+    /// Parses a CLI name (`static`, `pid`, `bandit`, or any of those
+    /// prefixed with `slo+`) into the policy with default configuration.
     pub fn parse(name: &str) -> Option<ControllerPolicy> {
+        if let Some(inner) = name.strip_prefix("slo+") {
+            return ControllerPolicy::parse(inner).map(ControllerPolicy::slo_adaptive);
+        }
         match name {
             "static" => Some(ControllerPolicy::Static),
             "pid" => Some(ControllerPolicy::pid()),
@@ -81,6 +108,10 @@ impl ControllerPolicy {
             ControllerPolicy::Bandit(config) => {
                 Box::new(BanditController::new(base_threshold, config.clone()))
             }
+            ControllerPolicy::SloAdaptive { inner, config } => Box::new(SloAdaptive::with_config(
+                inner.build(n_predictors, base_threshold),
+                config.clone(),
+            )),
         }
     }
 
@@ -133,6 +164,13 @@ impl ControllerPolicy {
                 }
                 Box::new(BanditController::new(base_threshold, config))
             }
+            // The wrapper is stateless w.r.t. seeding: the inner policy
+            // does the (worker, class) decorrelation, the wrapper rides
+            // on top of whichever instance comes out.
+            ControllerPolicy::SloAdaptive { inner, config } => Box::new(SloAdaptive::with_config(
+                inner.build_for_worker_class(n_predictors, base_threshold, worker, class),
+                config.clone(),
+            )),
             _ => self.build(n_predictors, base_threshold),
         }
     }

@@ -1,0 +1,254 @@
+//! The SLO-adaptive controller wrapper: burn-rate pressure bends any
+//! policy's operating point.
+//!
+//! [`SloAdaptive`] wraps another [`Controller`] and consumes the
+//! pressure signal a `specee_obs::slo::SloTracker` computes at step
+//! boundaries (threaded down through
+//! [`Controller::set_slo_pressure`]):
+//!
+//! * **positive pressure** — a latency objective (e.g. `p99_ttft`) is
+//!   burning. The queue is the enemy: the wrapper blends the wrapped
+//!   policy's thresholds toward an aggressive *floor* so exits fire
+//!   early, steps shorten, and the backlog drains. This is exactly the
+//!   move a plain bandit cannot make mid-burst — its exploration happily
+//!   parks on the slow exits-off arm while requests pile up.
+//! * **negative pressure** — a `false_exit_rate` objective is burning.
+//!   The wrapper blends toward a conservative *ceiling* (1.0 disables
+//!   exits) until the verifier stops rejecting.
+//! * **zero pressure** — exact pass-through: thresholds, `apply`
+//!   behavior (including the static policy's no-op `apply`) and
+//!   summaries are the wrapped policy's own, bit for bit. An
+//!   `SloAdaptive` wrapper whose tracker never fires is invisible.
+//!
+//! The wrapper holds no windows of its own — the tracker owns the
+//! measurement, the wrapper owns the actuation — so wrapping changes
+//! nothing about how feedback or gossip are consumed: `observe`,
+//! `note_token` and `absorb` delegate untouched.
+
+use specee_core::predictor::PredictorBank;
+use specee_core::ExitFeedback;
+
+use crate::classed::ClassEvidence;
+use crate::controller::{Controller, ControllerSummary};
+
+/// How far [`SloAdaptive`] may bend the wrapped policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloAdaptiveConfig {
+    /// Aggressive threshold the operating point blends toward under
+    /// full positive (latency) pressure.
+    pub floor: f32,
+    /// Conservative threshold under full negative (false-exit)
+    /// pressure; `1.0` disables exits entirely.
+    pub ceil: f32,
+    /// Pressure multiplier before clamping to `[-1, 1]`; above 1 makes
+    /// the wrapper saturate on milder burns.
+    pub gain: f64,
+}
+
+impl Default for SloAdaptiveConfig {
+    fn default() -> Self {
+        SloAdaptiveConfig {
+            floor: 0.2,
+            ceil: 1.0,
+            gain: 1.0,
+        }
+    }
+}
+
+/// A [`Controller`] decorator that tightens or relaxes the wrapped
+/// policy's operating point from SLO burn-rate pressure. See the module
+/// docs for the control direction.
+pub struct SloAdaptive {
+    inner: Box<dyn Controller>,
+    config: SloAdaptiveConfig,
+    /// Last pressure received, clamped to `[-1, 1]` (0 = pass-through).
+    pressure: f64,
+}
+
+impl SloAdaptive {
+    /// Wraps `inner` with default bend limits.
+    pub fn new(inner: Box<dyn Controller>) -> Self {
+        SloAdaptive::with_config(inner, SloAdaptiveConfig::default())
+    }
+
+    /// Wraps `inner` with explicit bend limits.
+    pub fn with_config(inner: Box<dyn Controller>, config: SloAdaptiveConfig) -> Self {
+        SloAdaptive {
+            inner,
+            config,
+            pressure: 0.0,
+        }
+    }
+
+    /// The effective (gained, clamped) pressure in `[-1, 1]`.
+    pub fn effective_pressure(&self) -> f64 {
+        (self.pressure * self.config.gain).clamp(-1.0, 1.0)
+    }
+
+    /// Blends a base threshold by the current pressure: toward the
+    /// floor under positive pressure, toward the ceiling under negative,
+    /// untouched at zero. The floor/ceiling never push the point
+    /// *away* from safety (a base already below the floor stays put
+    /// under positive pressure).
+    fn bend(&self, base: f64) -> f64 {
+        let p = self.effective_pressure();
+        if p > 0.0 {
+            let floor = f64::from(self.config.floor).min(base);
+            base + (floor - base) * p
+        } else if p < 0.0 {
+            let ceil = f64::from(self.config.ceil).max(base);
+            base + (ceil - base) * (-p)
+        } else {
+            base
+        }
+    }
+}
+
+impl Controller for SloAdaptive {
+    fn name(&self) -> &'static str {
+        match self.inner.name() {
+            "static" => "slo+static",
+            "pid" => "slo+pid",
+            "bandit" => "slo+bandit",
+            _ => "slo-adaptive",
+        }
+    }
+
+    fn observe(&mut self, feedback: &ExitFeedback) {
+        self.inner.observe(feedback);
+    }
+
+    fn note_token(&mut self, executed_layers: usize, n_layers: usize) {
+        self.inner.note_token(executed_layers, n_layers);
+    }
+
+    fn threshold(&self, layer: usize) -> f32 {
+        self.bend(f64::from(self.inner.threshold(layer))) as f32
+    }
+
+    fn apply(&self, bank: &mut PredictorBank) {
+        if self.effective_pressure() == 0.0 {
+            // Exact pass-through, including the static policy's no-op
+            // `apply` — an idle wrapper is bit-invisible.
+            self.inner.apply(bank);
+        } else {
+            for layer in 0..bank.len() {
+                bank.layer_mut(layer).set_threshold(self.threshold(layer));
+            }
+        }
+    }
+
+    fn absorb(&mut self, evidence: &ClassEvidence) {
+        self.inner.absorb(evidence);
+    }
+
+    fn set_slo_pressure(&mut self, pressure: f64) {
+        self.pressure = pressure.clamp(-1.0, 1.0);
+    }
+
+    fn summary(&self) -> ControllerSummary {
+        let mut s = self.inner.summary();
+        s.policy = self.name();
+        s.mean_threshold = self.bend(s.mean_threshold);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::StaticController;
+    use crate::ControllerPolicy;
+    use specee_core::predictor::PredictorConfig;
+    use specee_tensor::rng::Pcg;
+
+    fn wrapped_static(base: f32) -> SloAdaptive {
+        SloAdaptive::new(Box::new(StaticController::new(4, base)))
+    }
+
+    #[test]
+    fn zero_pressure_is_exact_pass_through() {
+        let mut bank = PredictorBank::new(5, &PredictorConfig::default(), &mut Pcg::seed(1));
+        bank.layer_mut(1).set_threshold(0.9); // deliberately off-base
+        let ctl = wrapped_static(0.5);
+        assert_eq!(ctl.threshold(0), 0.5);
+        ctl.apply(&mut bank);
+        // Static's no-op apply must survive the wrapper untouched.
+        assert_eq!(bank.layer(1).threshold(), 0.9);
+        assert_eq!(ctl.summary().mean_threshold, 0.5);
+    }
+
+    #[test]
+    fn positive_pressure_bends_toward_the_floor() {
+        let mut ctl = wrapped_static(0.6);
+        ctl.set_slo_pressure(0.5);
+        let t = ctl.threshold(0);
+        assert!((t - 0.4).abs() < 1e-6, "halfway to the 0.2 floor: {t}");
+        ctl.set_slo_pressure(1.0);
+        assert!((ctl.threshold(0) - 0.2).abs() < 1e-6);
+        // Applying under pressure writes the bent thresholds even for
+        // a wrapped static policy.
+        let mut bank = PredictorBank::new(5, &PredictorConfig::default(), &mut Pcg::seed(1));
+        ctl.apply(&mut bank);
+        assert!((bank.layer(0).threshold() - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_pressure_bends_toward_the_ceiling() {
+        let mut ctl = wrapped_static(0.6);
+        ctl.set_slo_pressure(-1.0);
+        assert!((ctl.threshold(0) - 1.0).abs() < 1e-6, "exits disabled");
+        ctl.set_slo_pressure(-0.5);
+        assert!((ctl.threshold(0) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floor_never_loosens_an_already_aggressive_base() {
+        let mut ctl = wrapped_static(0.1); // below the 0.2 floor
+        ctl.set_slo_pressure(1.0);
+        assert!((ctl.threshold(0) - 0.1).abs() < 1e-6, "stays at base");
+    }
+
+    #[test]
+    fn pressure_and_gain_are_clamped() {
+        let mut ctl = SloAdaptive::with_config(
+            Box::new(StaticController::new(4, 0.6)),
+            SloAdaptiveConfig {
+                gain: 10.0,
+                ..SloAdaptiveConfig::default()
+            },
+        );
+        ctl.set_slo_pressure(0.3);
+        assert_eq!(ctl.effective_pressure(), 1.0, "gain saturates");
+        ctl.set_slo_pressure(-99.0);
+        assert_eq!(ctl.effective_pressure(), -1.0, "pressure clamps");
+    }
+
+    #[test]
+    fn names_reflect_the_wrapped_policy() {
+        for (policy, want) in [
+            (ControllerPolicy::Static, "slo+static"),
+            (ControllerPolicy::pid(), "slo+pid"),
+            (ControllerPolicy::bandit(), "slo+bandit"),
+        ] {
+            let ctl = SloAdaptive::new(policy.build(4, 0.5));
+            assert_eq!(ctl.name(), want);
+            assert_eq!(ctl.summary().policy, want);
+        }
+    }
+
+    #[test]
+    fn feedback_and_tokens_delegate_to_the_inner_policy() {
+        let mut ctl = wrapped_static(0.5);
+        ctl.observe(&ExitFeedback {
+            class: specee_core::TrafficClass::DEFAULT,
+            layer: 1,
+            score: 0.7,
+            threshold: 0.5,
+            accepted: false,
+        });
+        ctl.note_token(4, 8);
+        let s = ctl.summary();
+        assert_eq!((s.accepts, s.rejects, s.tokens), (0, 1, 1));
+    }
+}

@@ -344,6 +344,25 @@ mod tests {
     }
 
     #[test]
+    fn sampled_and_capped_recorder_is_still_a_pure_observer() {
+        use specee_obs::Recorder;
+        let prompt = vec![4u32, 2, 9];
+        let base = trained_engine(31, SchedulingMode::AllLayers).generate(&prompt, 16);
+        let mut engine = trained_engine(31, SchedulingMode::AllLayers);
+        engine.set_recorder(Some(Recorder::new().with_sample_every(3).with_budget(8)));
+        let traced = engine.generate(&prompt, 16);
+        // Dropping events (whether to the sampling rate or the budget
+        // cap) is invisible to the decode itself.
+        assert_eq!(base.tokens, traced.tokens);
+        assert_eq!(base.exit_layers, traced.exit_layers);
+        assert_eq!(base.meter, traced.meter);
+
+        let rec = engine.take_recorder().unwrap();
+        assert!(rec.dropped_events() > 0, "cap must actually bite");
+        assert!(rec.into_events().len() <= 8);
+    }
+
+    #[test]
     fn kv_stays_consistent_after_exits() {
         let mut engine = trained_engine(35, SchedulingMode::AllLayers);
         let out = engine.generate(&[1, 2, 3], 10);

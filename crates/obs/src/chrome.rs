@@ -39,9 +39,12 @@ fn lane_name(worker: u32) -> String {
     if worker == COORDINATOR_LANE {
         "coordinator".to_string()
     } else {
-        format!("worker{worker}")
+        format!("worker-{worker}")
     }
 }
+
+/// The `process_name` every lane lives under (one process, pid 0).
+const PROCESS_NAME: &str = "specee";
 
 /// Common envelope of one trace event on a worker lane.
 fn envelope(name: &str, ph: &str, cat: &str, worker: u32, ts_s: f64) -> Vec<(&'static str, Value)> {
@@ -75,26 +78,31 @@ fn seq_arg(e: &Event) -> Value {
 
 /// Builds the Chrome trace-event document for a merged event stream.
 ///
-/// One `thread_name` metadata record is emitted per distinct lane, in
-/// ascending lane order, followed by the events in stream order — the
-/// output is a pure function of the input stream.
+/// One `process_name` metadata record for pid 0, then one
+/// `thread_name` metadata record per distinct lane in ascending lane
+/// order ("worker-0", …, "coordinator"), followed by the events in
+/// stream order — the output is a pure function of the input stream.
 pub fn chrome_trace(events: &[Event]) -> Value {
     let mut lanes: Vec<u32> = events.iter().map(|e| e.worker).collect();
     lanes.sort_unstable();
     lanes.dedup();
 
-    let mut out: Vec<Value> = lanes
-        .iter()
-        .map(|&w| {
-            map(vec![
-                ("name", s("thread_name")),
-                ("ph", s("M")),
-                ("pid", Value::UInt(0)),
-                ("tid", Value::UInt(u64::from(w))),
-                ("args", map(vec![("name", Value::Str(lane_name(w)))])),
-            ])
-        })
-        .collect();
+    let mut out: Vec<Value> = vec![map(vec![
+        ("name", s("process_name")),
+        ("ph", s("M")),
+        ("pid", Value::UInt(0)),
+        ("tid", Value::UInt(0)),
+        ("args", map(vec![("name", s(PROCESS_NAME))])),
+    ])];
+    out.extend(lanes.iter().map(|&w| {
+        map(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(u64::from(w))),
+            ("args", map(vec![("name", Value::Str(lane_name(w)))])),
+        ])
+    }));
 
     for e in events {
         out.push(match &e.kind {
@@ -194,6 +202,17 @@ pub fn chrome_trace(events: &[Event]) -> Value {
                     ("tokens", Value::UInt(*tokens)),
                 ],
             ),
+            EventKind::SloFired {
+                objective,
+                burn_rate,
+            } => instant(
+                e,
+                vec![
+                    ("objective", s(objective)),
+                    ("burn_rate", Value::Float(*burn_rate)),
+                ],
+            ),
+            EventKind::SloCleared { objective } => instant(e, vec![("objective", s(objective))]),
         });
     }
 
@@ -295,6 +314,42 @@ mod tests {
             .expect("gossip instant present");
         assert_eq!(gossip.get("ph"), Some(&Value::Str("i".into())));
         assert_eq!(gossip.get("ts"), Some(&Value::Float(0.5 * 1e6)));
+    }
+
+    #[test]
+    fn metadata_names_process_and_threads() {
+        let json = chrome_trace_json(&sample_events());
+        assert!(json.contains("process_name"));
+        assert!(json.contains("\"specee\""));
+        assert!(json.contains("thread_name"));
+        assert!(json.contains("worker-0"));
+        assert!(json.contains("worker-1"));
+    }
+
+    #[test]
+    fn slo_transitions_export_as_instants() {
+        let mut r = Recorder::for_worker(0);
+        r.set_clock(1.0);
+        r.record(EventKind::SloFired {
+            objective: "p99_ttft".to_string(),
+            burn_rate: 3.5,
+        });
+        r.set_clock(2.0);
+        r.record(EventKind::SloCleared {
+            objective: "p99_ttft".to_string(),
+        });
+        let doc = chrome_trace(&r.into_events());
+        let Some(Value::Seq(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        let fired = events
+            .iter()
+            .find(|e| e.get("name") == Some(&Value::Str("slo-fired".into())))
+            .expect("slo-fired instant present");
+        assert_eq!(fired.get("ph"), Some(&Value::Str("i".into())));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name") == Some(&Value::Str("slo-cleared".into()))));
     }
 
     #[test]

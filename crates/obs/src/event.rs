@@ -112,6 +112,21 @@ pub enum EventKind {
         /// Total feedback tokens carried by the delta.
         tokens: u64,
     },
+    /// An SLO objective started burning its error budget too fast:
+    /// both the fast and slow burn-rate windows crossed the fire
+    /// threshold at a step boundary (see `specee_obs::slo`).
+    SloFired {
+        /// Objective name as declared (e.g. `p99_ttft`).
+        objective: String,
+        /// Fast-window burn rate at the moment of firing.
+        burn_rate: f64,
+    },
+    /// A firing SLO objective recovered: the fast-window burn rate
+    /// dropped below the clear threshold.
+    SloCleared {
+        /// Objective name as declared (e.g. `p99_ttft`).
+        objective: String,
+    },
 }
 
 impl EventKind {
@@ -129,6 +144,8 @@ impl EventKind {
             EventKind::Routing { .. } => "route",
             EventKind::ControllerApply { .. } => "controller",
             EventKind::Gossip { .. } => "gossip",
+            EventKind::SloFired { .. } => "slo-fired",
+            EventKind::SloCleared { .. } => "slo-cleared",
         }
     }
 }
@@ -162,6 +179,21 @@ mod tests {
             }
             .name(),
             "gossip"
+        );
+        assert_eq!(
+            EventKind::SloFired {
+                objective: "p99_ttft".to_string(),
+                burn_rate: 2.0
+            }
+            .name(),
+            "slo-fired"
+        );
+        assert_eq!(
+            EventKind::SloCleared {
+                objective: "p99_ttft".to_string()
+            }
+            .name(),
+            "slo-cleared"
         );
     }
 }

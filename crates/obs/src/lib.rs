@@ -19,10 +19,16 @@
 //!    into registry entries so one export carries both measured ops and
 //!    modelled latency.
 //! 3. **Exporters** ([`chrome`], [`prom`]): Chrome trace-event JSON (one
-//!    lane per worker; spans for steps and requests, instants for exits
-//!    and gossip; loadable in Perfetto / `chrome://tracing`) and
+//!    named lane per worker; spans for steps and requests, instants for
+//!    exits and gossip; loadable in Perfetto / `chrome://tracing`) and
 //!    Prometheus text exposition, both written via the vendored serde
 //!    stand-ins.
+//! 4. **Online layer** ([`window`], [`sketch`], [`slo`]): rolling
+//!    windows over the simulated clock with exact retire-on-advance, a
+//!    deterministic streaming quantile sketch, and SLO objectives with
+//!    multi-window burn-rate alerting — the streaming half that answers
+//!    questions *during* a run (and feeds `SloAdaptive` controllers in
+//!    `specee-control`) instead of after it.
 //!
 //! The disabled path is a no-op: engines thread a generic
 //! `S: TraceSink`, and with [`NullSink`] (or `Option::<Recorder>::None`)
@@ -58,13 +64,19 @@ pub mod prom;
 pub mod quantile;
 pub mod registry;
 pub mod sink;
+pub mod sketch;
+pub mod slo;
+pub mod window;
 
 pub use chrome::{chrome_trace, chrome_trace_json, lanes_of};
 pub use event::{Event, EventKind, COORDINATOR_LANE};
 pub use prom::prometheus_text;
-pub use quantile::{percentile, percentile_sorted};
+pub use quantile::{nearest_rank, percentile, percentile_sorted};
 pub use registry::{
-    fold_events, fold_meter, fold_roofline, Histogram, MetricsRegistry, EXIT_LAYER_BOUNDS,
-    QUEUE_DEPTH_BOUNDS, TTFT_BOUNDS,
+    fold_dropped_events, fold_events, fold_meter, fold_roofline, Histogram, MetricsRegistry,
+    EXIT_LAYER_BOUNDS, QUEUE_DEPTH_BOUNDS, TTFT_BOUNDS,
 };
-pub use sink::{merge_events, NullSink, Recorder, TraceSink};
+pub use sink::{merge_events, NullSink, Recorder, TraceSink, DEFAULT_EVENT_BUDGET};
+pub use sketch::{QuantileSketch, DEFAULT_SKETCH_K};
+pub use slo::{SloKind, SloObjective, SloSpec, SloTracker};
+pub use window::{RollingCounter, RollingHistogram};

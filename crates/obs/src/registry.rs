@@ -352,8 +352,35 @@ pub fn fold_events(reg: &mut MetricsRegistry, events: &[Event]) {
                 reg.counter_add("specee_gossip_deltas_total", 1.0);
                 reg.counter_add("specee_gossip_classes_total", f64::from(*classes));
             }
+            EventKind::SloFired { objective, .. } => {
+                reg.counter_add(
+                    &format!("specee_slo_fired_total{{objective=\"{objective}\"}}"),
+                    1.0,
+                );
+                reg.gauge_set(
+                    &format!("specee_slo_burning{{objective=\"{objective}\"}}"),
+                    1.0,
+                );
+            }
+            EventKind::SloCleared { objective } => {
+                reg.counter_add(
+                    &format!("specee_slo_cleared_total{{objective=\"{objective}\"}}"),
+                    1.0,
+                );
+                reg.gauge_set(
+                    &format!("specee_slo_burning{{objective=\"{objective}\"}}"),
+                    0.0,
+                );
+            }
         }
     }
+}
+
+/// Folds a recorder's dropped-event count into `reg` as the
+/// `specee_trace_dropped_events_total` counter, so a truncated or
+/// sampled trace is visible in the same export it truncated.
+pub fn fold_dropped_events(reg: &mut MetricsRegistry, dropped: u64) {
+    reg.counter_add("specee_trace_dropped_events_total", dropped as f64);
 }
 
 #[cfg(test)]
@@ -431,6 +458,118 @@ mod tests {
         assert_eq!(a.gauge("g"), Some(5.0));
         assert_eq!(a.histogram("h").unwrap().count(), 2);
         assert_eq!(a.histogram("h2").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_with_disjoint_keys_is_a_union() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("only_a", 1.0);
+        a.gauge_set("gauge_a", 4.0);
+        a.observe("hist_a", &[1.0], 0.5);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("only_b", 2.0);
+        b.gauge_set("gauge_b", 5.0);
+        b.observe("hist_b", &[2.0], 1.5);
+        a.merge(&b);
+        assert_eq!(a.counter("only_a"), 1.0);
+        assert_eq!(a.counter("only_b"), 2.0);
+        assert_eq!(a.gauge("gauge_a"), Some(4.0));
+        assert_eq!(a.gauge("gauge_b"), Some(5.0));
+        assert_eq!(a.histogram("hist_a").unwrap().count(), 1);
+        assert_eq!(a.histogram("hist_b").unwrap().count(), 1);
+        assert_eq!(a.counters().count(), 2);
+        // `b` is untouched by the merge.
+        assert_eq!(b.counter("only_a"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bounds")]
+    fn registry_merge_rejects_mismatched_histogram_presets() {
+        // Same metric name recorded under different bucket presets on
+        // two workers must fail loudly, not blend silently.
+        let mut a = MetricsRegistry::new();
+        a.observe("specee_ttft_seconds", &TTFT_BOUNDS, 0.1);
+        let mut b = MetricsRegistry::new();
+        b.observe("specee_ttft_seconds", &QUEUE_DEPTH_BOUNDS, 0.1);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn registry_merge_is_associative_across_three_workers() {
+        let worker = |seed: u64| {
+            let mut reg = MetricsRegistry::new();
+            reg.counter_add("specee_steps_total", seed as f64);
+            reg.counter_add(&format!("specee_only_{seed}"), 1.0);
+            reg.gauge_set("specee_depth", seed as f64);
+            for i in 0..seed {
+                reg.observe("specee_ttft_seconds", &TTFT_BOUNDS, 0.01 * i as f64);
+            }
+            reg
+        };
+        let (w0, w1, w2) = (worker(1), worker(2), worker(3));
+        // (w0 ∪ w1) ∪ w2
+        let mut left = MetricsRegistry::new();
+        left.merge(&w0);
+        left.merge(&w1);
+        left.merge(&w2);
+        // w0 ∪ (w1 ∪ w2)
+        let mut right_tail = MetricsRegistry::new();
+        right_tail.merge(&w1);
+        right_tail.merge(&w2);
+        let mut right = MetricsRegistry::new();
+        right.merge(&w0);
+        right.merge(&right_tail);
+        assert_eq!(
+            crate::prometheus_text(&left),
+            crate::prometheus_text(&right),
+            "merge must be associative: the coordinator may fold worker \
+             registries in any grouping"
+        );
+        assert_eq!(left.counter("specee_steps_total"), 6.0);
+        assert_eq!(left.histogram("specee_ttft_seconds").unwrap().count(), 6);
+    }
+
+    #[test]
+    fn slo_events_fold_to_counters_and_burning_gauge() {
+        use crate::event::Event;
+        let ev = |kind| Event {
+            t: 0.0,
+            worker: 0,
+            seq: None,
+            kind,
+        };
+        let mut reg = MetricsRegistry::new();
+        fold_events(
+            &mut reg,
+            &[ev(EventKind::SloFired {
+                objective: "p99_ttft".to_string(),
+                burn_rate: 2.5,
+            })],
+        );
+        assert_eq!(
+            reg.counter("specee_slo_fired_total{objective=\"p99_ttft\"}"),
+            1.0
+        );
+        assert_eq!(
+            reg.gauge("specee_slo_burning{objective=\"p99_ttft\"}"),
+            Some(1.0)
+        );
+        fold_events(
+            &mut reg,
+            &[ev(EventKind::SloCleared {
+                objective: "p99_ttft".to_string(),
+            })],
+        );
+        assert_eq!(
+            reg.counter("specee_slo_cleared_total{objective=\"p99_ttft\"}"),
+            1.0
+        );
+        assert_eq!(
+            reg.gauge("specee_slo_burning{objective=\"p99_ttft\"}"),
+            Some(0.0)
+        );
+        fold_dropped_events(&mut reg, 17);
+        assert_eq!(reg.counter("specee_trace_dropped_events_total"), 17.0);
     }
 
     #[test]

@@ -17,8 +17,31 @@
 //! write-only — so tracing cannot perturb tokens, exit layers or
 //! timings; the bit-identity tests in `specee-serve`/`specee-cluster`
 //! hold the runtime to that.
+//!
+//! # Bounded recording
+//!
+//! A [`Recorder`] never grows without bound: every recorder carries an
+//! event budget ([`DEFAULT_EVENT_BUDGET`] unless overridden). Past the
+//! budget the default mode *drops newest* (the prefix of the run is
+//! kept) and the ring mode ([`Recorder::with_ring_capacity`]) *drops
+//! oldest* (the suffix is kept) — both count every discarded event in
+//! [`Recorder::dropped_events`], so a truncated trace is always
+//! detectable. Per-kind sampling ([`Recorder::with_sample_every`])
+//! keeps a deterministic 1-in-N of each event kind before the budget
+//! applies. All of it is write-side only: sampling and dropping decide
+//! what is *kept*, never what the engines compute, so the bit-identity
+//! contract is untouched.
+
+use std::collections::BTreeMap;
 
 use crate::event::{Event, EventKind};
+
+/// Default [`Recorder`] event budget (events kept before the recorder
+/// starts dropping): 2^20 events, a few hundred MB at the very worst.
+/// Soak-scale runs should prefer sampling (`--trace-sample`) or ring
+/// mode so the *interesting* events survive; the budget is the backstop
+/// that keeps an unconfigured long run from growing without bound.
+pub const DEFAULT_EVENT_BUDGET: usize = 1 << 20;
 
 /// Destination for trace events.
 ///
@@ -102,12 +125,44 @@ impl<S: TraceSink> TraceSink for Option<S> {
 /// advances, so clock-less inner layers (the exit scan, the batched
 /// engine) emit correctly stamped events without carrying timestamps
 /// themselves.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Memory is bounded: see the module docs on [`DEFAULT_EVENT_BUDGET`],
+/// ring mode and per-kind sampling.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recorder {
     worker: u32,
     clock: f64,
     seq: Option<u64>,
     events: Vec<Event>,
+    /// Events kept before dropping kicks in.
+    budget: usize,
+    /// Past the budget: overwrite oldest (`true`) or drop newest.
+    ring: bool,
+    /// Next overwrite slot once a ring has wrapped.
+    head: usize,
+    /// Keep 1 in N events of each kind (1 = keep everything).
+    sample_every: u32,
+    /// Per-kind occurrence counters driving the sampler.
+    sample_seen: BTreeMap<&'static str, u64>,
+    /// Events discarded by sampling, the budget cap or ring overwrite.
+    dropped: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder {
+            worker: 0,
+            clock: 0.0,
+            seq: None,
+            events: Vec::new(),
+            budget: DEFAULT_EVENT_BUDGET,
+            ring: false,
+            head: 0,
+            sample_every: 1,
+            sample_seen: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
 }
 
 impl Recorder {
@@ -121,6 +176,81 @@ impl Recorder {
         Recorder {
             worker,
             ..Recorder::default()
+        }
+    }
+
+    /// Replaces the event budget (default [`DEFAULT_EVENT_BUDGET`]).
+    /// Past it the recorder drops — newest events by default, oldest in
+    /// ring mode — and counts the loss in [`dropped_events`].
+    ///
+    /// # Panics
+    ///
+    /// If `budget` is zero.
+    ///
+    /// [`dropped_events`]: Recorder::dropped_events
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        assert!(budget > 0, "recorder budget must be positive");
+        self.budget = budget;
+        self
+    }
+
+    /// Switches to ring mode with the given capacity: once full, each
+    /// new event overwrites the oldest kept one, so a soak run retains
+    /// its most recent `capacity` events in fixed memory.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "recorder budget must be positive");
+        self.budget = capacity;
+        self.ring = true;
+        self
+    }
+
+    /// Keeps a deterministic 1-in-`n` of each event kind (by
+    /// [`EventKind::name`]): the 1st, `n+1`th, `2n+1`th … occurrence of
+    /// each kind survive, the rest count as dropped. `n = 1` keeps
+    /// everything.
+    ///
+    /// # Panics
+    ///
+    /// If `n` is zero.
+    pub fn with_sample_every(mut self, n: u32) -> Self {
+        assert!(n > 0, "sampling period must be positive");
+        self.sample_every = n;
+        self
+    }
+
+    /// Events discarded so far (sampling + budget/ring drops).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The event budget in force.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Applies sampling and the budget, keeping or discarding `ev`.
+    fn push(&mut self, ev: Event) {
+        if self.sample_every > 1 {
+            let seen = self.sample_seen.entry(ev.kind.name()).or_insert(0);
+            let keep = *seen % u64::from(self.sample_every) == 0;
+            *seen += 1;
+            if !keep {
+                self.dropped += 1;
+                return;
+            }
+        }
+        if self.events.len() < self.budget {
+            self.events.push(ev);
+        } else if self.ring {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.budget;
+            self.dropped += 1;
+        } else {
+            self.dropped += 1;
         }
     }
 
@@ -145,9 +275,10 @@ impl Recorder {
     }
 
     /// Records an event at an explicit time instead of the ambient clock
-    /// (e.g. a request span stamped at its arrival time).
+    /// (e.g. a request span stamped at its arrival time). Sampling and
+    /// the budget apply exactly as in [`TraceSink::record`].
     pub fn record_at(&mut self, t: f64, seq: Option<u64>, kind: EventKind) {
-        self.events.push(Event {
+        self.push(Event {
             t,
             worker: self.worker,
             seq,
@@ -155,13 +286,21 @@ impl Recorder {
         });
     }
 
-    /// Events recorded so far, in emission order.
+    /// Events kept so far, in emission order. In ring mode after a
+    /// wrap this is storage order — use [`into_events`] for the
+    /// chronologically rotated stream.
+    ///
+    /// [`into_events`]: Recorder::into_events
     pub fn events(&self) -> &[Event] {
         &self.events
     }
 
-    /// Consumes the recorder, returning its events.
-    pub fn into_events(self) -> Vec<Event> {
+    /// Consumes the recorder, returning its kept events in emission
+    /// order (a wrapped ring is rotated back to chronological order).
+    pub fn into_events(mut self) -> Vec<Event> {
+        if self.head > 0 {
+            self.events.rotate_left(self.head);
+        }
         self.events
     }
 }
@@ -173,7 +312,7 @@ impl TraceSink for Recorder {
     }
 
     fn record(&mut self, kind: EventKind) {
-        self.events.push(Event {
+        self.push(Event {
             t: self.clock,
             worker: self.worker,
             seq: self.seq,
@@ -268,6 +407,86 @@ mod tests {
             })
             .collect();
         assert_eq!(steps, [21, 20, 10, 11]);
+    }
+
+    #[test]
+    fn default_budget_drops_newest_and_counts() {
+        let mut r = Recorder::new().with_budget(3);
+        for i in 0..5u32 {
+            r.set_clock(f64::from(i));
+            r.record(step(u64::from(i)));
+        }
+        assert_eq!(r.dropped_events(), 2);
+        let kept: Vec<f64> = r.into_events().iter().map(|e| e.t).collect();
+        assert_eq!(kept, [0.0, 1.0, 2.0], "prefix survives, newest dropped");
+    }
+
+    #[test]
+    fn ring_mode_keeps_newest_in_chronological_order() {
+        let mut r = Recorder::new().with_ring_capacity(3);
+        for i in 0..5u32 {
+            r.set_clock(f64::from(i));
+            r.record(step(u64::from(i)));
+        }
+        assert_eq!(r.dropped_events(), 2);
+        let kept: Vec<f64> = r.into_events().iter().map(|e| e.t).collect();
+        assert_eq!(kept, [2.0, 3.0, 4.0], "suffix survives, oldest dropped");
+    }
+
+    #[test]
+    fn sampling_is_per_kind_and_deterministic() {
+        let mut r = Recorder::new().with_sample_every(3);
+        for i in 0..7 {
+            r.record(step(i));
+            r.record(EventKind::Admission {
+                request: i,
+                queue_depth: 0,
+            });
+        }
+        // Each kind keeps its own 1st, 4th, 7th occurrence.
+        let steps: Vec<u64> = r
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Step { step, .. } => Some(step),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steps, [0, 3, 6]);
+        let admits = r
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Admission { .. }))
+            .count();
+        assert_eq!(admits, 3);
+        assert_eq!(r.dropped_events(), 8);
+        // Re-running the identical stream reproduces the identical keep
+        // set: the sampler is a counter, not a coin.
+        let mut r2 = Recorder::new().with_sample_every(3);
+        for i in 0..7 {
+            r2.record(step(i));
+            r2.record(EventKind::Admission {
+                request: i,
+                queue_depth: 0,
+            });
+        }
+        assert_eq!(r.events(), r2.events());
+    }
+
+    #[test]
+    fn record_at_respects_sampling_and_budget() {
+        let mut r = Recorder::new().with_budget(1);
+        for i in 0..3u32 {
+            r.record_at(f64::from(i), None, step(u64::from(i)));
+        }
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.dropped_events(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period must be positive")]
+    fn zero_sampling_period_is_rejected() {
+        let _ = Recorder::new().with_sample_every(0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use specee_metrics::{FrameworkProfile, HardwareProfile};
 use specee_model::CostDims;
-use specee_obs::{EventKind, Recorder};
+use specee_obs::{EventKind, Recorder, SloSpec};
 
 use crate::cost::{StepCostModel, StepSpec};
 use crate::request::{Completion, ServeRequest};
@@ -101,6 +101,7 @@ pub struct ContinuousBatcher {
     pub(crate) config: BatcherConfig,
     pub(crate) model: StepCostModel,
     pub(crate) policy: AdmissionPolicy,
+    pub(crate) slo: Option<SloSpec>,
 }
 
 /// Picks the index *within `pending`* of the next request to admit under
@@ -143,7 +144,34 @@ impl ContinuousBatcher {
             config,
             model,
             policy,
+            slo: None,
         }
+    }
+
+    /// Attaches an online SLO specification to the *live* serving loop.
+    ///
+    /// [`run_live`](Self::run_live) then drives a
+    /// [`specee_obs::SloTracker`] on the simulated clock: admission TTFTs
+    /// and verifier accept/reject outcomes feed its rolling windows, the
+    /// multi-window burn-rate alerts are evaluated at every clock
+    /// advance, `SloFired`/`SloCleared` transitions land in the engine's
+    /// trace stream (when a recorder is attached), and the tracker's
+    /// pressure signal is pushed into the engine's controller via
+    /// `set_slo_pressure` — so an `slo+*` controller policy bends its
+    /// operating point while an objective burns. The tracker runs whether
+    /// or not a recorder is attached, so traced and untraced runs stay
+    /// bit-identical.
+    ///
+    /// Replay mode ([`run`](Self::run)) ignores the specification: its
+    /// traces were recorded elsewhere and cannot react to pressure.
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// The attached SLO specification, if any.
+    pub fn slo(&self) -> Option<&SloSpec> {
+        self.slo.as_ref()
     }
 
     /// The step cost model in use.

@@ -16,7 +16,7 @@
 use specee_batch::{Admission, BatchedEngine, BatchedOutput};
 use specee_draft::SpeculativeSource;
 use specee_model::LayeredLm;
-use specee_obs::EventKind;
+use specee_obs::{EventKind, SloTracker};
 
 use crate::batcher::{pick_pending, ContinuousBatcher, ServeReport};
 use crate::cost::StepSpec;
@@ -50,6 +50,19 @@ impl ContinuousBatcher {
     /// events; retrieve the stream afterwards with
     /// `engine.take_recorder()`. Recording never feeds back into the
     /// simulation, so a traced run is bit-identical to an untraced one.
+    ///
+    /// When the batcher carries an SLO specification
+    /// ([`with_slo`](ContinuousBatcher::with_slo)), the loop additionally
+    /// drives a [`SloTracker`] on the same simulated clock: admission
+    /// TTFTs and verifier accept/reject outcomes feed its rolling
+    /// windows, burn-rate alerts are evaluated at every clock advance,
+    /// fired/cleared transitions are recorded as
+    /// [`EventKind::SloFired`]/[`EventKind::SloCleared`] instants (when a
+    /// recorder is attached), and the tracker's pressure signal is pushed
+    /// into the engine's controller. The tracker runs *independently* of
+    /// the recorder, so attaching or detaching tracing never changes the
+    /// pressure the controller sees — traced and untraced runs stay
+    /// bit-identical even while an SLO burns.
     ///
     /// # Panics
     ///
@@ -85,6 +98,27 @@ impl ContinuousBatcher {
             "requests must be sorted by arrival"
         );
 
+        /// Evaluates the burn-rate alerts at a clock advance, records any
+        /// fired/cleared transitions, and pushes the pressure signal into
+        /// the engine's controller. Measurement is recorder-independent:
+        /// only the *transition instants* touch the recorder.
+        fn slo_tick<M, D>(slo: &mut Option<SloTracker>, engine: &mut BatchedEngine<M, D>, now: f64)
+        where
+            M: LayeredLm,
+            D: SpeculativeSource,
+        {
+            let Some(tracker) = slo.as_mut() else {
+                return;
+            };
+            for kind in tracker.evaluate(now) {
+                if let Some(rec) = engine.recorder_mut() {
+                    rec.record_at(now, None, kind);
+                }
+            }
+            engine.set_slo_pressure(tracker.pressure());
+        }
+
+        let mut slo = self.slo.clone().map(SloTracker::new);
         let mut now = 0.0f64;
         let mut next_arrival = 0usize;
         let mut pending: Vec<usize> = Vec::new();
@@ -132,6 +166,9 @@ impl ContinuousBatcher {
                 for &i in &admitted {
                     let req = &requests[i];
                     first_token_s[i] = now;
+                    if let Some(t) = slo.as_mut() {
+                        t.observe_ttft(now, now - req.arrival_s);
+                    }
                     if req.gen_len == 0 {
                         completions.push(Completion {
                             id: req.id,
@@ -194,12 +231,16 @@ impl ContinuousBatcher {
                         Admission::Seated { .. } => {}
                     }
                 }
+                slo_tick(&mut slo, engine, now);
                 continue;
             }
 
             if engine.occupancy() == 0 {
                 if next_arrival < requests.len() {
                     now = now.max(requests[next_arrival].arrival_s);
+                    // Idle time drains the rolling windows, so a burn
+                    // can clear between bursts.
+                    slo_tick(&mut slo, engine, now);
                     continue;
                 }
                 break;
@@ -234,6 +275,11 @@ impl ContinuousBatcher {
             occupancy_sum += step.ctx_lens.len() as f64;
             layer_sum += step.layer_runners.iter().sum::<usize>() as f64;
             token_sum += step.emitted as u64;
+            if let Some(t) = slo.as_mut() {
+                for fb in &step.feedback {
+                    t.observe_exit(now, fb.accepted);
+                }
+            }
             for out in step.finished {
                 let req = &requests[out.id as usize];
                 completions.push(Completion {
@@ -258,6 +304,7 @@ impl ContinuousBatcher {
                 }
                 outputs.push(out);
             }
+            slo_tick(&mut slo, engine, now);
         }
 
         completions.sort_by_key(|c| c.id);
@@ -505,6 +552,113 @@ mod tests {
         for e in &events {
             assert!(e.t >= 0.0 && e.t <= traced.report.makespan_s + 1e-9);
             assert_eq!(e.worker, 0);
+        }
+    }
+
+    #[test]
+    fn slo_tracked_live_run_is_bit_identical_with_sampling_and_budget() {
+        // An impossible TTFT target fires mid-run and pushes real
+        // pressure into an slo+static controller — and even then a run
+        // traced through a sampled, ring-bounded recorder must match an
+        // untraced run bit for bit, because the tracker (and hence the
+        // pressure the controller sees) never touches the recorder.
+        use specee_control::ControllerPolicy;
+        use specee_obs::{Recorder, SloSpec};
+        let seed = 61;
+        let parts = trained(seed);
+        let requests = PoissonArrivals::new(60.0, 13).requests(&specs(8, 10));
+        let slo = SloSpec::parse("p99_ttft=0.001").expect("valid spec");
+        let b = batcher(2).with_slo(slo);
+        let run = |rec: Option<Recorder>| {
+            let mut engine = live_engine(2, &parts);
+            engine.set_controller(
+                ControllerPolicy::Static
+                    .slo_adaptive()
+                    .build_classed(N_LAYERS, parts.2.predictor.threshold),
+            );
+            engine.set_recorder(rec);
+            let outcome = b.run_live(&requests, &mut engine, |r| {
+                let lm = build_lm(seed);
+                let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+                (lm, draft)
+            });
+            let summary = engine.controller_summary().expect("controller attached");
+            (outcome, engine.take_recorder(), summary)
+        };
+        let (plain, _, plain_sum) = run(None);
+        let (traced, rec, traced_sum) = run(Some(
+            Recorder::for_worker(0).with_sample_every(3).with_budget(64),
+        ));
+        assert_eq!(plain.report, traced.report);
+        for (a, t) in plain.outputs.iter().zip(&traced.outputs) {
+            assert_eq!(a.tokens, t.tokens);
+            assert_eq!(a.exit_layers, t.exit_layers);
+        }
+        assert_eq!(plain_sum, traced_sum);
+        assert_eq!(plain_sum.policy, "slo+static");
+        let rec = rec.expect("recorder survives the run");
+        assert!(rec.dropped_events() > 0, "sampling+budget must drop");
+        let events = rec.into_events();
+        assert!(events.len() <= 64, "budget holds");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::SloFired { .. })),
+            "the impossible target must fire in the trace"
+        );
+    }
+
+    #[test]
+    fn slo_fired_and_cleared_transitions_land_in_the_trace() {
+        // One dense burst against an impossible target, then a long idle
+        // gap before a final trickle request: the burn must fire during
+        // the burst and clear once the windows drain over the gap.
+        use specee_obs::{Recorder, SloSpec};
+        let seed = 67;
+        let parts = trained(seed);
+        let mut requests = PoissonArrivals::new(80.0, 17).requests(&specs(8, 8));
+        let mut straggler = requests[7].clone();
+        straggler.id = 8;
+        straggler.arrival_s = requests[7].arrival_s + 30.0;
+        requests.push(straggler);
+        let b = batcher(2).with_slo(SloSpec::parse("p99_ttft=0.001").expect("valid spec"));
+        let mut engine = live_engine(2, &parts);
+        engine.set_recorder(Some(Recorder::for_worker(0)));
+        let outcome = b.run_live(&requests, &mut engine, |r| {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+            (lm, draft)
+        });
+        assert_eq!(outcome.report.completions.len(), requests.len());
+        let events = engine
+            .take_recorder()
+            .expect("recorder survives")
+            .into_events();
+        let fired: Vec<f64> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SloFired { .. }))
+            .map(|e| e.t)
+            .collect();
+        let cleared: Vec<f64> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SloCleared { .. }))
+            .map(|e| e.t)
+            .collect();
+        assert!(!fired.is_empty(), "burst must fire the alert");
+        assert!(!cleared.is_empty(), "idle gap must clear the alert");
+        assert!(fired[0] < cleared[0], "fire precedes clear");
+        // Transitions alternate: no double-fire without a clear between.
+        let mut transitions: Vec<(f64, bool)> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SloFired { .. } => Some((e.t, true)),
+                EventKind::SloCleared { .. } => Some((e.t, false)),
+                _ => None,
+            })
+            .collect();
+        transitions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for w in transitions.windows(2) {
+            assert_ne!(w[0].1, w[1].1, "fired/cleared must alternate");
         }
     }
 

@@ -79,6 +79,8 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
         controller: specee::control::ControllerPolicy::Static,
         gossip: true,
         trace: false,
+        trace_sample: 1,
+        slo: None,
     }
 }
 

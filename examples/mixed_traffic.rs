@@ -276,6 +276,8 @@ fn main() {
             controller: bandit(),
             gossip: true,
             trace: false,
+            trace_sample: 1,
+            slo: None,
         },
         RouterPolicy::RoundRobin.build(),
         &bank,

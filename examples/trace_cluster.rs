@@ -69,6 +69,8 @@ fn run(
         controller: specee::control::ControllerPolicy::Static,
         gossip: true,
         trace,
+        trace_sample: 1,
+        slo: None,
     };
     let mut cluster = Cluster::<SyntheticLm, OracleDraft>::spawn(
         &cluster_config,

@@ -25,8 +25,8 @@ use specee::metrics::{FrameworkProfile, HardwareProfile, Roofline};
 use specee::model::{LayeredLm, ModelConfig, TokenId};
 use specee::nn::TrainConfig;
 use specee::obs::{
-    chrome_trace_json, fold_events, fold_meter, fold_roofline, prometheus_text, Event,
-    MetricsRegistry, Recorder,
+    chrome_trace_json, fold_dropped_events, fold_events, fold_meter, fold_roofline,
+    prometheus_text, Event, MetricsRegistry, Recorder, SloSpec,
 };
 use specee::serve::{BatcherConfig, ContinuousBatcher, PoissonArrivals, RequestTrace};
 use specee::synth::{DatasetProfile, OracleDraft, SyntheticLm, SyntheticLmBuilder};
@@ -94,8 +94,20 @@ fn print_help() {
                                chrome://tracing; one lane per worker)\n  \
            --metrics-out FILE  write counters/gauges/histograms as\n                       \
                                Prometheus text exposition\n  \
+           --trace-sample N    keep a deterministic 1-in-N of each event\n                       \
+                               kind (default 1 = keep all); drops are\n                       \
+                               counted in specee_trace_dropped_events_total\n  \
            Recording is a pure observer: traced runs decode bit-identically\n  \
-           to untraced runs."
+           to untraced runs.\n\n\
+         SLO PLANE (serve --mode live|cluster):\n  \
+           --slo SPEC          track objectives and bend exit thresholds\n                       \
+                               under burn pressure, e.g.\n                       \
+                               --slo p99_ttft=0.25,false_exit_rate=0.1;\n                       \
+                               wraps the chosen --controller (summaries\n                       \
+                               report e.g. `slo+bandit`), and SloFired /\n                       \
+                               SloCleared transitions land in the trace\n  \
+           --controller slo+pid|slo+bandit|slo+static  wrap explicitly\n                       \
+                               (requires --slo for the burn-rate tracker)"
     );
 }
 
@@ -108,6 +120,38 @@ fn export_paths(opts: &HashMap<String, String>) -> (Option<String>, Option<Strin
         opts.get("trace-out").cloned(),
         opts.get("metrics-out").cloned(),
     )
+}
+
+/// `--trace-sample N`: keep a deterministic 1-in-N of each event kind
+/// (per-kind counters, so rare kinds are not starved by frequent ones).
+/// Drops are counted and exported as
+/// `specee_trace_dropped_events_total`. `1` keeps everything.
+fn parse_trace_sample(opts: &HashMap<String, String>) -> Result<u32, String> {
+    let n: u32 = parse_num(opts, "trace-sample", 1)?;
+    if n == 0 {
+        return Err("--trace-sample must be at least 1 (N keeps 1-in-N events per kind)".into());
+    }
+    Ok(n)
+}
+
+/// Applies the `--trace-sample` rate to a recorder (no-op at 1).
+fn sampled(rec: Recorder, every: u32) -> Recorder {
+    if every > 1 {
+        rec.with_sample_every(every)
+    } else {
+        rec
+    }
+}
+
+/// `--slo SPEC`: comma-separated objectives, e.g.
+/// `p99_ttft=0.25,false_exit_rate=0.1`.
+fn parse_slo(opts: &HashMap<String, String>) -> Result<Option<SloSpec>, String> {
+    match opts.get("slo") {
+        None => Ok(None),
+        Some(spec) => SloSpec::parse(spec)
+            .map(Some)
+            .map_err(|e| format!("--slo: {e}")),
+    }
 }
 
 /// Writes the requested exports: the event timeline as Chrome trace-event
@@ -319,6 +363,21 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     if controller.is_some() && engine_name != "specee" {
         return Err("--controller requires --engine specee".to_string());
     }
+    if opts.contains_key("slo") {
+        return Err(
+            "--slo tracks burn rates over serve-tier request timing; generate \
+             decodes a single stream (use `serve --mode live|cluster --slo …`)"
+                .to_string(),
+        );
+    }
+    if matches!(controller, Some(ControllerPolicy::SloAdaptive { .. })) {
+        return Err(
+            "slo+ controllers bend thresholds from the serve-tier SLO tracker; \
+             generate has no request timing (use `serve --mode live|cluster --slo …`)"
+                .to_string(),
+        );
+    }
+    let trace_sample = parse_trace_sample(&opts)?;
     let (trace_out, metrics_out) = export_paths(&opts);
     let observing = trace_out.is_some() || metrics_out.is_some();
     if observing && engine_name != "specee" {
@@ -342,6 +401,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let prompt = lm.language().sample_sequence(5, 12, pipe.seed ^ 0x9e);
     let mut controller_summary: Option<ControllerSummary> = None;
     let mut events: Vec<Event> = Vec::new();
+    let mut dropped: u64 = 0;
     let out: GenOutput = match engine_name {
         "dense" => DenseEngine::new(pipe.lm()).generate(&prompt, tokens),
         "specee" => {
@@ -353,13 +413,12 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                 None => {
                     let mut engine = SpecEeEngine::new(pipe.lm(), draft, bank, schedule, config);
                     if observing {
-                        engine.set_recorder(Some(Recorder::new()));
+                        engine.set_recorder(Some(sampled(Recorder::new(), trace_sample)));
                     }
                     let out = engine.generate(&prompt, tokens);
-                    events = engine
-                        .take_recorder()
-                        .map(|r| r.into_events())
-                        .unwrap_or_default();
+                    let rec = engine.take_recorder();
+                    dropped = rec.as_ref().map_or(0, |r| r.dropped_events());
+                    events = rec.map(|r| r.into_events()).unwrap_or_default();
                     out
                 }
                 Some(policy) => {
@@ -373,17 +432,16 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                         BatchedEngine::new(1, 16, pipe.cfg.n_layers, bank, schedule, config);
                     engine.set_controller(policy.build_classed(n_predictors, base));
                     if observing {
-                        engine.set_recorder(Some(Recorder::new()));
+                        engine.set_recorder(Some(sampled(Recorder::new(), trace_sample)));
                     }
                     let out = match engine.admit(0, pipe.lm(), draft, &prompt, tokens) {
                         Admission::Done(out) => out,
                         Admission::Seated { .. } => engine.drain().remove(0),
                     };
                     controller_summary = engine.controller_summary();
-                    events = engine
-                        .take_recorder()
-                        .map(|r| r.into_events())
-                        .unwrap_or_default();
+                    let rec = engine.take_recorder();
+                    dropped = rec.as_ref().map_or(0, |r| r.dropped_events());
+                    events = rec.map(|r| r.into_events()).unwrap_or_default();
                     GenOutput {
                         tokens: out.tokens,
                         exit_layers: out.exit_layers,
@@ -435,6 +493,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     if observing {
         let mut registry = MetricsRegistry::new();
         fold_events(&mut registry, &events);
+        fold_dropped_events(&mut registry, dropped);
         fold_meter(&mut registry, &out.meter);
         fold_roofline(&mut registry, &cost);
         write_exports(
@@ -461,12 +520,19 @@ fn parse_controller(opts: &HashMap<String, String>) -> Result<Option<ControllerP
 /// spec yields an error naming the offending fragment and the knobs the
 /// policy accepts.
 fn parse_controller_spec(spec: &str) -> Result<ControllerPolicy, String> {
+    // `slo+<policy>[:knobs]` wraps the inner policy in the SLO-adaptive
+    // decorator; knobs apply to the inner policy (the wrapper's bend
+    // range is fixed by `SloAdaptiveConfig::default`).
+    if let Some(inner) = spec.strip_prefix("slo+") {
+        return parse_controller_spec(inner).map(ControllerPolicy::slo_adaptive);
+    }
     let (name, knobs) = match spec.split_once(':') {
         Some((name, rest)) => (name, rest),
         None => (spec, ""),
     };
-    let mut policy = ControllerPolicy::parse(name)
-        .ok_or_else(|| format!("unknown controller `{name}` (static, pid, bandit)"))?;
+    let mut policy = ControllerPolicy::parse(name).ok_or_else(|| {
+        format!("unknown controller `{name}` (static, pid, bandit, or slo+ any of those)")
+    })?;
     if knobs.is_empty() {
         if spec.contains(':') {
             return Err(format!("controller spec `{spec}` has an empty knob list"));
@@ -486,6 +552,9 @@ fn parse_controller_spec(spec: &str) -> Result<ControllerPolicy, String> {
                 .ok_or_else(|| bad("number"))
         };
         match &mut policy {
+            ControllerPolicy::SloAdaptive { .. } => {
+                unreachable!("slo+ specs are unwrapped before knob parsing")
+            }
             ControllerPolicy::Static => {
                 return Err(format!("controller `static` takes no knobs (got `{knob}`)"));
             }
@@ -655,11 +724,33 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if workers == 0 {
         return Err("--workers must be at least 1".to_string());
     }
-    let controller = parse_controller(&opts)?.unwrap_or(ControllerPolicy::Static);
+    let mut controller = parse_controller(&opts)?.unwrap_or(ControllerPolicy::Static);
     if mode == "replay" && controller != ControllerPolicy::Static {
         return Err(
             "--controller pid|bandit adapts thresholds from live verify outcomes; \
              replay mode prices prerecorded traces (use --mode live or cluster)"
+                .to_string(),
+        );
+    }
+    let slo = parse_slo(&opts)?;
+    let trace_sample = parse_trace_sample(&opts)?;
+    if slo.is_some() && mode == "replay" {
+        return Err(
+            "--slo tracks burn rates over live decode timing; replay mode prices \
+             prerecorded traces (use --mode live or cluster)"
+                .to_string(),
+        );
+    }
+    if slo.is_some() {
+        // The SLO plane bends whatever controller was chosen: wrap it in
+        // the pressure-driven decorator unless the spec already did.
+        if !matches!(controller, ControllerPolicy::SloAdaptive { .. }) {
+            controller = controller.slo_adaptive();
+        }
+    } else if matches!(controller, ControllerPolicy::SloAdaptive { .. }) {
+        return Err(
+            "--controller slo+… bends thresholds from SLO burn pressure; pass \
+             --slo to define the objectives (e.g. --slo p99_ttft=0.25)"
                 .to_string(),
         );
     }
@@ -722,7 +813,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             cost,
         })
     };
-    let batcher = make_batcher(batch);
+    let batcher = match &slo {
+        // Only the live path consumes the spec (replay rejects `--slo`
+        // above; cluster threads it through `ClusterConfig` instead).
+        Some(spec) => make_batcher(batch).with_slo(spec.clone()),
+        None => make_batcher(batch),
+    };
     let d = make_batcher(dense_cap)
         .run(&requests, &dense_traces)
         .stats();
@@ -744,9 +840,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     true,
                 ));
             }
-            let mut rec = observing.then(Recorder::new);
+            let mut rec = observing.then(|| sampled(Recorder::new(), trace_sample));
             let report = batcher.run_recorded(&requests, &spec_traces, rec.as_mut());
             if let Some(rec) = rec {
+                fold_dropped_events(&mut registry, rec.dropped_events());
                 events = rec.into_events();
                 fold_events(&mut registry, &events);
             }
@@ -789,6 +886,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     controller: controller.clone(),
                     gossip: true,
                     trace: observing,
+                    trace_sample,
+                    slo: slo.clone(),
                 },
                 router.build(),
                 &bank,
@@ -872,7 +971,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 BatchedEngine::new(batch, 16, pipe.cfg.n_layers, bank, schedule, config);
             engine.set_controller(controller.build_classed(n_predictors, base));
             if observing {
-                engine.set_recorder(Some(Recorder::for_worker(0)));
+                engine.set_recorder(Some(sampled(Recorder::for_worker(0), trace_sample)));
             }
             let outcome = batcher.run_live(&requests, &mut engine, |_req| {
                 let lm = pipe.lm();
@@ -885,10 +984,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 }
             }
             if observing {
-                events = engine
-                    .take_recorder()
-                    .map(|r| r.into_events())
-                    .unwrap_or_default();
+                let rec = engine.take_recorder();
+                fold_dropped_events(
+                    &mut registry,
+                    rec.as_ref().map_or(0, |r| r.dropped_events()),
+                );
+                events = rec.map(|r| r.into_events()).unwrap_or_default();
                 fold_events(&mut registry, &events);
                 fold_meter(&mut registry, engine.meter());
                 fold_roofline(
@@ -999,6 +1100,19 @@ mod tests {
         assert_eq!(config.reject_cost_layers, 4.0);
         assert_eq!(config.seed, 7);
         assert_eq!(config.grid, vec![0.2, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn slo_prefix_wraps_the_inner_policy_and_knobs_reach_it() {
+        let ControllerPolicy::SloAdaptive { inner, .. } = parse("slo+pid:target=0.05") else {
+            panic!("expected slo+pid");
+        };
+        let ControllerPolicy::Pid(config) = *inner else {
+            panic!("expected pid inner");
+        };
+        assert_eq!(config.target_false_exit, 0.05);
+        assert_eq!(parse("slo+static").name(), "slo+static");
+        assert!(err("slo+sgd").contains("unknown controller `sgd`"));
     }
 
     #[test]
