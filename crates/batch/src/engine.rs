@@ -4,7 +4,7 @@ use specee_control::{ClassEvidence, ClassedController, ControllerSummary};
 use specee_core::engine::scan::{ExitFeedback, ExitScan};
 use specee_core::predictor::PredictorBank;
 use specee_core::scheduler::ScheduleEngine;
-use specee_core::traffic::{ClassMap, TrafficClass};
+use specee_core::traffic::{ClassMap, Lane, TrafficClass};
 use specee_core::SpecEeConfig;
 use specee_draft::SpeculativeSource;
 use specee_metrics::Meter;
@@ -96,6 +96,7 @@ impl BatchStep {
 struct SeqState<D> {
     id: u64,
     class: TrafficClass,
+    lane: Lane,
     draft: D,
     schedule: ScheduleEngine,
     scan: ExitScan,
@@ -119,6 +120,14 @@ impl<D> SeqState<D> {
             verify_calls: self.scan.verify_calls(),
         }
     }
+}
+
+/// A sequence evicted from its slot under KV page pressure: the model
+/// (with its committed KV intact) and the generation state are parked
+/// whole, so re-seating leases fresh pages and continues bit-identically.
+struct Parked<M, D> {
+    model: M,
+    seq: SeqState<D>,
 }
 
 /// A live batched decoding runtime: up to `max_batch` sequences decode in
@@ -195,6 +204,15 @@ pub struct BatchedEngine<M, D> {
     /// clock (the live batcher, a cluster worker) sets it via
     /// [`BatchedEngine::recorder_mut`] before each step.
     trace: Option<Recorder>,
+    /// Sequences evicted under page pressure, awaiting re-admission.
+    parked: Vec<Parked<M, D>>,
+    /// Whether page pressure may evict residents (off = the pre-paged
+    /// behaviour: exhaustion panics in the pool).
+    preempt_enabled: bool,
+    /// Evictions performed so far.
+    preemptions: u64,
+    /// Parked sequences re-seated so far.
+    resumes: u64,
 }
 
 impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
@@ -236,7 +254,53 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             controller: None,
             backend: specee_tensor::BackendKind::default(),
             trace: None,
+            parked: Vec::new(),
+            preempt_enabled: false,
+            preemptions: 0,
+            resumes: 0,
         }
+    }
+
+    /// Caps the KV page pool at `capacity` physical pages (`None` lifts
+    /// the cap). With preemption enabled, page pressure against this cap
+    /// evicts the lowest-priority resident; without it, exhaustion
+    /// panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn set_page_capacity(&mut self, capacity: Option<usize>) {
+        self.stack.set_page_capacity(capacity);
+    }
+
+    /// Turns copy-on-write prefix sharing on or off: subsequent
+    /// admissions match the prompt against resident prefixes and
+    /// co-lease matching pages instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is occupied.
+    pub fn enable_prefix_share(&mut self, on: bool) {
+        self.stack.enable_prefix_share(on);
+    }
+
+    /// Whether prefix sharing is enabled.
+    pub fn prefix_sharing(&self) -> bool {
+        self.stack.prefix_sharing()
+    }
+
+    /// Enables (or disables) preemption under page pressure: when the
+    /// next step's page demand exceeds the pool's free capacity, the
+    /// engine evicts the lowest-priority resident — pages recycled,
+    /// generation state parked — and re-seats it once pages free up,
+    /// resuming bit-identically.
+    pub fn set_preemption_enabled(&mut self, on: bool) {
+        self.preempt_enabled = on;
+    }
+
+    /// Whether page-pressure preemption is enabled.
+    pub fn preemption_enabled(&self) -> bool {
+        self.preempt_enabled
     }
 
     /// Attaches (or detaches) a trace recorder. Subsequent steps emit
@@ -430,6 +494,34 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         &mut self,
         id: u64,
         class: TrafficClass,
+        model: M,
+        draft: D,
+        prompt: &[TokenId],
+        gen_len: usize,
+    ) -> Admission {
+        self.admit_laned(id, class, Lane::DEFAULT, model, draft, prompt, gen_len)
+    }
+
+    /// Admits a sequence tagged with both a traffic class and a priority
+    /// lane — see [`BatchedEngine::admit_classed`] for the class
+    /// semantics. The lane orders the memory plane: under page pressure
+    /// the engine evicts the highest-lane (lowest-priority) resident
+    /// first, and parked sequences re-seat in ascending lane order. With
+    /// prefix sharing enabled the prompt is matched against resident
+    /// prefixes and matching pages are co-leased copy-on-write instead
+    /// of allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`BatchedEngine::admit_classed`], or if the page pool
+    /// cannot cover the prompt (gate with [`BatchedEngine::can_seat`] /
+    /// [`BatchedEngine::make_room`] first).
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit_laned(
+        &mut self,
+        id: u64,
+        class: TrafficClass,
+        lane: Lane,
         mut model: M,
         mut draft: D,
         prompt: &[TokenId],
@@ -455,6 +547,7 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         let seq = SeqState {
             id,
             class,
+            lane,
             draft,
             schedule: self.schedule_template.clone(),
             scan,
@@ -468,9 +561,128 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         if gen_len == 1 {
             return Admission::Done(seq.into_output());
         }
-        let slot = self.stack.admit(model);
+        let slot = if self.stack.prefix_sharing() {
+            self.stack.admit_shared(model, prompt)
+        } else {
+            self.stack.admit(model)
+        };
         self.seqs[slot] = Some(seq);
         Admission::Seated { slot }
+    }
+
+    /// Fresh physical pages admitting a sequence with this prompt would
+    /// allocate (prefix-index matches subtract from the demand). Compare
+    /// with the pool's available pages to budget a round of admissions
+    /// under a capacity.
+    pub fn pages_for_admit(&self, prompt: &[TokenId]) -> usize {
+        self.stack.pages_for_admit(prompt)
+    }
+
+    /// Whether a sequence with this prompt can be seated right now: a
+    /// slot is free and the pool can cover the fresh pages the prompt
+    /// needs (prefix-index matches subtract from the demand).
+    pub fn can_seat(&self, prompt: &[TokenId]) -> bool {
+        self.has_free_slot() && self.stack.pages_for_admit(prompt) <= self.pool().available_pages()
+    }
+
+    /// Tries to make room for a `lane`-priority admission with this
+    /// prompt by evicting strictly lower-priority (higher-lane)
+    /// residents, lowest priority first, until [`BatchedEngine::can_seat`]
+    /// holds or no eligible victim remains. Returns whether the
+    /// admission now fits. A no-op (returning `can_seat`) when
+    /// preemption is disabled.
+    pub fn make_room(&mut self, prompt: &[TokenId], lane: Lane) -> bool {
+        if !self.preempt_enabled {
+            return self.can_seat(prompt);
+        }
+        while !self.can_seat(prompt) {
+            let victim = self
+                .seqs
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, s)| s.as_ref().map(|seq| (seq.lane, seq.id, slot)))
+                .filter(|&(l, _, _)| l > lane)
+                .max();
+            let Some((_, _, slot)) = victim else {
+                return false;
+            };
+            self.preempt_slot(slot);
+        }
+        true
+    }
+
+    /// Evicts the seated sequence in `slot`: its pages return to the
+    /// pool, its model and generation state park whole, and a
+    /// [`EventKind::Preempted`] instant is traced.
+    fn preempt_slot(&mut self, slot: usize) {
+        let seq = self.seqs[slot].take().expect("seated sequence");
+        let before = self.pool().pages_in_use();
+        let model = self.stack.retire(slot);
+        let freed = before - self.pool().pages_in_use();
+        self.preemptions += 1;
+        if self.trace.enabled() {
+            if let Some(rec) = self.trace.as_mut() {
+                rec.set_seq(Some(seq.id));
+                rec.record(EventKind::Preempted {
+                    request: seq.id,
+                    lane: seq.lane.id(),
+                    pages: freed as u32,
+                });
+            }
+        }
+        self.parked.push(Parked { model, seq });
+    }
+
+    /// Re-seats parked sequences in priority order — ascending (lane,
+    /// id) — while a slot is free and the pool covers each one's
+    /// committed KV. Called at every step boundary before the sweep.
+    fn resume_parked(&mut self) {
+        if self.parked.is_empty() {
+            return;
+        }
+        self.parked.sort_by_key(|p| (p.seq.lane, p.seq.id));
+        let ps = self.pool().page_size();
+        let mut i = 0;
+        while i < self.parked.len() {
+            let needed = self.parked[i].model.kv_len().div_ceil(ps);
+            if self.has_free_slot() && needed <= self.pool().available_pages() {
+                let parked = self.parked.remove(i);
+                let slot = self.stack.admit(parked.model);
+                self.resumes += 1;
+                if self.trace.enabled() {
+                    if let Some(rec) = self.trace.as_mut() {
+                        rec.set_seq(Some(parked.seq.id));
+                        rec.record(EventKind::Resumed {
+                            request: parked.seq.id,
+                            lane: parked.seq.lane.id(),
+                        });
+                    }
+                }
+                self.seqs[slot] = Some(parked.seq);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Evictions performed so far under page pressure.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Parked sequences re-seated so far.
+    pub fn resumes(&self) -> u64 {
+        self.resumes
+    }
+
+    /// Sequences currently parked awaiting re-admission.
+    pub fn parked(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// The page pool's occupancy/sharing/peak statistics.
+    pub fn kv_stats(&self) -> specee_model::KvStats {
+        self.pool().stats()
     }
 
     /// Creates `class`'s predictor bank on first sight: a clone of the
@@ -505,6 +717,27 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
     /// Returns the measured step — an empty report (no runners, nothing
     /// emitted) when no sequence is seated.
     pub fn step(&mut self) -> BatchStep {
+        // Memory plane, at the boundary: re-seat parked sequences that
+        // fit, then preempt the lowest-priority residents until the
+        // step's worst-case page demand (boundary crossings plus pending
+        // copy-on-write copies) fits the pool's free capacity. Never
+        // preempts the last resident — a single sequence exceeding the
+        // cap is a configuration error and panics in the pool.
+        self.resume_parked();
+        if self.preempt_enabled && self.pool().capacity().is_some() {
+            while self.stack.next_step_page_demand() > self.pool().available_pages()
+                && self.occupancy() > 1
+            {
+                let victim = self
+                    .seqs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, s)| s.as_ref().map(|seq| (seq.lane, seq.id, slot)))
+                    .max()
+                    .expect("occupancy > 1");
+                self.preempt_slot(victim.2);
+            }
+        }
         let max_batch = self.stack.max_batch();
         let mut report = BatchStep {
             layer_runners: vec![0; self.n_layers],
@@ -672,6 +905,25 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             }
         }
         self.stack.sync_leases();
+        // Sample page pressure at the boundary, but only when the memory
+        // plane is actually configured (a capacity, prefix sharing, or a
+        // parked backlog) — plain runs keep their exact event streams.
+        if self.trace.enabled()
+            && (self.pool().capacity().is_some()
+                || self.stack.prefix_sharing()
+                || !self.parked.is_empty())
+        {
+            let stats = self.pool().stats();
+            let parked = self.parked.len() as u32;
+            if let Some(rec) = self.trace.as_mut() {
+                rec.set_seq(None);
+                rec.record(EventKind::KvPressure {
+                    pages: stats.pages_in_use as u32,
+                    shared: stats.shared_pages as u32,
+                    parked,
+                });
+            }
+        }
         self.meter.mark_host_step();
         self.steps += 1;
         report
@@ -685,6 +937,10 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
     /// untouched. The freed slot and its KV pages are recycled exactly as
     /// on normal retirement.
     pub fn cancel(&mut self, id: u64) -> Option<BatchedOutput> {
+        if let Some(pos) = self.parked.iter().position(|p| p.seq.id == id) {
+            let parked = self.parked.remove(pos);
+            return Some(parked.seq.into_output());
+        }
         let slot = self
             .seqs
             .iter()
@@ -698,10 +954,21 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
     /// outputs in admission (`id`) order. Convenience for non-serving
     /// callers (tests, examples); servers drive [`BatchedEngine::step`]
     /// themselves to interleave admissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parked sequence can never be re-seated (the page
+    /// capacity is smaller than its committed KV).
     pub fn drain(&mut self) -> Vec<BatchedOutput> {
         let mut outputs = Vec::new();
-        while self.occupancy() > 0 {
-            outputs.extend(self.step().finished);
+        while self.occupancy() > 0 || !self.parked.is_empty() {
+            let step = self.step();
+            let stuck = step.emitted == 0 && !self.parked.is_empty();
+            outputs.extend(step.finished);
+            assert!(
+                !stuck,
+                "page capacity too small to resume a parked sequence"
+            );
         }
         outputs.sort_by_key(|o| o.id);
         outputs
@@ -1146,6 +1413,190 @@ mod tests {
         // The default bank's layer-3 loop was not touched by class-2
         // evidence.
         assert_eq!(eng.bank().layer(3).threshold(), 0.5);
+    }
+
+    #[test]
+    fn preempted_then_resumed_is_bit_identical() {
+        // The headline memory-plane invariant: a sequence evicted under
+        // page pressure and later re-seated emits exactly what it emits
+        // uninterrupted — the pool is accounting, the KV stays with the
+        // model.
+        let prompts: [&[TokenId]; 2] = [&[4, 2, 9], &[1, 5, 3]];
+        let run = |capacity: Option<usize>| {
+            let mut eng = engine(2, 103);
+            eng.set_page_capacity(capacity);
+            eng.set_preemption_enabled(capacity.is_some());
+            for (i, p) in prompts.iter().enumerate() {
+                let lm = build_lm(103);
+                let draft = build_draft(&lm, 103 ^ i as u64);
+                let _ = eng.admit_laned(
+                    i as u64,
+                    TrafficClass::DEFAULT,
+                    Lane::new(i as u8),
+                    lm,
+                    draft,
+                    p,
+                    40,
+                );
+            }
+            let outs = eng.drain();
+            (outs, eng.preemptions(), eng.resumes())
+        };
+        // Final KV per sequence: 3 + 39 = 42 tokens → 3 pages of 16.
+        // A cap of 3 seats both (1 page each) but cannot cover both
+        // crossing into their second page, so the lane-1 sequence must
+        // be evicted and finish after the lane-0 one.
+        let (unlimited, p0, r0) = run(None);
+        let (capped, p1, r1) = run(Some(3));
+        assert_eq!(p0, 0);
+        assert_eq!(r0, 0);
+        assert!(p1 > 0, "cap of 3 pages must force an eviction");
+        assert_eq!(p1, r1, "every eviction resumed");
+        assert_eq!(unlimited.len(), capped.len());
+        for (a, b) in unlimited.iter().zip(&capped) {
+            assert_eq!(a.tokens, b.tokens, "id {}", a.id);
+            assert_eq!(a.exit_layers, b.exit_layers, "id {}", a.id);
+            assert_eq!(a.predictor_calls, b.predictor_calls, "id {}", a.id);
+            assert_eq!(a.verify_calls, b.verify_calls, "id {}", a.id);
+        }
+    }
+
+    #[test]
+    fn prefix_shared_admission_is_bit_identical_and_cuts_pages() {
+        // Two sequences sharing a one-page system prompt: sharing must
+        // co-lease the prompt page (lower peak occupancy) while decoding
+        // the exact same tokens as private leases.
+        let mut prompt: Vec<TokenId> = (0..20).map(|i| 3 + (i % 7) as TokenId).collect();
+        prompt[18] = 11; // a non-degenerate tail
+        let run = |shared: bool| {
+            let mut eng = engine(2, 107);
+            eng.enable_prefix_share(shared);
+            for i in 0..2u64 {
+                let lm = build_lm(107);
+                let draft = build_draft(&lm, 107 ^ i);
+                let _ = eng.admit(i, lm, draft, &prompt, 8);
+            }
+            let shared_now = eng.pool().shared_pages();
+            let outs = eng.drain();
+            (outs, eng.pool().pages_peak(), shared_now)
+        };
+        let (private, peak_private, s0) = run(false);
+        let (shared, peak_shared, s1) = run(true);
+        assert_eq!(s0, 0);
+        assert!(s1 > 0, "the 16-token prompt page must be co-leased");
+        assert!(
+            peak_shared < peak_private,
+            "sharing must cut peak pages: {peak_shared} vs {peak_private}"
+        );
+        for (a, b) in private.iter().zip(&shared) {
+            assert_eq!(a.tokens, b.tokens, "id {}", a.id);
+            assert_eq!(a.exit_layers, b.exit_layers, "id {}", a.id);
+        }
+    }
+
+    #[test]
+    fn make_room_evicts_strictly_lower_priority_only() {
+        let mut eng = engine(2, 109);
+        eng.set_page_capacity(Some(2));
+        eng.set_preemption_enabled(true);
+        let admit = |eng: &mut BatchedEngine<SyntheticLm, OracleDraft>, id: u64, lane: u8| {
+            let lm = build_lm(109);
+            let draft = build_draft(&lm, 109 ^ id);
+            let _ = eng.admit_laned(
+                id,
+                TrafficClass::DEFAULT,
+                Lane::new(lane),
+                lm,
+                draft,
+                &[4, 2, 9],
+                6,
+            );
+        };
+        admit(&mut eng, 0, 0);
+        admit(&mut eng, 1, 2);
+        assert!(!eng.can_seat(&[1, 2, 3]), "slots and pages are full");
+        // A lane-1 arrival outranks only the lane-2 resident.
+        assert!(eng.make_room(&[1, 2, 3], Lane::new(1)));
+        assert_eq!(eng.preemptions(), 1);
+        assert_eq!(eng.parked(), 1);
+        admit(&mut eng, 2, 1);
+        // Residents are now lanes 0 and 1: a lane-1 arrival has no
+        // strictly lower-priority victim, and lane 0 never yields.
+        assert!(!eng.make_room(&[1, 2, 3], Lane::new(1)));
+        assert_eq!(eng.preemptions(), 1, "no further eviction");
+        // Draining re-seats the parked lane-2 sequence and finishes it.
+        let outs = eng.drain();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(eng.resumes(), 1);
+        assert_eq!(eng.parked(), 0);
+        assert!(outs.iter().all(|o| o.tokens.len() == 6));
+    }
+
+    #[test]
+    fn traced_preemption_emits_preempt_resume_and_pressure_events() {
+        let mut eng = engine(2, 113);
+        eng.set_page_capacity(Some(3));
+        eng.set_preemption_enabled(true);
+        eng.set_recorder(Some(Recorder::for_worker(0)));
+        for i in 0..2u64 {
+            let lm = build_lm(113);
+            let draft = build_draft(&lm, 113 ^ i);
+            let _ = eng.admit_laned(
+                i,
+                TrafficClass::DEFAULT,
+                Lane::new(i as u8),
+                lm,
+                draft,
+                &[4 + i as TokenId, 2, 9],
+                40,
+            );
+        }
+        let _ = eng.drain();
+        assert!(eng.preemptions() > 0);
+        let events = eng.take_recorder().map(Recorder::into_events).unwrap();
+        let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count();
+        assert_eq!(count("preempt"), eng.preemptions() as usize);
+        assert_eq!(count("resume"), eng.resumes() as usize);
+        assert!(count("kv-pressure") > 0, "pressure sampled at boundaries");
+        // Preempt/resume instants carry the victim's sequence id.
+        assert!(events
+            .iter()
+            .filter(|e| matches!(
+                e.kind,
+                EventKind::Preempted { .. } | EventKind::Resumed { .. }
+            ))
+            .all(|e| e.seq.is_some()));
+    }
+
+    #[test]
+    fn cancel_reaches_parked_sequences() {
+        let mut eng = engine(2, 127);
+        eng.set_page_capacity(Some(2));
+        eng.set_preemption_enabled(true);
+        for i in 0..2u64 {
+            let lm = build_lm(127);
+            let draft = build_draft(&lm, 127 ^ i);
+            let _ = eng.admit_laned(
+                i,
+                TrafficClass::DEFAULT,
+                Lane::new(i as u8),
+                lm,
+                draft,
+                &[4, 2, 9],
+                25,
+            );
+        }
+        // Step until pressure parks the lane-1 sequence.
+        while eng.parked() == 0 {
+            let _ = eng.step();
+        }
+        let out = eng.cancel(1).expect("parked sequence cancellable");
+        assert_eq!(out.id, 1);
+        assert!(!out.tokens.is_empty());
+        assert_eq!(eng.parked(), 0);
+        let outs = eng.drain();
+        assert_eq!(outs.len(), 1, "only the survivor finishes");
+        assert_eq!(outs[0].id, 0);
     }
 
     #[test]

@@ -373,6 +373,9 @@ fn run_cluster(
     let config = ClusterConfig {
         workers: 5,
         page_size: 16,
+        page_capacity: None,
+        prefix_share: false,
+        preemption: false,
         admission: AdmissionPolicy::Fcfs,
         batcher: BatcherConfig {
             max_batch: 1,

@@ -165,6 +165,9 @@ impl Harness {
             &ClusterConfig {
                 workers,
                 page_size: 16,
+                page_capacity: None,
+                prefix_share: false,
+                preemption: false,
                 admission: AdmissionPolicy::Fcfs,
                 batcher: self.batcher_config(max_batch),
                 controller: specee_control::ControllerPolicy::Static,

@@ -28,6 +28,25 @@ pub struct ClusterConfig {
     pub workers: usize,
     /// KV page size for each worker's slot pool.
     pub page_size: usize,
+    /// Physical-page ceiling for each worker's slot pool (`None` =
+    /// uncapped, today's behavior). With a cap, a worker that cannot
+    /// fund the next decode step parks its lowest-priority resident
+    /// (when [`preemption`](ClusterConfig::preemption) is on) instead of
+    /// aborting, and resumes it bit-identically once pages free up.
+    pub page_capacity: Option<usize>,
+    /// Copy-on-write prompt-prefix sharing across each worker's
+    /// residents: admissions whose prompt prefix matches a resident's
+    /// lease pages read-only and copy only on the first divergent write.
+    /// Decoded tokens are unchanged — only physical page residency drops.
+    pub prefix_share: bool,
+    /// Page-pressure preemption. When on, an exhausted pool evicts the
+    /// lowest-priority resident (highest [`specee_core::Lane`], then
+    /// highest id) — its pages recycle, its generation state parks, and
+    /// it resumes bit-identically when pages free; a higher-priority
+    /// arrival may also evict a strictly lower-priority resident at
+    /// admission. When off (default), page exhaustion panics the worker
+    /// as before.
+    pub preemption: bool,
     /// Per-worker admission policy (applied to each worker's own queue).
     pub admission: AdmissionPolicy,
     /// Per-worker capacity and pricing (`max_batch` is *per worker*).
@@ -130,6 +149,9 @@ struct WorkerHandle {
 /// let config = ClusterConfig {
 ///     workers: 2,
 ///     page_size: 16,
+///     page_capacity: None,                 // or Some(n) to cap each worker's pool
+///     prefix_share: false,                 // flip on for COW prompt-prefix sharing
+///     preemption: false,                   // flip on to park/resume under pressure
 ///     admission: AdmissionPolicy::Fcfs,
 ///     batcher: BatcherConfig {
 ///         max_batch: 2,
@@ -222,6 +244,9 @@ where
                 schedule.clone(),
                 spec_config.clone(),
             );
+            engine.set_page_capacity(config.page_capacity);
+            engine.enable_prefix_share(config.prefix_share);
+            engine.set_preemption_enabled(config.preemption);
             engine.set_controller(config.controller.build_classed_for_worker(
                 bank.len(),
                 spec_config.predictor.threshold,
@@ -369,7 +394,7 @@ where
             }
             match self.workers[w].rx.recv() {
                 Ok(WorkerReply::Synced(snapshot, deltas)) => {
-                    self.snapshots[w] = snapshot;
+                    self.snapshots[w] = *snapshot;
                     *slot = deltas;
                 }
                 _ => {
@@ -485,5 +510,8 @@ fn dead_worker_report(worker: usize, assigned: &[u64]) -> WorkerReport {
         events: Vec::new(),
         dropped_events: 0,
         meter: specee_metrics::Meter::new(),
+        preemptions: 0,
+        resumes: 0,
+        kv: specee_model::KvStats::default(),
     }
 }

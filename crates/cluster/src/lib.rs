@@ -66,6 +66,9 @@
 //! let config = ClusterConfig {
 //!     workers: 2,
 //!     page_size: 16,
+//!     page_capacity: None,
+//!     prefix_share: false,
+//!     preemption: false,
 //!     admission: AdmissionPolicy::Fcfs,
 //!     batcher: BatcherConfig {
 //!         max_batch: 2,

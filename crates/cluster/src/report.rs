@@ -180,6 +180,23 @@ impl ClusterReport {
         reg
     }
 
+    /// Total page-pressure preemptions across workers (`0` unless the
+    /// cluster ran with a page capacity and preemption enabled).
+    pub fn preemptions(&self) -> u64 {
+        self.workers.iter().map(|w| w.preemptions).sum()
+    }
+
+    /// Total parked-sequence resumes across workers.
+    pub fn resumes(&self) -> u64 {
+        self.workers.iter().map(|w| w.resumes).sum()
+    }
+
+    /// Summed peak physical KV-page residency across worker pools — the
+    /// cluster's memory high-water mark in pages.
+    pub fn kv_pages_peak(&self) -> usize {
+        self.workers.iter().map(|w| w.kv.pages_peak).sum()
+    }
+
     /// Workers that failed, with their panic messages.
     pub fn failures(&self) -> Vec<(usize, &str)> {
         self.workers

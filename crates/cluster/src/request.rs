@@ -1,6 +1,6 @@
 //! Cluster-level requests: a serving request plus routing metadata.
 
-use specee_core::TrafficClass;
+use specee_core::{Lane, TrafficClass};
 use specee_serve::ServeRequest;
 
 /// One request entering the cluster's shared admission queue.
@@ -25,6 +25,11 @@ pub struct ClusterRequest {
     /// cancelled instead of decoded and reported in
     /// [`crate::WorkerReport::timed_out`]. `None` waits forever.
     pub deadline_s: Option<f64>,
+    /// Priority lane (lower id = higher priority; defaults to
+    /// [`Lane::DEFAULT`]). Workers admit the best lane present first and,
+    /// when preemption is enabled, a higher-priority arrival may evict a
+    /// strictly lower-priority resident under page pressure.
+    pub lane: Lane,
 }
 
 impl ClusterRequest {
@@ -35,6 +40,7 @@ impl ClusterRequest {
             class: None,
             exit_hint: None,
             deadline_s: None,
+            lane: Lane::DEFAULT,
         }
     }
 
@@ -77,6 +83,12 @@ impl ClusterRequest {
         self.deadline_s = Some(deadline_s);
         self
     }
+
+    /// Sets the priority lane (lower id = higher priority).
+    pub fn with_lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +114,11 @@ mod tests {
         );
         let tagged = req().with_exit_hint(3.0).with_class(TrafficClass::new(9));
         assert_eq!(tagged.traffic_class(32), TrafficClass::new(9));
+    }
+
+    #[test]
+    fn lane_defaults_and_builds() {
+        assert!(req().lane.is_default());
+        assert_eq!(req().with_lane(Lane::new(3)).lane, Lane::new(3));
     }
 }

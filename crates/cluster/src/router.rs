@@ -55,6 +55,12 @@ pub struct WorkerSnapshot {
     /// effectively decodes at full depth on this worker — the
     /// [`ExitAware`] router prices that in.
     pub class_thresholds: Vec<(TrafficClass, f64)>,
+    /// Physical KV pages the worker's slot pool has resident.
+    pub pages_in_use: usize,
+    /// The worker pool's physical-page ceiling (`None` = uncapped).
+    pub page_capacity: Option<usize>,
+    /// Sequences evicted under page pressure and awaiting re-seating.
+    pub parked: usize,
     /// Requests the worker has completed.
     pub completed: usize,
     /// Whether the worker has failed (a request panicked on it); failed
@@ -334,6 +340,9 @@ mod tests {
             mean_threshold: None,
             base_threshold: None,
             class_thresholds: Vec::new(),
+            pages_in_use: 0,
+            page_capacity: None,
+            parked: 0,
             completed: 0,
             failed: false,
         }
@@ -350,6 +359,7 @@ mod tests {
             class: None,
             exit_hint: hint,
             deadline_s: None,
+            lane: specee_core::Lane::DEFAULT,
         }
     }
 

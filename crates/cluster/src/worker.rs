@@ -72,7 +72,9 @@ pub(crate) enum WorkerReply {
     /// per-class evidence deltas this worker's controller accumulated
     /// since the previous sync (raw material of the coordinator's
     /// gossip merge).
-    Synced(WorkerSnapshot, Vec<ClassEvidence>),
+    /// Boxed: the snapshot (pages, classes, queue state) dwarfs the
+    /// channel's other traffic.
+    Synced(Box<WorkerSnapshot>, Vec<ClassEvidence>),
     /// Response to [`WorkerMsg::Drain`]; the worker thread exits after.
     /// Boxed: the report (event stream, meter, completions) dwarfs the
     /// sync variant.
@@ -130,6 +132,15 @@ pub struct WorkerReport {
     /// [`specee_metrics::OpKind`]), for folding into a cluster-wide
     /// metrics registry.
     pub meter: Meter,
+    /// Sequences this worker evicted under page pressure (each later
+    /// resumed or cancelled); `0` unless the cluster runs with a page
+    /// capacity and preemption enabled.
+    pub preemptions: u64,
+    /// Parked sequences re-seated after pages freed up.
+    pub resumes: u64,
+    /// Final snapshot of the worker's KV slot pool (peak residency,
+    /// sharing, copy-on-write counts).
+    pub kv: specee_model::KvStats,
 }
 
 struct ActiveSeq {
@@ -239,7 +250,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                         Vec::new()
                     };
                     if tx
-                        .send(WorkerReply::Synced(self.snapshot(), evidence))
+                        .send(WorkerReply::Synced(Box::new(self.snapshot()), evidence))
                         .is_err()
                     {
                         return;
@@ -309,16 +320,52 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
 
             // Admission, one batched prefill per boundary. The picks land
             // in `self.admitting` (not a local) so a panic mid-admission
-            // still accounts for every request.
-            while !self.pending.is_empty()
-                && self.engine.occupancy() + self.admitting.len() < self.engine.max_batch()
-            {
-                let keys: Vec<(usize, u64)> = self
+            // still accounts for every request. Lanes gate first (best
+            // lane present wins), the policy orders within the lane, and
+            // each pick reserves its admission pages out of a per-boundary
+            // budget so one boundary cannot overcommit the pool. When a
+            // pick does not fit, a preemption-enabled engine may evict a
+            // strictly lower-priority resident to make room.
+            let mut pages_left = self.engine.pool().available_pages();
+            while !self.pending.is_empty() {
+                let best_lane = self
                     .pending
                     .iter()
-                    .map(|r| (r.request.gen_len, r.request.id))
+                    .map(|r| r.lane)
+                    .min()
+                    .expect("pending non-empty");
+                let subset: Vec<usize> = (0..self.pending.len())
+                    .filter(|&i| self.pending[i].lane == best_lane)
                     .collect();
-                let pick = self.policy.pick_by_key(&keys);
+                let keys: Vec<(usize, u64)> = subset
+                    .iter()
+                    .map(|&i| (self.pending[i].request.gen_len, self.pending[i].request.id))
+                    .collect();
+                let pick = subset[self.policy.pick_by_key(&keys)];
+                let req = &self.pending[pick];
+                let need = if req.request.gen_len == 0 {
+                    0
+                } else {
+                    self.engine.pages_for_admit(&req.request.prompt)
+                };
+                let fits = self.engine.occupancy() + self.admitting.len() < self.engine.max_batch()
+                    && need <= pages_left;
+                if !fits {
+                    if !(self.admitting.is_empty()
+                        && self.engine.make_room(&req.request.prompt, req.lane))
+                    {
+                        assert!(
+                            self.engine.occupancy() > 0
+                                || self.engine.parked() > 0
+                                || !self.admitting.is_empty(),
+                            "page capacity too small to admit request {}",
+                            req.request.id
+                        );
+                        break;
+                    }
+                    pages_left = self.engine.pool().available_pages();
+                }
+                pages_left = pages_left.saturating_sub(need);
                 let req = self.pending.remove(pick);
                 self.admitting.push(req);
             }
@@ -353,7 +400,7 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                 continue;
             }
 
-            if self.engine.occupancy() == 0 {
+            if self.engine.occupancy() == 0 && self.engine.parked() == 0 {
                 // Idle: jump to the next arrival (the loop top defers the
                 // boundary if the frontier has not released it yet).
                 if let Some(front) = self.inbox.front() {
@@ -431,9 +478,10 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             return;
         }
         let (model, draft) = (self.make_seq)(&req);
-        match self.engine.admit_classed(
+        match self.engine.admit_laned(
             id,
             class,
+            req.lane,
             model,
             draft,
             &req.request.prompt,
@@ -651,6 +699,9 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
                         .collect()
                 })
                 .unwrap_or_default(),
+            pages_in_use: self.engine.pool().pages_in_use(),
+            page_capacity: self.engine.pool().capacity(),
+            parked: self.engine.parked(),
             completed: self.completions.len(),
             failed: self.panic.is_some(),
         }
@@ -684,6 +735,9 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
         let controller = self.engine.controller_summary();
         let classes = self.class_rows();
         let meter = self.engine.meter().clone();
+        let preemptions = self.engine.preemptions();
+        let resumes = self.engine.resumes();
+        let kv = self.engine.kv_stats();
         let recorder = self.engine.take_recorder();
         let dropped_events = recorder.as_ref().map_or(0, |r| r.dropped_events());
         let events = recorder.map(|r| r.into_events()).unwrap_or_default();
@@ -719,6 +773,9 @@ impl<M: LayeredLm, D: SpeculativeSource> Worker<M, D> {
             events,
             dropped_events,
             meter,
+            preemptions,
+            resumes,
+            kv,
         }
     }
 }

@@ -48,6 +48,9 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
     ClusterConfig {
         workers,
         page_size: 16,
+        page_capacity: None,
+        prefix_share: false,
+        preemption: false,
         admission: AdmissionPolicy::Fcfs,
         batcher: batcher_config(max_batch),
         controller: specee_control::ControllerPolicy::Static,
@@ -885,6 +888,78 @@ fn traced_cluster_run_is_bit_identical_and_exports() {
         reg.counter("specee_steps_total") as u64,
         traced.aggregate().steps
     );
+}
+
+/// The memory-plane parity bar: a one-worker cluster running with a page
+/// capacity, preemption and priority lanes reproduces
+/// `ContinuousBatcher::run_live_laned` on an identically configured
+/// engine exactly — same preempt/resume sequence, same token streams,
+/// same priced clock — and the run genuinely preempts.
+#[test]
+fn one_worker_parity_with_lanes_and_preemption() {
+    use specee_core::Lane;
+    let seed = 103;
+    let parts = trained(seed);
+    let requests = PoissonArrivals::new(30.0, 21).requests(&specs(6, 20));
+    let lanes: Vec<Lane> = (0..requests.len())
+        .map(|i| Lane::new((i % 3) as u8))
+        .collect();
+
+    let batcher = ContinuousBatcher::new(batcher_config(3));
+    let mut engine: BatchedEngine<SyntheticLm, OracleDraft> = BatchedEngine::new(
+        3,
+        16,
+        N_LAYERS,
+        parts.0.clone(),
+        parts.1.clone(),
+        parts.2.clone(),
+    );
+    engine.set_page_capacity(Some(4));
+    engine.set_preemption_enabled(true);
+    let live = batcher.run_live_laned(&requests, &lanes, true, &mut engine, |r| {
+        seq_parts(seed, r.id)
+    });
+    assert!(engine.preemptions() > 0, "the capped run must preempt");
+
+    let config = ClusterConfig {
+        page_capacity: Some(4),
+        preemption: true,
+        ..cluster_config(1, 3)
+    };
+    let mut cluster: Cluster<SyntheticLm, OracleDraft> = Cluster::spawn(
+        &config,
+        RouterPolicy::RoundRobin.build(),
+        &parts.0,
+        &parts.1,
+        &parts.2,
+        factory(seed),
+    );
+    for (req, lane) in requests.iter().zip(&lanes) {
+        cluster.submit(ClusterRequest::new(req.clone()).with_lane(*lane));
+    }
+    let report = cluster.drain();
+    assert!(report.failures().is_empty());
+    assert_eq!(report.preemptions(), engine.preemptions());
+    assert_eq!(report.resumes(), engine.resumes());
+    let outputs = report.outputs();
+    assert_eq!(outputs.len(), live.outputs.len());
+    for (cluster_out, live_out) in outputs.iter().zip(&live.outputs) {
+        assert_eq!(cluster_out.id, live_out.id);
+        assert_eq!(
+            cluster_out.tokens, live_out.tokens,
+            "request {}",
+            live_out.id
+        );
+        assert_eq!(
+            cluster_out.exit_layers, live_out.exit_layers,
+            "request {}",
+            live_out.id
+        );
+    }
+    assert_eq!(report.aggregate(), live.report);
+    // Page-pressure accounting surfaces in the worker report.
+    assert!(report.kv_pages_peak() <= 4, "cap respected");
+    assert_eq!(report.workers[0].kv.capacity, Some(4));
 }
 
 /// Online SLO tracking and trace sampling are pure observers at the

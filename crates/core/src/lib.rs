@@ -71,5 +71,5 @@ pub use output::{agreement, GenOutput, RunStats};
 pub use predictor::{ExitPredictor, PredictorBank, PredictorConfig};
 pub use scheduler::{OfflineScheduler, OnlineScheduler, ScheduleEngine};
 pub use skip_layer::{CalmEngine, DLlmEngine, MoDEngine};
-pub use traffic::TrafficClass;
+pub use traffic::{Lane, TrafficClass};
 pub use verify::verify_exit;

@@ -85,6 +85,55 @@ impl fmt::Display for TrafficClass {
     }
 }
 
+/// A priority lane carried by requests through admission and re-seating.
+///
+/// Lanes order *scheduling*, classes key *feedback*: a request's
+/// [`TrafficClass`] decides which controller adapts on its tokens, while
+/// its `Lane` decides who is seated first when slots or KV pages are
+/// scarce and who is evicted first when the page pool runs dry. Lower
+/// numeric lanes are more important; lane `0` is the default (and
+/// highest) lane, so untagged traffic is never preempted in favor of
+/// tagged traffic. Ties inside a lane break by request id — admission
+/// and preemption order are total and deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use specee_core::Lane;
+///
+/// assert!(Lane::DEFAULT < Lane::new(1), "lower lane = higher priority");
+/// assert_eq!(Lane::new(3).id(), 3);
+/// assert_eq!(Lane::DEFAULT.to_string(), "lane0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Lane(u8);
+
+impl Lane {
+    /// The default (highest-priority) lane untagged traffic rides in.
+    pub const DEFAULT: Lane = Lane(0);
+
+    /// A lane with an explicit priority (`0` is [`Lane::DEFAULT`]).
+    pub const fn new(id: u8) -> Self {
+        Lane(id)
+    }
+
+    /// The raw lane id (lower is higher priority).
+    pub const fn id(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the default (highest-priority) lane.
+    pub const fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lane{}", self.0)
+    }
+}
+
 /// A small map keyed by [`TrafficClass`], ordered by class id.
 ///
 /// The per-class feedback plane keeps one value per observed class —

@@ -1,5 +1,5 @@
 //! The batched forward path: per-slot sequences swept through a shared
-//! layer loop.
+//! layer loop, backed by a paged-KV memory plane.
 //!
 //! A served batch runs N independent sequences in lock-step: one shared
 //! sweep over the decoder layers in which each sequence participates only
@@ -8,6 +8,17 @@
 //! [`LayeredLm`] instance — while page occupancy across slots is tracked
 //! by a vllm-style [`SlotPool`] whose freed blocks are recycled when a
 //! sequence retires.
+//!
+//! The pool is a *refcounted* page allocator: a page may be leased by
+//! several sequences at once (copy-on-write prefix sharing), and an
+//! optional capacity turns exhaustion into a checkable condition instead
+//! of unbounded growth, which is what makes preemption in the batched
+//! engine possible. Prefix sharing is driven by a [`PrefixIndex`] — a
+//! radix-style tree over whole-page prompt chunks — consulted at
+//! admission: a new sequence's prompt is matched against resident
+//! prefixes and the matching pages are leased read-only, with a private
+//! copy made only on the first divergent write
+//! (see [`BatchedStack::admit_shared`]).
 //!
 //! [`BatchedStack`] is the substrate the `specee-batch` engine drives: it
 //! owns the slot models, leases KV pages on their behalf, and exposes the
@@ -27,6 +38,15 @@ use crate::traits::LayeredLm;
 /// of vllm's PagedAttention). One page holds `page_size` token positions
 /// of per-layer K/V for the whole decoder stack.
 ///
+/// Every live page carries a reference count: [`SlotPool::alloc_page`]
+/// hands out a page with one reference, [`SlotPool::share_page`] adds a
+/// reader (copy-on-write prefix sharing), and [`SlotPool::free_page`]
+/// drops one reference — the page returns to the free list exactly when
+/// its count reaches zero. Physical statistics ([`SlotPool::pages_in_use`],
+/// [`SlotPool::pages_peak`]) count each resident page once no matter how
+/// many sequences lease it; [`SlotPool::logical_pages_in_use`] counts
+/// leases, so `logical − physical` is the occupancy saved by sharing.
+///
 /// # Examples
 ///
 /// ```
@@ -38,15 +58,31 @@ use crate::traits::LayeredLm;
 /// pool.free_page(a);
 /// assert_eq!(pool.alloc_page(), a); // recycled, not grown
 /// assert_eq!(pool.pages_created(), 2);
-/// let _ = b;
+///
+/// // Copy-on-write sharing: two leases, one physical page.
+/// pool.share_page(b);
+/// assert_eq!(pool.shared_pages(), 1);
+/// assert_eq!(pool.logical_pages_in_use(), 3);
+/// assert_eq!(pool.pages_in_use(), 2);
+/// pool.free_page(b); // drop one reader; the page stays resident
+/// assert_eq!(pool.pages_in_use(), 2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotPool {
     page_size: usize,
     free: Vec<usize>,
-    next_page: usize,
+    /// Reference count per created page (`0` = on the free list).
+    refs: Vec<u32>,
+    /// Physical pages with at least one reference.
     in_use: usize,
+    /// Total references across pages (lease count).
+    logical: usize,
+    /// Physical pages with two or more references.
+    shared: usize,
     peak: usize,
+    /// Physical-page ceiling; `None` grows without bound.
+    capacity: Option<usize>,
+    cow_copies: u64,
 }
 
 impl SlotPool {
@@ -60,9 +96,13 @@ impl SlotPool {
         SlotPool {
             page_size,
             free: Vec::new(),
-            next_page: 0,
+            refs: Vec::new(),
             in_use: 0,
+            logical: 0,
+            shared: 0,
             peak: 0,
+            capacity: None,
+            cow_copies: 0,
         }
     }
 
@@ -71,79 +111,452 @@ impl SlotPool {
         self.page_size
     }
 
-    /// Hands out a page id, preferring recycled pages over growth.
-    pub fn alloc_page(&mut self) -> usize {
-        let page = self.free.pop().unwrap_or_else(|| {
-            let p = self.next_page;
-            self.next_page += 1;
-            p
-        });
-        self.in_use += 1;
-        self.peak = self.peak.max(self.in_use);
-        page
-    }
-
-    /// Returns a page to the free list.
+    /// Caps the pool at `capacity` physical pages (`None` removes the
+    /// cap). With a cap in place, [`SlotPool::try_alloc_page`] returns
+    /// `None` at the ceiling and [`SlotPool::alloc_page`] panics — the
+    /// condition the batched engine turns into preemption.
     ///
     /// # Panics
     ///
-    /// Panics if the page was never allocated or is already free.
-    pub fn free_page(&mut self, page: usize) {
-        assert!(page < self.next_page, "page {page} was never allocated");
-        assert!(!self.free.contains(&page), "page {page} double-freed");
-        self.free.push(page);
-        self.in_use -= 1;
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        assert!(capacity != Some(0), "page capacity must be positive");
+        self.capacity = capacity;
     }
 
-    /// Pages currently leased to slots.
+    /// The physical-page ceiling, if one is set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Physical pages still allocatable before the ceiling
+    /// (`usize::MAX` when uncapped).
+    pub fn available_pages(&self) -> usize {
+        self.capacity
+            .map_or(usize::MAX, |c| c.saturating_sub(self.in_use))
+    }
+
+    /// Hands out a page id, preferring recycled pages over growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a capacity is set and every physical page is resident.
+    pub fn alloc_page(&mut self) -> usize {
+        self.try_alloc_page().unwrap_or_else(|| {
+            panic!(
+                "page pool exhausted ({} pages resident at capacity {:?})",
+                self.in_use, self.capacity
+            )
+        })
+    }
+
+    /// Hands out a page id, or `None` if the pool is at capacity.
+    pub fn try_alloc_page(&mut self) -> Option<usize> {
+        if self.available_pages() == 0 {
+            return None;
+        }
+        let page = self.free.pop().unwrap_or_else(|| {
+            self.refs.push(0);
+            self.refs.len() - 1
+        });
+        debug_assert_eq!(self.refs[page], 0, "free page has live references");
+        self.refs[page] = 1;
+        self.in_use += 1;
+        self.logical += 1;
+        // Peak tracks *physical* residency and moves only when a page
+        // transitions free→resident, so a block freed and regrown within
+        // the same step counts once (regression: the old stat path could
+        // double-count it), and share/release cycles never move it.
+        self.peak = self.peak.max(self.in_use);
+        Some(page)
+    }
+
+    /// Adds a reference to a resident page: the caller becomes a
+    /// read-only co-lessee (copy-on-write sharing). Balance with one
+    /// [`SlotPool::free_page`] per share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never allocated or is currently free.
+    pub fn share_page(&mut self, page: usize) {
+        assert!(page < self.refs.len(), "page {page} was never allocated");
+        assert!(self.refs[page] > 0, "page {page} is free, cannot share");
+        self.refs[page] += 1;
+        self.logical += 1;
+        if self.refs[page] == 2 {
+            self.shared += 1;
+        }
+    }
+
+    /// Drops one reference; the page returns to the free list exactly
+    /// when the last reference is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never allocated or has no live references
+    /// (a double free).
+    pub fn free_page(&mut self, page: usize) {
+        assert!(page < self.refs.len(), "page {page} was never allocated");
+        assert!(self.refs[page] > 0, "page {page} double-freed");
+        if self.refs[page] == 2 {
+            self.shared -= 1;
+        }
+        self.refs[page] -= 1;
+        self.logical -= 1;
+        if self.refs[page] == 0 {
+            self.free.push(page);
+            self.in_use -= 1;
+        }
+    }
+
+    /// Copy-on-write: drops the caller's reference on shared `page` and
+    /// hands back a fresh private page for the diverging copy. Counted
+    /// in [`SlotPool::cow_copies`].
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`SlotPool::free_page`] / [`SlotPool::alloc_page`].
+    pub fn cow_page(&mut self, page: usize) -> usize {
+        self.free_page(page);
+        let fresh = self.alloc_page();
+        self.cow_copies += 1;
+        fresh
+    }
+
+    /// Live references on `page` (`0` = free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page was never allocated.
+    pub fn ref_count(&self, page: usize) -> u32 {
+        assert!(page < self.refs.len(), "page {page} was never allocated");
+        self.refs[page]
+    }
+
+    /// Physical pages currently resident (each counted once, however
+    /// many sequences lease it).
     pub fn pages_in_use(&self) -> usize {
         self.in_use
     }
 
-    /// Distinct pages ever created (the pool's backing-store size).
-    pub fn pages_created(&self) -> usize {
-        self.next_page
+    /// Total leases across resident pages; `logical − physical` is the
+    /// occupancy saved by copy-on-write sharing.
+    pub fn logical_pages_in_use(&self) -> usize {
+        self.logical
     }
 
-    /// Peak simultaneous lease count (the memory high-water mark).
+    /// Resident pages with two or more lessees. Always
+    /// `≤ pages_in_use()`.
+    pub fn shared_pages(&self) -> usize {
+        self.shared
+    }
+
+    /// Private copies made on first divergent write
+    /// ([`SlotPool::cow_page`]).
+    pub fn cow_copies(&self) -> u64 {
+        self.cow_copies
+    }
+
+    /// Distinct pages ever created (the pool's backing-store size).
+    pub fn pages_created(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Peak simultaneous *physical* residency (the memory high-water
+    /// mark). Sharing the same page many times does not move it.
     pub fn pages_peak(&self) -> usize {
         self.peak
     }
 
-    /// Token capacity currently leased (`pages_in_use × page_size`).
+    /// Token capacity currently resident (`pages_in_use × page_size`).
     pub fn tokens_in_use(&self) -> usize {
         self.in_use * self.page_size
     }
+
+    /// A point-in-time snapshot of the pool's statistics.
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            pages_in_use: self.in_use,
+            logical_pages: self.logical,
+            shared_pages: self.shared,
+            pages_peak: self.peak,
+            pages_created: self.refs.len(),
+            cow_copies: self.cow_copies,
+            capacity: self.capacity,
+        }
+    }
 }
 
-/// The pages one slot currently leases from the pool.
+/// A point-in-time snapshot of a [`SlotPool`]'s occupancy statistics,
+/// carried by worker snapshots, reports and the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvStats {
+    /// Physical pages resident.
+    pub pages_in_use: usize,
+    /// Leases across resident pages (≥ `pages_in_use`).
+    pub logical_pages: usize,
+    /// Resident pages with two or more lessees.
+    pub shared_pages: usize,
+    /// Peak physical residency over the pool's lifetime.
+    pub pages_peak: usize,
+    /// Distinct pages ever created.
+    pub pages_created: usize,
+    /// Copy-on-write copies performed.
+    pub cow_copies: u64,
+    /// Physical-page ceiling, if one is set.
+    pub capacity: Option<usize>,
+}
+
+/// One page of a slot's lease: the page id plus whether the slot is a
+/// read-only co-lessee (shared via the prefix index) or the sole owner.
+#[derive(Debug, Clone, Copy)]
+struct PageRef {
+    page: usize,
+    shared: bool,
+}
+
+/// The pages one slot currently leases from the pool, in position order:
+/// `pages[p]` covers token positions `[p·page_size, (p+1)·page_size)`.
 #[derive(Debug, Clone, Default)]
 struct SlotLease {
-    pages: Vec<usize>,
+    pages: Vec<PageRef>,
+    /// Committed token positions the lease covers.
     tokens: usize,
 }
 
 impl SlotLease {
-    /// Grows the lease until it covers `tokens` positions.
+    /// Grows the lease until it covers `tokens` positions, performing
+    /// copy-on-write on any shared page the new writes touch (the first
+    /// divergent write to a shared prefix page copies it).
     fn grow(&mut self, pool: &mut SlotPool, tokens: usize) {
-        self.tokens = self.tokens.max(tokens);
-        while self.pages.len() * pool.page_size() < self.tokens {
-            self.pages.push(pool.alloc_page());
+        if tokens <= self.tokens {
+            return;
+        }
+        let ps = pool.page_size();
+        let first_write = self.tokens / ps;
+        let last_write = (tokens - 1) / ps;
+        for p in first_write..=last_write {
+            if p < self.pages.len() {
+                if self.pages[p].shared {
+                    let fresh = pool.cow_page(self.pages[p].page);
+                    self.pages[p] = PageRef {
+                        page: fresh,
+                        shared: false,
+                    };
+                }
+            } else {
+                self.pages.push(PageRef {
+                    page: pool.alloc_page(),
+                    shared: false,
+                });
+            }
+        }
+        self.tokens = tokens;
+    }
+
+    /// Fresh physical allocations growing to `tokens` would trigger
+    /// (new pages plus copy-on-write copies), without performing them.
+    fn pages_needed_for(&self, page_size: usize, tokens: usize) -> usize {
+        if tokens <= self.tokens {
+            return 0;
+        }
+        let first_write = self.tokens / page_size;
+        let last_write = (tokens - 1) / page_size;
+        (first_write..=last_write)
+            .filter(|&p| p >= self.pages.len() || self.pages[p].shared)
+            .count()
+    }
+
+    /// Returns every leased page to the pool (shared pages drop one
+    /// reference; sole-owned pages are freed).
+    fn release(&mut self, pool: &mut SlotPool) {
+        for page_ref in self.pages.drain(..) {
+            pool.free_page(page_ref.page);
+        }
+        self.tokens = 0;
+    }
+}
+
+/// A radix-style index over resident prompt prefixes, in whole-page
+/// chunks.
+///
+/// Each node pins one *immutable* page: a page a resident sequence's
+/// prompt filled completely (decode never rewrites committed prefix KV,
+/// so full prompt pages are safe to share; partial tail pages, which
+/// decode appends into, are never registered). The index holds its own
+/// reference on every node's page, so a registered prefix stays
+/// matchable while any registrant is resident even if the sequence that
+/// first brought the page in has since retired.
+///
+/// At admission, [`PrefixIndex::matched`] returns the longest chain of
+/// whole-page chunk matches plus, when the remainder of the prompt is a
+/// prefix of some resident chunk at the next level, that page as a
+/// *tail* match — the new sequence leases it read-only and copies it on
+/// its first divergent write (when decode commits into the page).
+///
+/// # Examples
+///
+/// ```
+/// use specee_model::batch::{PrefixIndex, SlotPool};
+///
+/// let mut pool = SlotPool::new(4);
+/// let mut index = PrefixIndex::new(4);
+/// // A resident sequence with prompt [1,2,3,4, 5,6,7,8] registers its
+/// // two full pages.
+/// let pages = [pool.alloc_page(), pool.alloc_page()];
+/// index.register(&[1, 2, 3, 4, 5, 6, 7, 8], &pages, &mut pool);
+/// // A newcomer sharing the first page and diverging inside the second
+/// // matches one full chunk and the second page as a tail.
+/// let (full, tail) = index.matched(&[1, 2, 3, 4, 5, 6]);
+/// assert_eq!(full, vec![pages[0]]);
+/// assert_eq!(tail, Some(pages[1]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrefixIndex {
+    page_size: usize,
+    roots: Vec<PrefixNode>,
+}
+
+#[derive(Debug, Clone)]
+struct PrefixNode {
+    /// Exactly `page_size` tokens: the page's committed content.
+    chunk: Vec<u32>,
+    page: usize,
+    /// Resident sequences registered through this node.
+    leases: usize,
+    children: Vec<PrefixNode>,
+}
+
+impl PrefixIndex {
+    /// An empty index over `page_size`-token chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page_size must be positive");
+        PrefixIndex {
+            page_size,
+            roots: Vec::new(),
         }
     }
 
-    /// Returns every leased page to the pool.
-    fn release(&mut self, pool: &mut SlotPool) {
-        for page in self.pages.drain(..) {
-            pool.free_page(page);
+    /// The pages of `prompt`'s longest resident prefix: full whole-page
+    /// chunk matches in position order, plus at most one *tail* page
+    /// whose registered chunk begins with the prompt's remainder.
+    pub fn matched(&self, prompt: &[u32]) -> (Vec<usize>, Option<usize>) {
+        let ps = self.page_size;
+        let mut full = Vec::new();
+        let mut children = &self.roots;
+        let mut complete = true;
+        for chunk in prompt.chunks_exact(ps) {
+            match children.iter().find(|c| c.chunk == chunk) {
+                Some(node) => {
+                    full.push(node.page);
+                    children = &node.children;
+                }
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
         }
-        self.tokens = 0;
+        let rem = &prompt[(full.len() * ps).min(prompt.len())..];
+        let tail = (complete && !rem.is_empty())
+            .then(|| {
+                children
+                    .iter()
+                    .find(|c| c.chunk.starts_with(rem))
+                    .map(|c| c.page)
+            })
+            .flatten();
+        (full, tail)
+    }
+
+    /// Registers a resident sequence's full prompt pages: one page per
+    /// whole-page chunk of `prompt` (the partial tail, if any, is never
+    /// registered). Chunks already indexed gain a lease; new chunks pin
+    /// `pages[i]` with an index-owned reference taken from `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` has fewer entries than `prompt` has whole-page
+    /// chunks.
+    pub fn register(&mut self, prompt: &[u32], pages: &[usize], pool: &mut SlotPool) {
+        let ps = self.page_size;
+        let n_full = prompt.len() / ps;
+        assert!(pages.len() >= n_full, "one page per whole-page chunk");
+        let mut children = &mut self.roots;
+        for (i, chunk) in prompt.chunks_exact(ps).enumerate() {
+            let idx = match children.iter().position(|c| c.chunk == chunk) {
+                Some(j) => {
+                    children[j].leases += 1;
+                    j
+                }
+                None => {
+                    pool.share_page(pages[i]);
+                    children.push(PrefixNode {
+                        chunk: chunk.to_vec(),
+                        page: pages[i],
+                        leases: 1,
+                        children: Vec::new(),
+                    });
+                    children.len() - 1
+                }
+            };
+            children = &mut children[idx].children;
+        }
+    }
+
+    /// Releases one registration of `prompt` (the reverse of
+    /// [`PrefixIndex::register`]); nodes whose last registrant leaves
+    /// are pruned and their index-owned page references returned to the
+    /// pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` was not registered.
+    pub fn unregister(&mut self, prompt: &[u32], pool: &mut SlotPool) {
+        fn walk(children: &mut Vec<PrefixNode>, chunks: &[&[u32]], pool: &mut SlotPool) {
+            let Some((chunk, rest)) = chunks.split_first() else {
+                return;
+            };
+            let j = children
+                .iter()
+                .position(|c| c.chunk == *chunk)
+                .expect("unregister of a prefix that was never registered");
+            children[j].leases -= 1;
+            walk(&mut children[j].children, rest, pool);
+            if children[j].leases == 0 {
+                let node = children.swap_remove(j);
+                release_subtree(node, pool);
+            }
+        }
+        fn release_subtree(node: PrefixNode, pool: &mut SlotPool) {
+            pool.free_page(node.page);
+            for child in node.children {
+                release_subtree(child, pool);
+            }
+        }
+        let chunks: Vec<&[u32]> = prompt.chunks_exact(self.page_size).collect();
+        walk(&mut self.roots, &chunks, pool);
+    }
+
+    /// Registered chunks currently indexed (tree node count).
+    pub fn nodes(&self) -> usize {
+        fn count(children: &[PrefixNode]) -> usize {
+            children.iter().map(|c| 1 + count(&c.children)).sum()
+        }
+        count(&self.roots)
     }
 }
 
 struct Slot<M> {
     model: M,
     lease: SlotLease,
+    /// The prompt registered with the prefix index (for unregistration
+    /// at retirement); `None` when admitted without sharing.
+    registered: Option<Vec<u32>>,
 }
 
 /// A fixed number of sequence slots stepped through a shared layer sweep.
@@ -153,7 +566,9 @@ struct Slot<M> {
 /// recycled by [`BatchedStack::retire`]. The slot's KV footprint is leased
 /// from the shared [`SlotPool`] and returned on retirement, so a
 /// long-running server reuses freed blocks instead of growing without
-/// bound.
+/// bound. With prefix sharing enabled
+/// ([`BatchedStack::enable_prefix_share`]), admission matches the prompt
+/// against resident prefixes and co-leases matching pages copy-on-write.
 ///
 /// # Examples
 ///
@@ -177,6 +592,7 @@ struct Slot<M> {
 pub struct BatchedStack<M> {
     slots: Vec<Option<Slot<M>>>,
     pool: SlotPool,
+    index: Option<PrefixIndex>,
 }
 
 impl<M: LayeredLm> BatchedStack<M> {
@@ -191,6 +607,7 @@ impl<M: LayeredLm> BatchedStack<M> {
         BatchedStack {
             slots: (0..max_batch).map(|_| None).collect(),
             pool: SlotPool::new(page_size),
+            index: None,
         }
     }
 
@@ -221,6 +638,34 @@ impl<M: LayeredLm> BatchedStack<M> {
             .collect()
     }
 
+    /// Caps the page pool at `capacity` physical pages (`None` uncaps).
+    /// See [`SlotPool::set_capacity`].
+    pub fn set_page_capacity(&mut self, capacity: Option<usize>) {
+        self.pool.set_capacity(capacity);
+    }
+
+    /// Turns copy-on-write prefix sharing on or off. Subsequent
+    /// [`BatchedStack::admit_shared`] calls match and register prompts;
+    /// plain [`BatchedStack::admit`] is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is occupied (toggling mid-flight would orphan
+    /// index-held page references).
+    pub fn enable_prefix_share(&mut self, on: bool) {
+        assert_eq!(
+            self.occupancy(),
+            0,
+            "prefix sharing can only be toggled on an empty stack"
+        );
+        self.index = on.then(|| PrefixIndex::new(self.pool.page_size()));
+    }
+
+    /// Whether prefix sharing is enabled.
+    pub fn prefix_sharing(&self) -> bool {
+        self.index.is_some()
+    }
+
     /// Seats `model` in the lowest free slot, leasing pages for its
     /// already-committed KV (the prefilled prompt), and returns the slot
     /// index.
@@ -228,23 +673,104 @@ impl<M: LayeredLm> BatchedStack<M> {
     /// # Panics
     ///
     /// Panics if every slot is occupied — check [`BatchedStack::free_slot`]
-    /// first.
+    /// first — or the page pool is at capacity.
     pub fn admit(&mut self, model: M) -> usize {
         let slot = self.free_slot().expect("no free slot");
         let mut lease = SlotLease::default();
         lease.grow(&mut self.pool, model.kv_len());
-        self.slots[slot] = Some(Slot { model, lease });
+        self.slots[slot] = Some(Slot {
+            model,
+            lease,
+            registered: None,
+        });
         slot
     }
 
-    /// Empties `slot`, returning its pages to the pool and its model to
-    /// the caller.
+    /// Seats `model` like [`BatchedStack::admit`], additionally matching
+    /// `prompt` (the tokens whose KV the model has committed) against the
+    /// prefix index: matching whole pages are co-leased read-only instead
+    /// of allocated, a matching tail page is co-leased copy-on-write, and
+    /// the prompt's own full pages are registered for later arrivals.
+    /// Falls back to a private lease when sharing is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`BatchedStack::admit`], or if `prompt.len()` differs
+    /// from the model's committed KV length.
+    pub fn admit_shared(&mut self, model: M, prompt: &[u32]) -> usize {
+        let Some(mut index) = self.index.take() else {
+            return self.admit(model);
+        };
+        let slot = self.free_slot().expect("no free slot");
+        let kv = model.kv_len();
+        assert_eq!(
+            prompt.len(),
+            kv,
+            "admit_shared: model KV must cover exactly the prompt"
+        );
+        let ps = self.pool.page_size();
+        let (full, tail) = index.matched(prompt);
+        let mut lease = SlotLease::default();
+        for &page in &full {
+            self.pool.share_page(page);
+            lease.pages.push(PageRef { page, shared: true });
+        }
+        lease.tokens = full.len() * ps;
+        if let Some(page) = tail {
+            self.pool.share_page(page);
+            lease.pages.push(PageRef { page, shared: true });
+            lease.tokens = kv;
+        }
+        // Private pages for whatever the index did not cover.
+        lease.grow(&mut self.pool, kv);
+        let full_pages: Vec<usize> = lease.pages[..kv / ps].iter().map(|r| r.page).collect();
+        index.register(prompt, &full_pages, &mut self.pool);
+        self.index = Some(index);
+        self.slots[slot] = Some(Slot {
+            model,
+            lease,
+            registered: Some(prompt.to_vec()),
+        });
+        slot
+    }
+
+    /// Fresh physical pages admitting a sequence with this `prompt`
+    /// would allocate, accounting for prefix-index matches. Compare with
+    /// [`SlotPool::available_pages`] to gate admission under a capacity.
+    pub fn pages_for_admit(&self, prompt: &[u32]) -> usize {
+        let ps = self.pool.page_size();
+        let total = prompt.len().div_ceil(ps);
+        let matched = self.index.as_ref().map_or(0, |index| {
+            let (full, tail) = index.matched(prompt);
+            full.len() + usize::from(tail.is_some())
+        });
+        total - matched
+    }
+
+    /// Fresh physical pages the next decode step could allocate: every
+    /// resident sequence growing by one committed token (boundary
+    /// crossings plus pending copy-on-write copies). The batched engine
+    /// preempts until this fits [`SlotPool::available_pages`].
+    pub fn next_step_page_demand(&self) -> usize {
+        let ps = self.pool.page_size();
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.lease.pages_needed_for(ps, s.model.kv_len() + 1))
+            .sum()
+    }
+
+    /// Empties `slot`, returning its pages to the pool (and its prefix
+    /// registration to the index) and its model to the caller.
     ///
     /// # Panics
     ///
     /// Panics if the slot is vacant.
     pub fn retire(&mut self, slot: usize) -> M {
         let mut s = self.slots[slot].take().expect("slot is vacant");
+        if let (Some(index), Some(prompt)) = (self.index.as_mut(), s.registered.take()) {
+            index.unregister(&prompt, &mut self.pool);
+        }
         s.lease.release(&mut self.pool);
         s.model
     }
@@ -301,7 +827,8 @@ impl<M: LayeredLm> BatchedStack<M> {
     }
 
     /// Re-syncs every lease with its model's committed KV length, leasing
-    /// new pages as sequences grow. Call once per decode step after KV
+    /// new pages as sequences grow (and copy-on-write copying any shared
+    /// page the growth writes into). Call once per decode step after KV
     /// commits.
     pub fn sync_leases(&mut self) {
         for seat in self.slots.iter_mut().flatten() {
@@ -349,6 +876,117 @@ mod tests {
         pool.free_page(a);
     }
 
+    /// Regression (ISSUE 9 satellite): the peak stat must track physical
+    /// residency, so a block freed and regrown in the same step counts
+    /// once — it must not read as two simultaneous pages.
+    #[test]
+    fn peak_counts_a_freed_then_regrown_block_once() {
+        let mut pool = SlotPool::new(4);
+        let a = pool.alloc_page();
+        let _b = pool.alloc_page();
+        let _c = pool.alloc_page();
+        assert_eq!(pool.pages_peak(), 3);
+        // Free one block and regrow it within the same step: residency
+        // never exceeds 3, so neither may the peak.
+        pool.free_page(a);
+        let _a2 = pool.alloc_page();
+        assert_eq!(pool.pages_peak(), 3, "free-then-regrow double-counted");
+        // Sharing cycles add leases, not physical pages: peak is pinned.
+        pool.share_page(_b);
+        pool.share_page(_b);
+        pool.free_page(_b);
+        pool.free_page(_b);
+        assert_eq!(pool.pages_peak(), 3, "share/release cycle moved peak");
+        assert_eq!(pool.logical_pages_in_use(), 3);
+    }
+
+    #[test]
+    fn refcounted_share_frees_exactly_once() {
+        let mut pool = SlotPool::new(4);
+        let a = pool.alloc_page();
+        pool.share_page(a);
+        pool.share_page(a);
+        assert_eq!(pool.ref_count(a), 3);
+        assert_eq!(pool.shared_pages(), 1);
+        pool.free_page(a);
+        pool.free_page(a);
+        assert_eq!(pool.pages_in_use(), 1, "page resident until last ref");
+        assert_eq!(pool.shared_pages(), 0);
+        pool.free_page(a);
+        assert_eq!(pool.pages_in_use(), 0);
+        // The page is genuinely free now: reallocation recycles it.
+        assert_eq!(pool.alloc_page(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot share")]
+    fn sharing_a_free_page_panics() {
+        let mut pool = SlotPool::new(4);
+        let a = pool.alloc_page();
+        pool.free_page(a);
+        pool.share_page(a);
+    }
+
+    #[test]
+    fn capacity_gates_allocation() {
+        let mut pool = SlotPool::new(4);
+        pool.set_capacity(Some(2));
+        let a = pool.alloc_page();
+        let _b = pool.alloc_page();
+        assert_eq!(pool.available_pages(), 0);
+        assert_eq!(pool.try_alloc_page(), None);
+        // Sharing needs no new physical page, so it works at capacity.
+        pool.share_page(a);
+        pool.free_page(a);
+        pool.free_page(a);
+        assert_eq!(pool.available_pages(), 1);
+        assert!(pool.try_alloc_page().is_some());
+    }
+
+    #[test]
+    fn cow_copies_are_counted_and_keep_the_original_for_peers() {
+        let mut pool = SlotPool::new(4);
+        let a = pool.alloc_page();
+        pool.share_page(a); // a second lessee
+        let fresh = pool.cow_page(a);
+        assert_ne!(fresh, a);
+        assert_eq!(pool.cow_copies(), 1);
+        assert_eq!(pool.ref_count(a), 1, "peer still holds the original");
+        assert_eq!(pool.pages_in_use(), 2);
+    }
+
+    #[test]
+    fn prefix_index_matches_register_and_prune() {
+        let mut pool = SlotPool::new(2);
+        let mut index = PrefixIndex::new(2);
+        let p0 = pool.alloc_page();
+        let p1 = pool.alloc_page();
+        index.register(&[1, 2, 3, 4], &[p0, p1], &mut pool);
+        assert_eq!(index.nodes(), 2);
+        assert_eq!(pool.ref_count(p0), 2, "index pins registered pages");
+
+        // Full + tail match.
+        let (full, tail) = index.matched(&[1, 2, 3]);
+        assert_eq!(full, vec![p0]);
+        assert_eq!(tail, Some(p1));
+        // Divergent second chunk: only the first page matches.
+        let (full, tail) = index.matched(&[1, 2, 9, 9]);
+        assert_eq!(full, vec![p0]);
+        assert_eq!(tail, None);
+        // Divergent first chunk: nothing matches, no tail either.
+        let (full, tail) = index.matched(&[9, 9, 3, 4]);
+        assert!(full.is_empty());
+        assert_eq!(tail, None);
+
+        // A second registrant of the same prefix, then both leave.
+        index.register(&[1, 2, 3, 4], &[p0, p1], &mut pool);
+        index.unregister(&[1, 2, 3, 4], &mut pool);
+        assert_eq!(index.nodes(), 2, "still pinned by the second lease");
+        index.unregister(&[1, 2, 3, 4], &mut pool);
+        assert_eq!(index.nodes(), 0);
+        assert_eq!(pool.ref_count(p0), 1, "index refs released on prune");
+    }
+
     #[test]
     fn admit_leases_pages_for_prefilled_kv() {
         let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 2);
@@ -376,6 +1014,75 @@ mod tests {
         stack.admit(m2);
         // The second admission fits entirely in recycled pages.
         assert_eq!(stack.pool().pages_created(), created);
+    }
+
+    #[test]
+    fn shared_admission_coleases_prefix_pages() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(3, 2);
+        stack.enable_prefix_share(true);
+        let mut meter = Meter::new();
+        let prompt = [1u32, 2, 3, 4];
+        let mut a = model(1);
+        prefill(&mut a, &prompt, &mut meter);
+        stack.admit_shared(a, &prompt);
+        assert_eq!(stack.pool().pages_in_use(), 2);
+
+        // Identical prompt: zero fresh pages, both full pages co-leased.
+        assert_eq!(stack.pages_for_admit(&prompt), 0);
+        let mut b = model(2);
+        prefill(&mut b, &prompt, &mut meter);
+        let sb = stack.admit_shared(b, &prompt);
+        assert_eq!(stack.pool().pages_in_use(), 2, "no new physical pages");
+        assert_eq!(stack.pool().shared_pages(), 2);
+        assert!(stack.pool().logical_pages_in_use() > stack.pool().pages_in_use());
+
+        // Divergence in the second page: one fresh page only.
+        let diverged = [1u32, 2, 7, 8];
+        assert_eq!(stack.pages_for_admit(&diverged), 1);
+        let mut c = model(3);
+        prefill(&mut c, &diverged, &mut meter);
+        stack.admit_shared(c, &diverged);
+        assert_eq!(stack.pool().pages_in_use(), 3);
+
+        // Retiring the sharer drops its co-leases but the pages stay
+        // resident for the original owner.
+        let _ = stack.retire(sb);
+        assert_eq!(stack.pool().pages_in_use(), 3);
+    }
+
+    #[test]
+    fn tail_share_copies_on_first_divergent_write() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 2);
+        stack.enable_prefix_share(true);
+        let mut meter = Meter::new();
+        let long = [1u32, 2, 3, 4];
+        let mut a = model(1);
+        prefill(&mut a, &long, &mut meter);
+        stack.admit_shared(a, &long);
+
+        // A strict prefix of the resident prompt shares the tail page
+        // read-only: no fresh pages at admission.
+        let short = [1u32, 2, 3];
+        assert_eq!(stack.pages_for_admit(&short), 0);
+        let mut b = model(2);
+        prefill(&mut b, &short, &mut meter);
+        let sb = stack.admit_shared(b, &short);
+        assert_eq!(stack.pool().pages_in_use(), 2);
+        assert_eq!(stack.pool().cow_copies(), 0);
+        // Next-step demand counts every resident growing one token: the
+        // owner crossing into a fresh page plus the sharer's pending
+        // copy-on-write copy.
+        assert_eq!(stack.next_step_page_demand(), 2);
+        let pos = stack.model(sb).kv_len();
+        let mut h = stack.model_mut(sb).begin_token(9, &mut meter);
+        for layer in 0..4 {
+            h = stack
+                .model_mut(sb)
+                .forward_layer(layer, &h, pos, &mut meter);
+        }
+        stack.sync_leases();
+        assert_eq!(stack.pool().cow_copies(), 1);
+        assert_eq!(stack.pool().pages_in_use(), 3);
     }
 
     #[test]

@@ -202,6 +202,37 @@ pub fn chrome_trace(events: &[Event]) -> Value {
                     ("tokens", Value::UInt(*tokens)),
                 ],
             ),
+            EventKind::Preempted {
+                request,
+                lane,
+                pages,
+            } => instant(
+                e,
+                vec![
+                    ("request", Value::UInt(*request)),
+                    ("lane", Value::UInt(u64::from(*lane))),
+                    ("pages", Value::UInt(u64::from(*pages))),
+                ],
+            ),
+            EventKind::Resumed { request, lane } => instant(
+                e,
+                vec![
+                    ("request", Value::UInt(*request)),
+                    ("lane", Value::UInt(u64::from(*lane))),
+                ],
+            ),
+            EventKind::KvPressure {
+                pages,
+                shared,
+                parked,
+            } => instant(
+                e,
+                vec![
+                    ("pages", Value::UInt(u64::from(*pages))),
+                    ("shared", Value::UInt(u64::from(*shared))),
+                    ("parked", Value::UInt(u64::from(*parked))),
+                ],
+            ),
             EventKind::SloFired {
                 objective,
                 burn_rate,

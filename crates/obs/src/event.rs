@@ -112,6 +112,37 @@ pub enum EventKind {
         /// Total feedback tokens carried by the delta.
         tokens: u64,
     },
+    /// A resident sequence was evicted under KV page pressure: its
+    /// pages were recycled into the pool and its generation state parked
+    /// for later, bit-identical resumption.
+    Preempted {
+        /// Request id of the evicted sequence.
+        request: u64,
+        /// Priority lane of the evicted sequence (higher value = lower
+        /// priority; the engine always evicts the lowest-priority
+        /// resident).
+        lane: u8,
+        /// Physical pages the eviction returned to the pool.
+        pages: u32,
+    },
+    /// A parked (preempted) sequence was re-seated after pages freed up;
+    /// its decode continues exactly where it stopped.
+    Resumed {
+        /// Request id of the resumed sequence.
+        request: u64,
+        /// Priority lane of the resumed sequence.
+        lane: u8,
+    },
+    /// KV page-pool pressure at a decode-step boundary.
+    KvPressure {
+        /// Physical pages resident in the pool.
+        pages: u32,
+        /// Resident pages co-leased by two or more sequences
+        /// (copy-on-write prefix sharing).
+        shared: u32,
+        /// Sequences currently parked awaiting re-admission.
+        parked: u32,
+    },
     /// An SLO objective started burning its error budget too fast:
     /// both the fast and slow burn-rate windows crossed the fire
     /// threshold at a step boundary (see `specee_obs::slo`).
@@ -144,6 +175,9 @@ impl EventKind {
             EventKind::Routing { .. } => "route",
             EventKind::ControllerApply { .. } => "controller",
             EventKind::Gossip { .. } => "gossip",
+            EventKind::Preempted { .. } => "preempt",
+            EventKind::Resumed { .. } => "resume",
+            EventKind::KvPressure { .. } => "kv-pressure",
             EventKind::SloFired { .. } => "slo-fired",
             EventKind::SloCleared { .. } => "slo-cleared",
         }
@@ -179,6 +213,32 @@ mod tests {
             }
             .name(),
             "gossip"
+        );
+        assert_eq!(
+            EventKind::Preempted {
+                request: 7,
+                lane: 2,
+                pages: 5
+            }
+            .name(),
+            "preempt"
+        );
+        assert_eq!(
+            EventKind::Resumed {
+                request: 7,
+                lane: 2
+            }
+            .name(),
+            "resume"
+        );
+        assert_eq!(
+            EventKind::KvPressure {
+                pages: 8,
+                shared: 3,
+                parked: 1
+            }
+            .name(),
+            "kv-pressure"
         );
         assert_eq!(
             EventKind::SloFired {

@@ -352,6 +352,21 @@ pub fn fold_events(reg: &mut MetricsRegistry, events: &[Event]) {
                 reg.counter_add("specee_gossip_deltas_total", 1.0);
                 reg.counter_add("specee_gossip_classes_total", f64::from(*classes));
             }
+            EventKind::Preempted { .. } => {
+                reg.counter_add("specee_kv_preemptions_total", 1.0);
+            }
+            EventKind::Resumed { .. } => {
+                reg.counter_add("specee_kv_resumes_total", 1.0);
+            }
+            EventKind::KvPressure {
+                pages,
+                shared,
+                parked,
+            } => {
+                reg.gauge_set("specee_kv_occupancy", f64::from(*pages));
+                reg.gauge_set("specee_kv_shared_pages", f64::from(*shared));
+                reg.gauge_set("specee_kv_parked", f64::from(*parked));
+            }
             EventKind::SloFired { objective, .. } => {
                 reg.counter_add(
                     &format!("specee_slo_fired_total{{objective=\"{objective}\"}}"),

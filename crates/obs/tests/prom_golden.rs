@@ -75,6 +75,27 @@ fn fixture_events() -> Vec<Event> {
         classes: 1,
         tokens: 12,
     });
+    // The paged-KV memory plane acting: a low-priority resident is
+    // preempted under page pressure, pressure is sampled at the step
+    // boundary, and the victim is later resumed.
+    w0.record(EventKind::Preempted {
+        request: 0,
+        lane: 2,
+        pages: 3,
+    });
+    w0.record(EventKind::KvPressure {
+        pages: 6,
+        shared: 2,
+        parked: 1,
+    });
+    w0.record_at(
+        0.4375,
+        Some(0),
+        EventKind::Resumed {
+            request: 0,
+            lane: 2,
+        },
+    );
     w0.record_at(
         0.5,
         Some(0),
@@ -168,6 +189,13 @@ fn fixture_covers_counters_gauges_and_histograms() {
     assert!(text.contains("# TYPE specee_exits_accepted_total counter"));
     assert!(text.contains("# TYPE specee_mean_threshold gauge"));
     assert!(text.contains("# TYPE specee_ttft_seconds histogram"));
+    // The paged-KV memory-plane series.
+    assert!(text.contains("# TYPE specee_kv_preemptions_total counter"));
+    assert!(text.contains("specee_kv_preemptions_total 1"));
+    assert!(text.contains("specee_kv_resumes_total 1"));
+    assert!(text.contains("# TYPE specee_kv_occupancy gauge"));
+    assert!(text.contains("specee_kv_occupancy 6"));
+    assert!(text.contains("specee_kv_shared_pages 2"));
     // Cumulative buckets end with the +Inf catch-all equal to _count.
     let inf = text
         .lines()

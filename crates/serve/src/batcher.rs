@@ -118,6 +118,38 @@ pub(crate) fn pick_pending(
     policy.pick_by_key(&keys)
 }
 
+/// Lane-aware admission pick: the highest-priority (lowest) lane present
+/// in `pending` wins, and `policy` orders requests within that lane
+/// exactly as [`pick_pending`] does. With uniform lanes (including the
+/// empty slice, meaning all-default) the pick reduces to [`pick_pending`]
+/// bit for bit, so un-laned runs are untouched.
+pub(crate) fn pick_pending_laned(
+    policy: AdmissionPolicy,
+    pending: &[usize],
+    requests: &[ServeRequest],
+    lanes: &[specee_core::Lane],
+) -> usize {
+    let lane_of = |r: usize| lanes.get(r).copied().unwrap_or_default();
+    let best = pending
+        .iter()
+        .map(|&r| lane_of(r))
+        .min()
+        .expect("pending non-empty");
+    if pending.iter().all(|&r| lane_of(r) == best) {
+        return pick_pending(policy, pending, requests);
+    }
+    let subset: Vec<usize> = pending
+        .iter()
+        .copied()
+        .filter(|&r| lane_of(r) == best)
+        .collect();
+    let chosen = subset[pick_pending(policy, &subset, requests)];
+    pending
+        .iter()
+        .position(|&r| r == chosen)
+        .expect("subset member of pending")
+}
+
 impl ContinuousBatcher {
     /// Creates an FCFS batcher for the given configuration.
     ///

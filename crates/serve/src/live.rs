@@ -18,7 +18,7 @@ use specee_draft::SpeculativeSource;
 use specee_model::LayeredLm;
 use specee_obs::{EventKind, SloTracker};
 
-use crate::batcher::{pick_pending, ContinuousBatcher, ServeReport};
+use crate::batcher::{pick_pending_laned, ContinuousBatcher, ServeReport};
 use crate::cost::StepSpec;
 use crate::request::{Completion, ServeRequest};
 
@@ -73,6 +73,43 @@ impl ContinuousBatcher {
         &self,
         requests: &[ServeRequest],
         engine: &mut BatchedEngine<M, D>,
+        make_seq: F,
+    ) -> LiveOutcome
+    where
+        M: LayeredLm,
+        D: SpeculativeSource,
+        F: FnMut(&ServeRequest) -> (M, D),
+    {
+        self.run_live_laned(requests, &[], false, engine, make_seq)
+    }
+
+    /// [`run_live`](Self::run_live) with the paged-KV memory plane
+    /// engaged: per-request priority lanes and optional preemption under
+    /// page pressure.
+    ///
+    /// `lanes[i]` is request `i`'s priority lane (lower = higher
+    /// priority); an empty slice means every request rides the default
+    /// lane, which makes this method bit-identical to
+    /// [`run_live`](Self::run_live). Admission always drains the
+    /// highest-priority lane present first, with the batcher's policy
+    /// ordering requests within a lane; each admission is additionally
+    /// gated on the engine's page pool covering the prompt. With
+    /// `preempt` set (and preemption enabled on the engine), an
+    /// admission that does not fit evicts strictly lower-priority
+    /// residents via [`BatchedEngine::make_room`]; the engine re-seats
+    /// parked sequences, bit-identically, as pages free up.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`run_live`](Self::run_live), if `lanes` is non-empty
+    /// but shorter than `requests`, or if a request's prompt can never
+    /// fit the engine's page capacity.
+    pub fn run_live_laned<M, D, F>(
+        &self,
+        requests: &[ServeRequest],
+        lanes: &[specee_core::Lane],
+        preempt: bool,
+        engine: &mut BatchedEngine<M, D>,
         mut make_seq: F,
     ) -> LiveOutcome
     where
@@ -80,6 +117,10 @@ impl ContinuousBatcher {
         D: SpeculativeSource,
         F: FnMut(&ServeRequest) -> (M, D),
     {
+        assert!(
+            lanes.is_empty() || lanes.len() >= requests.len(),
+            "one lane per request (or none at all)"
+        );
         assert_eq!(
             engine.max_batch(),
             self.config.max_batch,
@@ -136,9 +177,36 @@ impl ContinuousBatcher {
                 next_arrival += 1;
             }
             let mut admitted: Vec<usize> = Vec::new();
-            while !pending.is_empty() && engine.occupancy() + admitted.len() < self.config.max_batch
-            {
-                let pick = pick_pending(self.policy, &pending, requests);
+            let mut pages_left = engine.pool().available_pages();
+            while !pending.is_empty() {
+                let pick = pick_pending_laned(self.policy, &pending, requests, lanes);
+                let i = pending[pick];
+                let lane = lanes.get(i).copied().unwrap_or_default();
+                let need = if requests[i].gen_len == 0 {
+                    0
+                } else {
+                    engine.pages_for_admit(&requests[i].prompt)
+                };
+                let fits = engine.occupancy() + admitted.len() < self.config.max_batch
+                    && need <= pages_left;
+                if !fits {
+                    // Slot- or page-gated: evict strictly lower-priority
+                    // residents (freeing both), but only before this
+                    // round reserved anything of its own.
+                    if !(preempt
+                        && admitted.is_empty()
+                        && engine.make_room(&requests[i].prompt, lane))
+                    {
+                        assert!(
+                            engine.occupancy() > 0 || engine.parked() > 0 || !admitted.is_empty(),
+                            "page capacity too small to admit request {}",
+                            requests[i].id
+                        );
+                        break;
+                    }
+                    pages_left = engine.pool().available_pages();
+                }
+                pages_left = pages_left.saturating_sub(need);
                 admitted.push(pending.remove(pick));
             }
             if !admitted.is_empty() {
@@ -204,7 +272,16 @@ impl ContinuousBatcher {
                         continue;
                     }
                     let (model, draft) = make_seq(req);
-                    match engine.admit(i as u64, model, draft, &req.prompt, req.gen_len) {
+                    let lane = lanes.get(i).copied().unwrap_or_default();
+                    match engine.admit_laned(
+                        i as u64,
+                        specee_core::TrafficClass::DEFAULT,
+                        lane,
+                        model,
+                        draft,
+                        &req.prompt,
+                        req.gen_len,
+                    ) {
                         Admission::Done(out) => {
                             completions.push(Completion {
                                 id: req.id,
@@ -235,7 +312,7 @@ impl ContinuousBatcher {
                 continue;
             }
 
-            if engine.occupancy() == 0 {
+            if engine.occupancy() == 0 && engine.parked() == 0 {
                 if next_arrival < requests.len() {
                     now = now.max(requests[next_arrival].arrival_s);
                     // Idle time drains the rolling windows, so a burn
@@ -706,6 +783,141 @@ mod tests {
         assert!(outcome.outputs[1].tokens.is_empty());
         assert_eq!(outcome.outputs[0].tokens.len(), 6);
         assert_eq!(outcome.report.completions[1].tokens, 0);
+    }
+
+    #[test]
+    fn laned_run_with_default_lanes_is_bit_identical_to_run_live() {
+        // The memory plane disengaged must be invisible: explicit
+        // all-default lanes, no capacity, no preemption ≡ plain run_live.
+        let seed = 71;
+        let parts = trained(seed);
+        let requests = PoissonArrivals::new(20.0, 19).requests(&specs(6, 8));
+        let lanes = vec![specee_core::Lane::DEFAULT; requests.len()];
+        let b = batcher(3);
+        let make = |r: &ServeRequest| {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+            (lm, draft)
+        };
+        let mut plain_engine = live_engine(3, &parts);
+        let plain = b.run_live(&requests, &mut plain_engine, make);
+        let mut laned_engine = live_engine(3, &parts);
+        let laned = b.run_live_laned(&requests, &lanes, false, &mut laned_engine, make);
+        assert_eq!(plain.report, laned.report);
+        for (a, l) in plain.outputs.iter().zip(&laned.outputs) {
+            assert_eq!(a.tokens, l.tokens);
+            assert_eq!(a.exit_layers, l.exit_layers);
+        }
+        assert_eq!(laned_engine.preemptions(), 0);
+    }
+
+    #[test]
+    fn preempting_capped_run_decodes_the_same_tokens() {
+        // Page pressure reorders *when* sequences decode, never *what*
+        // they decode: a capacity-capped, preempting run must produce
+        // the exact token streams of an uncapped one.
+        let seed = 73;
+        let parts = trained(seed);
+        let requests = PoissonArrivals::new(40.0, 23).requests(&specs(6, 20));
+        let lanes: Vec<specee_core::Lane> = (0..requests.len())
+            .map(|i| specee_core::Lane::new((i % 3) as u8))
+            .collect();
+        let b = batcher(3);
+        let make = |r: &ServeRequest| {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+            (lm, draft)
+        };
+        let mut free_engine = live_engine(3, &parts);
+        let free = b.run_live_laned(&requests, &lanes, false, &mut free_engine, make);
+        let mut capped_engine = live_engine(3, &parts);
+        // Final KV per sequence: 3 + 19 = 22 tokens → 2 pages of 16; a
+        // cap of 4 cannot hold three such sequences.
+        capped_engine.set_page_capacity(Some(4));
+        capped_engine.set_preemption_enabled(true);
+        let capped = b.run_live_laned(&requests, &lanes, true, &mut capped_engine, make);
+        assert!(
+            capped_engine.preemptions() > 0,
+            "the cap must force evictions"
+        );
+        assert_eq!(capped_engine.preemptions(), capped_engine.resumes());
+        assert_eq!(free.outputs.len(), capped.outputs.len());
+        for (a, c) in free.outputs.iter().zip(&capped.outputs) {
+            assert_eq!(a.tokens, c.tokens, "request {}", a.id);
+            assert_eq!(a.exit_layers, c.exit_layers, "request {}", a.id);
+        }
+        assert_eq!(capped.report.completions.len(), requests.len());
+        assert!(capped_engine.pool().pages_peak() <= 4, "cap honoured");
+    }
+
+    #[test]
+    fn lanes_with_preemption_hold_high_priority_ttft_under_page_starvation() {
+        // Two low-priority hogs fill every slot and page; a high-priority
+        // request arrives mid-decode. Without preemption it waits for a
+        // hog to finish; with lanes + preemption a hog is evicted and the
+        // request admits immediately.
+        let seed = 79;
+        let parts = trained(seed);
+        let mut requests = vec![
+            ServeRequest {
+                id: 0,
+                prompt: vec![2, 5, 1],
+                gen_len: 12,
+                arrival_s: 0.0,
+            },
+            ServeRequest {
+                id: 1,
+                prompt: vec![3, 6, 2],
+                gen_len: 12,
+                arrival_s: 0.0,
+            },
+        ];
+        // Arrives once both hogs are seated and decoding.
+        requests.push(ServeRequest {
+            id: 2,
+            prompt: vec![4, 7, 3],
+            gen_len: 4,
+            arrival_s: 0.002,
+        });
+        let lanes = vec![
+            specee_core::Lane::new(2),
+            specee_core::Lane::new(2),
+            specee_core::Lane::new(0),
+        ];
+        let b = batcher(2);
+        let make = |r: &ServeRequest| {
+            let lm = build_lm(seed);
+            let draft = OracleDraft::new(*lm.language(), 0.9, &cfg(), seed ^ r.id);
+            (lm, draft)
+        };
+        let run = |preempt: bool| {
+            let mut engine = live_engine(2, &parts);
+            engine.set_page_capacity(Some(2));
+            engine.set_preemption_enabled(preempt);
+            let outcome = b.run_live_laned(&requests, &lanes, preempt, &mut engine, make);
+            let ttft = outcome
+                .report
+                .completions
+                .iter()
+                .find(|c| c.id == 2)
+                .expect("high-priority completion")
+                .ttft_s();
+            (outcome, ttft, engine.preemptions())
+        };
+        let (stalled_run, stalled_ttft, p0) = run(false);
+        let (preempt_run, preempt_ttft, p1) = run(true);
+        assert_eq!(p0, 0);
+        assert!(p1 > 0, "the high-priority arrival must evict a hog");
+        assert!(
+            preempt_ttft < stalled_ttft * 0.5,
+            "preemption must hold the high-priority TTFT: {preempt_ttft} vs {stalled_ttft}"
+        );
+        // Work conservation: every request still finishes in both runs.
+        assert_eq!(stalled_run.report.completions.len(), 3);
+        assert_eq!(preempt_run.report.completions.len(), 3);
+        for (a, b) in stalled_run.outputs.iter().zip(&preempt_run.outputs) {
+            assert_eq!(a.tokens, b.tokens, "request {}", a.id);
+        }
     }
 
     #[test]

@@ -69,6 +69,9 @@ fn cluster_config(workers: usize, max_batch: usize) -> ClusterConfig {
     ClusterConfig {
         workers,
         page_size: 16,
+        page_capacity: None,
+        prefix_share: false,
+        preemption: false,
         admission: AdmissionPolicy::Fcfs,
         batcher: BatcherConfig {
             max_batch,

@@ -266,6 +266,9 @@ fn main() {
         &ClusterConfig {
             workers: 3,
             page_size: 16,
+            page_capacity: None,
+            prefix_share: false,
+            preemption: false,
             admission: AdmissionPolicy::Fcfs,
             batcher: BatcherConfig {
                 max_batch: 1,

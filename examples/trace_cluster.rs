@@ -59,6 +59,9 @@ fn run(
     let cluster_config = ClusterConfig {
         workers: WORKERS,
         page_size: 16,
+        page_capacity: None,
+        prefix_share: false,
+        preemption: false,
         admission: AdmissionPolicy::Fcfs,
         batcher: BatcherConfig {
             max_batch: 2,

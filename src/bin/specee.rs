@@ -86,7 +86,14 @@ fn print_help() {
                       steps, cluster shards live decoding over --workers N threads\n             \
                       routed by --router round-robin|shortest-queue|exit-aware;\n             \
                       --controller static|pid|bandit adapts exit thresholds\n             \
-                      online in live and cluster modes)\n  \
+                      online in live and cluster modes;\n             \
+                      paged-KV memory plane (live and cluster modes):\n             \
+                      --pages N caps each engine's physical KV pages and\n             \
+                      parks/resumes the lowest-priority resident under\n             \
+                      pressure (bit-identical outputs), --prefix-share on\n             \
+                      leases matching prompt-prefix pages copy-on-write,\n             \
+                      --lanes N assigns request id mod N as its priority\n             \
+                      lane, lower = higher priority)\n  \
            help       this message\n\n\
          OBSERVABILITY (generate with --engine specee, serve in any mode):\n  \
            --trace-out FILE    write the run's event timeline as Chrome\n                       \
@@ -218,6 +225,15 @@ fn dataset_by_name(name: &str) -> Result<DatasetProfile, String> {
                 .collect();
             format!("unknown dataset `{name}` (one of: {})", names.join(", "))
         })
+}
+
+/// `--key on|off` boolean flags (absent = off).
+fn parse_switch(opts: &HashMap<String, String>, key: &str) -> Result<bool, String> {
+    match opts.get(key).map(String::as_str) {
+        None | Some("off") => Ok(false),
+        Some("on") => Ok(true),
+        Some(v) => Err(format!("--{key}: expected on|off, got `{v}`")),
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(
@@ -754,6 +770,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     }
+    let lanes_n: usize = parse_num(&opts, "lanes", 0)?;
+    let pages: usize = parse_num(&opts, "pages", 0)?;
+    let prefix_share = parse_switch(&opts, "prefix-share")?;
+    if mode == "replay" && (lanes_n > 0 || pages > 0 || prefix_share) {
+        return Err(
+            "--lanes/--pages/--prefix-share drive the live engine's paged-KV memory \
+             plane; replay mode prices prerecorded traces (use --mode live or cluster)"
+                .to_string(),
+        );
+    }
+    if lanes_n > u8::MAX as usize + 1 {
+        return Err("--lanes: at most 256 priority lanes".to_string());
+    }
+    let page_capacity = (pages > 0).then_some(pages);
+    // A capped pool parks/resumes under pressure instead of aborting;
+    // preemption rides the cap on the CLI.
+    let preemption = page_capacity.is_some();
+    let lane_of = |id: u64| {
+        if lanes_n > 0 {
+            specee::core::Lane::new((id % lanes_n as u64) as u8)
+        } else {
+            specee::core::Lane::DEFAULT
+        }
+    };
     let (trace_out, metrics_out) = export_paths(&opts);
     let observing = trace_out.is_some() || metrics_out.is_some();
     let mut events: Vec<Event> = Vec::new();
@@ -876,6 +916,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 &ClusterConfig {
                     workers,
                     page_size: 16,
+                    page_capacity,
+                    prefix_share,
+                    preemption,
                     admission: specee::serve::AdmissionPolicy::Fcfs,
                     batcher: BatcherConfig {
                         max_batch: batch,
@@ -900,9 +943,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 }),
             );
             for req in &requests {
-                cluster.submit(ClusterRequest::new(req.clone()).with_exit_hint(expected_depth));
+                let lane = lane_of(req.id);
+                cluster.submit(
+                    ClusterRequest::new(req.clone())
+                        .with_exit_hint(expected_depth)
+                        .with_lane(lane),
+                );
             }
             let report = cluster.drain();
+            if page_capacity.is_some() || prefix_share || lanes_n > 0 {
+                println!(
+                    "kv     : peak {} pages{} | preempt {} / resume {}",
+                    report.kv_pages_peak(),
+                    page_capacity
+                        .map(|c| format!(" (cap {c}/worker)"))
+                        .unwrap_or_default(),
+                    report.preemptions(),
+                    report.resumes()
+                );
+            }
             if observing {
                 events = report.events.clone();
                 registry = report.metrics(Some(&HardwareProfile::a100_80g()));
@@ -969,15 +1028,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             let base = config.predictor.threshold;
             let mut engine =
                 BatchedEngine::new(batch, 16, pipe.cfg.n_layers, bank, schedule, config);
+            engine.set_page_capacity(page_capacity);
+            engine.enable_prefix_share(prefix_share);
+            engine.set_preemption_enabled(preemption);
             engine.set_controller(controller.build_classed(n_predictors, base));
             if observing {
                 engine.set_recorder(Some(sampled(Recorder::for_worker(0), trace_sample)));
             }
-            let outcome = batcher.run_live(&requests, &mut engine, |_req| {
-                let lm = pipe.lm();
-                let draft = pipe.draft(&lm);
-                (lm, draft)
-            });
+            let lanes: Vec<specee::core::Lane> = requests.iter().map(|r| lane_of(r.id)).collect();
+            let outcome =
+                batcher.run_live_laned(&requests, &lanes, preemption, &mut engine, |_req| {
+                    let lm = pipe.lm();
+                    let draft = pipe.draft(&lm);
+                    (lm, draft)
+                });
+            if page_capacity.is_some() || prefix_share || lanes_n > 0 {
+                let kv = engine.kv_stats();
+                println!(
+                    "kv     : peak {} pages{} | shared {} | cow {} | preempt {} / resume {}",
+                    kv.pages_peak,
+                    kv.capacity
+                        .map(|c| format!(" (cap {c})"))
+                        .unwrap_or_default(),
+                    kv.shared_pages,
+                    kv.cow_copies,
+                    engine.preemptions(),
+                    engine.resumes()
+                );
+            }
             if controller != ControllerPolicy::Static {
                 if let Some(summary) = engine.controller_summary() {
                     println!("controller: {}", controller_line(&summary));
