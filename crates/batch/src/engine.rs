@@ -2,13 +2,14 @@
 
 use specee_control::{ClassEvidence, ClassedController, ControllerSummary};
 use specee_core::engine::scan::{ExitFeedback, ExitScan};
+use specee_core::engine::selfdraft::{self_draft_pass, verify_commit, DraftPass};
 use specee_core::predictor::PredictorBank;
 use specee_core::scheduler::ScheduleEngine;
 use specee_core::traffic::{ClassMap, Lane, TrafficClass};
 use specee_core::SpecEeConfig;
 use specee_draft::SpeculativeSource;
 use specee_metrics::Meter;
-use specee_model::{prefill, BatchedStack, LayeredLm, SlotPool, TokenId};
+use specee_model::{prefill, BatchedStack, LayeredLm, SlotPool, TokenId, TreeKv};
 use specee_obs::{EventKind, Recorder, TraceSink};
 use specee_tensor::ops;
 
@@ -30,6 +31,13 @@ pub struct BatchedOutput {
     pub predictor_calls: u64,
     /// Full-LM-head verification calls this sequence triggered.
     pub verify_calls: u64,
+    /// Separate-draft-model forwards this sequence executed (token syncs
+    /// plus tree expansions); zero under self-draft.
+    pub draft_calls: u64,
+    /// Shallow (node × layer) runs of the target's own layers this
+    /// sequence executed while self-drafting; zero with a separate
+    /// draft model.
+    pub self_draft_calls: u64,
 }
 
 impl BatchedOutput {
@@ -70,6 +78,9 @@ pub struct BatchStep {
     pub lm_head_evals: u64,
     /// Slots that ran the draft model this step (all active slots).
     pub draft_slots: usize,
+    /// Slots that drafted through their own shallow layers this step
+    /// (self-draft mode; zero on separate-draft steps).
+    pub self_draft_slots: usize,
     /// Predictor forwards this step.
     pub predictor_calls: u64,
     /// Tokens emitted this step.
@@ -106,9 +117,18 @@ struct SeqState<D> {
     tokens: Vec<TokenId>,
     exit_layers: Vec<usize>,
     ce_sum: f64,
+    /// The draft source's forward-call counter at admission, so the
+    /// output reports only this sequence's own draft work.
+    draft_calls_base: u64,
+    /// Shallow (node × layer) target runs accumulated while
+    /// self-drafting.
+    self_draft_calls: u64,
+    /// Verified self-draft rounds (one full-LM-head tree verification
+    /// each).
+    self_draft_rounds: u64,
 }
 
-impl<D> SeqState<D> {
+impl<D: SpeculativeSource> SeqState<D> {
     fn into_output(self) -> BatchedOutput {
         BatchedOutput {
             id: self.id,
@@ -117,7 +137,12 @@ impl<D> SeqState<D> {
             exit_layers: self.exit_layers,
             ce_sum: self.ce_sum,
             predictor_calls: self.scan.predictor_calls(),
-            verify_calls: self.scan.verify_calls(),
+            verify_calls: self.scan.verify_calls() + self.self_draft_rounds,
+            draft_calls: self
+                .draft
+                .forward_calls()
+                .saturating_sub(self.draft_calls_base),
+            self_draft_calls: self.self_draft_calls,
         }
     }
 }
@@ -535,6 +560,12 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         model.reset();
         model.set_backend(self.backend);
         draft.reset();
+        if let Some(spec) = draft.self_spec() {
+            if let Err(e) = spec.validate_for_depth(self.n_layers) {
+                panic!("{e}");
+            }
+        }
+        let draft_calls_base = draft.forward_calls();
         let mut prefill_meter = Meter::new();
         let h0 = prefill(&mut model, prompt, &mut prefill_meter);
         let logits = model.final_logits(&h0, &mut self.meter);
@@ -557,6 +588,9 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             tokens: vec![t],
             exit_layers: vec![self.n_layers],
             ce_sum: ce,
+            draft_calls_base,
+            self_draft_calls: 0,
+            self_draft_rounds: 0,
         };
         if gen_len == 1 {
             return Admission::Done(seq.into_output());
@@ -717,6 +751,21 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
     /// Returns the measured step — an empty report (no runners, nothing
     /// emitted) when no sequence is seated.
     pub fn step(&mut self) -> BatchStep {
+        // Self-draft batches take the tree-verification step path: the
+        // whole batch must agree on the mode, because the two paths
+        // disagree on how many tokens a step may commit.
+        let is_self = |s: &SeqState<D>| s.draft.self_spec().is_some();
+        let any_self =
+            self.seqs.iter().flatten().any(is_self) || self.parked.iter().any(|p| is_self(&p.seq));
+        if any_self {
+            assert!(
+                self.seqs.iter().flatten().all(is_self)
+                    && self.parked.iter().all(|p| is_self(&p.seq)),
+                "self-draft sequences cannot share a batch with \
+                 separate-draft sequences"
+            );
+            return self.step_self_draft();
+        }
         // Memory plane, at the boundary: re-seat parked sequences that
         // fit, then preempt the lowest-priority residents until the
         // step's worst-case page demand (boundary crossings plus pending
@@ -744,6 +793,7 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
             ctx_lens: Vec::new(),
             lm_head_evals: 0,
             draft_slots: 0,
+            self_draft_slots: 0,
             predictor_calls: 0,
             emitted: 0,
             finished: Vec::new(),
@@ -908,6 +958,201 @@ impl<M: LayeredLm, D: SpeculativeSource> BatchedEngine<M, D> {
         // Sample page pressure at the boundary, but only when the memory
         // plane is actually configured (a capacity, prefix sharing, or a
         // parked backlog) — plain runs keep their exact event streams.
+        if self.trace.enabled()
+            && (self.pool().capacity().is_some()
+                || self.stack.prefix_sharing()
+                || !self.parked.is_empty())
+        {
+            let stats = self.pool().stats();
+            let parked = self.parked.len() as u32;
+            if let Some(rec) = self.trace.as_mut() {
+                rec.set_seq(None);
+                rec.record(EventKind::KvPressure {
+                    pages: stats.pages_in_use as u32,
+                    shared: stats.shared_pages as u32,
+                    parked,
+                });
+            }
+        }
+        self.meter.mark_host_step();
+        self.steps += 1;
+        report
+    }
+
+    /// Runs one synchronized *self-draft* decode step: every seated
+    /// sequence drafts a token tree through its own model's shallow
+    /// layers (sequence-local — each slot's tree grows inside its own
+    /// KV scratch), the deep layers then verify every slot's whole tree
+    /// in lock-step masked sweeps
+    /// ([`BatchedStack::sweep_layer_tree`]), and each slot commits its
+    /// accepted root path under the split-KV rule: shallow layers from
+    /// the draft-pass scratch (committed, never recomputed), deep
+    /// layers from the verify sweep. Rejected branches leave no pool
+    /// residue. Emits up to `1 + tree depth` tokens per sequence per
+    /// step.
+    fn step_self_draft(&mut self) -> BatchStep {
+        let max_batch = self.stack.max_batch();
+        self.resume_parked();
+        // Preemption gate with the multi-token growth bound: a slot may
+        // commit up to `1 + depth` tokens this step.
+        if self.preempt_enabled && self.pool().capacity().is_some() {
+            loop {
+                let extras: Vec<usize> = (0..max_batch)
+                    .map(|slot| {
+                        self.seqs[slot].as_ref().map_or(0, |s| {
+                            let spec = s.draft.self_spec().expect("self-draft batch");
+                            1 + spec.shape.branching().len()
+                        })
+                    })
+                    .collect();
+                if self.stack.next_step_page_demand_for(&extras) <= self.pool().available_pages()
+                    || self.occupancy() <= 1
+                {
+                    break;
+                }
+                let victim = self
+                    .seqs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, s)| s.as_ref().map(|seq| (seq.lane, seq.id, slot)))
+                    .max()
+                    .expect("occupancy > 1");
+                self.preempt_slot(victim.2);
+            }
+        }
+        let mut report = BatchStep {
+            layer_runners: vec![0; self.n_layers],
+            ctx_lens: Vec::new(),
+            lm_head_evals: 0,
+            draft_slots: 0,
+            self_draft_slots: 0,
+            predictor_calls: 0,
+            emitted: 0,
+            finished: Vec::new(),
+            feedback: Vec::new(),
+        };
+
+        // Per-slot shallow draft pass. Drafting is sequence-local (each
+        // tree attends its own context), but every shallow layer a pass
+        // ran still lands in the step's layer-runner counts — the
+        // Cannikin price of the step is measured, not assumed.
+        let mut passes: Vec<Option<DraftPass>> = vec![None; max_batch];
+        let mut exits = vec![0usize; max_batch];
+        for slot in 0..max_batch {
+            let Some(seq) = self.seqs[slot].as_mut() else {
+                continue;
+            };
+            let spec = seq.draft.self_spec().expect("self-draft batch").clone();
+            seq.ctx.push(seq.last);
+            let model = self.stack.model_mut(slot);
+            report.ctx_lens.push(model.kv_len() + 1);
+            let pass = self_draft_pass(model, seq.last, &spec, &mut self.meter);
+            seq.self_draft_calls += pass.shallow_calls;
+            for runner in report.layer_runners.iter_mut().take(spec.exit_layer) {
+                *runner += 1;
+            }
+            if self.trace.enabled() {
+                if let Some(rec) = self.trace.as_mut() {
+                    rec.set_seq(Some(seq.id));
+                    rec.record(EventKind::DraftPass {
+                        nodes: pass.node_tokens.len() as u32,
+                        exit_layer: spec.exit_layer as u32,
+                    });
+                }
+            }
+            exits[slot] = spec.exit_layer;
+            passes[slot] = Some(pass);
+            report.self_draft_slots += 1;
+        }
+        if report.self_draft_slots == 0 {
+            return report;
+        }
+
+        // The lock-step verify sweep: deep layers run over every slot's
+        // whole tree, masked per slot (slots with a deeper exit layer
+        // join the sweep later).
+        let mut hidden: Vec<Option<Vec<Vec<f32>>>> = passes
+            .iter()
+            .map(|p| p.as_ref().map(|p| p.exit_hs.clone()))
+            .collect();
+        let parents: Vec<Vec<Option<usize>>> = passes
+            .iter()
+            .map(|p| {
+                p.as_ref()
+                    .map(|p| p.node_parents.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let mut kvs: Vec<Vec<TreeKv>> = vec![Vec::new(); max_batch];
+        let first = exits
+            .iter()
+            .zip(&passes)
+            .filter(|(_, p)| p.is_some())
+            .map(|(&e, _)| e)
+            .min()
+            .expect("an active slot");
+        for layer in first..self.n_layers {
+            let active: Vec<bool> = (0..max_batch)
+                .map(|s| passes[s].is_some() && layer >= exits[s])
+                .collect();
+            report.layer_runners[layer] += self.stack.sweep_layer_tree(
+                layer,
+                &mut hidden,
+                &parents,
+                &active,
+                &mut kvs,
+                &mut self.meter,
+            );
+        }
+
+        // Per-slot verification and split commit; retire the finished.
+        for slot in 0..max_batch {
+            let Some(pass) = passes[slot].take() else {
+                continue;
+            };
+            let final_hs = hidden[slot].take().expect("swept tree");
+            let seq = self.seqs[slot].as_mut().expect("seated sequence");
+            let model = self.stack.model_mut(slot);
+            let outcome = verify_commit(model, &pass, &final_hs, &kvs[slot], &mut self.meter);
+            report.lm_head_evals += 1;
+            seq.self_draft_rounds += 1;
+            for &(tok, ce) in &outcome.emitted {
+                seq.tokens.push(tok);
+                seq.exit_layers.push(self.n_layers);
+                seq.ce_sum += ce;
+                self.meter.mark_token();
+                report.emitted += 1;
+            }
+            // Context coherence: the accepted path joined the committed
+            // context (the bonus was pushed before drafting).
+            seq.ctx.extend(
+                outcome
+                    .emitted
+                    .iter()
+                    .take(outcome.accepted_len - 1)
+                    .map(|&(t, _)| t),
+            );
+            seq.last = outcome.next_bonus;
+            if self.trace.enabled() {
+                let id = seq.id;
+                if let Some(rec) = self.trace.as_mut() {
+                    rec.set_seq(Some(id));
+                    rec.record(EventKind::TreeVerified {
+                        nodes: outcome.n_nodes as u32,
+                        accepted: outcome.accepted_len as u32,
+                    });
+                }
+            }
+            let seq = self.seqs[slot].as_mut().expect("seated sequence");
+            if seq.tokens.len() >= seq.gen_len {
+                let mut seq = self.seqs[slot].take().expect("seated sequence");
+                seq.tokens.truncate(seq.gen_len);
+                seq.exit_layers.truncate(seq.gen_len);
+                let _ = self.stack.retire(slot);
+                report.finished.push(seq.into_output());
+            }
+        }
+        self.stack.sync_leases();
         if self.trace.enabled()
             && (self.pool().capacity().is_some()
                 || self.stack.prefix_sharing()

@@ -196,6 +196,8 @@ impl<M: LayeredLm> AdaInferEngine<M> {
             predictor_calls,
             verify_calls: 0,
             rounds: 0,
+            draft_calls: 0,
+            self_draft_calls: 0,
         }
     }
 }
@@ -315,6 +317,8 @@ impl<M: LayeredLm> RaeeEngine<M> {
             predictor_calls: 0,
             verify_calls: 0,
             rounds: 0,
+            draft_calls: 0,
+            self_draft_calls: 0,
         }
     }
 }

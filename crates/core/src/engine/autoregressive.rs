@@ -222,6 +222,8 @@ impl<M: LayeredLm, D: SpeculativeSource> SpecEeEngine<M, D> {
             predictor_calls: scan.predictor_calls(),
             verify_calls: scan.verify_calls(),
             rounds: 0,
+            draft_calls: self.draft.forward_calls(),
+            self_draft_calls: 0,
         }
     }
 }

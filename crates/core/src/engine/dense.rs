@@ -88,6 +88,8 @@ impl<M: LayeredLm> DenseEngine<M> {
             predictor_calls: 0,
             verify_calls: 0,
             rounds: 0,
+            draft_calls: 0,
+            self_draft_calls: 0,
         }
     }
 

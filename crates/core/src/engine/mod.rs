@@ -1,12 +1,14 @@
 //! Decoding engines: dense baseline, SpecEE autoregressive, and
-//! speculative (EAGLE ± SpecEE).
+//! speculative (EAGLE ± SpecEE, separate-draft or self-draft).
 
 mod autoregressive;
 mod dense;
 pub mod scan;
+pub mod selfdraft;
 mod speculative;
 
 pub use autoregressive::SpecEeEngine;
 pub use dense::DenseEngine;
 pub use scan::{ExitFeedback, ExitScan};
+pub use selfdraft::{DraftPass, RoundOutcome};
 pub use speculative::SpeculativeEngine;

@@ -8,6 +8,12 @@
 //! token; the lock-step runtime in `specee-batch` drives one scan per
 //! (slot, token), so a batched sequence takes exactly the exits its
 //! single-stream run would (parity by construction, not by test alone).
+//!
+//! The scan is the *early-exit* half of the draft/verify seam. Its
+//! sibling, [`crate::engine::selfdraft`], covers the *self-speculative*
+//! half: there the shallow layers themselves play the draft role and no
+//! per-layer predictor scan runs at all — sequences in self-draft mode
+//! bypass `ExitScan` entirely (exit layers are always the full depth).
 
 use specee_metrics::Meter;
 use specee_model::{LayeredLm, TokenId};

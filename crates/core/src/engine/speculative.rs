@@ -9,13 +9,20 @@
 //! against its own candidate set, nodes *fire* sticky, and the whole batch
 //! exits at the rearmost-ready layer (the Cannikin position of the merged
 //! hyper-tokens).
+//!
+//! Handing the engine a [`specee_draft::SelfDraft`] source instead of a
+//! separate draft network switches it to *self-speculative* rounds: the
+//! draft pass runs the target's own shallow layers and the verify pass
+//! resumes from the exit-layer hidden states (see
+//! [`crate::engine::selfdraft`]).
 
-use specee_draft::SpeculativeSource;
+use specee_draft::{SelfDraftSpec, SpeculativeSource};
 use specee_metrics::Meter;
 use specee_model::{prefill, LayeredLm, TokenId};
 use specee_tensor::ops;
 
 use crate::config::SpecEeConfig;
+use crate::engine::selfdraft::{deep_sweep, self_draft_pass, verify_commit};
 use crate::features::FeatureTracker;
 use crate::mapping::TreeExitState;
 use crate::output::GenOutput;
@@ -93,10 +100,14 @@ impl<M: LayeredLm, D: SpeculativeSource> SpeculativeEngine<M, D> {
     pub fn generate(&mut self, prompt: &[TokenId], gen_len: usize) -> GenOutput {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
         assert!(gen_len > 0, "gen_len must be positive");
+        if let Some(spec) = self.draft.self_spec().cloned() {
+            return self.generate_self_draft(prompt, gen_len, &spec);
+        }
         let n_layers = self.model.config().n_layers;
         let spec_k = self.config.predictor.spec_k;
         let early_exit = self.config.tree_early_exit && self.bank.is_some();
         let mut meter = Meter::new();
+        let draft_calls_base = self.draft.forward_calls();
         self.model.reset();
         self.draft.reset();
 
@@ -332,6 +343,89 @@ impl<M: LayeredLm, D: SpeculativeSource> SpeculativeEngine<M, D> {
             predictor_calls,
             verify_calls,
             rounds,
+            draft_calls: self.draft.forward_calls() - draft_calls_base,
+            self_draft_calls: 0,
+        }
+    }
+
+    /// Self-speculative rounds: shallow draft pass → deep verify sweep →
+    /// split KV commit, all through [`crate::engine::selfdraft`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's exit layer is not below the model depth, or if
+    /// the engine was built with T3 early exit or a tree budget — neither
+    /// composes with self-draft (the draft tree is grown inside the target,
+    /// so there is no separate proposal to prune, and the shallow pass
+    /// already plays the role the exit predictors would).
+    fn generate_self_draft(
+        &mut self,
+        prompt: &[TokenId],
+        gen_len: usize,
+        spec: &SelfDraftSpec,
+    ) -> GenOutput {
+        let n_layers = self.model.config().n_layers;
+        if let Err(e) = spec.validate_for_depth(n_layers) {
+            panic!("{e}");
+        }
+        assert!(
+            self.bank.is_none() && !self.config.tree_early_exit,
+            "self-draft does not compose with T3 tree early exit \
+             (the shallow pass already fills the predictors' role)"
+        );
+        assert!(
+            self.config.tree_budget.is_none(),
+            "self-draft does not compose with a tree budget: the tree is \
+             grown inside the target, not pruned from a separate proposal"
+        );
+        let mut meter = Meter::new();
+        self.model.reset();
+
+        let mut tokens = Vec::with_capacity(gen_len + 8);
+        let mut exit_layers = Vec::with_capacity(gen_len + 8);
+        let mut ce_sum = 0.0f64;
+        let (mut verify_calls, mut rounds) = (0u64, 0u64);
+        let mut self_draft_calls = 0u64;
+
+        let mut prefill_meter = Meter::new();
+        let h0 = prefill(&mut self.model, prompt, &mut prefill_meter);
+        let logits = self.model.final_logits(&h0, &mut meter);
+        let mut bonus = ops::argmax(&logits).expect("logits") as TokenId;
+        ce_sum += f64::from(-ops::log_softmax(&logits)[bonus as usize]);
+        tokens.push(bonus);
+        exit_layers.push(n_layers);
+        meter.mark_token();
+
+        while tokens.len() < gen_len {
+            rounds += 1;
+            meter.mark_host_step();
+            let pass = self_draft_pass(&mut self.model, bonus, spec, &mut meter);
+            self_draft_calls += pass.shallow_calls;
+            let (final_hs, deep_kvs) =
+                deep_sweep(&mut self.model, &pass, spec.exit_layer, &mut meter);
+            let outcome = verify_commit(&mut self.model, &pass, &final_hs, &deep_kvs, &mut meter);
+            verify_calls += 1;
+            for (tok, ce) in outcome.emitted {
+                tokens.push(tok);
+                exit_layers.push(n_layers);
+                ce_sum += ce;
+                meter.mark_token();
+            }
+            bonus = outcome.next_bonus;
+        }
+
+        tokens.truncate(gen_len);
+        exit_layers.truncate(gen_len);
+        GenOutput {
+            tokens,
+            exit_layers,
+            ce_sum,
+            meter,
+            predictor_calls: 0,
+            verify_calls,
+            rounds,
+            draft_calls: 0,
+            self_draft_calls,
         }
     }
 }
@@ -483,6 +577,93 @@ mod tests {
         // Greedy verification keeps outputs dense-faithful either way.
         let reference = DenseEngine::new(build_lm(53)).generate(&prompt, 18);
         assert!(agreement(&pruned.tokens, &reference.tokens) >= 0.8);
+    }
+
+    fn tf(seed: u64) -> specee_model::Transformer {
+        specee_model::Transformer::random(
+            ModelConfig {
+                n_layers: 6,
+                vocab_size: 96,
+                ..ModelConfig::tiny()
+            },
+            &mut Pcg::seed(seed),
+        )
+    }
+
+    #[test]
+    fn self_draft_chain_is_bit_identical_to_dense() {
+        use specee_draft::{SelfDraft, SelfDraftSpec};
+        let prompt = vec![3u32, 8, 2, 5];
+        let draft = SelfDraft::new(SelfDraftSpec::new(2, TreeShape::chain(3)));
+        let mut engine = SpeculativeEngine::baseline(tf(77), draft, SpecEeConfig::default());
+        let out = engine.generate(&prompt, 20);
+
+        let mut dense = DenseEngine::new(tf(77));
+        let reference = dense.generate(&prompt, 20);
+        // Self-draft never changes the output: every emitted token is the
+        // target's own greedy argmax. Bit-identical, not just agreeing.
+        assert_eq!(out.tokens, reference.tokens);
+        assert!(out.rounds > 0);
+        assert!(out.self_draft_calls > 0, "shallow passes must be metered");
+        assert_eq!(out.draft_calls, 0, "no separate draft network ran");
+    }
+
+    #[test]
+    fn self_draft_commits_split_kv_without_residue() {
+        use specee_draft::{SelfDraft, SelfDraftSpec};
+        let prompt = vec![1u32, 2, 3];
+        let draft = SelfDraft::new(SelfDraftSpec::new(3, TreeShape::new(vec![2, 2])));
+        let mut engine = SpeculativeEngine::baseline(tf(81), draft, SpecEeConfig::default());
+        let out = engine.generate(&prompt, 16);
+        assert_eq!(out.tokens.len(), 16);
+        // KV-split invariant at the engine tier: every layer's cache —
+        // shallow (committed from draft scratch) and deep (committed from
+        // the verify sweep) — holds exactly the committed positions;
+        // rejected tree branches left no residue at any layer.
+        let kv = engine.model().kv_len();
+        assert!(kv > prompt.len());
+        for layer in 0..6 {
+            assert_eq!(engine.model().cache(layer).len(), kv, "layer {layer}");
+        }
+        // Shallow work is metered per (node × shallow layer); every round
+        // ran at least the bonus node through 3 shallow layers.
+        assert!(out.self_draft_calls >= out.rounds * 3);
+    }
+
+    #[test]
+    fn separate_draft_meters_draft_calls_not_self_draft() {
+        use specee_draft::DraftModel;
+        let model = tf(83);
+        let draft = DraftModel::new(model.config(), &mut Pcg::seed(9));
+        let mut engine = SpeculativeEngine::baseline(model, draft, spec_config());
+        let out = engine.generate(&[4u32, 1, 6], 12);
+        assert!(
+            out.draft_calls > 0,
+            "separate draft forwards must be metered"
+        );
+        assert_eq!(out.self_draft_calls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the model depth")]
+    fn self_draft_exit_beyond_depth_is_rejected() {
+        use specee_draft::{SelfDraft, SelfDraftSpec};
+        let draft = SelfDraft::new(SelfDraftSpec::new(6, TreeShape::chain(2)));
+        let mut engine = SpeculativeEngine::baseline(tf(85), draft, SpecEeConfig::default());
+        let _ = engine.generate(&[1, 2], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tree budget")]
+    fn self_draft_rejects_tree_budget() {
+        use specee_draft::{SelfDraft, SelfDraftSpec};
+        let draft = SelfDraft::new(SelfDraftSpec::new(2, TreeShape::chain(2)));
+        let config = SpecEeConfig {
+            tree_budget: Some(4),
+            ..SpecEeConfig::default()
+        };
+        let mut engine = SpeculativeEngine::baseline(tf(87), draft, config);
+        let _ = engine.generate(&[1, 2], 4);
     }
 
     #[test]

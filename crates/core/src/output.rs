@@ -21,6 +21,15 @@ pub struct GenOutput {
     pub verify_calls: u64,
     /// Speculative verification rounds (0 for autoregressive decoding).
     pub rounds: u64,
+    /// Node-forwards through a *separate* draft network (EAGLE-style
+    /// head). Zero for self-draft and non-speculative runs.
+    pub draft_calls: u64,
+    /// Shallow-target (node × layer) runs executed by *self-draft* draft
+    /// passes. Zero for separate-draft and non-speculative runs. Kept
+    /// apart from `draft_calls` because the two price differently: the
+    /// shallow target shares weights with verification, a separate draft
+    /// network streams its own.
+    pub self_draft_calls: u64,
 }
 
 impl GenOutput {
@@ -53,6 +62,10 @@ pub struct RunStats {
     pub verify_calls: u64,
     /// Total speculative rounds.
     pub rounds: u64,
+    /// Total separate-draft node-forwards.
+    pub draft_calls: u64,
+    /// Total self-draft shallow (node × layer) runs.
+    pub self_draft_calls: u64,
     /// Sum of cross-entropies (perplexity = `exp(ce_sum / tokens)`).
     pub ce_sum: f64,
 }
@@ -79,6 +92,8 @@ impl RunStats {
             predictor_calls: 0,
             verify_calls: 0,
             rounds: 0,
+            draft_calls: 0,
+            self_draft_calls: 0,
             ce_sum: 0.0,
         };
         let mut layer_sum = 0u64;
@@ -92,6 +107,8 @@ impl RunStats {
             stats.predictor_calls += o.predictor_calls;
             stats.verify_calls += o.verify_calls;
             stats.rounds += o.rounds;
+            stats.draft_calls += o.draft_calls;
+            stats.self_draft_calls += o.self_draft_calls;
             stats.ce_sum += o.ce_sum;
         }
         if stats.tokens > 0 {
@@ -145,6 +162,8 @@ mod tests {
             predictor_calls: 2,
             verify_calls: 1,
             rounds: 0,
+            draft_calls: 3,
+            self_draft_calls: 5,
         }
     }
 
@@ -155,6 +174,8 @@ mod tests {
         assert!((stats.avg_layers - 6.0).abs() < 1e-9);
         assert_eq!(stats.layer_histogram[8], 1);
         assert_eq!(stats.predictor_calls, 4);
+        assert_eq!(stats.draft_calls, 6);
+        assert_eq!(stats.self_draft_calls, 10);
         assert!((stats.ce_sum - 1.5).abs() < 1e-12);
     }
 

@@ -186,6 +186,8 @@ fn generate_with_skips<M: LayeredLm>(
         predictor_calls,
         verify_calls: 0,
         rounds: 0,
+        draft_calls: 0,
+        self_draft_calls: 0,
     }
 }
 
@@ -508,6 +510,8 @@ impl<M: LayeredLm> CalmEngine<M> {
             predictor_calls,
             verify_calls: 0,
             rounds: 0,
+            draft_calls: 0,
+            self_draft_calls: 0,
         }
     }
 }

@@ -11,9 +11,11 @@
 #![deny(missing_docs)]
 
 pub mod model;
+pub mod self_draft;
 pub mod source;
 pub mod tree;
 
 pub use model::DraftModel;
+pub use self_draft::{SelfDraft, SelfDraftSpec};
 pub use source::SpeculativeSource;
 pub use tree::{TokenTree, TreeNode, TreeShape};

@@ -35,6 +35,9 @@ pub struct DraftModel {
     last_hidden: Vec<f32>,
     target_scale: OpScale,
     modelled_bytes: f64,
+    /// Node-forwards executed through the draft network (one per token
+    /// synced, plus one per tree node per expanded level).
+    forward_calls: u64,
 }
 
 impl DraftModel {
@@ -70,6 +73,7 @@ impl DraftModel {
             last_hidden: Vec::new(),
             target_scale,
             modelled_bytes,
+            forward_calls: 0,
         }
     }
 
@@ -97,6 +101,7 @@ impl DraftModel {
             self.last_hidden = prefill(&mut self.inner, tail, &mut scratch);
             self.mirror.extend_from_slice(tail);
             for _ in tail {
+                self.forward_calls += 1;
                 self.target_scale
                     .record_draft_forward(meter, self.mirror.len());
             }
@@ -149,6 +154,7 @@ impl SpeculativeSource for DraftModel {
             let (outs, _kv) = self
                 .inner
                 .forward_layer_tree(0, &hs, &parents, &mut scratch);
+            self.forward_calls += tree.len() as u64;
             self.target_scale
                 .record_draft_forward(meter, self.mirror.len() + tree.len());
             let mut next_frontier = Vec::new();
@@ -172,6 +178,10 @@ impl SpeculativeSource for DraftModel {
 
     fn modelled_bytes(&self) -> f64 {
         self.modelled_bytes
+    }
+
+    fn forward_calls(&self) -> u64 {
+        self.forward_calls
     }
 }
 
@@ -240,6 +250,18 @@ mod tests {
         for p in tree.paths() {
             assert_eq!(p.len(), 2);
         }
+    }
+
+    #[test]
+    fn forward_calls_count_synced_tokens_and_tree_nodes() {
+        let mut d = draft();
+        let mut meter = Meter::new();
+        d.propose(&[1, 2, 3], 2, &mut meter);
+        assert_eq!(d.forward_calls(), 3, "one sync forward per context token");
+        let before = d.forward_calls();
+        // Shape [2, 2]: one expanded level re-running the 2-node tree.
+        let _ = d.propose_tree(&[1, 2, 3], &TreeShape::new(vec![2, 2]), &mut meter);
+        assert_eq!(d.forward_calls() - before, 2, "tree nodes per level");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Self-speculative drafting: the target model drafts with its own
+//! shallow layers.
+//!
+//! LayerSkip/Kangaroo-style split: the draft pass runs the target's
+//! layers `0..exit_layer` over a growing token tree (reusing the tied LM
+//! head on the exit-layer hidden state to expand each level), and the
+//! verify pass resumes from those exit-layer hidden states through the
+//! remaining layers. The KV cache is split at the exit layer: shallow
+//! K/V written while drafting is *committed, not recomputed* when the
+//! verifier accepts, so accepted tokens pay for each shallow layer
+//! exactly once — and there is no separate draft artifact to keep
+//! resident at all.
+//!
+//! [`SelfDraft`] is a marker [`SpeculativeSource`]: engines detect it via
+//! [`SpeculativeSource::self_spec`] and drive the draft pass themselves
+//! (they own the target model; this crate cannot). Its `propose*` methods
+//! therefore panic with a pointed message — reaching them means an engine
+//! without self-draft support was handed a self-draft source.
+
+use specee_metrics::Meter;
+use specee_model::TokenId;
+
+use crate::source::SpeculativeSource;
+use crate::tree::{TokenTree, TreeShape};
+
+/// The split parameters of a self-speculative draft: where the shallow/
+/// deep seam sits and what tree shape each round speculates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfDraftSpec {
+    /// Number of shallow layers the draft pass runs (`0..exit_layer`);
+    /// the verify pass resumes at `exit_layer`. Must be at least 1 and
+    /// strictly less than the target's depth.
+    pub exit_layer: usize,
+    /// Token tree speculated per round (level branching factors).
+    pub shape: TreeShape,
+}
+
+impl SelfDraftSpec {
+    /// Builds a spec, validating only what is knowable without the model
+    /// (positive exit layer; the shape validates itself on construction).
+    /// Use [`SelfDraftSpec::validate_for_depth`] once the target depth is
+    /// known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exit_layer` is zero.
+    pub fn new(exit_layer: usize, shape: TreeShape) -> Self {
+        assert!(exit_layer > 0, "self-draft exit layer must be at least 1");
+        SelfDraftSpec { exit_layer, shape }
+    }
+
+    /// Checks the spec against a concrete model depth: the draft pass
+    /// must leave at least one deep layer for the verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending values when
+    /// `exit_layer >= n_layers`.
+    pub fn validate_for_depth(&self, n_layers: usize) -> Result<(), String> {
+        if self.exit_layer >= n_layers {
+            return Err(format!(
+                "self-draft exit layer {} must be below the model depth {} \
+                 (the verify pass needs at least one deep layer)",
+                self.exit_layer, n_layers
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A marker [`SpeculativeSource`] selecting self-speculative drafting.
+///
+/// Carries the [`SelfDraftSpec`]; the engine does the actual drafting
+/// through the target's own layers. `modelled_bytes` is zero — the whole
+/// point of the mode is that no separate draft network exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfDraft {
+    spec: SelfDraftSpec,
+}
+
+impl SelfDraft {
+    /// Wraps a spec as a speculative source.
+    pub fn new(spec: SelfDraftSpec) -> Self {
+        SelfDraft { spec }
+    }
+
+    /// The split parameters.
+    pub fn spec(&self) -> &SelfDraftSpec {
+        &self.spec
+    }
+}
+
+impl SpeculativeSource for SelfDraft {
+    fn propose(&mut self, _context: &[TokenId], _k: usize, _meter: &mut Meter) -> Vec<TokenId> {
+        panic!(
+            "SelfDraft is a marker source: the engine must draft through the \
+             target's shallow layers (check SpeculativeSource::self_spec)"
+        );
+    }
+
+    fn propose_tree(
+        &mut self,
+        _context: &[TokenId],
+        _shape: &TreeShape,
+        _meter: &mut Meter,
+    ) -> TokenTree {
+        panic!(
+            "SelfDraft is a marker source: the engine must draft through the \
+             target's shallow layers (check SpeculativeSource::self_spec)"
+        );
+    }
+
+    fn reset(&mut self) {}
+
+    fn modelled_bytes(&self) -> f64 {
+        // No separate draft artifact — the memory win of self-speculation.
+        0.0
+    }
+
+    fn self_spec(&self) -> Option<&SelfDraftSpec> {
+        Some(&self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validates_against_model_depth() {
+        let spec = SelfDraftSpec::new(8, TreeShape::chain(3));
+        assert!(spec.validate_for_depth(32).is_ok());
+        let err = spec.validate_for_depth(8).unwrap_err();
+        assert!(err.contains("exit layer 8"), "{err}");
+        assert!(err.contains("depth 8"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_exit_layer_is_rejected() {
+        let _ = SelfDraftSpec::new(0, TreeShape::chain(1));
+    }
+
+    #[test]
+    fn marker_source_reports_itself() {
+        let d = SelfDraft::new(SelfDraftSpec::new(2, TreeShape::new(vec![2, 2])));
+        assert_eq!(d.self_spec().map(|s| s.exit_layer), Some(2));
+        assert_eq!(d.modelled_bytes(), 0.0);
+        assert_eq!(d.forward_calls(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "marker source")]
+    fn proposing_through_the_marker_panics() {
+        let mut d = SelfDraft::new(SelfDraftSpec::new(2, TreeShape::chain(2)));
+        let _ = d.propose(&[1, 2], 4, &mut Meter::new());
+    }
+}

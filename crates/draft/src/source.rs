@@ -3,6 +3,7 @@
 use specee_metrics::Meter;
 use specee_model::TokenId;
 
+use crate::self_draft::SelfDraftSpec;
 use crate::tree::{TokenTree, TreeShape};
 
 /// A source of speculative tokens.
@@ -47,4 +48,20 @@ pub trait SpeculativeSource {
     /// Modelled memory footprint of the draft model in bytes (the paper
     /// reports ~0.9 GB for the Llama2-7B EAGLE head, Fig. 17).
     fn modelled_bytes(&self) -> f64;
+
+    /// When `Some`, this source is a *self-speculative* marker: the engine
+    /// drafts with the target's own shallow layers per the returned spec
+    /// instead of calling [`SpeculativeSource::propose_tree`]. Separate
+    /// draft models return `None` (the default).
+    fn self_spec(&self) -> Option<&SelfDraftSpec> {
+        None
+    }
+
+    /// Cumulative node-forwards this source has executed through its own
+    /// draft network (0 for oracle and self-draft sources, which run no
+    /// separate network). Engines use the per-round delta to meter
+    /// separate-draft work apart from shallow-target work.
+    fn forward_calls(&self) -> u64 {
+        0
+    }
 }

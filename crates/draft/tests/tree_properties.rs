@@ -2,7 +2,12 @@
 //! enumeration, and the EAGLE-2-style budget pruning.
 
 use proptest::prelude::*;
-use specee_draft::TokenTree;
+use specee_draft::{TokenTree, TreeShape};
+
+/// An arbitrary valid shape: 1..5 levels with branching 1..4.
+fn arb_shape() -> impl Strategy<Value = TreeShape> {
+    prop::collection::vec(1usize..4, 1..5).prop_map(TreeShape::new)
+}
 
 /// Builds a random valid tree from (parent-choice, prob) pairs.
 fn arb_tree() -> impl Strategy<Value = TokenTree> {
@@ -23,6 +28,60 @@ fn arb_tree() -> impl Strategy<Value = TokenTree> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `TreeShape::node_count` equals the node total of a tree actually
+    /// constructed level by level from the shape, and every constructed
+    /// node's parent/child indices are well-formed (parents precede
+    /// children; depth is the level it was pushed at).
+    #[test]
+    fn shape_node_count_matches_constructed_tree(shape in arb_shape()) {
+        let mut tree = TokenTree::new();
+        let mut frontier: Vec<Option<usize>> = vec![None];
+        for (level, &b) in shape.branching().iter().enumerate() {
+            let mut next = Vec::new();
+            for &parent in &frontier {
+                for t in 0..b {
+                    let id = tree.push(t as u32, parent, 0.5);
+                    next.push(Some(id));
+                    let node = tree.node(id);
+                    prop_assert_eq!(node.parent, parent);
+                    prop_assert_eq!(node.depth, level);
+                    if let Some(p) = parent {
+                        prop_assert!(p < id, "parent must precede child");
+                    }
+                }
+            }
+            frontier = next;
+        }
+        prop_assert_eq!(tree.len(), shape.node_count());
+        prop_assert_eq!(
+            frontier.len(),
+            shape.branching().iter().product::<usize>(),
+            "leaf count is the product of branching factors"
+        );
+    }
+
+    /// `chain(n)` identities: depth n, node count n, every level unary.
+    #[test]
+    fn chain_depth_and_count_identities(n in 1usize..32) {
+        let chain = TreeShape::chain(n);
+        prop_assert_eq!(chain.depth(), n);
+        prop_assert_eq!(chain.node_count(), n);
+        prop_assert!(chain.branching().iter().all(|&b| b == 1));
+    }
+
+    /// `node_count` is the sum of per-level widths (cumulative products
+    /// of the branching factors).
+    #[test]
+    fn node_count_is_sum_of_level_widths(shape in arb_shape()) {
+        let mut width = 1usize;
+        let mut total = 0usize;
+        for &b in shape.branching() {
+            width *= b;
+            total += width;
+        }
+        prop_assert_eq!(shape.node_count(), total);
+    }
 
     /// Paths partition the leaves: every leaf appears in exactly one path,
     /// every path ends at a leaf and starts at a root.

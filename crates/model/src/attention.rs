@@ -188,6 +188,106 @@ pub fn attention_forward_tree(
     (outputs, tree_kv)
 }
 
+/// Incremental tree-masked attention: runs only the nodes at indices
+/// `first_new..` of a growing draft tree, reading ancestor K/V rows from
+/// `scratch` (which must already hold rows for nodes `0..first_new`) and
+/// appending the new nodes' rows to it.
+///
+/// This is the kernel behind self-speculative drafting: the shallow draft
+/// pass grows the token tree level by level, and each level only pays for
+/// its frontier. Keys are gathered in exactly the same order as
+/// [`attention_forward_tree`] (committed cache first, then the ancestor
+/// chain root→node) at the same RoPE positions, so running a tree
+/// through repeated partial calls is bit-identical to one full sweep.
+///
+/// # Panics
+///
+/// Panics if `scratch` does not hold exactly `first_new` rows, if
+/// `parents` does not cover all old and new nodes, or if a parent index
+/// does not precede its child.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_forward_tree_partial(
+    w: &LayerWeights,
+    cfg: &ModelConfig,
+    scale: &OpScale,
+    backend: BackendKind,
+    new_xs: &[Vec<f32>],
+    parents: &[Option<usize>],
+    first_new: usize,
+    cache: &KvCache,
+    scratch: &mut TreeKv,
+    meter: &mut Meter,
+) -> Vec<Vec<f32>> {
+    assert_eq!(
+        scratch.len(),
+        first_new,
+        "scratch must hold exactly the rows of the already-drafted nodes"
+    );
+    assert_eq!(
+        parents.len(),
+        first_new + new_xs.len(),
+        "parents must cover old and new nodes"
+    );
+    let heads = cfg.n_heads;
+    let head_dim = cfg.head_dim();
+    let base = cache.len();
+    let depths = depths_from_parents(parents);
+
+    let mut qs = Vec::with_capacity(new_xs.len());
+    for (j, x) in new_xs.iter().enumerate() {
+        let pos = base + depths[first_new + j];
+        let mut q = w.wq.matvec_with(backend, x);
+        let mut k = w.wk.matvec_with(backend, x);
+        let v = w.wv.matvec_with(backend, x);
+        apply_rope(&mut q, pos, heads, head_dim, cfg.rope_theta);
+        apply_rope(&mut k, pos, heads, head_dim, cfg.rope_theta);
+        qs.push(q);
+        scratch.k.push(k);
+        scratch.v.push(v);
+    }
+
+    let cache_keys: Vec<&[f32]> = (0..base).map(|p| cache.key(p)).collect();
+    let cache_values: Vec<&[f32]> = (0..base).map(|p| cache.value(p)).collect();
+
+    let mut outputs = Vec::with_capacity(new_xs.len());
+    let mut kv_lens = Vec::with_capacity(new_xs.len());
+    for (j, q) in qs.iter().enumerate() {
+        let i = first_new + j;
+        let mut chain = Vec::new();
+        let mut cur = Some(i);
+        while let Some(n) = cur {
+            chain.push(n);
+            cur = parents[n];
+            if let Some(p) = cur {
+                assert!(p < n, "parents must precede children");
+            }
+        }
+        chain.reverse();
+        let mut keys = cache_keys.clone();
+        let mut values = cache_values.clone();
+        for &n in &chain {
+            keys.push(&scratch.k[n]);
+            values.push(&scratch.v[n]);
+        }
+        let mut merged = vec![0.0f32; cfg.hidden_dim];
+        for h in 0..heads {
+            let q_head = &q[h * head_dim..(h + 1) * head_dim];
+            attend_one_head(
+                q_head,
+                &keys,
+                &values,
+                h,
+                head_dim,
+                &mut merged[h * head_dim..(h + 1) * head_dim],
+            );
+        }
+        kv_lens.push(keys.len());
+        outputs.push(w.wo.matvec_with(backend, &merged));
+    }
+    scale.record_attention_tree(meter, &kv_lens);
+    outputs
+}
+
 /// Computes node depths from parent links (roots have depth 0).
 ///
 /// # Panics
@@ -377,6 +477,68 @@ mod tests {
         for (x, y) in alone[0].iter().zip(paired[0].iter()) {
             assert!((x - y).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn partial_sweeps_are_bit_identical_to_one_full_sweep() {
+        // Growing a tree level by level through the partial kernel must
+        // reproduce the one-shot sweep bit for bit — the property the
+        // self-draft pass leans on for KV-split correctness.
+        let (cfg, w, scale) = setup();
+        let mut rng = Pcg::seed(15);
+        let mut cache = KvCache::new(cfg.hidden_dim, KvLayout::Contiguous);
+        let mut meter = Meter::new();
+        for pos in 0..3 {
+            let mut x = vec![0.0; cfg.hidden_dim];
+            rng.fill_uniform(&mut x, 0.5);
+            attention_forward(
+                &w,
+                &cfg,
+                &scale,
+                BackendKind::Reference,
+                &x,
+                pos,
+                &mut cache,
+                &mut meter,
+            );
+        }
+        // Tree: root 0; children 1, 2; grandchildren 3 (of 1), 4 (of 2).
+        let parents = vec![None, Some(0), Some(0), Some(1), Some(2)];
+        let mut xs = Vec::new();
+        for _ in 0..parents.len() {
+            let mut x = vec![0.0; cfg.hidden_dim];
+            rng.fill_uniform(&mut x, 0.5);
+            xs.push(x);
+        }
+        let (full_out, full_kv) = attention_forward_tree(
+            &w,
+            &cfg,
+            &scale,
+            BackendKind::Reference,
+            &xs,
+            &parents,
+            &cache,
+            &mut meter,
+        );
+        let mut scratch = TreeKv::default();
+        let mut partial_out = Vec::new();
+        for (first_new, count) in [(0usize, 1usize), (1, 2), (3, 2)] {
+            let outs = attention_forward_tree_partial(
+                &w,
+                &cfg,
+                &scale,
+                BackendKind::Reference,
+                &xs[first_new..first_new + count],
+                &parents[..first_new + count],
+                first_new,
+                &cache,
+                &mut scratch,
+                &mut meter,
+            );
+            partial_out.extend(outs);
+        }
+        assert_eq!(partial_out, full_out, "outputs must match bit for bit");
+        assert_eq!(scratch, full_kv, "scratch K/V rows must match bit for bit");
     }
 
     #[test]

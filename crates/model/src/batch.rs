@@ -29,6 +29,7 @@
 
 use specee_metrics::Meter;
 
+use crate::attention::TreeKv;
 use crate::traits::LayeredLm;
 
 /// A pool of fixed-size KV pages shared by every slot of a batch.
@@ -752,11 +753,30 @@ impl<M: LayeredLm> BatchedStack<M> {
     /// crossings plus pending copy-on-write copies). The batched engine
     /// preempts until this fits [`SlotPool::available_pages`].
     pub fn next_step_page_demand(&self) -> usize {
+        let extra = vec![1; self.slots.len()];
+        self.next_step_page_demand_for(&extra)
+    }
+
+    /// Like [`BatchedStack::next_step_page_demand`], but with a
+    /// per-slot growth bound: `extra[slot]` is the worst-case number of
+    /// tokens the slot could commit this step. Self-draft steps commit
+    /// up to `1 + tree depth` tokens per sequence per step, so the
+    /// batched engine gates preemption on this bound instead of the
+    /// one-token default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra` doesn't cover every slot.
+    pub fn next_step_page_demand_for(&self, extra: &[usize]) -> usize {
+        assert_eq!(extra.len(), self.slots.len(), "one growth bound per slot");
         let ps = self.pool.page_size();
         self.slots
             .iter()
-            .flatten()
-            .map(|s| s.lease.pages_needed_for(ps, s.model.kv_len() + 1))
+            .enumerate()
+            .filter_map(|(slot, seat)| {
+                seat.as_ref()
+                    .map(|s| s.lease.pages_needed_for(ps, s.model.kv_len() + extra[slot]))
+            })
             .sum()
     }
 
@@ -821,6 +841,51 @@ impl<M: LayeredLm> BatchedStack<M> {
             let seat = seat.as_mut().expect("active slot is vacant");
             let h = hidden[slot].as_ref().expect("active slot has no state");
             hidden[slot] = Some(seat.model.forward_layer(layer, h, positions[slot], meter));
+            runners += 1;
+        }
+        runners
+    }
+
+    /// The shared *tree* sweep for batched token-tree verification: runs
+    /// decoder layer `layer` over every active slot's whole draft tree
+    /// under that slot's tree attention mask, replacing `hidden[slot]`
+    /// (per-node hidden states) in place and appending the layer's
+    /// scratch K/V to `kvs[slot]`. Returns the number of runners.
+    ///
+    /// The per-slot scratch K/V accumulates in tree-node order, so after
+    /// sweeping layers `exit..n_layers` the engine can commit the
+    /// accepted root path per slot via `commit_tree_kv` with no pool
+    /// residue from rejected branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask or state slices don't cover every slot, or an
+    /// active slot is vacant or missing its tree state.
+    pub fn sweep_layer_tree(
+        &mut self,
+        layer: usize,
+        hidden: &mut [Option<Vec<Vec<f32>>>],
+        parents: &[Vec<Option<usize>>],
+        active: &[bool],
+        kvs: &mut [Vec<TreeKv>],
+        meter: &mut Meter,
+    ) -> usize {
+        assert_eq!(hidden.len(), self.slots.len(), "one tree state per slot");
+        assert_eq!(parents.len(), self.slots.len(), "one tree shape per slot");
+        assert_eq!(active.len(), self.slots.len(), "one mask bit per slot");
+        assert_eq!(kvs.len(), self.slots.len(), "one scratch stack per slot");
+        let mut runners = 0;
+        for (slot, seat) in self.slots.iter_mut().enumerate() {
+            if !active[slot] {
+                continue;
+            }
+            let seat = seat.as_mut().expect("active slot is vacant");
+            let hs = hidden[slot].as_ref().expect("active slot has no tree");
+            let (out, kv) = seat
+                .model
+                .forward_layer_tree(layer, hs, &parents[slot], meter);
+            hidden[slot] = Some(out);
+            kvs[slot].push(kv);
             runners += 1;
         }
         runners
@@ -1117,6 +1182,111 @@ mod tests {
         }
         assert_eq!(hidden[sa].as_deref(), Some(ha.as_slice()));
         assert_eq!(hidden[sb].as_deref(), Some(hb.as_slice()));
+    }
+
+    #[test]
+    fn masked_tree_sweep_matches_single_stream_tree() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 16);
+        let mut meter = Meter::new();
+        let mut a = model(11);
+        let mut b = model(11);
+        prefill(&mut a, &[1, 2], &mut meter);
+        prefill(&mut b, &[3], &mut meter);
+        let sa = stack.admit(a);
+        let sb = stack.admit(b);
+
+        // Reference: the same models sweeping their trees individually.
+        let mut ra = model(11);
+        let mut rb = model(11);
+        prefill(&mut ra, &[1, 2], &mut meter);
+        prefill(&mut rb, &[3], &mut meter);
+        let pa: Vec<Option<usize>> = vec![None, Some(0), Some(0)];
+        let pb: Vec<Option<usize>> = vec![None, Some(0)];
+        let mut ha = ra.begin_tree(&[5, 6, 7], &pa, &mut meter);
+        let mut hb = rb.begin_tree(&[8, 9], &pb, &mut meter);
+
+        let mut hidden = vec![None, None];
+        hidden[sa] = Some(stack.model_mut(sa).begin_tree(&[5, 6, 7], &pa, &mut meter));
+        hidden[sb] = Some(stack.model_mut(sb).begin_tree(&[8, 9], &pb, &mut meter));
+        let mut parents = vec![Vec::new(), Vec::new()];
+        parents[sa] = pa.clone();
+        parents[sb] = pb.clone();
+        let mut kvs: Vec<Vec<TreeKv>> = vec![Vec::new(), Vec::new()];
+        let mut ref_kvs: Vec<Vec<TreeKv>> = vec![Vec::new(), Vec::new()];
+        for layer in 0..4 {
+            let runners = stack.sweep_layer_tree(
+                layer,
+                &mut hidden,
+                &parents,
+                &[true, true],
+                &mut kvs,
+                &mut meter,
+            );
+            assert_eq!(runners, 2);
+            let (oa, ka) = ra.forward_layer_tree(layer, &ha, &pa, &mut meter);
+            let (ob, kb) = rb.forward_layer_tree(layer, &hb, &pb, &mut meter);
+            ha = oa;
+            hb = ob;
+            ref_kvs[sa].push(ka);
+            ref_kvs[sb].push(kb);
+        }
+        assert_eq!(hidden[sa].as_ref(), Some(&ha), "slot a tree states match");
+        assert_eq!(hidden[sb].as_ref(), Some(&hb), "slot b tree states match");
+        assert_eq!(kvs, ref_kvs, "per-layer scratch K/V matches per slot");
+    }
+
+    #[test]
+    fn tree_sweep_skips_masked_slots() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 16);
+        let mut meter = Meter::new();
+        let mut a = model(13);
+        let mut b = model(13);
+        prefill(&mut a, &[1], &mut meter);
+        prefill(&mut b, &[1], &mut meter);
+        let sa = stack.admit(a);
+        let sb = stack.admit(b);
+        let parents: Vec<Option<usize>> = vec![None, Some(0)];
+        let mut hidden = vec![None, None];
+        hidden[sa] = Some(
+            stack
+                .model_mut(sa)
+                .begin_tree(&[2, 3], &parents, &mut meter),
+        );
+        hidden[sb] = Some(
+            stack
+                .model_mut(sb)
+                .begin_tree(&[2, 3], &parents, &mut meter),
+        );
+        let frozen = hidden[sb].clone();
+        let all_parents = vec![parents.clone(), parents.clone()];
+        let mut kvs: Vec<Vec<TreeKv>> = vec![Vec::new(), Vec::new()];
+        let runners = stack.sweep_layer_tree(
+            0,
+            &mut hidden,
+            &all_parents,
+            &[true, false],
+            &mut kvs,
+            &mut meter,
+        );
+        assert_eq!(runners, 1);
+        assert_eq!(hidden[sb], frozen, "masked-off slot keeps its tree");
+        assert!(kvs[sb].is_empty(), "masked-off slot accrues no scratch");
+        assert_eq!(kvs[sa].len(), 1);
+    }
+
+    #[test]
+    fn per_slot_demand_bound_scales_with_tree_depth() {
+        let mut stack: BatchedStack<Transformer> = BatchedStack::new(2, 4);
+        let mut meter = Meter::new();
+        let mut a = model(17);
+        prefill(&mut a, &[1, 2, 3], &mut meter);
+        let sa = stack.admit(a);
+        // One token fits the current page; a 4-token tree commit crosses
+        // into a second page.
+        assert_eq!(stack.next_step_page_demand(), 0);
+        let mut extra = vec![0, 0];
+        extra[sa] = 4;
+        assert_eq!(stack.next_step_page_demand_for(&extra), 1);
     }
 
     #[test]

@@ -68,6 +68,39 @@ pub trait LayeredLm {
         meter: &mut Meter,
     ) -> (Vec<Vec<f32>>, TreeKv);
 
+    /// Embeds the nodes appended at indices `first_new..` of a growing
+    /// draft tree (`parents` covers old and new nodes) and returns their
+    /// embeddings. Together with
+    /// [`LayeredLm::forward_layer_tree_partial`] this is the incremental
+    /// half of the tree API: the self-draft pass grows the tree level by
+    /// level without re-running already-drafted nodes.
+    ///
+    /// Calling `begin_tree` starts a fresh tree; `extend_tree` continues
+    /// the most recently begun one.
+    fn extend_tree(
+        &mut self,
+        tokens: &[TokenId],
+        parents: &[Option<usize>],
+        first_new: usize,
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>>;
+
+    /// Runs decoder layer `layer` over only the nodes `first_new..` of a
+    /// growing draft tree, reading ancestor K/V from `scratch` (which
+    /// must hold rows for nodes `0..first_new`) and appending the new
+    /// nodes' rows to it. Key order and RoPE positions match
+    /// [`LayeredLm::forward_layer_tree`], so repeated partial calls over
+    /// a growing tree are bit-identical to one full sweep.
+    fn forward_layer_tree_partial(
+        &mut self,
+        layer: usize,
+        new_hs: &[Vec<f32>],
+        parents: &[Option<usize>],
+        first_new: usize,
+        scratch: &mut TreeKv,
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>>;
+
     /// Commits the K/V rows of the accepted node indices (in path order)
     /// into layer `layer`'s cache.
     fn commit_tree_kv(&mut self, layer: usize, kv: &TreeKv, accepted: &[usize]);

@@ -3,7 +3,9 @@
 use specee_metrics::Meter;
 use specee_tensor::{ops, rng::Pcg, BackendKind, QuantBits};
 
-use crate::attention::{attention_forward, attention_forward_tree, TreeKv};
+use crate::attention::{
+    attention_forward, attention_forward_tree, attention_forward_tree_partial, TreeKv,
+};
 use crate::calibration::ActivationTap;
 use crate::config::{ModelConfig, TokenId};
 use crate::ffn::{
@@ -150,6 +152,12 @@ impl Transformer {
         self.caches = (0..self.config.n_layers)
             .map(|_| KvCache::new(self.config.hidden_dim, layout))
             .collect();
+    }
+
+    /// Borrows layer `layer`'s KV cache (read-only; engine-tier tests use
+    /// this to check split-commit invariants row by row).
+    pub fn cache(&self, layer: usize) -> &KvCache {
+        &self.caches[layer]
     }
 
     /// Borrows the weights.
@@ -321,6 +329,86 @@ impl LayeredLm for Transformer {
         }
         self.scale.record_norms_tree(meter, hs.len());
         (outs, tree_kv)
+    }
+
+    fn extend_tree(
+        &mut self,
+        tokens: &[TokenId],
+        parents: &[Option<usize>],
+        first_new: usize,
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(
+            parents.len(),
+            first_new + tokens.len(),
+            "parents must cover old and new nodes"
+        );
+        tokens
+            .iter()
+            .map(|&t| {
+                self.scale.record_embed(meter);
+                self.weights.embed.row(t as usize).to_vec()
+            })
+            .collect()
+    }
+
+    fn forward_layer_tree_partial(
+        &mut self,
+        layer: usize,
+        new_hs: &[Vec<f32>],
+        parents: &[Option<usize>],
+        first_new: usize,
+        scratch: &mut TreeKv,
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        assert!(layer < self.config.n_layers, "layer {layer} out of range");
+        let w = &self.weights.layers[layer];
+        let cache = &self.caches[layer];
+        let normed: Vec<Vec<f32>> = new_hs
+            .iter()
+            .map(|h| ops::rmsnorm(h, &w.attn_norm, 1e-5))
+            .collect();
+        let attn_outs = attention_forward_tree_partial(
+            w,
+            &self.config,
+            &self.scale,
+            self.backend,
+            &normed,
+            parents,
+            first_new,
+            cache,
+            scratch,
+            meter,
+        );
+        let mut outs = Vec::with_capacity(new_hs.len());
+        for (h, attn) in new_hs.iter().zip(attn_outs.iter()) {
+            let mut mid: Vec<f32> = h.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
+            let normed2 = ops::rmsnorm(&mid, &w.ffn_norm, 1e-5);
+            let ffn = match self.ffn_mode {
+                FfnMode::Dense => ffn_apply(w, self.backend, &normed2),
+                FfnMode::Sparse { active_frac, .. } => {
+                    ffn_apply_sparse(w, &self.routers[layer], active_frac, &normed2)
+                }
+            };
+            for (m, f) in mid.iter_mut().zip(ffn.iter()) {
+                *m += f;
+            }
+            outs.push(mid);
+        }
+        match self.ffn_mode {
+            FfnMode::Dense => self.scale.record_ffn_tree(meter, new_hs.len()),
+            FfnMode::Sparse {
+                active_frac,
+                router_rank,
+            } => self.scale.record_ffn_sparse_tree(
+                meter,
+                new_hs.len(),
+                active_frac as f64,
+                router_rank,
+            ),
+        }
+        self.scale.record_norms_tree(meter, new_hs.len());
+        outs
     }
 
     fn commit_tree_kv(&mut self, layer: usize, kv: &TreeKv, accepted: &[usize]) {
@@ -581,6 +669,102 @@ mod tests {
             let rk = reference.caches[layer].key(2);
             for (a, b) in ck.iter().zip(rk.iter()) {
                 assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn split_kv_draft_then_resume_matches_full_sweep_bit_for_bit() {
+        // The self-draft split: layers 0..exit run incrementally while the
+        // tree grows (the draft pass), layers exit.. run once over the
+        // finished tree (the verify pass). Both halves must match the
+        // one-shot full sweep bit for bit, and committing the draft-pass
+        // scratch must leave the caches exactly as if the shallow layers
+        // had been re-run — without actually re-running them.
+        let exit = 2usize;
+        let tokens = [9u32, 5, 7];
+        let parents = [None, Some(0), Some(1)];
+
+        let mut m = model();
+        let mut meter = Meter::new();
+        prefill(&mut m, &[4, 6], &mut meter);
+
+        // Draft pass: grow the chain one node at a time through the
+        // shallow layers, keeping per-layer exit hiddens and scratch KV.
+        let mut shallow_kvs: Vec<TreeKv> = vec![TreeKv::default(); exit];
+        let mut exit_hs: Vec<Vec<f32>> = Vec::new();
+        for first_new in 0..tokens.len() {
+            let mut hs = m.extend_tree(
+                &tokens[first_new..first_new + 1],
+                &parents[..first_new + 1],
+                first_new,
+                &mut meter,
+            );
+            for (layer, scratch) in shallow_kvs.iter_mut().enumerate() {
+                hs = m.forward_layer_tree_partial(
+                    layer,
+                    &hs,
+                    &parents[..first_new + 1],
+                    first_new,
+                    scratch,
+                    &mut meter,
+                );
+            }
+            exit_hs.extend(hs);
+        }
+
+        // Verify pass: resume from the exit-layer hiddens over all nodes.
+        let mut hs = exit_hs.clone();
+        let mut deep_kvs = Vec::new();
+        for layer in exit..m.config().n_layers {
+            let (out, kv) = m.forward_layer_tree(layer, &hs, &parents, &mut meter);
+            hs = out;
+            deep_kvs.push(kv);
+        }
+
+        // One-shot full sweep on a fresh, identical model.
+        let mut full = model();
+        prefill(&mut full, &[4, 6], &mut meter);
+        let mut fhs = full.begin_tree(&tokens, &parents, &mut meter);
+        let mut full_kvs = Vec::new();
+        for layer in 0..full.config().n_layers {
+            let (out, kv) = full.forward_layer_tree(layer, &fhs, &parents, &mut meter);
+            fhs = out;
+            full_kvs.push(kv);
+        }
+        assert_eq!(hs, fhs, "split sweep must match the full sweep bit for bit");
+        for layer in 0..exit {
+            assert_eq!(shallow_kvs[layer], full_kvs[layer], "layer {layer}");
+        }
+
+        // Commit: shallow layers from the draft-pass scratch (no second
+        // shallow forward), deep layers from the verify pass.
+        let accepted = [0usize, 1];
+        for (layer, kv) in shallow_kvs.iter().enumerate() {
+            m.commit_tree_kv(layer, kv, &accepted);
+        }
+        for (i, kv) in deep_kvs.iter().enumerate() {
+            m.commit_tree_kv(exit + i, kv, &accepted);
+        }
+        assert_eq!(m.kv_len(), 2 + accepted.len());
+
+        // Sequential reference: the committed caches must match a model
+        // that decoded the accepted tokens one at a time.
+        let mut reference = model();
+        prefill(&mut reference, &[4, 6], &mut meter);
+        for (ord, &tok) in [9u32, 5].iter().enumerate() {
+            let mut h = reference.begin_token(tok, &mut meter);
+            for layer in 0..reference.config().n_layers {
+                h = reference.forward_layer(layer, &h, 2 + ord, &mut meter);
+            }
+        }
+        for layer in 0..4 {
+            for pos in 2..4 {
+                let ck = m.caches[layer].key(pos);
+                let rk = reference.caches[layer].key(pos);
+                for (a, b) in ck.iter().zip(rk.iter()) {
+                    assert!((a - b).abs() < 1e-4, "layer {layer} pos {pos}");
+                }
             }
         }
     }

@@ -233,6 +233,20 @@ pub fn chrome_trace(events: &[Event]) -> Value {
                     ("parked", Value::UInt(u64::from(*parked))),
                 ],
             ),
+            EventKind::DraftPass { nodes, exit_layer } => instant(
+                e,
+                vec![
+                    ("nodes", Value::UInt(u64::from(*nodes))),
+                    ("exit_layer", Value::UInt(u64::from(*exit_layer))),
+                ],
+            ),
+            EventKind::TreeVerified { nodes, accepted } => instant(
+                e,
+                vec![
+                    ("nodes", Value::UInt(u64::from(*nodes))),
+                    ("accepted", Value::UInt(u64::from(*accepted))),
+                ],
+            ),
             EventKind::SloFired {
                 objective,
                 burn_rate,

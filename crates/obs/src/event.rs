@@ -143,6 +143,27 @@ pub enum EventKind {
         /// Sequences currently parked awaiting re-admission.
         parked: u32,
     },
+    /// A self-speculative draft pass ran: the target's own shallow
+    /// layers (`0..exit_layer`) drafted a token tree from the pending
+    /// bonus token, writing shallow KV into per-layer scratch for later
+    /// split commit.
+    DraftPass {
+        /// Tree nodes drafted (bonus root plus speculated nodes).
+        nodes: u32,
+        /// Exit layer of the shallow draft pass (layers `0..exit_layer`
+        /// ran for every node).
+        exit_layer: u32,
+    },
+    /// A drafted token tree was verified in one masked deep sweep and
+    /// the accepted root-path committed (shallow KV from draft scratch,
+    /// deep KV from the verify sweep — no recompute, no pool residue).
+    TreeVerified {
+        /// Tree nodes verified in the sweep.
+        nodes: u32,
+        /// Nodes on the accepted root path (tokens committed this
+        /// round; the per-round accepted prefix length).
+        accepted: u32,
+    },
     /// An SLO objective started burning its error budget too fast:
     /// both the fast and slow burn-rate windows crossed the fire
     /// threshold at a step boundary (see `specee_obs::slo`).
@@ -178,6 +199,8 @@ impl EventKind {
             EventKind::Preempted { .. } => "preempt",
             EventKind::Resumed { .. } => "resume",
             EventKind::KvPressure { .. } => "kv-pressure",
+            EventKind::DraftPass { .. } => "draft-pass",
+            EventKind::TreeVerified { .. } => "tree-verified",
             EventKind::SloFired { .. } => "slo-fired",
             EventKind::SloCleared { .. } => "slo-cleared",
         }
@@ -239,6 +262,22 @@ mod tests {
             }
             .name(),
             "kv-pressure"
+        );
+        assert_eq!(
+            EventKind::DraftPass {
+                nodes: 7,
+                exit_layer: 3
+            }
+            .name(),
+            "draft-pass"
+        );
+        assert_eq!(
+            EventKind::TreeVerified {
+                nodes: 7,
+                accepted: 2
+            }
+            .name(),
+            "tree-verified"
         );
         assert_eq!(
             EventKind::SloFired {

@@ -74,7 +74,7 @@ pub use prom::prometheus_text;
 pub use quantile::{nearest_rank, percentile, percentile_sorted};
 pub use registry::{
     fold_dropped_events, fold_events, fold_meter, fold_roofline, Histogram, MetricsRegistry,
-    EXIT_LAYER_BOUNDS, QUEUE_DEPTH_BOUNDS, TTFT_BOUNDS,
+    DRAFT_ACCEPTED_LEN_BOUNDS, EXIT_LAYER_BOUNDS, QUEUE_DEPTH_BOUNDS, TTFT_BOUNDS,
 };
 pub use sink::{merge_events, NullSink, Recorder, TraceSink, DEFAULT_EVENT_BUDGET};
 pub use sketch::{QuantileSketch, DEFAULT_SKETCH_K};

@@ -31,6 +31,10 @@ pub const TTFT_BOUNDS: [f64; 12] = [
 /// Fixed bucket upper bounds for queue-depth histograms (requests).
 pub const QUEUE_DEPTH_BOUNDS: [f64; 9] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 
+/// Fixed bucket upper bounds for per-round accepted-prefix-length
+/// histograms (tokens committed per self-draft verify round).
+pub const DRAFT_ACCEPTED_LEN_BOUNDS: [f64; 9] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0];
+
 /// A fixed-bucket histogram (Prometheus semantics: buckets are
 /// cumulative-`le` at export; stored counts here are per-bucket).
 #[derive(Debug, Clone, PartialEq)]
@@ -367,6 +371,18 @@ pub fn fold_events(reg: &mut MetricsRegistry, events: &[Event]) {
                 reg.gauge_set("specee_kv_shared_pages", f64::from(*shared));
                 reg.gauge_set("specee_kv_parked", f64::from(*parked));
             }
+            EventKind::DraftPass { nodes, .. } => {
+                reg.counter_add("specee_draft_passes_total", 1.0);
+                reg.counter_add("specee_draft_nodes_total", f64::from(*nodes));
+            }
+            EventKind::TreeVerified { accepted, .. } => {
+                reg.counter_add("specee_trees_verified_total", 1.0);
+                reg.observe(
+                    "specee_draft_accepted_len",
+                    &DRAFT_ACCEPTED_LEN_BOUNDS,
+                    f64::from(*accepted),
+                );
+            }
             EventKind::SloFired { objective, .. } => {
                 reg.counter_add(
                     &format!("specee_slo_fired_total{{objective=\"{objective}\"}}"),
@@ -585,6 +601,41 @@ mod tests {
         );
         fold_dropped_events(&mut reg, 17);
         assert_eq!(reg.counter("specee_trace_dropped_events_total"), 17.0);
+    }
+
+    #[test]
+    fn draft_events_fold_to_counters_and_accepted_len_histogram() {
+        use crate::event::Event;
+        let ev = |kind| Event {
+            t: 0.0,
+            worker: 0,
+            seq: Some(1),
+            kind,
+        };
+        let mut reg = MetricsRegistry::new();
+        fold_events(
+            &mut reg,
+            &[
+                ev(EventKind::DraftPass {
+                    nodes: 7,
+                    exit_layer: 3,
+                }),
+                ev(EventKind::TreeVerified {
+                    nodes: 7,
+                    accepted: 2,
+                }),
+                ev(EventKind::TreeVerified {
+                    nodes: 7,
+                    accepted: 4,
+                }),
+            ],
+        );
+        assert_eq!(reg.counter("specee_draft_passes_total"), 1.0);
+        assert_eq!(reg.counter("specee_draft_nodes_total"), 7.0);
+        assert_eq!(reg.counter("specee_trees_verified_total"), 2.0);
+        let h = reg.histogram("specee_draft_accepted_len").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 6.0).abs() < 1e-12);
     }
 
     #[test]

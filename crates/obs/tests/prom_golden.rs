@@ -60,6 +60,16 @@ fn fixture_events() -> Vec<Event> {
             accepted,
         });
     }
+    // The self-draft plane acting: one shallow draft pass speculated a
+    // 7-node tree, verified in one sweep with a 3-token accepted prefix.
+    w0.record(EventKind::DraftPass {
+        nodes: 7,
+        exit_layer: 3,
+    });
+    w0.record(EventKind::TreeVerified {
+        nodes: 7,
+        accepted: 3,
+    });
     w0.set_seq(None);
     w0.record(EventKind::Step {
         step: 0,
@@ -196,6 +206,11 @@ fn fixture_covers_counters_gauges_and_histograms() {
     assert!(text.contains("# TYPE specee_kv_occupancy gauge"));
     assert!(text.contains("specee_kv_occupancy 6"));
     assert!(text.contains("specee_kv_shared_pages 2"));
+    // The self-draft plane's series.
+    assert!(text.contains("# TYPE specee_draft_accepted_len histogram"));
+    assert!(text.contains("specee_draft_passes_total 1"));
+    assert!(text.contains("specee_trees_verified_total 1"));
+    assert!(text.contains("specee_draft_nodes_total 7"));
     // Cumulative buckets end with the +Inf catch-all equal to _count.
     let inf = text
         .lines()

@@ -344,6 +344,7 @@ impl ContinuousBatcher {
                 ctx_lens: Vec::with_capacity(active.len()),
                 lm_head_evals: 0.0,
                 draft_slots: 0,
+                self_draft_slots: 0,
                 predictor_calls: 0.0,
             };
             for slot in &active {

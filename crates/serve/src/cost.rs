@@ -25,6 +25,12 @@ pub struct StepSpec {
     pub lm_head_evals: f64,
     /// Slots that ran the speculative draft model this step.
     pub draft_slots: usize,
+    /// Slots that self-drafted through the target's own shallow layers
+    /// this step. Their shallow runs are already in `layer_runners`
+    /// (they share the target's weights — the point of the mode), so a
+    /// self-draft slot only adds the tied LM-head expansion reads, never
+    /// a second weight stream.
+    pub self_draft_slots: usize,
     /// Exit-predictor invocations this step (includes the candidate-slice
     /// GEMV each invocation needs).
     pub predictor_calls: f64,
@@ -49,6 +55,7 @@ pub struct StepSpec {
 ///     ctx_lens: vec![256],
 ///     lm_head_evals: 1.0,
 ///     draft_slots: 0,
+///     self_draft_slots: 0,
 ///     predictor_calls: 0.0,
 /// });
 /// assert!(solo > 0.0);
@@ -164,6 +171,16 @@ impl StepCostModel {
             kernels += 7;
         }
 
+        if spec.self_draft_slots > 0 {
+            // Self-draft shares the target's weights: the shallow draft
+            // runs are already counted in `layer_runners`, and the
+            // LM-head weights stream with the verification reads — so
+            // the only marginal cost is the tied-head expansion FLOPs.
+            flops += spec.self_draft_slots as f64 * 2.0 * self.lm_head_bytes()
+                / self.cost.weight_bytes_per_elem();
+            kernels += 1;
+        }
+
         if spec.predictor_calls > 0.0 {
             // MLP weights are shared; candidate-slice GEMV per call.
             bytes += self.predictor_params * F16
@@ -219,6 +236,7 @@ mod tests {
             ctx_lens: vec![ctx; batch],
             lm_head_evals: batch as f64,
             draft_slots: 0,
+            self_draft_slots: 0,
             predictor_calls: 0.0,
         }
     }
@@ -280,6 +298,25 @@ mod tests {
     }
 
     #[test]
+    fn self_draft_prices_strictly_cheaper_than_a_separate_draft() {
+        // The perf claim of the mode, priced: at equal layer work, a
+        // self-draft slot (tied-head expansion FLOPs only) must cost
+        // strictly less than a separate-draft slot (which streams its
+        // own draft-network weights every step).
+        let m = model();
+        let mut separate = dense_step(4, 256);
+        separate.draft_slots = 4;
+        let mut selfd = dense_step(4, 256);
+        selfd.self_draft_slots = 4;
+        let sep = m.decode_step_latency(&separate);
+        let slf = m.decode_step_latency(&selfd);
+        assert!(slf < sep, "self {slf} vs separate {sep}");
+        // And it is not free: the expansion reads are priced.
+        let base = m.decode_step_latency(&dense_step(4, 256));
+        assert!(slf > base);
+    }
+
+    #[test]
     fn prefill_scales_with_prompt_tokens() {
         let m = model();
         let small = m.prefill_latency(&[32]);
@@ -300,6 +337,7 @@ mod tests {
             ctx_lens: vec![10],
             lm_head_evals: 1.0,
             draft_slots: 0,
+            self_draft_slots: 0,
             predictor_calls: 0.0,
         });
     }

@@ -268,6 +268,8 @@ impl ContinuousBatcher {
                             ce_sum: 0.0,
                             predictor_calls: 0,
                             verify_calls: 0,
+                            draft_calls: 0,
+                            self_draft_calls: 0,
                         });
                         continue;
                     }
@@ -333,6 +335,7 @@ impl ContinuousBatcher {
                 ctx_lens: step.ctx_lens.clone(),
                 lm_head_evals: step.lm_head_evals as f64,
                 draft_slots: step.draft_slots,
+                self_draft_slots: step.self_draft_slots,
                 predictor_calls: step.predictor_calls as f64,
             });
             if let Some(rec) = engine.recorder_mut() {

@@ -108,6 +108,8 @@ mod tests {
             predictor_calls: 8,
             verify_calls: 4,
             rounds: 0,
+            draft_calls: 0,
+            self_draft_calls: 0,
         };
         let t = RequestTrace::from_output(&out, true);
         assert_eq!(t.predictor_calls_per_token, 2.0);
@@ -127,6 +129,8 @@ mod tests {
             predictor_calls: 0,
             verify_calls: 0,
             rounds: 0,
+            draft_calls: 0,
+            self_draft_calls: 0,
         };
         let _ = RequestTrace::from_output(&out, false);
     }

@@ -66,6 +66,9 @@ pub struct SyntheticLm {
     context: Vec<TokenId>,
     scripts: Vec<TokenScript>,
     tree_scripts: Vec<TokenScript>,
+    /// Tokens of the tree begun by the last `begin_tree`/`extend_tree`,
+    /// kept so incremental extensions can derive node contexts.
+    tree_tokens: Vec<TokenId>,
     noise: Pcg,
     seed: u64,
 }
@@ -197,6 +200,7 @@ impl LayeredLm for SyntheticLm {
         self.context.clear();
         self.scripts.clear();
         self.tree_scripts.clear();
+        self.tree_tokens.clear();
     }
 
     fn begin_token(&mut self, token: TokenId, meter: &mut Meter) -> Vec<f32> {
@@ -227,6 +231,7 @@ impl LayeredLm for SyntheticLm {
         meter: &mut Meter,
     ) -> Vec<Vec<f32>> {
         self.tree_scripts.clear();
+        self.tree_tokens = tokens.to_vec();
         let last_sat = self.scripts.last().map(|s| s.sat);
         let mut node_sats: Vec<f64> = Vec::with_capacity(tokens.len());
         for i in 0..tokens.len() {
@@ -259,6 +264,55 @@ impl LayeredLm for SyntheticLm {
             })
             .collect();
         (blended, kv)
+    }
+
+    fn extend_tree(
+        &mut self,
+        tokens: &[TokenId],
+        parents: &[Option<usize>],
+        first_new: usize,
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(
+            self.tree_scripts.len(),
+            first_new,
+            "extend_tree continues the most recently begun tree"
+        );
+        let last_sat = self.scripts.last().map(|s| s.sat);
+        for (j, &t) in tokens.iter().enumerate() {
+            self.tree_tokens.push(t);
+            let i = first_new + j;
+            let tree_tokens = self.tree_tokens.clone();
+            let ctx = self.node_context(&tree_tokens, parents, i);
+            let prev = match parents[i] {
+                Some(p) => Some(self.tree_scripts[p].sat),
+                None => last_sat,
+            };
+            let script = self.make_script(&ctx, prev);
+            self.tree_scripts.push(script);
+        }
+        self.inner.extend_tree(tokens, parents, first_new, meter)
+    }
+
+    fn forward_layer_tree_partial(
+        &mut self,
+        layer: usize,
+        new_hs: &[Vec<f32>],
+        parents: &[Option<usize>],
+        first_new: usize,
+        scratch: &mut TreeKv,
+        meter: &mut Meter,
+    ) -> Vec<Vec<f32>> {
+        let outs = self
+            .inner
+            .forward_layer_tree_partial(layer, new_hs, parents, first_new, scratch, meter);
+        outs.iter()
+            .enumerate()
+            .map(|(j, o)| {
+                let script = self.tree_scripts[first_new + j].clone();
+                self.blend(o, &script, layer)
+            })
+            .collect()
     }
 
     fn commit_tree_kv(&mut self, layer: usize, kv: &TreeKv, accepted: &[usize]) {
@@ -384,6 +438,7 @@ impl SyntheticLmBuilder {
             context: Vec::new(),
             scripts: Vec::new(),
             tree_scripts: Vec::new(),
+            tree_tokens: Vec::new(),
             noise,
             seed: self.seed,
         }
@@ -514,6 +569,28 @@ mod tests {
             m.tree_scripts[1].target,
             m.language().next_token(&ctx_child)
         );
+    }
+
+    #[test]
+    fn extend_tree_scripts_match_begin_tree() {
+        // Growing the tree incrementally must produce exactly the scripts
+        // the one-shot begin_tree would: the saturation driver is sampled
+        // in the same node order either way.
+        let mut meter = Meter::new();
+        let tokens = [5u32, 6, 7, 3];
+        let parents = [None, Some(0), Some(0), Some(1)];
+
+        let mut full = lm();
+        prefill(&mut full, &[1, 2], &mut meter);
+        let _ = full.begin_tree(&tokens, &parents, &mut meter);
+
+        let mut inc = lm();
+        prefill(&mut inc, &[1, 2], &mut meter);
+        let _ = inc.begin_tree(&tokens[..1], &parents[..1], &mut meter);
+        let _ = inc.extend_tree(&tokens[1..3], &parents[..3], 1, &mut meter);
+        let _ = inc.extend_tree(&tokens[3..], &parents, 3, &mut meter);
+
+        assert_eq!(full.tree_scripts, inc.tree_scripts);
     }
 
     #[test]

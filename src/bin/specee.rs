@@ -20,7 +20,8 @@ use specee::core::collect::{collect_training_data, train_bank};
 use specee::core::engine::{DenseEngine, SpecEeEngine};
 use specee::core::predictor::PredictorBank;
 use specee::core::skip_layer::{calibrate_calm_threshold, CalmEngine};
-use specee::core::{agreement, GenOutput, SpecEeConfig};
+use specee::core::{agreement, GenOutput, ScheduleEngine, SpecEeConfig};
+use specee::draft::{SelfDraft, SelfDraftSpec, TreeShape};
 use specee::metrics::{FrameworkProfile, HardwareProfile, Roofline};
 use specee::model::{LayeredLm, ModelConfig, TokenId};
 use specee::nn::TrainConfig;
@@ -76,7 +77,12 @@ fn print_help() {
                       --controller static|pid|bandit: run the specee engine at\n             \
                       batch 1 with online exit-threshold control; policies take\n             \
                       inline knobs, e.g. pid:target=0.05,kp=0.3 or\n             \
-                      bandit:floor=0.9,grid=0.2|0.5|1.0)\n  \
+                      bandit:floor=0.9,grid=0.2|0.5|1.0\n             \
+                      --draft self:exit=N,tree=AxBxC: self-speculative\n             \
+                      decoding — the target's own first N layers draft an\n             \
+                      AxBxC token tree per round, verified in one batched\n             \
+                      full-depth sweep; bit-identical greedy tokens with\n             \
+                      fewer full-depth passes)\n  \
            train      offline predictor pipeline; prints per-layer accuracy\n             \
                       (--model, --dataset, --seed as above)\n  \
            tokenize   train a byte-level BPE vocabulary and encode TEXT (--vocab N)\n  \
@@ -393,6 +399,28 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     }
+    let self_draft = match opts.get("draft") {
+        None => None,
+        Some(spec) => Some(parse_draft_spec(spec)?),
+    };
+    if let Some(spec) = &self_draft {
+        if engine_name != "specee" {
+            return Err(
+                "--draft requires --engine specee (self-draft speculates through \
+                 the target's own shallow layers)"
+                    .to_string(),
+            );
+        }
+        if controller.is_some() {
+            return Err(
+                "--draft does not compose with --controller: self-draft verifies \
+                 every token at full depth, so there are no exit thresholds to steer"
+                    .to_string(),
+            );
+        }
+        spec.validate_for_depth(pipe.cfg.n_layers)
+            .map_err(|e| format!("--draft: {e}"))?;
+    }
     let trace_sample = parse_trace_sample(&opts)?;
     let (trace_out, metrics_out) = export_paths(&opts);
     let observing = trace_out.is_some() || metrics_out.is_some();
@@ -420,6 +448,45 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let mut dropped: u64 = 0;
     let out: GenOutput = match engine_name {
         "dense" => DenseEngine::new(pipe.lm()).generate(&prompt, tokens),
+        "specee" if self_draft.is_some() => {
+            // Self-speculative drafting: the target's own shallow layers
+            // draft a token tree per round, verified in one batched
+            // full-depth sweep. Runs through the batch-1 BatchedEngine,
+            // whose lock-step self-draft path is structurally
+            // parity-identical to the single-stream SpeculativeEngine.
+            // The predictor bank is inert here (self-draft never consults
+            // exit predictors), so an untrained bank suffices.
+            let spec = self_draft.clone().expect("guarded by the match arm");
+            let config = SpecEeConfig::default();
+            let bank = PredictorBank::new(
+                pipe.cfg.n_layers,
+                &config.predictor,
+                &mut Pcg::seed(pipe.seed ^ 0x5d),
+            );
+            let schedule = ScheduleEngine::all_layers(pipe.cfg.n_layers);
+            let mut engine = BatchedEngine::new(1, 16, pipe.cfg.n_layers, bank, schedule, config);
+            if observing {
+                engine.set_recorder(Some(sampled(Recorder::new(), trace_sample)));
+            }
+            let out = match engine.admit(0, pipe.lm(), SelfDraft::new(spec), &prompt, tokens) {
+                Admission::Done(out) => out,
+                Admission::Seated { .. } => engine.drain().remove(0),
+            };
+            let rec = engine.take_recorder();
+            dropped = rec.as_ref().map_or(0, |r| r.dropped_events());
+            events = rec.map(|r| r.into_events()).unwrap_or_default();
+            GenOutput {
+                tokens: out.tokens,
+                exit_layers: out.exit_layers,
+                ce_sum: out.ce_sum,
+                meter: engine.meter().clone(),
+                predictor_calls: out.predictor_calls,
+                verify_calls: out.verify_calls,
+                rounds: out.verify_calls,
+                draft_calls: out.draft_calls,
+                self_draft_calls: out.self_draft_calls,
+            }
+        }
         "specee" => {
             let (bank, freqs) = pipe.trained_bank();
             let config = SpecEeConfig::default();
@@ -466,6 +533,8 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
                         predictor_calls: out.predictor_calls,
                         verify_calls: out.verify_calls,
                         rounds: 0,
+                        draft_calls: out.draft_calls,
+                        self_draft_calls: out.self_draft_calls,
                     }
                 }
             }
@@ -505,6 +574,20 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     );
     if let Some(summary) = &controller_summary {
         println!("controller    : {}", controller_line(summary));
+    }
+    if let Some(spec) = &self_draft {
+        let shape = spec
+            .shape
+            .branching()
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join("x");
+        println!(
+            "self-draft    : exit {} of {} layers, tree {shape} | \
+             {} shallow layer-runs, {} verify rounds",
+            spec.exit_layer, pipe.cfg.n_layers, out.self_draft_calls, out.rounds
+        );
     }
     if observing {
         let mut registry = MetricsRegistry::new();
@@ -633,6 +716,67 @@ fn parse_controller_spec(spec: &str) -> Result<ControllerPolicy, String> {
         }
     }
     Ok(policy)
+}
+
+/// Parses a `--draft` spec: a draft kind with inline knobs,
+/// `self:exit=N,tree=AxBxC` — e.g. `self:exit=8,tree=3x2x2` drafts a
+/// 3-wide root level with two binary levels below it through the
+/// target's first 8 layers. Every malformed spec yields an error naming
+/// the offending fragment and the knobs the kind accepts.
+fn parse_draft_spec(spec: &str) -> Result<SelfDraftSpec, String> {
+    let (kind, knobs) = match spec.split_once(':') {
+        Some((kind, rest)) => (kind, rest),
+        None => (spec, ""),
+    };
+    if kind != "self" {
+        return Err(format!(
+            "unknown draft kind `{kind}` (only `self`, e.g. `self:exit=8,tree=3x2x2`)"
+        ));
+    }
+    if knobs.is_empty() {
+        return Err(format!(
+            "draft spec `{spec}` needs `exit=N,tree=AxBxC` knobs \
+             (e.g. `self:exit=8,tree=3x2x2`)"
+        ));
+    }
+    let mut exit: Option<usize> = None;
+    let mut shape: Option<Vec<usize>> = None;
+    for knob in knobs.split(',') {
+        let (key, value) = knob
+            .split_once('=')
+            .ok_or_else(|| format!("draft knob `{knob}` is not key=value (in `{spec}`)"))?;
+        match key {
+            "exit" => {
+                let n = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("draft knob `exit`: bad layer index `{value}`"))?;
+                if n == 0 {
+                    return Err("draft knob `exit` must be at least 1 (the shallow \
+                         draft pass needs a layer to run)"
+                        .to_string());
+                }
+                exit = Some(n);
+            }
+            "tree" => {
+                let levels = value
+                    .split('x')
+                    .map(|b| {
+                        b.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                            format!(
+                                "draft knob `tree`: bad branching factor `{b}` in \
+                                 `{value}` (positive integers joined by `x`, e.g. 3x2x2)"
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                shape = Some(levels);
+            }
+            _ => return Err(format!("unknown draft knob `{key}` (exit, tree)")),
+        }
+    }
+    let exit = exit.ok_or_else(|| format!("draft spec `{spec}` is missing `exit=N`"))?;
+    let shape = shape.ok_or_else(|| format!("draft spec `{spec}` is missing `tree=AxBxC`"))?;
+    Ok(SelfDraftSpec::new(exit, TreeShape::new(shape)))
 }
 
 /// One-line controller summary for CLI output.
@@ -1207,6 +1351,40 @@ mod tests {
         assert!(err("bandit:grid=0.2|x").contains("bad grid"));
         assert!(err("bandit:altitude=9").contains("unknown bandit knob"));
         assert!(err("static:target=0.1").contains("takes no knobs"));
+    }
+
+    fn draft(spec: &str) -> SelfDraftSpec {
+        parse_draft_spec(spec).expect("valid draft spec")
+    }
+
+    fn draft_err(spec: &str) -> String {
+        parse_draft_spec(spec).expect_err("invalid draft spec")
+    }
+
+    #[test]
+    fn draft_specs_parse_exit_and_tree() {
+        let spec = draft("self:exit=8,tree=3x2x2");
+        assert_eq!(spec.exit_layer, 8);
+        assert_eq!(spec.shape.branching(), &[3, 2, 2]);
+        // Knob order is free, and a single-level chain is a valid tree.
+        let spec = draft("self:tree=2,exit=1");
+        assert_eq!(spec.exit_layer, 1);
+        assert_eq!(spec.shape.branching(), &[2]);
+    }
+
+    #[test]
+    fn malformed_draft_specs_name_the_offense() {
+        assert!(draft_err("eagle:exit=2,tree=2").contains("unknown draft kind `eagle`"));
+        assert!(draft_err("self").contains("needs `exit=N,tree=AxBxC`"));
+        assert!(draft_err("self:").contains("needs `exit=N,tree=AxBxC`"));
+        assert!(draft_err("self:exit=2").contains("missing `tree=AxBxC`"));
+        assert!(draft_err("self:tree=2x2").contains("missing `exit=N`"));
+        assert!(draft_err("self:exit=2,tree").contains("not key=value"));
+        assert!(draft_err("self:exit=0,tree=2").contains("at least 1"));
+        assert!(draft_err("self:exit=two,tree=2").contains("bad layer index `two`"));
+        assert!(draft_err("self:exit=2,tree=2x0").contains("bad branching factor `0`"));
+        assert!(draft_err("self:exit=2,tree=2xq").contains("bad branching factor `q`"));
+        assert!(draft_err("self:exit=2,width=3").contains("unknown draft knob `width`"));
     }
 
     #[test]
